@@ -1,0 +1,341 @@
+//! Alphabets, symbols, and the padded tuple symbols used by regular relations.
+//!
+//! A graph database in the paper is labeled over a finite alphabet Σ. We
+//! intern labels into dense integer [`Symbol`]s so that automata transitions
+//! and graph edges are cheap to store and compare. Regular relations are
+//! recognized by synchronous automata over the product alphabet `(Σ⊥)^n`,
+//! whose letters are tuples of symbols padded with `⊥`; these are represented
+//! by [`TupleSym`], where `None` plays the role of the padding symbol `⊥`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned label of the edge alphabet Σ.
+///
+/// Symbols are dense indices into the [`Alphabet`] that created them. Two
+/// symbols from *different* alphabets must not be mixed; all public APIs in
+/// this workspace take the alphabet alongside symbols whenever labels need to
+/// be resolved back to strings.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The dense index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A padded symbol: either a real letter of Σ or the padding symbol `⊥`
+/// (represented as `None`), used on the tapes of synchronous automata.
+pub type PadSymbol = Option<Symbol>;
+
+/// A finite alphabet Σ of edge labels with string names.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Alphabet {
+    labels: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, Symbol>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Alphabet { labels: Vec::new(), index: HashMap::new() }
+    }
+
+    /// Creates an alphabet from an iterator of label names, interning each in
+    /// order. Duplicate names map to the same symbol.
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut a = Alphabet::new();
+        for l in labels {
+            a.intern(l.as_ref());
+        }
+        a
+    }
+
+    /// Interns a label, returning its symbol. Idempotent.
+    pub fn intern(&mut self, label: &str) -> Symbol {
+        if let Some(&s) = self.index.get(label) {
+            return s;
+        }
+        let s = Symbol(self.labels.len() as u32);
+        self.labels.push(label.to_string());
+        self.index.insert(label.to_string(), s);
+        s
+    }
+
+    /// Looks up an already-interned label.
+    pub fn symbol(&self, label: &str) -> Option<Symbol> {
+        self.index.get(label).copied()
+    }
+
+    /// Looks up a label, panicking with a descriptive message if it was never
+    /// interned. Convenient in tests and examples.
+    pub fn sym(&self, label: &str) -> Symbol {
+        self.symbol(label)
+            .unwrap_or_else(|| panic!("label `{label}` is not in the alphabet"))
+    }
+
+    /// The string name of a symbol.
+    pub fn label(&self, s: Symbol) -> &str {
+        &self.labels[s.index()]
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if no labels were interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over all symbols of the alphabet in interning order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.labels.len() as u32).map(Symbol)
+    }
+
+    /// Iterates over `(symbol, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> + '_ {
+        self.labels.iter().enumerate().map(|(i, l)| (Symbol(i as u32), l.as_str()))
+    }
+
+    /// Rebuilds the internal name index (used after deserialization, where the
+    /// index is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.clone(), Symbol(i as u32)))
+            .collect();
+    }
+
+    /// Renders a word (sequence of symbols) as a `·`-separated string of labels.
+    pub fn render_word(&self, word: &[Symbol]) -> String {
+        if word.is_empty() {
+            return "ε".to_string();
+        }
+        word.iter().map(|&s| self.label(s)).collect::<Vec<_>>().join("·")
+    }
+}
+
+/// A letter of the product alphabet `(Σ⊥)^n`: one padded symbol per tape.
+///
+/// The component `None` stands for the padding symbol `⊥` used to align
+/// strings of different lengths in the convolution `[s̄]` of a string tuple
+/// (Section 2 of the paper).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TupleSym(pub Vec<PadSymbol>);
+
+impl TupleSym {
+    /// Builds a tuple symbol from its components.
+    pub fn new(components: Vec<PadSymbol>) -> Self {
+        TupleSym(components)
+    }
+
+    /// Arity (number of tapes).
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The component on tape `i`.
+    pub fn get(&self, i: usize) -> PadSymbol {
+        self.0[i]
+    }
+
+    /// True if every component is the padding symbol `⊥`.
+    pub fn is_all_pad(&self) -> bool {
+        self.0.iter().all(|c| c.is_none())
+    }
+
+    /// Restricts the tuple to the given tape indices (used when projecting a
+    /// wider relation onto a sub-tuple of its tapes).
+    pub fn restrict(&self, tapes: &[usize]) -> TupleSym {
+        TupleSym(tapes.iter().map(|&i| self.0[i]).collect())
+    }
+
+    /// Renders the tuple with labels resolved against `alphabet`.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        let parts: Vec<String> = self
+            .0
+            .iter()
+            .map(|c| match c {
+                Some(s) => alphabet.label(*s).to_string(),
+                None => "⊥".to_string(),
+            })
+            .collect();
+        format!("({})", parts.join(","))
+    }
+}
+
+impl fmt::Debug for TupleSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match c {
+                Some(s) => write!(f, "{:?}", s)?,
+                None => write!(f, "⊥")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Computes the convolution `[s̄]` of a tuple of words: the string over
+/// `(Σ⊥)^n` whose length is the maximum word length and whose i-th letter
+/// collects the i-th symbols of all words, padding exhausted words with `⊥`.
+pub fn convolution(words: &[&[Symbol]]) -> Vec<TupleSym> {
+    let max_len = words.iter().map(|w| w.len()).max().unwrap_or(0);
+    (0..max_len)
+        .map(|i| TupleSym(words.iter().map(|w| w.get(i).copied()).collect()))
+        .collect()
+}
+
+/// Inverse of [`convolution`]: splits a string over `(Σ⊥)^n` back into the
+/// `n` component words, dropping padding symbols. Returns `None` if the
+/// string is not a valid convolution (a real symbol appears after `⊥` on the
+/// same tape, or arities are inconsistent).
+pub fn deconvolution(string: &[TupleSym], arity: usize) -> Option<Vec<Vec<Symbol>>> {
+    let mut words: Vec<Vec<Symbol>> = vec![Vec::new(); arity];
+    let mut finished = vec![false; arity];
+    for t in string {
+        if t.arity() != arity {
+            return None;
+        }
+        for i in 0..arity {
+            match t.get(i) {
+                Some(s) => {
+                    if finished[i] {
+                        return None;
+                    }
+                    words[i].push(s);
+                }
+                None => finished[i] = true,
+            }
+        }
+        if t.is_all_pad() {
+            return None;
+        }
+    }
+    Some(words)
+}
+
+/// Enumerates the full product alphabet `(Σ⊥)^n` for a (small) base alphabet.
+/// The all-`⊥` letter is excluded because it never occurs in a convolution.
+pub fn product_alphabet(alphabet: &Alphabet, arity: usize) -> Vec<TupleSym> {
+    let mut out = Vec::new();
+    let base: Vec<PadSymbol> =
+        std::iter::once(None).chain(alphabet.symbols().map(Some)).collect();
+    let mut stack: Vec<Vec<PadSymbol>> = vec![Vec::new()];
+    for _ in 0..arity {
+        let mut next = Vec::new();
+        for prefix in &stack {
+            for &c in &base {
+                let mut p = prefix.clone();
+                p.push(c);
+                next.push(p);
+            }
+        }
+        stack = next;
+    }
+    for comps in stack {
+        let t = TupleSym(comps);
+        if !t.is_all_pad() {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut a = Alphabet::new();
+        let s1 = a.intern("a");
+        let s2 = a.intern("b");
+        let s3 = a.intern("a");
+        assert_eq!(s1, s3);
+        assert_ne!(s1, s2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.label(s1), "a");
+        assert_eq!(a.label(s2), "b");
+    }
+
+    #[test]
+    fn from_labels_and_lookup() {
+        let a = Alphabet::from_labels(["a", "b", "c", "b"]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.sym("c"), Symbol(2));
+        assert!(a.symbol("d").is_none());
+    }
+
+    #[test]
+    fn convolution_pads_shorter_words() {
+        let a = Alphabet::from_labels(["a", "b"]);
+        let (sa, sb) = (a.sym("a"), a.sym("b"));
+        // Example from the paper: s1 = aba, s2 = babb.
+        let s1 = vec![sa, sb, sa];
+        let s2 = vec![sb, sa, sb, sb];
+        let conv = convolution(&[&s1, &s2]);
+        assert_eq!(conv.len(), 4);
+        assert_eq!(conv[0], TupleSym(vec![Some(sa), Some(sb)]));
+        assert_eq!(conv[3], TupleSym(vec![None, Some(sb)]));
+        let back = deconvolution(&conv, 2).unwrap();
+        assert_eq!(back[0], s1);
+        assert_eq!(back[1], s2);
+    }
+
+    #[test]
+    fn deconvolution_rejects_invalid_padding() {
+        let a = Alphabet::from_labels(["a"]);
+        let sa = a.sym("a");
+        // ⊥ followed by a real symbol on tape 0 is not a valid convolution.
+        let bad = vec![
+            TupleSym(vec![None, Some(sa)]),
+            TupleSym(vec![Some(sa), Some(sa)]),
+        ];
+        assert!(deconvolution(&bad, 2).is_none());
+        // the all-⊥ letter never occurs in a convolution
+        let bad2 = vec![TupleSym(vec![None, None])];
+        assert!(deconvolution(&bad2, 2).is_none());
+    }
+
+    #[test]
+    fn product_alphabet_size() {
+        let a = Alphabet::from_labels(["a", "b"]);
+        // (|Σ|+1)^2 - 1 = 8 letters, excluding the all-⊥ letter.
+        assert_eq!(product_alphabet(&a, 2).len(), 8);
+        assert_eq!(product_alphabet(&a, 1).len(), 2);
+    }
+
+    #[test]
+    fn render_word_and_tuple() {
+        let a = Alphabet::from_labels(["likes", "knows"]);
+        let w = vec![a.sym("likes"), a.sym("knows")];
+        assert_eq!(a.render_word(&w), "likes·knows");
+        assert_eq!(a.render_word(&[]), "ε");
+        let t = TupleSym(vec![Some(a.sym("likes")), None]);
+        assert_eq!(t.render(&a), "(likes,⊥)");
+    }
+}

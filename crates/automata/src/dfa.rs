@@ -1,0 +1,326 @@
+//! Deterministic finite automata: subset construction, complementation, and
+//! language comparisons.
+//!
+//! Complementation requires a concrete alphabet (the DFA must be complete),
+//! so all operations that need it take the alphabet as an explicit slice of
+//! symbols. For regular relations the alphabet is the product alphabet
+//! `(Σ⊥)^n` (minus the all-`⊥` letter), produced by
+//! [`product_alphabet`](crate::alphabet::product_alphabet).
+
+use crate::nfa::{Nfa, StateId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+
+/// A complete deterministic finite automaton over symbol type `S`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dfa<S: Eq + Hash> {
+    /// `transitions[q]` maps each alphabet symbol to the successor state.
+    transitions: Vec<HashMap<S, StateId>>,
+    initial: StateId,
+    accepting: Vec<bool>,
+    /// The alphabet the DFA is complete over.
+    alphabet: Vec<S>,
+}
+
+impl<S: Clone + Eq + Hash + Ord> Dfa<S> {
+    /// Determinizes an NFA via the subset construction, completing it over
+    /// the given alphabet (a sink state is added as needed).
+    pub fn from_nfa(nfa: &Nfa<S>, alphabet: &[S]) -> Self {
+        let mut alphabet: Vec<S> = alphabet.to_vec();
+        alphabet.sort();
+        alphabet.dedup();
+
+        let mut subsets: HashMap<Vec<StateId>, StateId> = HashMap::new();
+        let mut transitions: Vec<HashMap<S, StateId>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut queue: VecDeque<Vec<StateId>> = VecDeque::new();
+
+        let start = nfa.epsilon_closure(nfa.initial());
+        subsets.insert(start.clone(), 0);
+        transitions.push(HashMap::new());
+        accepting.push(start.iter().any(|&q| nfa.is_accepting(q)));
+        queue.push_back(start);
+
+        while let Some(subset) = queue.pop_front() {
+            let from = subsets[&subset];
+            for sym in &alphabet {
+                let next = nfa.step(&subset, sym);
+                let to = match subsets.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = transitions.len() as StateId;
+                        subsets.insert(next.clone(), id);
+                        transitions.push(HashMap::new());
+                        accepting.push(next.iter().any(|&q| nfa.is_accepting(q)));
+                        queue.push_back(next);
+                        id
+                    }
+                };
+                transitions[from as usize].insert(sym.clone(), to);
+            }
+        }
+        Dfa { transitions, initial: 0, accepting, alphabet }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The alphabet the DFA is complete over.
+    pub fn alphabet(&self) -> &[S] {
+        &self.alphabet
+    }
+
+    /// The initial state.
+    pub fn initial_state(&self) -> StateId {
+        self.initial
+    }
+
+    /// True if `q` is accepting.
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting[q as usize]
+    }
+
+    /// One deterministic step; `None` if the symbol is not in the alphabet.
+    pub fn step(&self, state: StateId, sym: &S) -> Option<StateId> {
+        self.transitions[state as usize].get(sym).copied()
+    }
+
+    /// Runs the DFA on a word. Symbols not in the alphabet cause rejection.
+    pub fn accepts(&self, word: &[S]) -> bool {
+        let mut q = self.initial;
+        for sym in word {
+            match self.transitions[q as usize].get(sym) {
+                Some(&to) => q = to,
+                None => return false,
+            }
+        }
+        self.accepting[q as usize]
+    }
+
+    /// Complements the DFA (language over the same alphabet).
+    pub fn complement(&self) -> Dfa<S> {
+        let mut out = self.clone();
+        for a in &mut out.accepting {
+            *a = !*a;
+        }
+        out
+    }
+
+    /// Converts back to an NFA (e.g. to intersect with other NFAs).
+    pub fn to_nfa(&self) -> Nfa<S> {
+        let mut nfa = Nfa::new();
+        nfa.add_states(self.num_states());
+        for (q, map) in self.transitions.iter().enumerate() {
+            for (s, &to) in map {
+                nfa.add_transition(q as StateId, s.clone(), to);
+            }
+        }
+        for (q, &acc) in self.accepting.iter().enumerate() {
+            nfa.set_accepting(q as StateId, acc);
+        }
+        nfa.add_initial(self.initial);
+        nfa
+    }
+
+    /// True if the DFA accepts no word.
+    pub fn is_empty(&self) -> bool {
+        // BFS from the initial state looking for an accepting state.
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(self.initial);
+        queue.push_back(self.initial);
+        while let Some(q) = queue.pop_front() {
+            if self.accepting[q as usize] {
+                return false;
+            }
+            for &to in self.transitions[q as usize].values() {
+                if seen.insert(to) {
+                    queue.push_back(to);
+                }
+            }
+        }
+        true
+    }
+
+    /// Hopcroft-style minimization (implemented as Moore's partition
+    /// refinement, adequate for the automaton sizes in this workspace).
+    pub fn minimize(&self) -> Dfa<S> {
+        let n = self.num_states();
+        // Initial partition: accepting vs non-accepting.
+        let mut class: Vec<usize> = self
+            .accepting
+            .iter()
+            .map(|&a| if a { 1 } else { 0 })
+            .collect();
+        let mut num_classes = 2;
+        loop {
+            // Signature of each state: (class, [class of successor per symbol]).
+            let mut sig_map: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+            let mut new_class = vec![0usize; n];
+            for q in 0..n {
+                let succ: Vec<usize> = self
+                    .alphabet
+                    .iter()
+                    .map(|s| class[self.transitions[q][s] as usize])
+                    .collect();
+                let key = (class[q], succ);
+                let next_id = sig_map.len();
+                let id = *sig_map.entry(key).or_insert(next_id);
+                new_class[q] = id;
+            }
+            let new_num = sig_map.len();
+            class = new_class;
+            if new_num == num_classes {
+                break;
+            }
+            num_classes = new_num;
+        }
+        // Build the quotient automaton.
+        let mut transitions: Vec<HashMap<S, StateId>> = vec![HashMap::new(); num_classes];
+        let mut accepting = vec![false; num_classes];
+        for q in 0..n {
+            let c = class[q];
+            accepting[c] = accepting[c] || self.accepting[q];
+            for s in &self.alphabet {
+                transitions[c].insert(s.clone(), class[self.transitions[q][s] as usize] as StateId);
+            }
+        }
+        Dfa {
+            transitions,
+            initial: class[self.initial as usize] as StateId,
+            accepting,
+            alphabet: self.alphabet.clone(),
+        }
+    }
+
+    /// Checks language equivalence of two DFAs over the same alphabet by a
+    /// product reachability search for a distinguishing state pair.
+    pub fn equivalent(&self, other: &Dfa<S>) -> bool {
+        if self.alphabet != other.alphabet {
+            return false;
+        }
+        let mut seen: HashSet<(StateId, StateId)> = HashSet::new();
+        let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
+        seen.insert((self.initial, other.initial));
+        queue.push_back((self.initial, other.initial));
+        while let Some((a, b)) = queue.pop_front() {
+            if self.accepting[a as usize] != other.accepting[b as usize] {
+                return false;
+            }
+            for s in &self.alphabet {
+                let na = self.transitions[a as usize][s];
+                let nb = other.transitions[b as usize][s];
+                if seen.insert((na, nb)) {
+                    queue.push_back((na, nb));
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Complements the language of an NFA with respect to `alphabet^*`, returning
+/// an NFA (internally via determinization). Beware: exponential in general.
+pub fn complement_nfa<S: Clone + Eq + Hash + Ord>(nfa: &Nfa<S>, alphabet: &[S]) -> Nfa<S> {
+    Dfa::from_nfa(nfa, alphabet).complement().to_nfa()
+}
+
+/// Checks whether the language of `a` is contained in the language of `b`
+/// (both over `alphabet`), by testing emptiness of `a ∩ complement(b)`.
+pub fn language_subset<S: Clone + Eq + Hash + Ord>(a: &Nfa<S>, b: &Nfa<S>, alphabet: &[S]) -> bool {
+    let comp_b = complement_nfa(b, alphabet);
+    a.intersect(&comp_b).is_empty()
+}
+
+/// Checks language equivalence of two NFAs over `alphabet`.
+pub fn language_equivalent<S: Clone + Eq + Hash + Ord>(
+    a: &Nfa<S>,
+    b: &Nfa<S>,
+    alphabet: &[S],
+) -> bool {
+    Dfa::from_nfa(a, alphabet).minimize().equivalent(&Dfa::from_nfa(b, alphabet).minimize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab_star() -> Nfa<u32> {
+        let mut n = Nfa::new();
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        n.add_initial(q0);
+        n.set_accepting(q0, true);
+        n.add_transition(q0, 0, q1);
+        n.add_transition(q1, 1, q0);
+        n
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let n = ab_star();
+        let d = Dfa::from_nfa(&n, &[0, 1]);
+        for w in [vec![], vec![0, 1], vec![0, 1, 0, 1], vec![0], vec![1, 0], vec![0, 0]] {
+            assert_eq!(n.accepts(&w), d.accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let n = ab_star();
+        let c = Dfa::from_nfa(&n, &[0, 1]).complement();
+        for w in [vec![], vec![0, 1], vec![0], vec![1], vec![0, 0, 1]] {
+            assert_eq!(n.accepts(&w), !c.accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn minimize_keeps_language_and_shrinks() {
+        // Build a redundant NFA for (0|1)* 1 (ends with 1).
+        let mut n: Nfa<u32> = Nfa::new();
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        n.add_initial(q0);
+        n.set_accepting(q1, true);
+        for c in 0..2 {
+            n.add_transition(q0, c, q0);
+        }
+        n.add_transition(q0, 1, q1);
+        let d = Dfa::from_nfa(&n, &[0, 1]);
+        let m = d.minimize();
+        assert!(m.num_states() <= d.num_states());
+        for w in [vec![1], vec![0, 1], vec![1, 0], vec![0, 0], vec![]] {
+            assert_eq!(d.accepts(&w), m.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn subset_and_equivalence() {
+        let ab = ab_star();
+        // (ab)* ⊆ (a|b)*
+        let mut all: Nfa<u32> = Nfa::new();
+        let q = all.add_state();
+        all.add_initial(q);
+        all.set_accepting(q, true);
+        all.add_transition(q, 0, q);
+        all.add_transition(q, 1, q);
+        assert!(language_subset(&ab, &all, &[0, 1]));
+        assert!(!language_subset(&all, &ab, &[0, 1]));
+        assert!(language_equivalent(&ab, &ab, &[0, 1]));
+        assert!(!language_equivalent(&ab, &all, &[0, 1]));
+    }
+
+    #[test]
+    fn dfa_emptiness() {
+        let mut n: Nfa<u32> = Nfa::new();
+        let q = n.add_state();
+        n.add_initial(q);
+        // no accepting states
+        let d = Dfa::from_nfa(&n, &[0]);
+        assert!(d.is_empty());
+        assert!(!Dfa::from_nfa(&ab_star(), &[0, 1]).is_empty());
+    }
+}

@@ -1,0 +1,608 @@
+//! Regular expressions over edge labels and over tuple letters of `(Σ⊥)^n`.
+//!
+//! CRPQ atoms `L(ω)` constrain a single path with a regular expression over
+//! Σ; ECRPQ atoms `R(ω̄)` constrain a tuple of paths with a regular
+//! expression over `(Σ⊥)^n` (Section 3 of the paper). Both are covered by one
+//! AST: a [`Regex`] whose atoms are either labels, the wildcard `.`, or tuple
+//! letters written `<a,b>` (with `_` for the padding symbol `⊥`).
+//!
+//! # Concrete syntax
+//!
+//! ```text
+//! expr   := alt
+//! alt    := cat ('|' cat)*
+//! cat    := rep rep ...          (juxtaposition, whitespace separated)
+//! rep    := atom ('*' | '+' | '?')*
+//! atom   := label | '.' | '()' | '(' alt ')' | '<' comp (',' comp)* '>'
+//! comp   := label | '_' | '-' | '.'
+//! label  := [A-Za-z0-9_][A-Za-z0-9_']*   (must not be a lone '_')
+//! ```
+//!
+//! Examples: `a+ b*`, `(likes|knows)*`, `<a,a>* <_,b>+` (the prefix relation
+//! over `{a,b}` restricted to `a`-prefixes and `b`-suffixes).
+
+use crate::alphabet::{Alphabet, PadSymbol, Symbol, TupleSym};
+use crate::nfa::Nfa;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced while parsing or compiling regular expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegexError {
+    /// Syntax error at the given byte offset.
+    Parse {
+        /// Byte offset of the error in the input.
+        position: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A label used in the expression is not part of the alphabet.
+    UnknownLabel(String),
+    /// A tuple atom has a different arity than the relation being compiled.
+    ArityMismatch {
+        /// Arity of the relation being compiled.
+        expected: usize,
+        /// Arity of the offending tuple atom.
+        found: usize,
+    },
+    /// A bare label atom was used while compiling a relation of arity > 1.
+    LabelInRelation(String),
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegexError::Parse { position, message } => {
+                write!(f, "regex parse error at byte {position}: {message}")
+            }
+            RegexError::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+            RegexError::ArityMismatch { expected, found } => {
+                write!(f, "tuple atom arity {found} does not match relation arity {expected}")
+            }
+            RegexError::LabelInRelation(l) => {
+                write!(f, "bare label `{l}` cannot be used in a relation of arity > 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// One component of a tuple atom `<...>`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TupleComponent {
+    /// A concrete label.
+    Label(String),
+    /// The padding symbol `⊥`, written `_` or `-`.
+    Pad,
+    /// Any (non-padding) label, written `.`.
+    Any,
+}
+
+/// Abstract syntax of regular expressions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Regex {
+    /// The empty word ε, written `()`.
+    Epsilon,
+    /// A single edge label.
+    Label(String),
+    /// Any single edge label, written `.`.
+    Any,
+    /// A tuple letter of `(Σ⊥)^n`, written `<a,b>`.
+    Tuple(Vec<TupleComponent>),
+    /// Concatenation.
+    Concat(Vec<Regex>),
+    /// Alternation.
+    Alt(Vec<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+    /// One or more repetitions.
+    Plus(Box<Regex>),
+    /// Zero or one occurrence.
+    Opt(Box<Regex>),
+}
+
+impl Regex {
+    /// Convenience constructor for a label atom.
+    pub fn label(l: &str) -> Regex {
+        Regex::Label(l.to_string())
+    }
+
+    /// Convenience constructor for concatenation.
+    pub fn then(self, other: Regex) -> Regex {
+        match self {
+            Regex::Concat(mut v) => {
+                v.push(other);
+                Regex::Concat(v)
+            }
+            s => Regex::Concat(vec![s, other]),
+        }
+    }
+
+    /// Convenience constructor for alternation.
+    pub fn or(self, other: Regex) -> Regex {
+        match self {
+            Regex::Alt(mut v) => {
+                v.push(other);
+                Regex::Alt(v)
+            }
+            s => Regex::Alt(vec![s, other]),
+        }
+    }
+
+    /// Kleene star.
+    pub fn star(self) -> Regex {
+        Regex::Star(Box::new(self))
+    }
+
+    /// One or more repetitions.
+    pub fn plus(self) -> Regex {
+        Regex::Plus(Box::new(self))
+    }
+
+    /// Zero or one occurrence.
+    pub fn opt(self) -> Regex {
+        Regex::Opt(Box::new(self))
+    }
+
+    /// Parses the concrete syntax described in the module documentation.
+    pub fn parse(input: &str) -> Result<Regex, RegexError> {
+        Parser::new(input).parse()
+    }
+
+    /// Compiles the expression into an NFA over Σ, resolving labels against
+    /// `alphabet`. Tuple atoms of arity 1 are accepted; wider tuple atoms are
+    /// rejected.
+    pub fn compile(&self, alphabet: &Alphabet) -> Result<Nfa<Symbol>, RegexError> {
+        match self {
+            Regex::Epsilon => Ok(epsilon_nfa()),
+            Regex::Label(l) => {
+                let s = alphabet.symbol(l).ok_or_else(|| RegexError::UnknownLabel(l.clone()))?;
+                Ok(symbol_nfa(&[s]))
+            }
+            Regex::Any => Ok(symbol_nfa(&alphabet.symbols().collect::<Vec<_>>())),
+            Regex::Tuple(comps) => {
+                if comps.len() != 1 {
+                    return Err(RegexError::ArityMismatch { expected: 1, found: comps.len() });
+                }
+                match &comps[0] {
+                    TupleComponent::Label(l) => {
+                        let s = alphabet
+                            .symbol(l)
+                            .ok_or_else(|| RegexError::UnknownLabel(l.clone()))?;
+                        Ok(symbol_nfa(&[s]))
+                    }
+                    TupleComponent::Any => {
+                        Ok(symbol_nfa(&alphabet.symbols().collect::<Vec<_>>()))
+                    }
+                    TupleComponent::Pad => Ok(empty_nfa()),
+                }
+            }
+            Regex::Concat(parts) => {
+                let mut acc = epsilon_nfa();
+                for p in parts {
+                    acc = acc.concat(&p.compile(alphabet)?);
+                }
+                Ok(acc)
+            }
+            Regex::Alt(parts) => {
+                let mut acc = empty_nfa();
+                for p in parts {
+                    acc = acc.union(&p.compile(alphabet)?);
+                }
+                Ok(acc)
+            }
+            Regex::Star(inner) => Ok(inner.compile(alphabet)?.star()),
+            Regex::Plus(inner) => Ok(inner.compile(alphabet)?.plus()),
+            Regex::Opt(inner) => Ok(inner.compile(alphabet)?.union(&epsilon_nfa())),
+        }
+    }
+
+    /// Compiles the expression into an NFA over `(Σ⊥)^arity` describing a
+    /// regular relation. Tuple atoms must have exactly `arity` components;
+    /// `.` at the top level stands for any tuple letter of the product
+    /// alphabet; bare labels are only allowed when `arity == 1`.
+    pub fn compile_relation(
+        &self,
+        alphabet: &Alphabet,
+        arity: usize,
+    ) -> Result<Nfa<TupleSym>, RegexError> {
+        match self {
+            Regex::Epsilon => Ok(epsilon_nfa()),
+            Regex::Label(l) => {
+                if arity != 1 {
+                    return Err(RegexError::LabelInRelation(l.clone()));
+                }
+                let s = alphabet.symbol(l).ok_or_else(|| RegexError::UnknownLabel(l.clone()))?;
+                Ok(tuple_nfa(&[TupleSym::new(vec![Some(s)])]))
+            }
+            Regex::Any => {
+                let letters = crate::alphabet::product_alphabet(alphabet, arity);
+                Ok(tuple_nfa(&letters))
+            }
+            Regex::Tuple(comps) => {
+                if comps.len() != arity {
+                    return Err(RegexError::ArityMismatch { expected: arity, found: comps.len() });
+                }
+                let mut expansions: Vec<Vec<PadSymbol>> = vec![Vec::new()];
+                for c in comps {
+                    let options: Vec<PadSymbol> = match c {
+                        TupleComponent::Label(l) => {
+                            let s = alphabet
+                                .symbol(l)
+                                .ok_or_else(|| RegexError::UnknownLabel(l.clone()))?;
+                            vec![Some(s)]
+                        }
+                        TupleComponent::Pad => vec![None],
+                        TupleComponent::Any => alphabet.symbols().map(Some).collect(),
+                    };
+                    let mut next = Vec::new();
+                    for prefix in &expansions {
+                        for &o in &options {
+                            let mut p = prefix.clone();
+                            p.push(o);
+                            next.push(p);
+                        }
+                    }
+                    expansions = next;
+                }
+                let letters: Vec<TupleSym> = expansions
+                    .into_iter()
+                    .map(TupleSym::new)
+                    .filter(|t| !t.is_all_pad())
+                    .collect();
+                Ok(tuple_nfa(&letters))
+            }
+            Regex::Concat(parts) => {
+                let mut acc = epsilon_nfa();
+                for p in parts {
+                    acc = acc.concat(&p.compile_relation(alphabet, arity)?);
+                }
+                Ok(acc)
+            }
+            Regex::Alt(parts) => {
+                let mut acc = empty_nfa();
+                for p in parts {
+                    acc = acc.union(&p.compile_relation(alphabet, arity)?);
+                }
+                Ok(acc)
+            }
+            Regex::Star(inner) => Ok(inner.compile_relation(alphabet, arity)?.star()),
+            Regex::Plus(inner) => Ok(inner.compile_relation(alphabet, arity)?.plus()),
+            Regex::Opt(inner) => {
+                Ok(inner.compile_relation(alphabet, arity)?.union(&epsilon_nfa()))
+            }
+        }
+    }
+}
+
+/// NFA accepting only the empty word.
+fn epsilon_nfa<S: Clone + Eq + std::hash::Hash + Ord>() -> Nfa<S> {
+    let mut n = Nfa::new();
+    let q = n.add_state();
+    n.add_initial(q);
+    n.set_accepting(q, true);
+    n
+}
+
+/// NFA accepting nothing.
+fn empty_nfa<S: Clone + Eq + std::hash::Hash + Ord>() -> Nfa<S> {
+    let mut n = Nfa::new();
+    let q = n.add_state();
+    n.add_initial(q);
+    n
+}
+
+/// NFA accepting exactly the one-letter words over the given symbols.
+fn symbol_nfa(symbols: &[Symbol]) -> Nfa<Symbol> {
+    let mut n = Nfa::new();
+    let q0 = n.add_state();
+    let q1 = n.add_state();
+    n.add_initial(q0);
+    n.set_accepting(q1, true);
+    for &s in symbols {
+        n.add_transition(q0, s, q1);
+    }
+    n
+}
+
+/// NFA accepting exactly the one-letter words over the given tuple letters.
+fn tuple_nfa(letters: &[TupleSym]) -> Nfa<TupleSym> {
+    let mut n = Nfa::new();
+    let q0 = n.add_state();
+    let q1 = n.add_state();
+    n.add_initial(q0);
+    n.set_accepting(q1, true);
+    for t in letters {
+        n.add_transition(q0, t.clone(), q1);
+    }
+    n
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input: input.as_bytes(), pos: 0 }
+    }
+
+    fn parse(mut self) -> Result<Regex, RegexError> {
+        let r = self.parse_alt()?;
+        self.skip_ws();
+        if self.pos != self.input.len() {
+            return Err(self.err("unexpected trailing input"));
+        }
+        Ok(r)
+    }
+
+    fn err(&self, message: &str) -> RegexError {
+        RegexError::Parse { position: self.pos, message: message.to_string() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn parse_alt(&mut self) -> Result<Regex, RegexError> {
+        let mut parts = vec![self.parse_cat()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'|') {
+                self.pos += 1;
+                parts.push(self.parse_cat()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Regex::Alt(parts) })
+    }
+
+    fn parse_cat(&mut self) -> Result<Regex, RegexError> {
+        let mut parts = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None | Some(b'|') | Some(b')') => break,
+                _ => parts.push(self.parse_rep()?),
+            }
+        }
+        match parts.len() {
+            0 => Ok(Regex::Epsilon),
+            1 => Ok(parts.pop().unwrap()),
+            _ => Ok(Regex::Concat(parts)),
+        }
+    }
+
+    fn parse_rep(&mut self) -> Result<Regex, RegexError> {
+        let mut atom = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    atom = Regex::Star(Box::new(atom));
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    atom = Regex::Plus(Box::new(atom));
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    atom = Regex::Opt(Box::new(atom));
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex, RegexError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b')') {
+                    self.pos += 1;
+                    return Ok(Regex::Epsilon);
+                }
+                let inner = self.parse_alt()?;
+                self.skip_ws();
+                if self.peek() != Some(b')') {
+                    return Err(self.err("expected `)`"));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(b'<') => {
+                self.pos += 1;
+                let mut comps = Vec::new();
+                loop {
+                    self.skip_ws();
+                    comps.push(self.parse_component()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'>') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("expected `,` or `>` in tuple atom")),
+                    }
+                }
+                Ok(Regex::Tuple(comps))
+            }
+            Some(b'.') => {
+                self.pos += 1;
+                Ok(Regex::Any)
+            }
+            Some(c) if is_label_byte(c) => {
+                let label = self.parse_label()?;
+                Ok(Regex::Label(label))
+            }
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_component(&mut self) -> Result<TupleComponent, RegexError> {
+        match self.peek() {
+            Some(b'.') => {
+                self.pos += 1;
+                Ok(TupleComponent::Any)
+            }
+            Some(b'-') => {
+                self.pos += 1;
+                Ok(TupleComponent::Pad)
+            }
+            Some(c) if is_label_byte(c) => {
+                let label = self.parse_label()?;
+                if label == "_" {
+                    Ok(TupleComponent::Pad)
+                } else {
+                    Ok(TupleComponent::Label(label))
+                }
+            }
+            _ => Err(self.err("expected a tuple component")),
+        }
+    }
+
+    fn parse_label(&mut self) -> Result<String, RegexError> {
+        let start = self.pos;
+        while self.pos < self.input.len() && is_label_byte(self.input[self.pos]) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a label"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos]).unwrap().to_string())
+    }
+}
+
+fn is_label_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'\''
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::convolution;
+
+    fn abc() -> Alphabet {
+        Alphabet::from_labels(["a", "b", "c"])
+    }
+
+    #[test]
+    fn parse_and_compile_basic() {
+        let al = abc();
+        let r = Regex::parse("a+ b*").unwrap();
+        let n = r.compile(&al).unwrap();
+        let (a, b) = (al.sym("a"), al.sym("b"));
+        assert!(n.accepts(&[a]));
+        assert!(n.accepts(&[a, a, b, b]));
+        assert!(!n.accepts(&[b]));
+        assert!(!n.accepts(&[a, b, a]));
+    }
+
+    #[test]
+    fn parse_alternation_and_grouping() {
+        let al = abc();
+        let n = Regex::parse("(a|b)* c").unwrap().compile(&al).unwrap();
+        let (a, b, c) = (al.sym("a"), al.sym("b"), al.sym("c"));
+        assert!(n.accepts(&[c]));
+        assert!(n.accepts(&[a, b, a, c]));
+        assert!(!n.accepts(&[a, b]));
+        assert!(!n.accepts(&[c, a]));
+    }
+
+    #[test]
+    fn parse_wildcard_epsilon_opt() {
+        let al = abc();
+        let n = Regex::parse(". .").unwrap().compile(&al).unwrap();
+        assert!(n.accepts(&[al.sym("a"), al.sym("c")]));
+        assert!(!n.accepts(&[al.sym("a")]));
+        let e = Regex::parse("()").unwrap().compile(&al).unwrap();
+        assert!(e.accepts(&[]));
+        assert!(!e.accepts(&[al.sym("a")]));
+        let o = Regex::parse("a?").unwrap().compile(&al).unwrap();
+        assert!(o.accepts(&[]) && o.accepts(&[al.sym("a")]) && !o.accepts(&[al.sym("b")]));
+    }
+
+    #[test]
+    fn unknown_label_is_reported() {
+        let al = abc();
+        let r = Regex::parse("d").unwrap();
+        assert_eq!(r.compile(&al).unwrap_err(), RegexError::UnknownLabel("d".into()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::parse("(a").is_err());
+        assert!(Regex::parse("a)").is_err());
+        assert!(Regex::parse("<a,").is_err());
+    }
+
+    #[test]
+    fn compile_relation_equal_length() {
+        // The equal-length relation el = (<.,.>)* from the paper.
+        let al = abc();
+        let r = Regex::parse("<.,.>*").unwrap();
+        let n = r.compile_relation(&al, 2).unwrap();
+        let (a, b) = (al.sym("a"), al.sym("b"));
+        let same = convolution(&[&[a, a][..], &[b, b][..]]);
+        let diff = convolution(&[&[a, a][..], &[b][..]]);
+        assert!(n.accepts(&same));
+        assert!(!n.accepts(&diff));
+    }
+
+    #[test]
+    fn compile_relation_prefix() {
+        // prefix: <.,.>* followed by <⊥,.>*, restricted here to matching letters.
+        let al = abc();
+        let r = Regex::parse("(<a,a>|<b,b>|<c,c>)* <_,.>*").unwrap();
+        let n = r.compile_relation(&al, 2).unwrap();
+        let (a, b) = (al.sym("a"), al.sym("b"));
+        let pre = convolution(&[&[a, b][..], &[a, b, a][..]]);
+        let not_pre = convolution(&[&[a, b][..], &[b, b, a][..]]);
+        assert!(n.accepts(&pre));
+        assert!(!n.accepts(&not_pre));
+    }
+
+    #[test]
+    fn relation_arity_mismatch() {
+        let al = abc();
+        let r = Regex::parse("<a,b>").unwrap();
+        assert!(matches!(
+            r.compile_relation(&al, 3).unwrap_err(),
+            RegexError::ArityMismatch { expected: 3, found: 2 }
+        ));
+        let r2 = Regex::parse("a").unwrap();
+        assert!(matches!(
+            r2.compile_relation(&al, 2).unwrap_err(),
+            RegexError::LabelInRelation(_)
+        ));
+    }
+
+    #[test]
+    fn builder_api() {
+        let al = abc();
+        let r = Regex::label("a").plus().then(Regex::label("b").or(Regex::label("c")).star());
+        let n = r.compile(&al).unwrap();
+        assert!(n.accepts(&[al.sym("a"), al.sym("b"), al.sym("c")]));
+        assert!(!n.accepts(&[al.sym("b")]));
+    }
+}

@@ -1,0 +1,305 @@
+//! Regular relations on words: n-ary relations recognized by synchronous
+//! (letter-to-letter) automata over the product alphabet `(Σ⊥)^n`.
+//!
+//! Following Section 2 of the paper, an n-ary relation `S ⊆ (Σ*)^n` is
+//! *regular* if the set of convolutions `{[s̄] | s̄ ∈ S}` is a regular
+//! language over `(Σ⊥)^n`. A [`RegularRelation`] wraps such an automaton
+//! together with its arity and provides the operations the query evaluator
+//! needs: membership of word tuples, per-tape projection (used for the CRPQ
+//! relaxation that prunes candidate node assignments), intersection, union,
+//! complement relative to the valid-convolution universe, and padding
+//! normalization.
+
+use crate::alphabet::{convolution, product_alphabet, Alphabet, Symbol, TupleSym};
+use crate::dfa::complement_nfa;
+use crate::nfa::{Nfa, StateId};
+use crate::regex::{Regex, RegexError};
+use serde::{Deserialize, Serialize};
+
+/// An n-ary regular relation over Σ, represented by a synchronous automaton
+/// over `(Σ⊥)^n`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RegularRelation {
+    arity: usize,
+    nfa: Nfa<TupleSym>,
+    /// Optional human-readable name (used when pretty-printing queries).
+    name: Option<String>,
+}
+
+impl RegularRelation {
+    /// Wraps an existing automaton over `(Σ⊥)^arity`.
+    pub fn from_nfa(arity: usize, nfa: Nfa<TupleSym>) -> Self {
+        RegularRelation { arity, nfa, name: None }
+    }
+
+    /// Compiles a regular expression over tuple atoms (see
+    /// [`Regex::compile_relation`]) into a relation.
+    pub fn from_regex(expr: &str, alphabet: &Alphabet, arity: usize) -> Result<Self, RegexError> {
+        let regex = Regex::parse(expr)?;
+        let nfa = regex.compile_relation(alphabet, arity)?;
+        Ok(RegularRelation { arity, nfa, name: Some(expr.to_string()) })
+    }
+
+    /// Lifts a regular language over Σ into an arity-1 regular relation (a
+    /// CRPQ language atom).
+    pub fn from_language(nfa: &Nfa<Symbol>) -> Self {
+        let lifted = nfa.map_symbols(|&s| Some(TupleSym::new(vec![Some(s)])));
+        RegularRelation { arity: 1, nfa: lifted, name: None }
+    }
+
+    /// Attaches a human-readable name.
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// The relation's name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Arity (number of tapes).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The underlying synchronous automaton.
+    pub fn nfa(&self) -> &Nfa<TupleSym> {
+        &self.nfa
+    }
+
+    /// Number of automaton states (used in complexity reporting).
+    pub fn num_states(&self) -> usize {
+        self.nfa.num_states()
+    }
+
+    /// Tests membership of a tuple of words in the relation.
+    pub fn contains(&self, words: &[&[Symbol]]) -> bool {
+        assert_eq!(words.len(), self.arity, "tuple arity mismatch");
+        let conv = convolution(words);
+        self.nfa.accepts(&conv)
+    }
+
+    /// Projects the relation onto tape `i`: the regular language
+    /// `{ s_i | (s_1,…,s_n) ∈ S }`. Padding symbols become ε-transitions.
+    pub fn project(&self, tape: usize) -> Nfa<Symbol> {
+        assert!(tape < self.arity);
+        self.nfa.map_symbols(|t| t.get(tape))
+    }
+
+    /// Projects the relation onto a subset of its tapes (in the given order),
+    /// yielding a relation of smaller arity. Letters whose restriction is
+    /// all-`⊥` become ε-transitions.
+    pub fn project_tapes(&self, tapes: &[usize]) -> RegularRelation {
+        for &t in tapes {
+            assert!(t < self.arity);
+        }
+        let nfa = self.nfa.map_symbols(|sym| {
+            let restricted = sym.restrict(tapes);
+            if restricted.is_all_pad() {
+                None
+            } else {
+                Some(restricted)
+            }
+        });
+        RegularRelation { arity: tapes.len(), nfa, name: None }
+    }
+
+    /// Intersection with another relation of the same arity.
+    pub fn intersect(&self, other: &RegularRelation) -> RegularRelation {
+        assert_eq!(self.arity, other.arity, "arity mismatch in intersection");
+        RegularRelation { arity: self.arity, nfa: self.nfa.intersect(&other.nfa), name: None }
+    }
+
+    /// Union with another relation of the same arity.
+    pub fn union(&self, other: &RegularRelation) -> RegularRelation {
+        assert_eq!(self.arity, other.arity, "arity mismatch in union");
+        RegularRelation { arity: self.arity, nfa: self.nfa.union(&other.nfa), name: None }
+    }
+
+    /// Complement relative to the set of *valid convolutions* over the given
+    /// alphabet (i.e. `(Σ*)^n \ S`). Exponential in general (determinizes).
+    pub fn complement(&self, alphabet: &Alphabet) -> RegularRelation {
+        let letters = product_alphabet(alphabet, self.arity);
+        let comp = complement_nfa(&self.nfa, &letters);
+        let universe = valid_convolutions(alphabet, self.arity);
+        RegularRelation { arity: self.arity, nfa: comp.intersect(&universe), name: None }
+    }
+
+    /// Normalizes the relation so that its automaton only accepts valid
+    /// convolutions (no real symbol after `⊥` on any tape, no all-`⊥`
+    /// letter). Built-in relations are already normalized; this is applied to
+    /// user-supplied relation regexes by the query validator.
+    pub fn normalize_padding(&self, alphabet: &Alphabet) -> RegularRelation {
+        let universe = valid_convolutions(alphabet, self.arity);
+        RegularRelation {
+            arity: self.arity,
+            nfa: self.nfa.intersect(&universe).trim(),
+            name: self.name.clone(),
+        }
+    }
+
+    /// True if the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nfa.is_empty()
+    }
+
+    /// Enumerates up to `limit` member tuples whose convolution length is at
+    /// most `max_len` (used by the containment checker's canonical-database
+    /// search and by tests).
+    pub fn enumerate_members(&self, max_len: usize, limit: usize) -> Vec<Vec<Vec<Symbol>>> {
+        let words = self.nfa.enumerate_words(max_len, limit * 4);
+        let mut out = Vec::new();
+        for w in words {
+            if let Some(tuple) = crate::alphabet::deconvolution(&w, self.arity) {
+                out.push(tuple);
+                if out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The universe of valid convolutions over `(Σ⊥)^n`: strings in which no
+/// real symbol follows `⊥` on the same tape and the all-`⊥` letter never
+/// occurs. States track the set of tapes that have already ended.
+pub fn valid_convolutions(alphabet: &Alphabet, arity: usize) -> Nfa<TupleSym> {
+    assert!(arity <= 16, "valid_convolutions supports arity up to 16");
+    let letters = product_alphabet(alphabet, arity);
+    let mut nfa: Nfa<TupleSym> = Nfa::new();
+    let num_masks = 1usize << arity;
+    let states: Vec<StateId> = nfa.add_states(num_masks);
+    for (mask, &q) in states.iter().enumerate() {
+        nfa.set_accepting(q, true);
+        for letter in &letters {
+            // A tape that has ended (bit set) must read ⊥.
+            let mut ok = true;
+            let mut new_mask = mask;
+            for i in 0..arity {
+                match letter.get(i) {
+                    Some(_) => {
+                        if mask & (1 << i) != 0 {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => new_mask |= 1 << i,
+                }
+            }
+            if ok {
+                nfa.add_transition(q, letter.clone(), states[new_mask]);
+            }
+        }
+    }
+    nfa.add_initial(states[0]);
+    nfa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::from_labels(["a", "b"])
+    }
+
+    #[test]
+    fn relation_from_regex_membership() {
+        let al = ab();
+        // equality over {a,b}
+        let eq = RegularRelation::from_regex("(<a,a>|<b,b>)*", &al, 2).unwrap();
+        let (a, b) = (al.sym("a"), al.sym("b"));
+        assert!(eq.contains(&[&[a, b, a], &[a, b, a]]));
+        assert!(!eq.contains(&[&[a, b], &[a, b, a]]));
+        assert!(!eq.contains(&[&[a, b, a], &[a, b, b]]));
+        assert!(eq.contains(&[&[], &[]]));
+    }
+
+    #[test]
+    fn projection_gives_component_language() {
+        let al = ab();
+        // relation: first tape in a+, second tape in b+, equal length
+        let rel = RegularRelation::from_regex("<a,b>+", &al, 2).unwrap();
+        let p0 = rel.project(0);
+        let p1 = rel.project(1);
+        let (a, b) = (al.sym("a"), al.sym("b"));
+        assert!(p0.accepts(&[a, a]));
+        assert!(!p0.accepts(&[a, b]));
+        assert!(p1.accepts(&[b, b, b]));
+        assert!(!p1.accepts(&[]));
+    }
+
+    #[test]
+    fn project_tapes_reorders_and_drops() {
+        let al = ab();
+        // ternary relation: all three tapes read `a` in lockstep
+        let rel = RegularRelation::from_regex("<a,a,a>*", &al, 3).unwrap();
+        let pair = rel.project_tapes(&[2, 0]);
+        let a = al.sym("a");
+        assert_eq!(pair.arity(), 2);
+        assert!(pair.contains(&[&[a, a], &[a, a]]));
+        assert!(!pair.contains(&[&[a], &[a, a]]));
+    }
+
+    #[test]
+    fn intersect_union_complement() {
+        let al = ab();
+        let eq = RegularRelation::from_regex("(<a,a>|<b,b>)*", &al, 2).unwrap();
+        let el = RegularRelation::from_regex("<.,.>*", &al, 2).unwrap();
+        let (a, b) = (al.sym("a"), al.sym("b"));
+        // eq ⊆ el, so intersection behaves like eq
+        let inter = eq.intersect(&el);
+        assert!(inter.contains(&[&[a, b], &[a, b]]));
+        assert!(!inter.contains(&[&[a, b], &[b, a]]));
+        let uni = eq.union(&el);
+        assert!(uni.contains(&[&[a, b], &[b, a]]));
+        // complement of el: pairs of different length
+        let comp = el.complement(&al);
+        assert!(comp.contains(&[&[a], &[a, b]]));
+        assert!(!comp.contains(&[&[a, b], &[b, a]]));
+    }
+
+    #[test]
+    fn valid_convolution_universe() {
+        let al = ab();
+        let u = valid_convolutions(&al, 2);
+        let (a, b) = (al.sym("a"), al.sym("b"));
+        let good = convolution(&[&[a][..], &[a, b][..]]);
+        assert!(u.accepts(&good));
+        // invalid: real symbol after ⊥ on tape 0
+        let bad = vec![
+            TupleSym::new(vec![None, Some(b)]),
+            TupleSym::new(vec![Some(a), Some(b)]),
+        ];
+        assert!(!u.accepts(&bad));
+    }
+
+    #[test]
+    fn normalize_padding_removes_invalid_words() {
+        let al = ab();
+        // A sloppy relation regex that would accept an invalid padding:
+        // <⊥,b> followed by <a,b>.
+        let sloppy = RegularRelation::from_regex("<_,b> <a,b>", &al, 2).unwrap();
+        let bad_word = vec![
+            TupleSym::new(vec![None, Some(al.sym("b"))]),
+            TupleSym::new(vec![Some(al.sym("a")), Some(al.sym("b"))]),
+        ];
+        assert!(sloppy.nfa().accepts(&bad_word));
+        let normalized = sloppy.normalize_padding(&al);
+        assert!(!normalized.nfa().accepts(&bad_word));
+        assert!(normalized.is_empty());
+    }
+
+    #[test]
+    fn enumerate_members_produces_tuples() {
+        let al = ab();
+        let eq = RegularRelation::from_regex("(<a,a>|<b,b>)*", &al, 2).unwrap();
+        let members = eq.enumerate_members(2, 10);
+        assert!(members.iter().any(|t| t[0].is_empty() && t[1].is_empty()));
+        for t in &members {
+            assert_eq!(t[0], t[1]);
+        }
+    }
+}

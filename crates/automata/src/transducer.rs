@@ -1,0 +1,363 @@
+//! Asynchronous two-tape transducers and their synchronization into
+//! letter-to-letter automata.
+//!
+//! The paper (Section 4) uses the fact that rational relations of bounded
+//! delay are regular (Frougny & Sakarovitch) to obtain the bounded
+//! edit-distance relation `D≤k` as a regular relation. We implement exactly
+//! that route: an asynchronous transducer whose moves consume a symbol on
+//! either tape independently, plus a synchronization construction that turns
+//! any such transducer with delay at most `k` into a synchronous automaton
+//! over `(Σ⊥)^2` by buffering at most `k` lagging symbols per tape.
+
+use crate::alphabet::{Alphabet, Symbol, TupleSym};
+use crate::nfa::{Nfa, StateId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// An asynchronous two-tape automaton (transducer without output — it simply
+/// accepts pairs of words). A move may consume a symbol on either tape, both,
+/// or neither.
+#[derive(Clone, Debug)]
+pub struct Transducer2 {
+    transitions: Vec<Vec<(Option<Symbol>, Option<Symbol>, StateId)>>,
+    initial: Vec<StateId>,
+    accepting: Vec<bool>,
+}
+
+impl Default for Transducer2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Transducer2 {
+    /// Creates an empty transducer.
+    pub fn new() -> Self {
+        Transducer2 { transitions: Vec::new(), initial: Vec::new(), accepting: Vec::new() }
+    }
+
+    /// Adds a fresh state.
+    pub fn add_state(&mut self) -> StateId {
+        let id = self.transitions.len() as StateId;
+        self.transitions.push(Vec::new());
+        self.accepting.push(false);
+        id
+    }
+
+    /// Marks a state as initial.
+    pub fn add_initial(&mut self, q: StateId) {
+        if !self.initial.contains(&q) {
+            self.initial.push(q);
+        }
+    }
+
+    /// Marks a state as accepting.
+    pub fn set_accepting(&mut self, q: StateId, accepting: bool) {
+        self.accepting[q as usize] = accepting;
+    }
+
+    /// Adds a move consuming `on0` from the first tape and `on1` from the
+    /// second tape (`None` consumes nothing on that tape).
+    pub fn add_move(
+        &mut self,
+        from: StateId,
+        on0: Option<Symbol>,
+        on1: Option<Symbol>,
+        to: StateId,
+    ) {
+        self.transitions[from as usize].push((on0, on1, to));
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Direct acceptance test for a pair of words (used to validate the
+    /// synchronization in tests). Explores (state, i, j) configurations.
+    pub fn accepts(&self, w0: &[Symbol], w1: &[Symbol]) -> bool {
+        let mut seen: HashSet<(StateId, usize, usize)> = HashSet::new();
+        let mut stack: Vec<(StateId, usize, usize)> = Vec::new();
+        for &q in &self.initial {
+            stack.push((q, 0, 0));
+            seen.insert((q, 0, 0));
+        }
+        while let Some((q, i, j)) = stack.pop() {
+            if i == w0.len() && j == w1.len() && self.accepting[q as usize] {
+                return true;
+            }
+            for (on0, on1, to) in &self.transitions[q as usize] {
+                let ni = match on0 {
+                    Some(s) => {
+                        if i < w0.len() && w0[i] == *s {
+                            i + 1
+                        } else {
+                            continue;
+                        }
+                    }
+                    None => i,
+                };
+                let nj = match on1 {
+                    Some(s) => {
+                        if j < w1.len() && w1[j] == *s {
+                            j + 1
+                        } else {
+                            continue;
+                        }
+                    }
+                    None => j,
+                };
+                if seen.insert((*to, ni, nj)) {
+                    stack.push((*to, ni, nj));
+                }
+            }
+        }
+        false
+    }
+
+    /// Synchronizes the transducer into a letter-to-letter automaton over
+    /// `(Σ⊥)^2`, assuming the transducer has delay at most `delay_bound`
+    /// (the difference between the two tape positions never needs to exceed
+    /// it on accepting runs). The result accepts exactly the convolutions of
+    /// accepted pairs whose runs respect that delay bound.
+    pub fn synchronize(&self, delay_bound: usize) -> Nfa<TupleSym> {
+        // All symbols that the transducer can ever consume; the synchronized
+        // automaton's alphabet is derived from the convolution letters seen.
+        let mut symbols: Vec<Symbol> = Vec::new();
+        for ts in &self.transitions {
+            for (a, b, _) in ts {
+                if let Some(s) = a {
+                    symbols.push(*s);
+                }
+                if let Some(s) = b {
+                    symbols.push(*s);
+                }
+            }
+        }
+        symbols.sort();
+        symbols.dedup();
+
+        let mut nfa: Nfa<TupleSym> = Nfa::new();
+        let mut ids: HashMap<Config, StateId> = HashMap::new();
+        let mut queue: VecDeque<Config> = VecDeque::new();
+
+        let intern =
+            |cfg: Config, nfa: &mut Nfa<TupleSym>, queue: &mut VecDeque<Config>, ids: &mut HashMap<Config, StateId>| -> StateId {
+                if let Some(&id) = ids.get(&cfg) {
+                    return id;
+                }
+                let id = nfa.add_state();
+                let accepting = cfg.buf0.is_empty()
+                    && cfg.buf1.is_empty()
+                    && self.accepting[cfg.state as usize];
+                nfa.set_accepting(id, accepting);
+                ids.insert(cfg.clone(), id);
+                queue.push_back(cfg);
+                id
+            };
+
+        // Initial configurations: closure of the transducer's initial states
+        // with empty buffers.
+        for &q in &self.initial {
+            let base = Config { state: q, buf0: Vec::new(), buf1: Vec::new(), fin0: false, fin1: false };
+            for cfg in self.consume_closure(base, delay_bound) {
+                let id = intern(cfg, &mut nfa, &mut queue, &mut ids);
+                nfa.add_initial(id);
+            }
+        }
+
+        // Convolution letters: (x, y) with x, y ∈ Σ ∪ {⊥}, not both ⊥.
+        let padded: Vec<Option<Symbol>> =
+            symbols.iter().copied().map(Some).chain(std::iter::once(None)).collect();
+        let mut letters: Vec<(Option<Symbol>, Option<Symbol>)> = Vec::new();
+        for &x in &padded {
+            for &y in &padded {
+                if x.is_some() || y.is_some() {
+                    letters.push((x, y));
+                }
+            }
+        }
+
+        while let Some(cfg) = queue.pop_front() {
+            let from = ids[&cfg];
+            for &(x, y) in &letters {
+                if (cfg.fin0 && x.is_some()) || (cfg.fin1 && y.is_some()) {
+                    continue;
+                }
+                let mut base = cfg.clone();
+                match x {
+                    Some(s) => base.buf0.push(s),
+                    None => base.fin0 = true,
+                }
+                match y {
+                    Some(s) => base.buf1.push(s),
+                    None => base.fin1 = true,
+                }
+                for succ in self.consume_closure(base, delay_bound) {
+                    let to = intern(succ, &mut nfa, &mut queue, &mut ids);
+                    nfa.add_transition(from, TupleSym::new(vec![x, y]), to);
+                }
+            }
+        }
+        nfa.trim()
+    }
+
+    /// All configurations reachable from `base` by consuming buffered symbols
+    /// (including `base` itself), restricted to buffers of length at most
+    /// `delay_bound`.
+    fn consume_closure(&self, base: Config, delay_bound: usize) -> Vec<Config> {
+        let mut seen: HashSet<Config> = HashSet::new();
+        let mut stack = vec![base];
+        while let Some(cfg) = stack.pop() {
+            if !seen.insert(cfg.clone()) {
+                continue;
+            }
+            for (on0, on1, to) in &self.transitions[cfg.state as usize] {
+                let mut next = cfg.clone();
+                next.state = *to;
+                match on0 {
+                    Some(s) => {
+                        if next.buf0.first() == Some(s) {
+                            next.buf0.remove(0);
+                        } else {
+                            continue;
+                        }
+                    }
+                    None => {}
+                }
+                match on1 {
+                    Some(s) => {
+                        if next.buf1.first() == Some(s) {
+                            next.buf1.remove(0);
+                        } else {
+                            continue;
+                        }
+                    }
+                    None => {}
+                }
+                stack.push(next);
+            }
+        }
+        seen.into_iter()
+            .filter(|c| c.buf0.len() <= delay_bound && c.buf1.len() <= delay_bound)
+            .collect()
+    }
+}
+
+/// A configuration of the synchronization construction: transducer state,
+/// buffered (seen but unconsumed) symbols per tape, and per-tape end flags.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Config {
+    state: StateId,
+    buf0: Vec<Symbol>,
+    buf1: Vec<Symbol>,
+    fin0: bool,
+    fin1: bool,
+}
+
+/// The classic edit-distance transducer: accepts `(x, y)` iff `y` can be
+/// obtained from `x` with at most `k` insertions, deletions, or
+/// substitutions. States count the edits used; matches are free.
+pub fn edit_distance_transducer(alphabet: &Alphabet, k: usize) -> Transducer2 {
+    let mut t = Transducer2::new();
+    let states: Vec<StateId> = (0..=k).map(|_| t.add_state()).collect();
+    t.add_initial(states[0]);
+    for &q in &states {
+        t.set_accepting(q, true);
+    }
+    for (d, &q) in states.iter().enumerate() {
+        for a in alphabet.symbols() {
+            // match
+            t.add_move(q, Some(a), Some(a), q);
+            if d < k {
+                // deletion of `a` from x
+                t.add_move(q, Some(a), None, states[d + 1]);
+                // insertion of `a` into y
+                t.add_move(q, None, Some(a), states[d + 1]);
+                // substitution
+                for b in alphabet.symbols() {
+                    if a != b {
+                        t.add_move(q, Some(a), Some(b), states[d + 1]);
+                    }
+                }
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::convolution;
+    use crate::builtin::levenshtein;
+
+    #[test]
+    fn transducer_accepts_matches_levenshtein() {
+        let al = Alphabet::from_labels(["a", "b"]);
+        let (a, b) = (al.sym("a"), al.sym("b"));
+        let t = edit_distance_transducer(&al, 1);
+        assert!(t.accepts(&[a, b], &[a, b]));
+        assert!(t.accepts(&[a, b], &[a]));
+        assert!(t.accepts(&[a, b], &[a, a]));
+        assert!(!t.accepts(&[a, b], &[b, a]));
+        assert!(!t.accepts(&[a, a, a], &[b, b, b]));
+    }
+
+    #[test]
+    fn synchronization_agrees_with_direct_acceptance() {
+        let al = Alphabet::from_labels(["a", "b"]);
+        let (a, b) = (al.sym("a"), al.sym("b"));
+        let words: Vec<Vec<Symbol>> = vec![
+            vec![],
+            vec![a],
+            vec![b],
+            vec![a, b],
+            vec![b, a],
+            vec![a, b, b],
+            vec![b, a, a, b],
+        ];
+        for k in 0..=2usize {
+            let t = edit_distance_transducer(&al, k);
+            let sync = t.synchronize(k);
+            for x in &words {
+                for y in &words {
+                    let conv = convolution(&[x, y]);
+                    let direct = levenshtein(x, y) <= k;
+                    assert_eq!(sync.accepts(&conv), direct, "k={k} x={x:?} y={y:?}");
+                    assert_eq!(t.accepts(x, y), direct, "transducer k={k} x={x:?} y={y:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_distance_is_equality() {
+        let al = Alphabet::from_labels(["a", "b"]);
+        let (a, b) = (al.sym("a"), al.sym("b"));
+        let t = edit_distance_transducer(&al, 0);
+        let sync = t.synchronize(0);
+        assert!(sync.accepts(&convolution(&[&[a, b][..], &[a, b][..]])));
+        assert!(!sync.accepts(&convolution(&[&[a, b][..], &[a][..]])));
+        assert!(sync.accepts(&convolution(&[&[][..], &[][..]])));
+    }
+
+    #[test]
+    fn custom_transducer_shift_relation() {
+        // Relation: y = x with the first symbol removed (delay 1).
+        let al = Alphabet::from_labels(["a", "b"]);
+        let (a, b) = (al.sym("a"), al.sym("b"));
+        let mut t = Transducer2::new();
+        let q0 = t.add_state();
+        let q1 = t.add_state();
+        t.add_initial(q0);
+        t.set_accepting(q1, true);
+        for s in al.symbols() {
+            t.add_move(q0, Some(s), None, q1); // drop the first symbol of x
+            t.add_move(q1, Some(s), Some(s), q1); // then copy
+        }
+        let sync = t.synchronize(1);
+        assert!(sync.accepts(&convolution(&[&[a, b, a][..], &[b, a][..]])));
+        assert!(!sync.accepts(&convolution(&[&[a, b, a][..], &[a, b][..]])));
+        assert!(!sync.accepts(&convolution(&[&[][..], &[][..]])));
+    }
+}

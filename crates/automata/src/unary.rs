@@ -1,0 +1,341 @@
+//! Length analysis of automata: the set of lengths of accepted words.
+//!
+//! The NP upper bound for ECRPQs with length-only relations (Theorem 6.7) and
+//! for queries with linear constraints on path lengths (Theorem 8.5) rests on
+//! the fact that the lengths of words accepted by a unary NFA form a finite
+//! union of arithmetic progressions (Chrobak normal form, repaired by
+//! To 2009). We compute an exact eventually-periodic description of that set
+//! by iterating the reachable-state-set map of the automaton with all labels
+//! erased, and detecting the first repeated state set. The iteration is
+//! guarded by a configurable cap: when the cap is hit (which requires an
+//! adversarially large period, never reached by the shipped workloads), the
+//! caller receives an explicit error rather than a wrong answer.
+
+use crate::nfa::Nfa;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An arithmetic progression `{ offset + period·i | i ≥ 0 }`. A period of `0`
+/// denotes the singleton `{offset}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Progression {
+    /// Smallest element.
+    pub offset: u64,
+    /// Common difference (0 for a singleton).
+    pub period: u64,
+}
+
+impl Progression {
+    /// Membership test.
+    pub fn contains(&self, n: u64) -> bool {
+        if n < self.offset {
+            return false;
+        }
+        if self.period == 0 {
+            n == self.offset
+        } else {
+            (n - self.offset) % self.period == 0
+        }
+    }
+}
+
+/// The exact set of accepted word lengths of an automaton, stored as an
+/// eventually periodic boolean sequence.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LengthSet {
+    /// `membership[ℓ]` for `ℓ < preperiod + period`.
+    membership: Vec<bool>,
+    /// Lengths `< preperiod` are read directly from `membership`.
+    preperiod: usize,
+    /// For `ℓ ≥ preperiod`, membership equals
+    /// `membership[preperiod + (ℓ - preperiod) % period]`.
+    period: usize,
+}
+
+/// Errors from the length analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LengthError {
+    /// The reachable-set iteration did not repeat within the configured cap.
+    CapExceeded {
+        /// The iteration cap that was exceeded.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for LengthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LengthError::CapExceeded { cap } => {
+                write!(f, "length-set iteration exceeded the cap of {cap} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LengthError {}
+
+impl LengthSet {
+    /// The empty length set.
+    pub fn empty() -> Self {
+        LengthSet { membership: vec![false], preperiod: 0, period: 1 }
+    }
+
+    /// A singleton length set.
+    pub fn singleton(n: u64) -> Self {
+        let mut membership = vec![false; n as usize + 2];
+        membership[n as usize] = true;
+        LengthSet { membership, preperiod: n as usize + 1, period: 1 }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, n: u64) -> bool {
+        let n = n as usize;
+        if n < self.preperiod {
+            self.membership[n]
+        } else {
+            self.membership[self.preperiod + (n - self.preperiod) % self.period]
+        }
+    }
+
+    /// True if the set contains no length.
+    pub fn is_empty(&self) -> bool {
+        !self.membership.iter().any(|&b| b)
+    }
+
+    /// The smallest member, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.membership.iter().position(|&b| b).map(|i| i as u64)
+    }
+
+    /// Decomposes the set into a finite union of arithmetic progressions:
+    /// singletons for members below the preperiod and one progression per
+    /// residue class that is present in the periodic part.
+    pub fn to_progressions(&self) -> Vec<Progression> {
+        let mut out = Vec::new();
+        for (i, &b) in self.membership.iter().enumerate().take(self.preperiod) {
+            if b {
+                out.push(Progression { offset: i as u64, period: 0 });
+            }
+        }
+        for r in 0..self.period {
+            if self.membership[self.preperiod + r] {
+                out.push(Progression {
+                    offset: (self.preperiod + r) as u64,
+                    period: self.period as u64,
+                });
+            }
+        }
+        out
+    }
+
+    /// Intersection with another length set (used when one path variable is
+    /// constrained by several unary languages).
+    pub fn intersect(&self, other: &LengthSet) -> LengthSet {
+        let preperiod = self.preperiod.max(other.preperiod);
+        let period = lcm(self.period, other.period);
+        let len = preperiod + period;
+        let membership: Vec<bool> =
+            (0..len).map(|i| self.contains(i as u64) && other.contains(i as u64)).collect();
+        LengthSet { membership, preperiod, period }
+    }
+
+    /// All members up to and including `max` (for tests and brute-force
+    /// comparisons).
+    pub fn members_up_to(&self, max: u64) -> Vec<u64> {
+        (0..=max).filter(|&n| self.contains(n)).collect()
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        a / gcd(a, b) * b
+    }
+}
+
+/// Computes the exact set of accepted word lengths of `nfa`.
+///
+/// `cap` bounds the number of reachable-set iterations; `4·n² + 64` (with `n`
+/// the number of states) is a generous default exposed by
+/// [`length_set_default_cap`].
+pub fn length_set<S: Clone + Eq + Hash + Ord>(
+    nfa: &Nfa<S>,
+    cap: usize,
+) -> Result<LengthSet, LengthError> {
+    let n = nfa.num_states();
+    if n == 0 {
+        return Ok(LengthSet::empty());
+    }
+    let words = n.div_ceil(64);
+    // Current set of states reachable by words of the current length, as a bitset.
+    let mut current = vec![0u64; words];
+    for &q in &nfa.epsilon_closure(nfa.initial()) {
+        current[q as usize / 64] |= 1 << (q as usize % 64);
+    }
+    let accepting_mask: Vec<u64> = {
+        let mut m = vec![0u64; words];
+        for q in nfa.accepting_states() {
+            m[q as usize / 64] |= 1 << (q as usize % 64);
+        }
+        m
+    };
+    let accepts = |set: &[u64]| set.iter().zip(&accepting_mask).any(|(a, b)| a & b != 0);
+
+    let mut seen: HashMap<Vec<u64>, usize> = HashMap::new();
+    let mut membership: Vec<bool> = Vec::new();
+    let mut step_index = 0usize;
+    loop {
+        if let Some(&first) = seen.get(&current) {
+            let preperiod = first;
+            let period = step_index - first;
+            membership.truncate(preperiod + period);
+            return Ok(LengthSet { membership, preperiod, period });
+        }
+        if step_index > cap {
+            return Err(LengthError::CapExceeded { cap });
+        }
+        seen.insert(current.clone(), step_index);
+        membership.push(accepts(&current));
+        // Advance one step: successors of every state in `current` by any symbol,
+        // then ε-closure.
+        let states: Vec<u32> = (0..n as u32)
+            .filter(|&q| current[q as usize / 64] & (1 << (q as usize % 64)) != 0)
+            .collect();
+        let mut next_states: Vec<u32> = Vec::new();
+        for q in states {
+            for (_, to) in nfa.transitions_from(q) {
+                next_states.push(*to);
+            }
+        }
+        next_states.sort_unstable();
+        next_states.dedup();
+        let closed = nfa.epsilon_closure(&next_states);
+        let mut next = vec![0u64; words];
+        for q in closed {
+            next[q as usize / 64] |= 1 << (q as usize % 64);
+        }
+        current = next;
+        step_index += 1;
+    }
+}
+
+/// The default iteration cap used by the query evaluator: `4·n² + 64`.
+pub fn length_set_default_cap(num_states: usize) -> usize {
+    4 * num_states * num_states + 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+
+    /// NFA over a single letter accepting words whose length is ≡ r (mod m),
+    /// for any r in `residues`.
+    fn mod_nfa(m: usize, residues: &[usize]) -> Nfa<u32> {
+        let mut n = Nfa::new();
+        let states = n.add_states(m);
+        n.add_initial(states[0]);
+        for &r in residues {
+            n.set_accepting(states[r], true);
+        }
+        for i in 0..m {
+            n.add_transition(states[i], 0, states[(i + 1) % m]);
+        }
+        n
+    }
+
+    #[test]
+    fn periodic_lengths() {
+        let n = mod_nfa(3, &[1]);
+        let ls = length_set(&n, 100).unwrap();
+        for l in 0..30u64 {
+            assert_eq!(ls.contains(l), l % 3 == 1, "length {l}");
+        }
+        let progs = ls.to_progressions();
+        assert!(progs.iter().any(|p| p.period % 3 == 0));
+    }
+
+    #[test]
+    fn finite_language_lengths() {
+        // accepts only the word of length 2
+        let mut n: Nfa<u32> = Nfa::new();
+        let s = n.add_states(3);
+        n.add_initial(s[0]);
+        n.set_accepting(s[2], true);
+        n.add_transition(s[0], 0, s[1]);
+        n.add_transition(s[1], 0, s[2]);
+        let ls = length_set(&n, 100).unwrap();
+        assert_eq!(ls.members_up_to(10), vec![2]);
+        assert_eq!(ls.min(), Some(2));
+        assert!(!ls.is_empty());
+    }
+
+    #[test]
+    fn empty_language() {
+        let mut n: Nfa<u32> = Nfa::new();
+        let q = n.add_state();
+        n.add_initial(q);
+        let ls = length_set(&n, 10).unwrap();
+        assert!(ls.is_empty());
+        assert_eq!(ls.min(), None);
+        assert!(ls.to_progressions().is_empty());
+    }
+
+    #[test]
+    fn union_of_residues_and_intersection() {
+        let a = length_set(&mod_nfa(2, &[0]), 100).unwrap(); // even
+        let b = length_set(&mod_nfa(3, &[0]), 100).unwrap(); // multiples of 3
+        let both = a.intersect(&b); // multiples of 6
+        for l in 0..40u64 {
+            assert_eq!(both.contains(l), l % 6 == 0, "length {l}");
+        }
+    }
+
+    #[test]
+    fn progressions_reconstruct_membership() {
+        let n = mod_nfa(4, &[1, 3]);
+        let ls = length_set(&n, 100).unwrap();
+        let progs = ls.to_progressions();
+        for l in 0..50u64 {
+            let by_progs = progs.iter().any(|p| p.contains(l));
+            assert_eq!(by_progs, ls.contains(l), "length {l}");
+        }
+    }
+
+    #[test]
+    fn cap_exceeded_is_reported() {
+        let n = mod_nfa(7, &[0]);
+        assert!(matches!(length_set(&n, 3), Err(LengthError::CapExceeded { cap: 3 })));
+    }
+
+    #[test]
+    fn singleton_and_empty_constructors() {
+        let s = LengthSet::singleton(5);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(!s.contains(6));
+        assert!(LengthSet::empty().is_empty());
+    }
+
+    #[test]
+    fn epsilon_transitions_do_not_add_length() {
+        let mut n: Nfa<u32> = Nfa::new();
+        let s = n.add_states(3);
+        n.add_initial(s[0]);
+        n.set_accepting(s[2], true);
+        n.add_epsilon(s[0], s[1]);
+        n.add_transition(s[1], 0, s[2]);
+        let ls = length_set(&n, 50).unwrap();
+        assert_eq!(ls.members_up_to(5), vec![1]);
+    }
+}

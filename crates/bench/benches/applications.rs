@@ -1,0 +1,31 @@
+//! Criterion benchmarks for the application workloads APP-1..APP-4 (the
+//! Section 4 and Section 8.2 scenarios): ρ-isomorphism associations,
+//! edit-distance alignment, square-pattern matching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_bench::workloads;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applications");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for &n in &[10usize, 20, 30] {
+        group.bench_with_input(BenchmarkId::new("rho_iso", n), &n, |b, &n| {
+            b.iter(|| workloads::app_rho_iso(&[n]))
+        });
+    }
+    for &k in &[0usize, 1, 2] {
+        group.bench_with_input(BenchmarkId::new("alignment_k", k), &k, |b, &k| {
+            b.iter(|| workloads::app_alignment(8, k))
+        });
+    }
+    for &n in &[4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("pattern_squares", n), &n, |b, &n| {
+            b.iter(|| workloads::app_pattern(&[n]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion benchmark for experiment F1a-D1/D2 (Fig. 1(a), data complexity):
+//! a fixed Boolean query evaluated as CRPQ, ECRPQ, and under the length
+//! abstraction, over random graphs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_bench::workloads;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1a_data_complexity");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for &n in &[64usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::new("crpq_ecrpq_qlen", n), &n, |b, &n| {
+            b.iter(|| workloads::fig1a_data(&[n]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Error types for query construction and evaluation.
+
+use std::fmt;
+
+/// Errors raised while building, validating, or evaluating queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A head variable does not occur in the body.
+    UnboundHeadVariable(String),
+    /// A path variable used in a relation atom does not occur in any
+    /// relational atom.
+    UnboundPathVariable(String),
+    /// A relation atom's arity differs from the number of path variables it
+    /// is applied to.
+    RelationArityMismatch {
+        /// Name of the relation (if any).
+        relation: String,
+        /// Declared arity of the relation.
+        arity: usize,
+        /// Number of path variables supplied.
+        supplied: usize,
+    },
+    /// The query has no relational atoms (the paper requires `m > 0`).
+    NoRelationalAtoms,
+    /// A regular expression failed to parse or compile.
+    Regex(String),
+    /// A named node in the query is not present in the graph being queried.
+    UnknownGraphNode(String),
+    /// The evaluation exceeded its configured budget.
+    BudgetExceeded {
+        /// Human-readable description of which budget was exhausted.
+        what: String,
+    },
+    /// A feature was requested that the engine does not support for the given
+    /// query (e.g. the length abstraction of a relation with no declared
+    /// abstraction).
+    Unsupported(String),
+    /// A linear-constraint specification is malformed.
+    InvalidLinearConstraint(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnboundHeadVariable(v) => {
+                write!(f, "head variable `{v}` does not occur in the query body")
+            }
+            QueryError::UnboundPathVariable(v) => {
+                write!(f, "path variable `{v}` is not bound by any relational atom")
+            }
+            QueryError::RelationArityMismatch { relation, arity, supplied } => write!(
+                f,
+                "relation `{relation}` has arity {arity} but was applied to {supplied} path variables"
+            ),
+            QueryError::NoRelationalAtoms => {
+                write!(f, "a query must contain at least one relational atom (x, π, y)")
+            }
+            QueryError::Regex(e) => write!(f, "regular expression error: {e}"),
+            QueryError::UnknownGraphNode(n) => {
+                write!(f, "the graph has no node named `{n}`")
+            }
+            QueryError::BudgetExceeded { what } => {
+                write!(f, "evaluation budget exceeded: {what}")
+            }
+            QueryError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            QueryError::InvalidLinearConstraint(what) => {
+                write!(f, "invalid linear constraint: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ecrpq_automata::regex::RegexError> for QueryError {
+    fn from(e: ecrpq_automata::regex::RegexError) -> Self {
+        QueryError::Regex(e.to_string())
+    }
+}

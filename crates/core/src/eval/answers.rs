@@ -1,0 +1,425 @@
+//! Representing (possibly infinite) sets of output paths.
+//!
+//! Proposition 5.2 of the paper: for a fixed ECRPQ `Q` with head
+//! `Ans(z̄, χ̄)`, a graph `G`, and a tuple of nodes `v̄`, one can construct in
+//! polynomial time an automaton that accepts exactly the representations of
+//! all tuples of paths `ρ̄` with `(v̄, ρ̄) ∈ Q(G)`. We build that automaton
+//! over the encoding alphabet `V^k ∪ (Σ⊥)^k`: an accepted word alternates
+//! node tuples and convolution letters,
+//! `v̄0 ā1 v̄1 ā2 … āp v̄p`, and uniquely determines (and is determined by) the
+//! tuple of paths.
+//!
+//! The construction explores exactly the states of the convolution search of
+//! [`super::search`], so it stays polynomial in the size of the graph for a
+//! fixed query (Theorem 6.1), and exponential only in the query.
+
+use crate::error::QueryError;
+use crate::eval::plan::{self, Compiled};
+use crate::eval::EvalConfig;
+use crate::query::Ecrpq;
+use ecrpq_automata::alphabet::{Symbol, TupleSym};
+use ecrpq_automata::nfa::{Nfa, StateId};
+use ecrpq_graph::{GraphDb, NodeId, Path};
+use std::collections::{HashMap, VecDeque};
+
+/// A letter of the path-tuple encoding alphabet `V^k ∪ (Σ⊥)^k`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EncLetter {
+    /// A tuple of current nodes, one per output path variable.
+    Nodes(Vec<NodeId>),
+    /// A convolution letter over the output path variables.
+    Letter(TupleSym),
+}
+
+/// The answer automaton of Proposition 5.2 for a query, a graph, and a tuple
+/// of head-node values.
+#[derive(Clone, Debug)]
+pub struct AnswerAutomaton {
+    /// The automaton over the encoding alphabet.
+    pub nfa: Nfa<EncLetter>,
+    /// Number of output path variables `k`.
+    pub arity: usize,
+}
+
+impl AnswerAutomaton {
+    /// Tests whether a tuple of paths is represented by the automaton (i.e.
+    /// whether `(v̄, ρ̄) ∈ Q(G)` for the `v̄` the automaton was built for).
+    pub fn contains(&self, paths: &[Path]) -> bool {
+        assert_eq!(paths.len(), self.arity);
+        self.nfa.accepts(&encode_paths(paths))
+    }
+
+    /// True if the query has no path answers for the given nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nfa.is_empty()
+    }
+
+    /// Number of automaton states (reported by the benchmark harness).
+    pub fn num_states(&self) -> usize {
+        self.nfa.num_states()
+    }
+}
+
+/// Encodes a tuple of paths as a word over the encoding alphabet:
+/// `v̄0 ā1 v̄1 … āp v̄p`, where finished paths repeat their final node and
+/// contribute `⊥` letters.
+pub fn encode_paths(paths: &[Path]) -> Vec<EncLetter> {
+    let max_len = paths.iter().map(|p| p.len()).max().unwrap_or(0);
+    let node_at = |p: &Path, i: usize| -> NodeId {
+        if i >= p.nodes().len() {
+            p.end()
+        } else {
+            p.nodes()[i]
+        }
+    };
+    let mut word = Vec::with_capacity(2 * max_len + 1);
+    word.push(EncLetter::Nodes(paths.iter().map(|p| node_at(p, 0)).collect()));
+    for i in 0..max_len {
+        let letter: Vec<Option<Symbol>> =
+            paths.iter().map(|p| p.label().get(i).copied()).collect();
+        word.push(EncLetter::Letter(TupleSym::new(letter)));
+        word.push(EncLetter::Nodes(paths.iter().map(|p| node_at(p, i + 1)).collect()));
+    }
+    word
+}
+
+/// Builds the answer automaton `A^{(G,v̄)}_Q` for the head path variables of
+/// `query`, with the head node variables bound to `nodes`.
+///
+/// The automaton accepts exactly the encodings of tuples `ρ̄` such that
+/// `(nodes, ρ̄) ∈ Q(G)`.
+pub fn answer_automaton(
+    query: &Ecrpq,
+    graph: &GraphDb,
+    nodes: &[NodeId],
+    config: &EvalConfig,
+) -> Result<AnswerAutomaton, QueryError> {
+    let compiled = Compiled::new(query, graph)?;
+    if nodes.len() != compiled.head_node_idx.len() {
+        return Err(QueryError::Unsupported(format!(
+            "expected {} head node values, got {}",
+            compiled.head_node_idx.len(),
+            nodes.len()
+        )));
+    }
+    if !compiled.counters.is_empty() {
+        return Err(QueryError::Unsupported(
+            "answer automata are not defined for queries with linear constraints".to_string(),
+        ));
+    }
+    let arity = compiled.head_path_idx.len();
+
+    // Build one product automaton per Q-compatible candidate assignment σ
+    // that extends the given head nodes, and take their union. The states are
+    // the convolution-search states; transitions alternate Letter and Nodes.
+    let mut nfa: Nfa<EncLetter> = Nfa::new();
+    let mut stats = plan::EvalStats::default();
+
+    // Enumerate candidates via the same machinery as the evaluator, by
+    // temporarily binding head node variables as constants.
+    let mut bound = compiled.clone();
+    for (i, &vi) in compiled.head_node_idx.iter().enumerate() {
+        bound.constants.push((vi, nodes[i]));
+    }
+    let reach: Vec<plan::ReachRel> = (0..compiled.path_vars.len())
+        .map(|p| plan::reachability(graph, &compiled, compiled.unary[p].as_ref()))
+        .collect();
+
+    let mut err: Option<QueryError> = None;
+    plan::enumerate_candidates(&bound, graph, &reach, config, &mut stats, |sigma| {
+        if let Err(e) = add_candidate_automaton(&mut nfa, &compiled, graph, sigma, arity, config) {
+            err = Some(e);
+            return false;
+        }
+        true
+    })?;
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(AnswerAutomaton { nfa: nfa.trim(), arity })
+}
+
+/// Search state used by the answer-automaton construction (same shape as the
+/// convolution search, without counters).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct AState {
+    /// Current node per path variable, plus a "finished" flag.
+    pos: Vec<(NodeId, bool)>,
+    rel: Vec<Vec<StateId>>,
+}
+
+fn add_candidate_automaton(
+    nfa: &mut Nfa<EncLetter>,
+    compiled: &Compiled,
+    graph: &GraphDb,
+    sigma: &[NodeId],
+    _arity: usize,
+    config: &EvalConfig,
+) -> Result<(), QueryError> {
+    // Check repeated-atom endpoint consistency.
+    for &(p, f, t) in &compiled.extra_endpoints {
+        if sigma[f] != sigma[compiled.path_from[p]] || sigma[t] != sigma[compiled.path_to[p]] {
+            return Ok(());
+        }
+    }
+    let num_paths = compiled.path_vars.len();
+    let head = &compiled.head_path_idx;
+
+    let initial = AState {
+        pos: (0..num_paths).map(|p| (sigma[compiled.path_from[p]], false)).collect(),
+        rel: compiled
+            .relations
+            .iter()
+            .map(|r| r.nfa.epsilon_closure(r.nfa.initial()))
+            .collect(),
+    };
+
+    // Each search state becomes *two* automaton states: one expecting the
+    // next Nodes letter ("before nodes") and one expecting the next
+    // convolution letter ("after nodes"). The encoding starts and ends with a
+    // Nodes letter.
+    let mut before_ids: HashMap<AState, StateId> = HashMap::new();
+    let mut after_ids: HashMap<AState, StateId> = HashMap::new();
+    let mut queue: VecDeque<AState> = VecDeque::new();
+
+    let accepts = |s: &AState| -> bool {
+        s.pos.iter().enumerate().all(|(p, &(node, done))| {
+            done || node == sigma[compiled.path_to[p]]
+        }) && compiled
+            .relations
+            .iter()
+            .enumerate()
+            .all(|(j, r)| s.rel[j].iter().any(|&q| r.nfa.is_accepting(q)))
+    };
+
+    // Intern helper: creates the before/after pair for a state, linked by the
+    // Nodes letter of the head path variables.
+    fn intern(
+        s: &AState,
+        nfa: &mut Nfa<EncLetter>,
+        before: &mut HashMap<AState, StateId>,
+        after: &mut HashMap<AState, StateId>,
+        queue: &mut VecDeque<AState>,
+        head: &[usize],
+        accepting: bool,
+    ) -> (StateId, StateId) {
+        if let (Some(&b), Some(&a)) = (before.get(s), after.get(s)) {
+            return (b, a);
+        }
+        let b = nfa.add_state();
+        let a = nfa.add_state();
+        let node_letter =
+            EncLetter::Nodes(head.iter().map(|&p| s.pos[p].0).collect());
+        nfa.add_transition(b, node_letter, a);
+        nfa.set_accepting(a, accepting);
+        before.insert(s.clone(), b);
+        after.insert(s.clone(), a);
+        queue.push_back(s.clone());
+        (b, a)
+    }
+
+    let (b0, _a0) = intern(
+        &initial,
+        nfa,
+        &mut before_ids,
+        &mut after_ids,
+        &mut queue,
+        head,
+        accepts(&initial),
+    );
+    nfa.add_initial(b0);
+
+    let mut visited_budget = config.max_search_states;
+    while let Some(state) = queue.pop_front() {
+        if visited_budget == 0 {
+            return Err(QueryError::BudgetExceeded {
+                what: "answer-automaton construction exceeded the state budget".to_string(),
+            });
+        }
+        visited_budget -= 1;
+        let from_after = after_ids[&state];
+        // Expand global moves (same move structure as the convolution search).
+        let mut options: Vec<Vec<Option<(Symbol, NodeId)>>> = Vec::with_capacity(num_paths);
+        let mut dead = false;
+        for p in 0..num_paths {
+            let (node, done) = state.pos[p];
+            let mut opts: Vec<Option<(Symbol, NodeId)>> = Vec::new();
+            if done {
+                opts.push(None);
+            } else {
+                for &(label, to) in graph.out_edges(node) {
+                    opts.push(Some((label, to)));
+                }
+                if node == sigma[compiled.path_to[p]] {
+                    opts.push(None); // finish here
+                }
+            }
+            if opts.is_empty() {
+                dead = true;
+                break;
+            }
+            options.push(opts);
+        }
+        if dead {
+            continue;
+        }
+        let mut choice = vec![0usize; num_paths];
+        'outer: loop {
+            let picks: Vec<Option<(Symbol, NodeId)>> =
+                (0..num_paths).map(|p| options[p][choice[p]]).collect();
+            if picks.iter().any(|o| o.is_some()) {
+                if let Some(next) = apply_move(compiled, &state, &picks) {
+                    let letter = EncLetter::Letter(TupleSym::new(
+                        head.iter()
+                            .map(|&p| picks[p].map(|(l, _)| compiled.translate(l)))
+                            .collect(),
+                    ));
+                    let acc = accepts(&next);
+                    let (nb, _na) = intern(
+                        &next,
+                        nfa,
+                        &mut before_ids,
+                        &mut after_ids,
+                        &mut queue,
+                        head,
+                        acc,
+                    );
+                    nfa.add_transition(from_after, letter, nb);
+                }
+            }
+            let mut i = 0;
+            loop {
+                if i == num_paths {
+                    break 'outer;
+                }
+                choice[i] += 1;
+                if choice[i] < options[i].len() {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn apply_move(
+    compiled: &Compiled,
+    state: &AState,
+    picks: &[Option<(Symbol, NodeId)>],
+) -> Option<AState> {
+    let mut pos = Vec::with_capacity(picks.len());
+    let mut letters: Vec<Option<Symbol>> = Vec::with_capacity(picks.len());
+    for (p, pick) in picks.iter().enumerate() {
+        match pick {
+            Some((label, to)) => {
+                pos.push((*to, false));
+                letters.push(Some(compiled.translate(*label)));
+            }
+            None => {
+                pos.push((state.pos[p].0, true));
+                letters.push(None);
+            }
+        }
+    }
+    let mut rel = Vec::with_capacity(compiled.relations.len());
+    for (j, r) in compiled.relations.iter().enumerate() {
+        let tuple: Vec<Option<Symbol>> = r.tapes.iter().map(|&t| letters[t]).collect();
+        if tuple.iter().all(|c| c.is_none()) {
+            rel.push(state.rel[j].clone());
+            continue;
+        }
+        let next = r.nfa.step(&state.rel[j], &TupleSym::new(tuple));
+        if next.is_empty() {
+            return None;
+        }
+        rel.push(next);
+    }
+    Some(AState { pos, rel })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use ecrpq_automata::builtin;
+    use ecrpq_graph::generators;
+
+    #[test]
+    fn answer_automaton_represents_exactly_the_answer_paths() {
+        // Graph: a cycle of length 3 labeled a; query: Ans(x, π) ← (x, π, y), a+(π)
+        // with x bound to node 0 — answers are all paths of positive length from 0.
+        let g = generators::cycle_graph(3, "a");
+        let al = g.alphabet().clone();
+        let q = crate::query::Ecrpq::builder(&al)
+            .head_nodes(&["x"])
+            .head_paths(&["p"])
+            .atom("x", "p", "y")
+            .language("p", "a+")
+            .build()
+            .unwrap();
+        let n0 = ecrpq_graph::NodeId(0);
+        let aut = answer_automaton(&q, &g, &[n0], &EvalConfig::default()).unwrap();
+        assert!(!aut.is_empty());
+        // Path of length 3 (full cycle) is an answer; the empty path is not (a+).
+        let a = g.alphabet().sym("a");
+        let full_cycle = Path::new(
+            vec![ecrpq_graph::NodeId(0), ecrpq_graph::NodeId(1), ecrpq_graph::NodeId(2), ecrpq_graph::NodeId(0)],
+            vec![a, a, a],
+        );
+        assert!(aut.contains(&[full_cycle]));
+        let empty = Path::empty(n0);
+        assert!(!aut.contains(&[empty]));
+        // A path that does not start at the bound node is rejected.
+        let wrong_start = Path::new(vec![ecrpq_graph::NodeId(1), ecrpq_graph::NodeId(2)], vec![a]);
+        assert!(!aut.contains(&[wrong_start]));
+    }
+
+    #[test]
+    fn answer_automaton_agrees_with_eval_with_paths() {
+        let g = generators::cycle_graph(4, "a");
+        let al = g.alphabet().clone();
+        let q = crate::query::Ecrpq::builder(&al)
+            .head_nodes(&["x", "y"])
+            .head_paths(&["p1", "p2"])
+            .atom("x", "p1", "z")
+            .atom("z", "p2", "y")
+            .relation(builtin::equal_length(&al), &["p1", "p2"])
+            .build()
+            .unwrap();
+        let cfg = EvalConfig { answer_limit: 20, ..EvalConfig::default() };
+        let answers = eval::eval_with_paths(&q, &g, &cfg).unwrap();
+        assert!(!answers.is_empty());
+        for ans in answers.iter().take(5) {
+            let aut = answer_automaton(&q, &g, &ans.nodes, &cfg).unwrap();
+            assert!(
+                aut.contains(&ans.paths),
+                "witness paths must be accepted by the answer automaton"
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_round_trip_shape() {
+        let g = generators::cycle_graph(3, "a");
+        let a = g.alphabet().sym("a");
+        let p1 = Path::new(vec![ecrpq_graph::NodeId(0), ecrpq_graph::NodeId(1)], vec![a]);
+        let p2 = Path::new(
+            vec![ecrpq_graph::NodeId(1), ecrpq_graph::NodeId(2), ecrpq_graph::NodeId(0)],
+            vec![a, a],
+        );
+        let enc = encode_paths(&[p1, p2]);
+        // v̄0 ā1 v̄1 ā2 v̄2 — five letters for max length 2
+        assert_eq!(enc.len(), 5);
+        assert!(matches!(enc[0], EncLetter::Nodes(_)));
+        assert!(matches!(enc[1], EncLetter::Letter(_)));
+        if let EncLetter::Letter(t) = &enc[3] {
+            // first path finished: ⊥ on tape 0
+            assert_eq!(t.get(0), None);
+            assert_eq!(t.get(1), Some(a));
+        } else {
+            panic!("expected a convolution letter");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Query evaluation.
+//!
+//! The evaluator follows the algorithmic blueprint of Sections 5 and 6 of the
+//! paper:
+//!
+//! 1. **Per-atom product automata.** For every path variable, the regular
+//!    constraints that mention it (arity-1 language atoms and the per-tape
+//!    projections of wider relation atoms) are intersected into one NFA; the
+//!    product of that NFA with the graph gives, for every relational atom, the
+//!    binary reachability relation over nodes. This is exactly the classical
+//!    CRPQ evaluation step (and a sound relaxation of the ECRPQ).
+//! 2. **Candidate assignments.** The relational part is evaluated as a
+//!    conjunctive query over those binary relations by a backtracking join
+//!    (or, for acyclic queries, by the Yannakakis-style semi-join pass in
+//!    [`crate::eval::acyclic`]), yielding candidate assignments of the node
+//!    variables.
+//! 3. **Convolution search.** For each candidate, the on-the-fly product of
+//!    the padded graph power `G^m` with the relation automata is searched for
+//!    an accepting run (Theorem 6.3's PSPACE procedure, Theorem 6.1's
+//!    NLOGSPACE data-complexity procedure). Queries without proper relation
+//!    atoms (plain CRPQs without repetition) skip this step.
+//!
+//! Path outputs are produced either as explicit witness paths
+//! ([`eval_with_paths`]) or as an automaton representing the full (possibly
+//! infinite) answer set ([`crate::eval::answers`], Proposition 5.2).
+
+pub mod acyclic;
+pub mod answers;
+pub mod counts;
+pub mod length;
+pub mod negation;
+pub(crate) mod plan;
+pub(crate) mod search;
+
+use crate::error::QueryError;
+use crate::query::Ecrpq;
+use ecrpq_automata::semilinear::SolverConfig;
+use ecrpq_graph::{GraphDb, NodeId, Path};
+
+pub use plan::EvalStats;
+
+/// Tunable budgets for query evaluation. The defaults are generous enough for
+/// all the workloads in this repository; the limits exist because ECRPQ
+/// evaluation is PSPACE-complete in the size of the query (Theorem 6.3) and
+/// the engine prefers an explicit error over an unbounded search.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Maximum number of distinct states visited by one convolution search.
+    pub max_search_states: usize,
+    /// Maximum number of candidate node assignments examined.
+    pub max_candidates: usize,
+    /// Maximum number of answers materialized by [`eval_with_paths`].
+    pub answer_limit: usize,
+    /// Maximum number of global convolution steps when counters (linear
+    /// constraints) are present; `None` derives a bound from the graph and
+    /// query sizes (the small-model bound of Lemma 8.6, clamped).
+    pub max_convolution_steps: Option<usize>,
+    /// Configuration of the linear-constraint solver used by the length
+    /// abstraction (Theorem 6.7) and the Section 8.2 extensions.
+    pub solver: SolverConfig,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            max_search_states: 4_000_000,
+            max_candidates: 20_000_000,
+            answer_limit: 1_000,
+            max_convolution_steps: None,
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// One answer to a query with paths in the head: values of the head node
+/// variables and one witness path per head path variable. (When a query has
+/// infinitely many path answers, [`eval_with_paths`] returns shortest
+/// witnesses; use [`answers::answer_automaton`] for the full set.)
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Answer {
+    /// Values of the head node variables, in head order.
+    pub nodes: Vec<NodeId>,
+    /// Witness paths for the head path variables, in head order.
+    pub paths: Vec<Path>,
+}
+
+/// Evaluates a query, returning the set of head-node tuples (the projection
+/// of `Q(G)` onto its node attributes). For Boolean queries the result is
+/// either empty (false) or contains one empty tuple (true).
+pub fn eval_nodes(
+    query: &Ecrpq,
+    graph: &GraphDb,
+    config: &EvalConfig,
+) -> Result<Vec<Vec<NodeId>>, QueryError> {
+    let (answers, _) = plan::evaluate(query, graph, config, plan::Mode::Nodes)?;
+    Ok(answers.into_iter().map(|a| a.nodes).collect())
+}
+
+/// Evaluates a query and also reports evaluation statistics (candidates
+/// examined, search states visited). Used by the benchmark harness.
+pub fn eval_nodes_with_stats(
+    query: &Ecrpq,
+    graph: &GraphDb,
+    config: &EvalConfig,
+) -> Result<(Vec<Vec<NodeId>>, EvalStats), QueryError> {
+    let (answers, stats) = plan::evaluate(query, graph, config, plan::Mode::Nodes)?;
+    Ok((answers.into_iter().map(|a| a.nodes).collect(), stats))
+}
+
+/// Evaluates a Boolean query.
+pub fn eval_boolean(
+    query: &Ecrpq,
+    graph: &GraphDb,
+    config: &EvalConfig,
+) -> Result<bool, QueryError> {
+    let (answers, _) = plan::evaluate(query, graph, config, plan::Mode::Boolean)?;
+    Ok(!answers.is_empty())
+}
+
+/// Evaluates a query and materializes up to `config.answer_limit` answers
+/// with explicit witness paths for the head path variables.
+pub fn eval_with_paths(
+    query: &Ecrpq,
+    graph: &GraphDb,
+    config: &EvalConfig,
+) -> Result<Vec<Answer>, QueryError> {
+    let (answers, _) = plan::evaluate(query, graph, config, plan::Mode::Paths)?;
+    Ok(answers)
+}
+
+/// The `ECRPQ-EVAL` decision problem (Section 6): does the tuple
+/// `(nodes, paths)` — values for the head node variables and head path
+/// variables — belong to `Q(G)`?
+pub fn check(
+    query: &Ecrpq,
+    graph: &GraphDb,
+    nodes: &[NodeId],
+    paths: &[Path],
+    config: &EvalConfig,
+) -> Result<bool, QueryError> {
+    plan::check_membership(query, graph, nodes, paths, config)
+}

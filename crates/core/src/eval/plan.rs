@@ -1,0 +1,750 @@
+//! Query compilation and the evaluation driver.
+//!
+//! A query is compiled into dense index space (node variables, path
+//! variables, relation atoms over path-variable tapes), its per-path unary
+//! constraints are intersected, per-atom binary reachability relations are
+//! computed by product with the graph, candidate node assignments are
+//! enumerated by a backtracking join over those relations, and each candidate
+//! is verified by the convolution search of [`super::search`] (skipped for
+//! plain CRPQs, for which the relaxation is exact).
+
+use crate::error::QueryError;
+use crate::eval::search::{self, SearchOutcome, SearchProblem};
+use crate::eval::{Answer, EvalConfig};
+use crate::query::{CountTarget, Ecrpq, QLinearConstraint};
+use ecrpq_automata::alphabet::{Alphabet, Symbol, TupleSym};
+use ecrpq_automata::nfa::Nfa;
+use ecrpq_automata::semilinear::CmpOp;
+use ecrpq_graph::{GraphDb, NodeId, Path};
+use std::collections::{HashMap, HashSet};
+
+/// Evaluation statistics reported alongside answers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Candidate node assignments examined.
+    pub candidates: u64,
+    /// Candidates that passed verification.
+    pub verified: u64,
+    /// Total states visited by convolution searches.
+    pub search_states: u64,
+}
+
+/// What the driver should produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Head-node tuples only.
+    Nodes,
+    /// Stop at the first answer.
+    Boolean,
+    /// Full answers with witness paths.
+    Paths,
+}
+
+/// A compiled relation atom: the synchronous automaton plus the indices of
+/// the path variables on its tapes.
+#[derive(Clone, Debug)]
+pub(crate) struct CompiledRel {
+    pub nfa: Nfa<TupleSym>,
+    pub tapes: Vec<usize>,
+}
+
+/// A compiled linear-constraint row: per path variable, a length coefficient
+/// and per-symbol coefficients (over the merged alphabet).
+#[derive(Clone, Debug)]
+pub(crate) struct CounterRow {
+    pub length_coeff: Vec<i64>,
+    pub symbol_coeff: Vec<Vec<i64>>,
+    pub op: CmpOp,
+    pub constant: i64,
+}
+
+impl CounterRow {
+    /// The contribution of one step of path variable `var` reading `label`.
+    pub fn step_delta(&self, var: usize, label: Symbol) -> i64 {
+        let mut d = self.length_coeff[var];
+        if let Some(per_sym) = self.symbol_coeff.get(var) {
+            if let Some(&c) = per_sym.get(label.index()) {
+                d += c;
+            }
+        }
+        d
+    }
+
+    /// Whether a final accumulated value satisfies the row.
+    pub fn satisfied(&self, value: i64) -> bool {
+        match self.op {
+            CmpOp::Ge => value >= self.constant,
+            CmpOp::Eq => value == self.constant,
+            CmpOp::Le => value <= self.constant,
+        }
+    }
+}
+
+/// A query compiled against a specific graph.
+#[derive(Clone, Debug)]
+pub(crate) struct Compiled {
+    /// Distinct node variables (dense indices).
+    pub node_vars: Vec<String>,
+    /// Distinct path variables (dense indices).
+    pub path_vars: Vec<String>,
+    /// Per path variable: node-variable indices of its endpoints (from the
+    /// first relational atom that binds it).
+    pub path_from: Vec<usize>,
+    pub path_to: Vec<usize>,
+    /// Additional endpoint constraints from repeated relational atoms:
+    /// `(path var, from node var, to node var)`.
+    pub extra_endpoints: Vec<(usize, usize, usize)>,
+    /// Compiled relation atoms (arity ≥ 1).
+    pub relations: Vec<CompiledRel>,
+    /// Per path variable: the intersection of its unary constraints (arity-1
+    /// relation atoms and per-tape projections of wider relations), or `None`
+    /// if unconstrained.
+    pub unary: Vec<Option<Nfa<Symbol>>>,
+    /// Head node variables as indices into `node_vars`.
+    pub head_node_idx: Vec<usize>,
+    /// Head path variables as indices into `path_vars`.
+    pub head_path_idx: Vec<usize>,
+    /// Node variables bound to graph constants.
+    pub constants: Vec<(usize, NodeId)>,
+    /// Compiled linear constraints (empty for plain queries).
+    pub counters: Vec<CounterRow>,
+    /// The query alphabet extended with all graph labels.
+    #[allow(dead_code)]
+    pub merged_alphabet: Alphabet,
+    /// Translation from graph symbols to merged-alphabet symbols.
+    pub graph_symbol_map: Vec<Symbol>,
+    /// True if verification by convolution search is unnecessary (plain CRPQ
+    /// without repetition or counters).
+    pub relaxation_is_exact: bool,
+}
+
+impl Compiled {
+    /// Compiles `query` for evaluation over `graph`.
+    pub fn new(query: &Ecrpq, graph: &GraphDb) -> Result<Compiled, QueryError> {
+        query.validate()?;
+
+        // Dense numbering of node and path variables.
+        let node_vars: Vec<String> =
+            query.node_vars().into_iter().map(|v| v.0).collect();
+        let node_index: HashMap<&str, usize> =
+            node_vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+        let path_vars: Vec<String> =
+            query.path_vars().into_iter().map(|v| v.0).collect();
+        let path_index: HashMap<&str, usize> =
+            path_vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+
+        // Endpoints per path variable; extra atoms binding the same path
+        // variable become additional endpoint constraints.
+        let mut path_from = vec![usize::MAX; path_vars.len()];
+        let mut path_to = vec![usize::MAX; path_vars.len()];
+        let mut extra_endpoints = Vec::new();
+        for a in &query.atoms {
+            let p = path_index[a.path.name()];
+            let f = node_index[a.from.name()];
+            let t = node_index[a.to.name()];
+            if path_from[p] == usize::MAX {
+                path_from[p] = f;
+                path_to[p] = t;
+            } else {
+                extra_endpoints.push((p, f, t));
+            }
+        }
+
+        // Merge the query alphabet with the graph alphabet (appending any
+        // labels the query does not know, so relation symbols stay valid).
+        let mut merged_alphabet = query.alphabet.clone();
+        let graph_symbol_map: Vec<Symbol> = graph
+            .alphabet()
+            .iter()
+            .map(|(_, label)| merged_alphabet.intern(label))
+            .collect();
+
+        // Compile relation atoms.
+        let relations: Vec<CompiledRel> = query
+            .relations
+            .iter()
+            .map(|r| CompiledRel {
+                nfa: r.relation.nfa().clone(),
+                tapes: r.paths.iter().map(|p| path_index[p.name()]).collect(),
+            })
+            .collect();
+
+        // Per-path unary constraint: intersection of projections of every
+        // relation atom that mentions the path variable.
+        let mut unary: Vec<Option<Nfa<Symbol>>> = vec![None; path_vars.len()];
+        for r in &query.relations {
+            for (tape, p) in r.paths.iter().enumerate() {
+                let pi = path_index[p.name()];
+                let proj = r.relation.project(tape);
+                unary[pi] = Some(match unary[pi].take() {
+                    None => proj,
+                    Some(existing) => existing.intersect(&proj).trim(),
+                });
+            }
+        }
+
+        // Resolve node constants.
+        let mut constants = Vec::new();
+        for (v, name) in &query.node_constants {
+            let node = graph
+                .node_by_name(name)
+                .ok_or_else(|| QueryError::UnknownGraphNode(name.clone()))?;
+            constants.push((node_index[v.name()], node));
+        }
+
+        // Compile linear constraints.
+        let counters = compile_counters(
+            &query.linear_constraints,
+            &path_index,
+            path_vars.len(),
+            &merged_alphabet,
+        )?;
+
+        let head_node_idx =
+            query.head_nodes.iter().map(|v| node_index[v.name()]).collect();
+        let head_path_idx =
+            query.head_paths.iter().map(|p| path_index[p.name()]).collect();
+
+        let has_wide_relation = relations.iter().any(|r| r.tapes.len() >= 2);
+        let relaxation_is_exact = !has_wide_relation
+            && !query.has_relational_repetition()
+            && counters.is_empty();
+
+        Ok(Compiled {
+            node_vars,
+            path_vars,
+            path_from,
+            path_to,
+            extra_endpoints,
+            relations,
+            unary,
+            head_node_idx,
+            head_path_idx,
+            constants,
+            counters,
+            merged_alphabet,
+            graph_symbol_map,
+            relaxation_is_exact,
+        })
+    }
+
+    /// Translates a graph edge label into the merged alphabet.
+    #[inline]
+    pub fn translate(&self, graph_label: Symbol) -> Symbol {
+        self.graph_symbol_map[graph_label.index()]
+    }
+
+    /// Derives the step bound used when counters are present.
+    pub fn step_bound(&self, graph: &GraphDb, config: &EvalConfig) -> usize {
+        if let Some(b) = config.max_convolution_steps {
+            return b;
+        }
+        let rel_states: usize = self.relations.iter().map(|r| r.nfa.num_states()).sum();
+        (graph.num_nodes() * (1 + rel_states)).clamp(64, 100_000)
+    }
+}
+
+fn compile_counters(
+    constraints: &[QLinearConstraint],
+    path_index: &HashMap<&str, usize>,
+    num_paths: usize,
+    alphabet: &Alphabet,
+) -> Result<Vec<CounterRow>, QueryError> {
+    let mut rows = Vec::new();
+    for c in constraints {
+        let mut length_coeff = vec![0i64; num_paths];
+        let mut symbol_coeff = vec![vec![0i64; alphabet.len()]; num_paths];
+        for (coef, target) in &c.terms {
+            match target {
+                CountTarget::Length(p) => {
+                    let pi = path_index[p.name()];
+                    length_coeff[pi] += coef;
+                }
+                CountTarget::LabelCount(p, label) => {
+                    let pi = path_index[p.name()];
+                    let sym = alphabet.symbol(label).ok_or_else(|| {
+                        QueryError::InvalidLinearConstraint(format!(
+                            "label `{label}` is not in the query or graph alphabet"
+                        ))
+                    })?;
+                    symbol_coeff[pi][sym.index()] += coef;
+                }
+            }
+        }
+        rows.push(CounterRow { length_coeff, symbol_coeff, op: c.op, constant: c.constant });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Reachability relations and candidate enumeration
+// ---------------------------------------------------------------------------
+
+/// The binary reachability relation of one path variable: which node pairs
+/// are connected by a path whose (translated) label satisfies the variable's
+/// unary constraints.
+#[derive(Clone, Debug)]
+pub(crate) struct ReachRel {
+    /// Forward adjacency: successors of each node.
+    pub fwd: Vec<Vec<NodeId>>,
+    /// Backward adjacency: predecessors of each node.
+    pub bwd: Vec<Vec<NodeId>>,
+}
+
+impl ReachRel {
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.fwd[u.index()].binary_search(&v).is_ok()
+    }
+}
+
+/// Computes the reachability relation of a path variable.
+pub(crate) fn reachability(
+    graph: &GraphDb,
+    compiled: &Compiled,
+    unary: Option<&Nfa<Symbol>>,
+) -> ReachRel {
+    let n = graph.num_nodes();
+    let mut fwd: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    match unary {
+        None => {
+            for u in graph.nodes() {
+                let mut reach = graph.reachable_from(u);
+                reach.sort_unstable();
+                fwd[u.index()] = reach;
+            }
+        }
+        Some(nfa) => {
+            // Product of the graph with the constraint NFA; one BFS per start node.
+            let init = nfa.epsilon_closure(nfa.initial());
+            for u in graph.nodes() {
+                let mut seen: HashSet<(NodeId, u32)> = HashSet::new();
+                let mut stack: Vec<(NodeId, u32)> = Vec::new();
+                let mut result: HashSet<NodeId> = HashSet::new();
+                for &q in &init {
+                    seen.insert((u, q));
+                    stack.push((u, q));
+                    if nfa.is_accepting(q) {
+                        result.insert(u);
+                    }
+                }
+                while let Some((v, q)) = stack.pop() {
+                    for &(label, to) in graph.out_edges(v) {
+                        let sym = compiled.translate(label);
+                        for (s, nq) in nfa.transitions_from(q) {
+                            if *s == sym {
+                                for cq in nfa.epsilon_closure(&[*nq]) {
+                                    if seen.insert((to, cq)) {
+                                        if nfa.is_accepting(cq) {
+                                            result.insert(to);
+                                        }
+                                        stack.push((to, cq));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut r: Vec<NodeId> = result.into_iter().collect();
+                r.sort_unstable();
+                fwd[u.index()] = r;
+            }
+        }
+    }
+    let mut bwd: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for u in graph.nodes() {
+        for &v in &fwd[u.index()] {
+            bwd[v.index()].push(u);
+        }
+    }
+    for b in &mut bwd {
+        b.sort_unstable();
+    }
+    ReachRel { fwd, bwd }
+}
+
+/// Constraint edge used during candidate enumeration: path variable `p`
+/// requires `(σ(from), σ(to)) ∈ reach[p]`.
+struct JoinEdge {
+    path: usize,
+    from: usize,
+    to: usize,
+}
+
+/// Enumerates candidate node assignments consistent with the reachability
+/// relations, invoking `visit` on each; `visit` returns `false` to stop.
+/// Returns the number of candidates produced (or an error if the candidate
+/// budget is exceeded).
+pub(crate) fn enumerate_candidates<F: FnMut(&[NodeId]) -> bool>(
+    compiled: &Compiled,
+    graph: &GraphDb,
+    reach: &[ReachRel],
+    config: &EvalConfig,
+    stats: &mut EvalStats,
+    mut visit: F,
+) -> Result<(), QueryError> {
+    let num_vars = compiled.node_vars.len();
+    let mut edges: Vec<JoinEdge> = Vec::new();
+    for p in 0..compiled.path_vars.len() {
+        edges.push(JoinEdge { path: p, from: compiled.path_from[p], to: compiled.path_to[p] });
+    }
+    for &(p, f, t) in &compiled.extra_endpoints {
+        edges.push(JoinEdge { path: p, from: f, to: t });
+    }
+
+    // Variable ordering: constants first, then a connectivity-greedy order.
+    let mut order: Vec<usize> = Vec::new();
+    let mut placed = vec![false; num_vars];
+    for &(v, _) in &compiled.constants {
+        if !placed[v] {
+            placed[v] = true;
+            order.push(v);
+        }
+    }
+    while order.len() < num_vars {
+        // prefer a variable adjacent to an already-placed one
+        let next = (0..num_vars)
+            .filter(|&v| !placed[v])
+            .max_by_key(|&v| {
+                edges
+                    .iter()
+                    .filter(|e| {
+                        (e.from == v && placed[e.to]) || (e.to == v && placed[e.from])
+                    })
+                    .count()
+            })
+            .unwrap();
+        placed[next] = true;
+        order.push(next);
+    }
+
+    let constants: HashMap<usize, NodeId> = compiled.constants.iter().copied().collect();
+    let all_nodes: Vec<NodeId> = graph.nodes().collect();
+    let mut assignment: Vec<Option<NodeId>> = vec![None; num_vars];
+    let mut stop = false;
+
+    // Recursive backtracking over the variable order.
+    fn recurse<F: FnMut(&[NodeId]) -> bool>(
+        depth: usize,
+        order: &[usize],
+        edges: &[JoinEdge],
+        reach: &[ReachRel],
+        constants: &HashMap<usize, NodeId>,
+        all_nodes: &[NodeId],
+        assignment: &mut Vec<Option<NodeId>>,
+        stats: &mut EvalStats,
+        config: &EvalConfig,
+        visit: &mut F,
+        stop: &mut bool,
+    ) -> Result<(), QueryError> {
+        if *stop {
+            return Ok(());
+        }
+        if depth == order.len() {
+            stats.candidates += 1;
+            if stats.candidates > config.max_candidates as u64 {
+                return Err(QueryError::BudgetExceeded {
+                    what: format!("more than {} candidate assignments", config.max_candidates),
+                });
+            }
+            let sigma: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect();
+            if !visit(&sigma) {
+                *stop = true;
+            }
+            return Ok(());
+        }
+        let var = order[depth];
+        // Candidate values: intersect constraints from edges with the other endpoint assigned.
+        let mut candidates: Option<Vec<NodeId>> = constants.get(&var).map(|&n| vec![n]);
+        for e in edges {
+            if e.from == var {
+                if let Some(t) = assignment[e.to] {
+                    let preds = &reach[e.path].bwd[t.index()];
+                    candidates = Some(match candidates {
+                        None => preds.clone(),
+                        Some(c) => intersect_sorted(&c, preds),
+                    });
+                }
+            }
+            if e.to == var {
+                if let Some(f) = assignment[e.from] {
+                    let succs = &reach[e.path].fwd[f.index()];
+                    candidates = Some(match candidates {
+                        None => succs.clone(),
+                        Some(c) => intersect_sorted(&c, succs),
+                    });
+                }
+            }
+        }
+        let values = candidates.unwrap_or_else(|| all_nodes.to_vec());
+        for v in values {
+            // check constant consistency
+            if let Some(&c) = constants.get(&var) {
+                if c != v {
+                    continue;
+                }
+            }
+            assignment[var] = Some(v);
+            // check fully-instantiated edges involving var
+            let ok = edges.iter().all(|e| {
+                match (assignment[e.from], assignment[e.to]) {
+                    (Some(f), Some(t)) if e.from == var || e.to == var => {
+                        reach[e.path].contains(f, t)
+                    }
+                    _ => true,
+                }
+            });
+            if ok {
+                recurse(
+                    depth + 1,
+                    order,
+                    edges,
+                    reach,
+                    constants,
+                    all_nodes,
+                    assignment,
+                    stats,
+                    config,
+                    visit,
+                    stop,
+                )?;
+            }
+            assignment[var] = None;
+            if *stop {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    recurse(
+        0,
+        &order,
+        &edges,
+        reach,
+        &constants,
+        &all_nodes,
+        &mut assignment,
+        stats,
+        config,
+        &mut visit,
+        &mut stop,
+    )
+}
+
+fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Evaluates a query in the requested mode.
+pub(crate) fn evaluate(
+    query: &Ecrpq,
+    graph: &GraphDb,
+    config: &EvalConfig,
+    mode: Mode,
+) -> Result<(Vec<Answer>, EvalStats), QueryError> {
+    let compiled = Compiled::new(query, graph)?;
+    let mut stats = EvalStats::default();
+
+    // Reachability relation per path variable.
+    let reach: Vec<ReachRel> = (0..compiled.path_vars.len())
+        .map(|p| reachability(graph, &compiled, compiled.unary[p].as_ref()))
+        .collect();
+
+    let needs_search = !compiled.relaxation_is_exact || mode == Mode::Paths;
+    let step_bound =
+        if compiled.counters.is_empty() { None } else { Some(compiled.step_bound(graph, config)) };
+
+    let mut answers: Vec<Answer> = Vec::new();
+    let mut seen_heads: HashSet<Vec<NodeId>> = HashSet::new();
+    let mut seen_answers: HashSet<(Vec<NodeId>, Vec<Path>)> = HashSet::new();
+    let mut error: Option<QueryError> = None;
+    let mut verified: u64 = 0;
+    let mut search_states: u64 = 0;
+
+    enumerate_candidates(&compiled, graph, &reach, config, &mut stats, |sigma| {
+        let head: Vec<NodeId> = compiled.head_node_idx.iter().map(|&i| sigma[i]).collect();
+        if mode == Mode::Nodes && seen_heads.contains(&head) {
+            return true;
+        }
+        if !needs_search {
+            verified += 1;
+            seen_heads.insert(head.clone());
+            answers.push(Answer { nodes: head, paths: Vec::new() });
+            return mode != Mode::Boolean;
+        }
+        // Verify the candidate with the convolution search.
+        let problem = SearchProblem {
+            graph,
+            compiled: &compiled,
+            sigma: sigma.to_vec(),
+            pinned: vec![None; compiled.path_vars.len()],
+            want_witness: mode == Mode::Paths,
+            step_bound,
+            max_states: config.max_search_states,
+        };
+        match search::run(&problem) {
+            Ok(SearchOutcome { accepted: false, states_visited, .. }) => {
+                search_states += states_visited;
+                true
+            }
+            Ok(SearchOutcome { accepted: true, states_visited, witness }) => {
+                search_states += states_visited;
+                verified += 1;
+                seen_heads.insert(head.clone());
+                let paths = match witness {
+                    Some(w) => compiled
+                        .head_path_idx
+                        .iter()
+                        .map(|&p| w[p].clone())
+                        .collect(),
+                    None => Vec::new(),
+                };
+                if mode == Mode::Paths {
+                    if seen_answers.insert((head.clone(), paths.clone())) {
+                        answers.push(Answer { nodes: head, paths });
+                    }
+                    answers.len() < config.answer_limit
+                } else {
+                    answers.push(Answer { nodes: head, paths });
+                    mode != Mode::Boolean
+                }
+            }
+            Err(e) => {
+                error = Some(e);
+                false
+            }
+        }
+    })?;
+
+    if let Some(e) = error {
+        return Err(e);
+    }
+    stats.verified = verified;
+    stats.search_states = search_states;
+    Ok((answers, stats))
+}
+
+/// The ECRPQ-EVAL membership check: does `(nodes, paths)` belong to `Q(G)`?
+pub(crate) fn check_membership(
+    query: &Ecrpq,
+    graph: &GraphDb,
+    nodes: &[NodeId],
+    paths: &[Path],
+    config: &EvalConfig,
+) -> Result<bool, QueryError> {
+    let compiled = Compiled::new(query, graph)?;
+    if nodes.len() != compiled.head_node_idx.len() || paths.len() != compiled.head_path_idx.len() {
+        return Err(QueryError::Unsupported(format!(
+            "membership check expects {} node values and {} path values",
+            compiled.head_node_idx.len(),
+            compiled.head_path_idx.len()
+        )));
+    }
+    for p in paths {
+        if !p.is_valid_in(graph) {
+            return Ok(false);
+        }
+    }
+
+    // Pin head paths and derive node-variable bindings from them and from the
+    // head node values / constants.
+    let mut pinned: Vec<Option<&Path>> = vec![None; compiled.path_vars.len()];
+    let mut forced: HashMap<usize, NodeId> = HashMap::new();
+    let force = |var: usize, value: NodeId, forced: &mut HashMap<usize, NodeId>| -> bool {
+        match forced.get(&var) {
+            Some(&v) => v == value,
+            None => {
+                forced.insert(var, value);
+                true
+            }
+        }
+    };
+    for (i, &pi) in compiled.head_path_idx.iter().enumerate() {
+        pinned[pi] = Some(&paths[i]);
+        if !force(compiled.path_from[pi], paths[i].start(), &mut forced)
+            || !force(compiled.path_to[pi], paths[i].end(), &mut forced)
+        {
+            return Ok(false);
+        }
+    }
+    for (i, &vi) in compiled.head_node_idx.iter().enumerate() {
+        if !force(vi, nodes[i], &mut forced) {
+            return Ok(false);
+        }
+    }
+    for &(vi, n) in &compiled.constants {
+        if !force(vi, n, &mut forced) {
+            return Ok(false);
+        }
+    }
+    // Extra endpoint constraints from repeated atoms must also agree.
+    for &(p, f, t) in &compiled.extra_endpoints {
+        if let Some(path) = pinned[p] {
+            if !force(f, path.start(), &mut forced) || !force(t, path.end(), &mut forced) {
+                return Ok(false);
+            }
+        }
+    }
+
+    // Reachability for the remaining join, with forced values added as constants.
+    let reach: Vec<ReachRel> = (0..compiled.path_vars.len())
+        .map(|p| reachability(graph, &compiled, compiled.unary[p].as_ref()))
+        .collect();
+    let mut compiled_forced = compiled.clone();
+    compiled_forced.constants = forced.iter().map(|(&v, &n)| (v, n)).collect();
+
+    let step_bound = if compiled.counters.is_empty() {
+        None
+    } else {
+        Some(compiled.step_bound(graph, config))
+    };
+    let mut stats = EvalStats::default();
+    let mut found = false;
+    let mut error: Option<QueryError> = None;
+    enumerate_candidates(&compiled_forced, graph, &reach, config, &mut stats, |sigma| {
+        let problem = SearchProblem {
+            graph,
+            compiled: &compiled,
+            sigma: sigma.to_vec(),
+            pinned: pinned.clone(),
+            want_witness: false,
+            step_bound,
+            max_states: config.max_search_states,
+        };
+        match search::run(&problem) {
+            Ok(out) => {
+                if out.accepted {
+                    found = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            Err(e) => {
+                error = Some(e);
+                false
+            }
+        }
+    })?;
+    if let Some(e) = error {
+        return Err(e);
+    }
+    Ok(found)
+}

@@ -1,0 +1,350 @@
+//! Σ-labeled graph databases.
+//!
+//! A graph database is a pair `(V, E)` with `E ⊆ V × Σ × V` (Section 2 of the
+//! paper). Nodes are dense integer ids, optionally carrying string names for
+//! readability in examples and tests. The graph doubles as an NFA over Σ
+//! without initial and final states; [`GraphDb::as_nfa`] fixes those.
+
+use ecrpq_automata::alphabet::{Alphabet, Symbol};
+use ecrpq_automata::nfa::Nfa;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a graph node (dense index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed edge `(source, label, target)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Edge label.
+    pub label: Symbol,
+    /// Target node.
+    pub to: NodeId,
+}
+
+/// A Σ-labeled graph database.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GraphDb {
+    alphabet: Alphabet,
+    node_names: Vec<Option<String>>,
+    #[serde(skip)]
+    name_index: HashMap<String, NodeId>,
+    out_edges: Vec<Vec<(Symbol, NodeId)>>,
+    in_edges: Vec<Vec<(Symbol, NodeId)>>,
+    num_edges: usize,
+}
+
+impl GraphDb {
+    /// Creates an empty graph over the given alphabet.
+    pub fn new(alphabet: Alphabet) -> Self {
+        GraphDb {
+            alphabet,
+            node_names: Vec::new(),
+            name_index: HashMap::new(),
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+            num_edges: 0,
+        }
+    }
+
+    /// Creates an empty graph with an empty alphabet (labels are interned on
+    /// the fly by [`GraphDb::add_edge_labeled`]).
+    pub fn empty() -> Self {
+        GraphDb::new(Alphabet::new())
+    }
+
+    /// The edge alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Mutable access to the alphabet (for interning additional labels).
+    pub fn alphabet_mut(&mut self) -> &mut Alphabet {
+        &mut self.alphabet
+    }
+
+    /// Adds an anonymous node.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.node_names.len() as u32);
+        self.node_names.push(None);
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Adds a named node (or returns the existing node with that name).
+    pub fn add_named_node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.name_index.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len() as u32);
+        self.node_names.push(Some(name.to_string()));
+        self.name_index.insert(name.to_string(), id);
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` anonymous nodes.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Looks up a node by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The name of a node, if it has one.
+    pub fn node_name(&self, node: NodeId) -> Option<&str> {
+        self.node_names[node.index()].as_deref()
+    }
+
+    /// A printable identifier for a node (its name, or `n<i>`).
+    pub fn node_display(&self, node: NodeId) -> String {
+        match self.node_name(node) {
+            Some(n) => n.to_string(),
+            None => format!("n{}", node.0),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Adds an edge with an already-interned label.
+    pub fn add_edge(&mut self, from: NodeId, label: Symbol, to: NodeId) {
+        assert!(label.index() < self.alphabet.len(), "label not in alphabet");
+        self.out_edges[from.index()].push((label, to));
+        self.in_edges[to.index()].push((label, from));
+        self.num_edges += 1;
+    }
+
+    /// Adds an edge, interning the label into the alphabet if necessary.
+    pub fn add_edge_labeled(&mut self, from: NodeId, label: &str, to: NodeId) {
+        let sym = self.alphabet.intern(label);
+        self.add_edge(from, sym, to);
+    }
+
+    /// Outgoing edges of a node as `(label, target)` pairs.
+    pub fn out_edges(&self, node: NodeId) -> &[(Symbol, NodeId)] {
+        &self.out_edges[node.index()]
+    }
+
+    /// Incoming edges of a node as `(label, source)` pairs.
+    pub fn in_edges(&self, node: NodeId) -> &[(Symbol, NodeId)] {
+        &self.in_edges[node.index()]
+    }
+
+    /// True if the graph contains the edge `(from, label, to)`.
+    pub fn has_edge(&self, from: NodeId, label: Symbol, to: NodeId) -> bool {
+        self.out_edges[from.index()].iter().any(|&(l, t)| l == label && t == to)
+    }
+
+    /// Iterates over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |from| {
+            self.out_edges(from).iter().map(move |&(label, to)| Edge { from, label, to })
+        })
+    }
+
+    /// Views the graph as an NFA over Σ with the given initial and accepting
+    /// states (nodes), as in the constructions of Sections 5 and 6.
+    pub fn as_nfa(&self, initial: &[NodeId], accepting: &[NodeId]) -> Nfa<Symbol> {
+        let mut nfa = Nfa::new();
+        nfa.add_states(self.num_nodes());
+        for e in self.edges() {
+            nfa.add_transition(e.from.0, e.label, e.to.0);
+        }
+        nfa.set_initial(initial.iter().map(|n| n.0).collect());
+        for n in accepting {
+            nfa.set_accepting(n.0, true);
+        }
+        nfa
+    }
+
+    /// Views the graph as an NFA where every node is both initial and
+    /// accepting (used when an atom's endpoints are unconstrained).
+    pub fn as_nfa_universal(&self) -> Nfa<Symbol> {
+        let all: Vec<NodeId> = self.nodes().collect();
+        self.as_nfa(&all, &all)
+    }
+
+    /// Nodes reachable from `start` (by edges with any label).
+    pub fn reachable_from(&self, start: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.num_nodes()];
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        while let Some(v) = stack.pop() {
+            for &(_, to) in self.out_edges(v) {
+                if !seen[to.index()] {
+                    seen[to.index()] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        (0..self.num_nodes()).filter(|&i| seen[i]).map(|i| NodeId(i as u32)).collect()
+    }
+
+    /// Parses a simple edge-list format: one edge per line, `source label
+    /// target`, with `#` comments and blank lines ignored. Node tokens become
+    /// named nodes.
+    pub fn from_edge_list(text: &str) -> Result<GraphDb, String> {
+        let mut g = GraphDb::empty();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 3 {
+                return Err(format!(
+                    "line {}: expected `source label target`, got `{line}`",
+                    lineno + 1
+                ));
+            }
+            let from = g.add_named_node(parts[0]);
+            let to = g.add_named_node(parts[2]);
+            g.add_edge_labeled(from, parts[1], to);
+        }
+        Ok(g)
+    }
+
+    /// Renders the graph in the edge-list format accepted by
+    /// [`GraphDb::from_edge_list`].
+    pub fn to_edge_list(&self) -> String {
+        let mut out = String::new();
+        for e in self.edges() {
+            out.push_str(&format!(
+                "{} {} {}\n",
+                self.node_display(e.from),
+                self.alphabet.label(e.label),
+                self.node_display(e.to)
+            ));
+        }
+        out
+    }
+
+    /// Rebuilds internal lookup indexes after deserialization.
+    pub fn rebuild_indexes(&mut self) {
+        self.alphabet.rebuild_index();
+        self.name_index = self
+            .node_names
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (n.clone(), NodeId(i as u32))))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GraphDb {
+        let mut g = GraphDb::empty();
+        let a = g.add_named_node("a");
+        let b = g.add_named_node("b");
+        let c = g.add_named_node("c");
+        g.add_edge_labeled(a, "x", b);
+        g.add_edge_labeled(b, "y", c);
+        g.add_edge_labeled(c, "x", a);
+        g
+    }
+
+    #[test]
+    fn build_and_query_structure() {
+        let g = small();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let x = g.alphabet().sym("x");
+        assert!(g.has_edge(a, x, b));
+        assert!(!g.has_edge(b, x, a));
+        assert_eq!(g.out_edges(a).len(), 1);
+        assert_eq!(g.in_edges(a).len(), 1);
+    }
+
+    #[test]
+    fn named_nodes_are_deduplicated() {
+        let mut g = GraphDb::empty();
+        let a1 = g.add_named_node("a");
+        let a2 = g.add_named_node("a");
+        assert_eq!(a1, a2);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.node_display(a1), "a");
+        let anon = g.add_node();
+        assert_eq!(g.node_display(anon), format!("n{}", anon.0));
+    }
+
+    #[test]
+    fn as_nfa_recognizes_path_labels() {
+        let g = small();
+        let a = g.node_by_name("a").unwrap();
+        let c = g.node_by_name("c").unwrap();
+        let nfa = g.as_nfa(&[a], &[c]);
+        let (x, y) = (g.alphabet().sym("x"), g.alphabet().sym("y"));
+        assert!(nfa.accepts(&[x, y]));
+        assert!(!nfa.accepts(&[x]));
+        assert!(nfa.accepts(&[x, y, x, x, y]));
+    }
+
+    #[test]
+    fn reachability() {
+        let mut g = GraphDb::empty();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge_labeled(a, "e", b);
+        assert_eq!(g.reachable_from(a), vec![a, b]);
+        assert_eq!(g.reachable_from(c), vec![c]);
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = small();
+        let text = g.to_edge_list();
+        let g2 = GraphDb::from_edge_list(&text).unwrap();
+        assert_eq!(g2.num_nodes(), 3);
+        assert_eq!(g2.num_edges(), 3);
+        let a = g2.node_by_name("a").unwrap();
+        let b = g2.node_by_name("b").unwrap();
+        assert!(g2.has_edge(a, g2.alphabet().sym("x"), b));
+    }
+
+    #[test]
+    fn edge_list_parse_errors() {
+        assert!(GraphDb::from_edge_list("a x").is_err());
+        assert!(GraphDb::from_edge_list("# comment\n\n a x b \n").is_ok());
+    }
+}

@@ -1,0 +1,31 @@
+//! # ecrpq-graph
+//!
+//! Σ-labeled graph databases, paths, convolution products, and workload
+//! generators for the ECRPQ query engine — the data-model substrate of
+//! Barceló, Libkin, Lin & Wood, *Expressive Languages for Path Queries over
+//! Graph-Structured Data* (Section 2 and the workloads of Sections 1, 4
+//! and 8.2).
+//!
+//! ```
+//! use ecrpq_graph::graph::GraphDb;
+//!
+//! let mut g = GraphDb::empty();
+//! let alice = g.add_named_node("alice");
+//! let bob = g.add_named_node("bob");
+//! g.add_edge_labeled(alice, "knows", bob);
+//! assert_eq!(g.num_edges(), 1);
+//!
+//! // The graph is an NFA over its alphabet once endpoints are fixed.
+//! let nfa = g.as_nfa(&[alice], &[bob]);
+//! assert!(nfa.accepts(&[g.alphabet().sym("knows")]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod graph;
+pub mod path;
+pub mod product;
+
+pub use graph::{Edge, GraphDb, NodeId};
+pub use path::Path;

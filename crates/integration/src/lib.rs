@@ -1,0 +1,4 @@
+//! Shim crate whose only purpose is to host the workspace-level integration
+//! tests found in the repository's top-level `tests/` directory (see the
+//! `[[test]]` entries in this crate's `Cargo.toml`). The crate itself exposes
+//! nothing.

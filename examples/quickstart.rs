@@ -1,0 +1,95 @@
+//! Quickstart: building a graph, asking CRPQ and ECRPQ queries, and reading
+//! back node and path answers.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ecrpq::prelude::*;
+
+fn main() -> Result<(), QueryError> {
+    // ----------------------------------------------------------------- graph
+    // The introduction's academic-genealogy example: a single edge label
+    // `advisor` from each student to their advisor.
+    let mut g = GraphDb::empty();
+    let people = ["ada", "grace", "alan", "kurt", "alonzo", "david"];
+    for p in people {
+        g.add_named_node(p);
+    }
+    for (student, advisor) in [
+        ("ada", "alan"),
+        ("grace", "kurt"),
+        ("alan", "alonzo"),
+        ("kurt", "alonzo"),
+        ("alonzo", "david"),
+    ] {
+        let s = g.add_named_node(student);
+        let a = g.add_named_node(advisor);
+        g.add_edge_labeled(s, "advisor", a);
+    }
+    println!("graph: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+
+    let alphabet = g.alphabet().clone();
+    let config = EvalConfig::default();
+
+    // ------------------------------------------------------------------ CRPQ
+    // "Who are the academic ancestors of ada?" — a plain regular path query.
+    let ancestors = Ecrpq::builder(&alphabet)
+        .head_nodes(&["y"])
+        .atom("x", "p", "y")
+        .language("p", "advisor+")
+        .bind_node("x", "ada")
+        .build()?;
+    let answers = eval::eval_nodes(&ancestors, &g, &config)?;
+    let mut names: Vec<&str> = answers.iter().map(|a| g.node_name(a[0]).unwrap()).collect();
+    names.sort();
+    println!("ancestors of ada: {names:?}");
+
+    // ----------------------------------------------------------------- ECRPQ
+    // "Pairs of people with same-length advisor chains to a common ancestor" —
+    // requires the equal-length relation `el`, beyond CRPQ power.
+    let same_generation = Ecrpq::builder(&alphabet)
+        .head_nodes(&["x", "y"])
+        .atom("x", "p1", "z")
+        .atom("y", "p2", "z")
+        .language("p1", "advisor+")
+        .language("p2", "advisor+")
+        .relation(builtin::equal_length(&alphabet), &["p1", "p2"])
+        .build()?;
+    println!("query: {same_generation}");
+    let answers = eval::eval_nodes(&same_generation, &g, &config)?;
+    let mut pairs: Vec<(String, String)> = answers
+        .iter()
+        .filter(|a| a[0] != a[1])
+        .map(|a| (g.node_display(a[0]), g.node_display(a[1])))
+        .collect();
+    pairs.sort();
+    println!("same-generation pairs: {pairs:?}");
+
+    // ------------------------------------------------------------ path output
+    // ECRPQs can also return the witness paths themselves.
+    let witnesses = Ecrpq::builder(&alphabet)
+        .head_nodes(&["x"])
+        .head_paths(&["p1"])
+        .atom("x", "p1", "z")
+        .language("p1", "advisor advisor+")
+        .bind_node("z", "david")
+        .build()?;
+    for answer in eval::eval_with_paths(&witnesses, &g, &config)? {
+        println!(
+            "chain of length ≥ 2 from {} to david: {}",
+            g.node_display(answer.nodes[0]),
+            answer.paths[0].display(&g)
+        );
+    }
+
+    // -------------------------------------------------------- answer automata
+    // When there are infinitely many answer paths, the full set is returned
+    // as an automaton (Proposition 5.2 of the paper).
+    let ada = g.node_by_name("ada").unwrap();
+    let automaton = eval::answers::answer_automaton(&witnesses, &g, &[ada], &config)?;
+    println!(
+        "answer automaton for ada: {} states, empty = {}",
+        automaton.num_states(),
+        automaton.is_empty()
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Route finding with linear constraints (Section 8.2 of the paper): the
+//! "at least 80% of the journey with one airline" itinerary query, plus
+//! length-bounded routing, over a synthetic flight network.
+//!
+//! Run with `cargo run --example route_planning`.
+
+use ecrpq::eval::counts::{fraction_at_least, label_count, length};
+use ecrpq::prelude::*;
+use ecrpq_automata::semilinear::CmpOp;
+use ecrpq_graph::generators::flight_network;
+
+fn main() -> Result<(), QueryError> {
+    // A flight network: 8 cities, three airlines, each flight split into 3
+    // segments labeled with the operating airline (so label counts measure
+    // journey time, as suggested in the paper).
+    let g = flight_network(6, &["SQ", "BA", "QF"], 24, 3, 2024);
+    let alphabet = g.alphabet().clone();
+    println!("flight network: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+
+    // Routes longer than 8 flights (24 segments) are not interesting, so cap
+    // the convolution search there; this also keeps the counter state space
+    // small (see EvalConfig::max_convolution_steps).
+    let config = EvalConfig { max_convolution_steps: Some(24), ..EvalConfig::default() };
+    let origin = "city0";
+    let destination = "city4";
+
+    // Plain reachability first: is there any itinerary at all?
+    let any_route = Ecrpq::builder(&alphabet)
+        .atom("x", "p", "y")
+        .bind_node("x", origin)
+        .bind_node("y", destination)
+        .build()?;
+    println!(
+        "\nany itinerary {origin} → {destination}? {}",
+        eval::eval_boolean(&any_route, &g, &config)?
+    );
+
+    // The paper's query: at least 80% of the journey with Singapore Airlines.
+    for percent in [50, 80, 100] {
+        let c = fraction_at_least("p", "SQ", percent);
+        let q = Ecrpq::builder(&alphabet)
+            .atom("x", "p", "y")
+            .bind_node("x", origin)
+            .bind_node("y", destination)
+            .linear_constraint(c.terms.clone(), c.op, c.constant)
+            .build()?;
+        println!(
+            "itinerary with ≥ {percent}% SQ segments? {}",
+            eval::eval_boolean(&q, &g, &config)?
+        );
+    }
+
+    // Length-bounded routing: a route of at most 9 segments (3 flights).
+    let short = length("p", CmpOp::Le, 9);
+    let with_len = Ecrpq::builder(&alphabet)
+        .head_paths(&["p"])
+        .atom("x", "p", "y")
+        .bind_node("x", origin)
+        .bind_node("y", destination)
+        .linear_constraint(short.terms.clone(), short.op, short.constant)
+        .build()?;
+    let answers = eval::eval_with_paths(&with_len, &g, &EvalConfig { answer_limit: 1, ..config.clone() })?;
+    match answers.first() {
+        Some(a) => println!(
+            "\na route with ≤ 9 segments ({} segments): {}",
+            a.paths[0].len(),
+            a.paths[0].display(&g)
+        ),
+        None => println!("\nno route with ≤ 9 segments"),
+    }
+
+    // Avoiding an airline entirely: zero BA segments.
+    let no_ba = label_count("p", "BA", CmpOp::Le, 0);
+    let q = Ecrpq::builder(&alphabet)
+        .atom("x", "p", "y")
+        .bind_node("x", origin)
+        .bind_node("y", destination)
+        .linear_constraint(no_ba.terms.clone(), no_ba.op, no_ba.constant)
+        .build()?;
+    println!("itinerary avoiding BA entirely? {}", eval::eval_boolean(&q, &g, &config)?);
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Semantic-web associations (Section 4 of the paper): ρ-isomorphic property
+//! sequences over an RDF-style graph with a subproperty hierarchy, and
+//! ρ-queries that return the witnessing property sequences.
+//!
+//! Run with `cargo run --example semantic_web`.
+
+use ecrpq::prelude::*;
+use ecrpq_automata::builtin::rho_isomorphism;
+
+fn main() -> Result<(), QueryError> {
+    // An RDF-style graph. Properties: `authored ≺ contributedTo`,
+    // `advised ≺ influenced`.
+    let mut g = GraphDb::empty();
+    let triples = [
+        ("turing", "authored", "computability_paper"),
+        ("church", "contributedTo", "computability_paper"),
+        ("church", "advised", "turing"),
+        ("hilbert", "influenced", "church"),
+        ("hilbert", "influenced", "turing"),
+        ("goedel", "authored", "incompleteness_paper"),
+        ("vonneumann", "contributedTo", "incompleteness_paper"),
+        ("hilbert", "advised", "vonneumann"),
+        ("brouwer", "influenced", "goedel"),
+    ];
+    for (s, p, o) in triples {
+        let sn = g.add_named_node(s);
+        let on = g.add_named_node(o);
+        g.add_edge_labeled(sn, p, on);
+    }
+    let alphabet = g.alphabet().clone();
+    let subproperties = vec![
+        (alphabet.sym("authored"), alphabet.sym("contributedTo")),
+        (alphabet.sym("advised"), alphabet.sym("influenced")),
+    ];
+    println!("RDF-style graph: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+
+    // The ρ-isomorphism relation: equal-length property sequences whose i-th
+    // properties are subproperties of one another (here also reflexively).
+    let rho = rho_isomorphism(&alphabet, &subproperties, true);
+    let config = EvalConfig::default();
+
+    // ρ-isoAssociated pairs: Ans(x, y) ← (x, π1, z1), (y, π2, z2), R(π1, π2)
+    // restricted to non-empty sequences.
+    let associated = Ecrpq::builder(&alphabet)
+        .head_nodes(&["x", "y"])
+        .atom("x", "p1", "z1")
+        .atom("y", "p2", "z2")
+        .language("p1", ". .*")
+        .language("p2", ". .*")
+        .relation(rho.clone(), &["p1", "p2"])
+        .build()?;
+    let answers = eval::eval_nodes(&associated, &g, &config)?;
+    let mut pairs: Vec<(String, String)> = answers
+        .iter()
+        .filter(|a| a[0] < a[1])
+        .map(|a| (g.node_display(a[0]), g.node_display(a[1])))
+        .collect();
+    pairs.sort();
+    println!("ρ-isoAssociated pairs ({}):", pairs.len());
+    for (x, y) in pairs.iter().take(12) {
+        println!("  {x} ~ {y}");
+    }
+
+    // A ρ-query: fix the two origins and return the witnessing property
+    // sequences themselves (paths in the head).
+    let rho_query = Ecrpq::builder(&alphabet)
+        .head_paths(&["p1", "p2"])
+        .atom("u", "p1", "z1")
+        .atom("v", "p2", "z2")
+        .language("p1", ". .*")
+        .language("p2", ". .*")
+        .relation(rho, &["p1", "p2"])
+        .bind_node("u", "turing")
+        .bind_node("v", "church")
+        .build()?;
+    println!("\nwitness property sequences for (turing, church):");
+    for answer in eval::eval_with_paths(&rho_query, &g, &config)?.iter().take(6) {
+        println!("  π1: {}", answer.paths[0].display(&g));
+        println!("  π2: {}", answer.paths[1].display(&g));
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,207 @@
+//! Property-based tests (proptest) for the core invariants of the workspace:
+//! automata algebra, regular-relation builders against reference
+//! implementations, convolution round-trips, length sets, and the evaluator
+//! against a naive bounded-path-enumeration reference on small graphs.
+
+use ecrpq::eval::{self, EvalConfig};
+use ecrpq::prelude::*;
+use ecrpq_automata::alphabet::{convolution, deconvolution};
+use ecrpq_automata::builtin;
+use ecrpq_automata::dfa::{complement_nfa, Dfa};
+use ecrpq_automata::unary::{length_set, length_set_default_cap};
+use ecrpq_graph::path::enumerate_paths;
+use proptest::prelude::*;
+
+const LABELS: [&str; 2] = ["a", "b"];
+
+fn alphabet() -> Alphabet {
+    Alphabet::from_labels(LABELS)
+}
+
+/// A strategy producing short words over {a, b} as symbol vectors.
+fn word_strategy(max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
+    prop::collection::vec(0u32..2, 0..=max_len)
+        .prop_map(|v| v.into_iter().map(Symbol).collect())
+}
+
+/// A strategy producing small random graphs (as edge lists over ≤ 6 nodes).
+fn graph_strategy() -> impl Strategy<Value = GraphDb> {
+    prop::collection::vec((0u32..6, 0u32..2, 0u32..6), 1..14).prop_map(|edges| {
+        let mut g = GraphDb::new(alphabet());
+        let nodes = g.add_nodes(6);
+        for (f, l, t) in edges {
+            g.add_edge(nodes[f as usize], Symbol(l), nodes[t as usize]);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// NFA product recognizes exactly the intersection of the languages.
+    #[test]
+    fn intersection_is_language_intersection(w in word_strategy(8)) {
+        let al = alphabet();
+        let l1 = Regex::parse("a (a|b)*").unwrap().compile(&al).unwrap();
+        let l2 = Regex::parse("(a|b)* b").unwrap().compile(&al).unwrap();
+        let both = l1.intersect(&l2);
+        prop_assert_eq!(both.accepts(&w), l1.accepts(&w) && l2.accepts(&w));
+    }
+
+    /// Determinization and complementation behave classically.
+    #[test]
+    fn complement_is_involution_on_membership(w in word_strategy(8)) {
+        let al = alphabet();
+        let lang = Regex::parse("a* b a*").unwrap().compile(&al).unwrap();
+        let syms: Vec<Symbol> = al.symbols().collect();
+        let dfa = Dfa::from_nfa(&lang, &syms);
+        let comp = complement_nfa(&lang, &syms);
+        prop_assert_eq!(dfa.accepts(&w), lang.accepts(&w));
+        prop_assert_eq!(comp.accepts(&w), !lang.accepts(&w));
+    }
+
+    /// Convolution/deconvolution round-trips on arbitrary word pairs.
+    #[test]
+    fn convolution_round_trip(w1 in word_strategy(6), w2 in word_strategy(6)) {
+        let conv = convolution(&[&w1, &w2]);
+        let back = deconvolution(&conv, 2).unwrap();
+        prop_assert_eq!(back[0].clone(), w1);
+        prop_assert_eq!(back[1].clone(), w2);
+    }
+
+    /// The built-in equality, equal-length, and prefix relations agree with
+    /// their definitional checks.
+    #[test]
+    fn builtin_relations_match_definitions(w1 in word_strategy(6), w2 in word_strategy(6)) {
+        let al = alphabet();
+        prop_assert_eq!(builtin::equality(&al).contains(&[&w1, &w2]), w1 == w2);
+        prop_assert_eq!(builtin::equal_length(&al).contains(&[&w1, &w2]), w1.len() == w2.len());
+        prop_assert_eq!(builtin::prefix(&al).contains(&[&w1, &w2]), w2.starts_with(&w1));
+        prop_assert_eq!(builtin::length_less(&al).contains(&[&w1, &w2]), w1.len() < w2.len());
+    }
+
+    /// The edit-distance relation agrees with dynamic-programming Levenshtein.
+    #[test]
+    fn edit_distance_relation_is_correct(w1 in word_strategy(5), w2 in word_strategy(5), k in 0usize..3) {
+        let al = alphabet();
+        let rel = builtin::edit_distance_leq(&al, k);
+        let expected = builtin::levenshtein(&w1, &w2) <= k;
+        prop_assert_eq!(rel.contains(&[&w1, &w2]), expected);
+    }
+
+    /// Length sets computed by the reachable-set iteration agree with a
+    /// brute-force check on the first 40 lengths.
+    #[test]
+    fn length_sets_match_brute_force(g in graph_strategy()) {
+        let from = NodeId(0);
+        let to = NodeId(1);
+        let nfa = g.as_nfa(&[from], &[to]);
+        let ls = length_set(&nfa, length_set_default_cap(nfa.num_states())).unwrap();
+        // brute force: reachable sets by BFS levels
+        let mut current = vec![from];
+        for len in 0u64..40 {
+            let reachable_now = current.contains(&to);
+            prop_assert_eq!(ls.contains(len), reachable_now, "length {}", len);
+            let mut next: Vec<NodeId> = current
+                .iter()
+                .flat_map(|&v| g.out_edges(v).iter().map(|&(_, t)| t))
+                .collect();
+            next.sort_unstable();
+            next.dedup();
+            current = next;
+        }
+    }
+
+    /// The CRPQ evaluator agrees with a naive path-enumeration reference on
+    /// small graphs (soundness and completeness up to the enumeration bound).
+    #[test]
+    fn crpq_matches_naive_reference(g in graph_strategy()) {
+        let al = g.alphabet().clone();
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["x", "y"])
+            .atom("x", "p", "y")
+            .language("p", "a b* a")
+            .build()
+            .unwrap();
+        let answers = eval::eval_nodes(&q, &g, &EvalConfig::default()).unwrap();
+        let lang = Regex::parse("a b* a").unwrap().compile(&al).unwrap();
+        // Naive: enumerate paths of length ≤ 7 from every node.
+        let mut reference: Vec<Vec<NodeId>> = Vec::new();
+        for x in g.nodes() {
+            for p in enumerate_paths(&g, x, 7, 50_000) {
+                if lang.accepts(p.label()) && !reference.contains(&vec![x, p.end()]) {
+                    reference.push(vec![x, p.end()]);
+                }
+            }
+        }
+        // Every naive answer is found by the evaluator.
+        for r in &reference {
+            prop_assert!(answers.contains(r), "missing {:?}", r);
+        }
+        // Every evaluator answer of short witness length is confirmed naively.
+        // (The evaluator may also return answers whose shortest witness is
+        // longer than the naive bound; those are checked by `eval::check`.)
+        for a in &answers {
+            if !reference.contains(a) {
+                // confirm via the membership machinery using a fresh witness
+                let q_paths = Ecrpq::builder(&al)
+                    .head_nodes(&["x", "y"])
+                    .head_paths(&["p"])
+                    .atom("x", "p", "y")
+                    .language("p", "a b* a")
+                    .build()
+                    .unwrap();
+                let results = eval::eval_with_paths(&q_paths, &g, &EvalConfig::default()).unwrap();
+                let confirmed = results.iter().any(|ans| ans.nodes == *a);
+                prop_assert!(confirmed, "unconfirmed evaluator answer {:?}", a);
+            }
+        }
+    }
+
+    /// The ECRPQ evaluator is sound: every answer of the equal-length query
+    /// has a witnessing pair of equal-length paths (validated via `check`).
+    #[test]
+    fn ecrpq_equal_length_answers_are_witnessed(g in graph_strategy()) {
+        let al = g.alphabet().clone();
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["x", "y"])
+            .head_paths(&["p1", "p2"])
+            .atom("x", "p1", "z")
+            .atom("z", "p2", "y")
+            .language("p1", "a+")
+            .language("p2", "b+")
+            .relation(builtin::equal_length(&al), &["p1", "p2"])
+            .build()
+            .unwrap();
+        let cfg = EvalConfig { answer_limit: 20, ..EvalConfig::default() };
+        for ans in eval::eval_with_paths(&q, &g, &cfg).unwrap() {
+            prop_assert_eq!(ans.paths[0].len(), ans.paths[1].len());
+            prop_assert!(ans.paths[0].len() >= 1);
+            prop_assert!(ans.paths[0].is_valid_in(&g));
+            prop_assert!(ans.paths[1].is_valid_in(&g));
+            prop_assert!(eval::check(&q, &g, &ans.nodes, &ans.paths, &cfg).unwrap());
+        }
+    }
+
+    /// Acyclic evaluation agrees with the generic evaluator on random chain
+    /// queries over random small graphs.
+    #[test]
+    fn acyclic_equals_generic(g in graph_strategy()) {
+        let al = g.alphabet().clone();
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["x", "z"])
+            .atom("x", "p1", "y")
+            .atom("y", "p2", "z")
+            .language("p1", "a+")
+            .language("p2", "b+")
+            .build()
+            .unwrap();
+        let cfg = EvalConfig::default();
+        let mut a = eval::eval_nodes(&q, &g, &cfg).unwrap();
+        let mut b = eval::acyclic::eval_acyclic_crpq(&q, &g, &cfg).unwrap();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}
