@@ -7,7 +7,6 @@
 //! whose letters are tuples of symbols padded with `⊥`; these are represented
 //! by [`TupleSym`], where `None` plays the role of the padding symbol `⊥`.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -17,7 +16,7 @@ use std::fmt;
 /// symbols from *different* alphabets must not be mixed; all public APIs in
 /// this workspace take the alphabet alongside symbols whenever labels need to
 /// be resolved back to strings.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Symbol(pub u32);
 
 impl Symbol {
@@ -39,10 +38,9 @@ impl fmt::Debug for Symbol {
 pub type PadSymbol = Option<Symbol>;
 
 /// A finite alphabet Σ of edge labels with string names.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Alphabet {
     labels: Vec<String>,
-    #[serde(skip)]
     index: HashMap<String, Symbol>,
 }
 
@@ -85,8 +83,7 @@ impl Alphabet {
     /// Looks up a label, panicking with a descriptive message if it was never
     /// interned. Convenient in tests and examples.
     pub fn sym(&self, label: &str) -> Symbol {
-        self.symbol(label)
-            .unwrap_or_else(|| panic!("label `{label}` is not in the alphabet"))
+        self.symbol(label).unwrap_or_else(|| panic!("label `{label}` is not in the alphabet"))
     }
 
     /// The string name of a symbol.
@@ -114,17 +111,6 @@ impl Alphabet {
         self.labels.iter().enumerate().map(|(i, l)| (Symbol(i as u32), l.as_str()))
     }
 
-    /// Rebuilds the internal name index (used after deserialization, where the
-    /// index is skipped).
-    pub fn rebuild_index(&mut self) {
-        self.index = self
-            .labels
-            .iter()
-            .enumerate()
-            .map(|(i, l)| (l.clone(), Symbol(i as u32)))
-            .collect();
-    }
-
     /// Renders a word (sequence of symbols) as a `·`-separated string of labels.
     pub fn render_word(&self, word: &[Symbol]) -> String {
         if word.is_empty() {
@@ -139,7 +125,7 @@ impl Alphabet {
 /// The component `None` stands for the padding symbol `⊥` used to align
 /// strings of different lengths in the convolution `[s̄]` of a string tuple
 /// (Section 2 of the paper).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TupleSym(pub Vec<PadSymbol>);
 
 impl TupleSym {
@@ -204,9 +190,7 @@ impl fmt::Debug for TupleSym {
 /// collects the i-th symbols of all words, padding exhausted words with `⊥`.
 pub fn convolution(words: &[&[Symbol]]) -> Vec<TupleSym> {
     let max_len = words.iter().map(|w| w.len()).max().unwrap_or(0);
-    (0..max_len)
-        .map(|i| TupleSym(words.iter().map(|w| w.get(i).copied()).collect()))
-        .collect()
+    (0..max_len).map(|i| TupleSym(words.iter().map(|w| w.get(i).copied()).collect())).collect()
 }
 
 /// Inverse of [`convolution`]: splits a string over `(Σ⊥)^n` back into the
@@ -242,8 +226,7 @@ pub fn deconvolution(string: &[TupleSym], arity: usize) -> Option<Vec<Vec<Symbol
 /// The all-`⊥` letter is excluded because it never occurs in a convolution.
 pub fn product_alphabet(alphabet: &Alphabet, arity: usize) -> Vec<TupleSym> {
     let mut out = Vec::new();
-    let base: Vec<PadSymbol> =
-        std::iter::once(None).chain(alphabet.symbols().map(Some)).collect();
+    let base: Vec<PadSymbol> = std::iter::once(None).chain(alphabet.symbols().map(Some)).collect();
     let mut stack: Vec<Vec<PadSymbol>> = vec![Vec::new()];
     for _ in 0..arity {
         let mut next = Vec::new();
@@ -311,10 +294,7 @@ mod tests {
         let a = Alphabet::from_labels(["a"]);
         let sa = a.sym("a");
         // ⊥ followed by a real symbol on tape 0 is not a valid convolution.
-        let bad = vec![
-            TupleSym(vec![None, Some(sa)]),
-            TupleSym(vec![Some(sa), Some(sa)]),
-        ];
+        let bad = vec![TupleSym(vec![None, Some(sa)]), TupleSym(vec![Some(sa), Some(sa)])];
         assert!(deconvolution(&bad, 2).is_none());
         // the all-⊥ letter never occurs in a convolution
         let bad2 = vec![TupleSym(vec![None, None])];

@@ -300,11 +300,7 @@ mod tests {
             for x in &words {
                 for y in &words {
                     let expected = levenshtein(x, y) <= k;
-                    assert_eq!(
-                        rel.contains(&[x, y]),
-                        expected,
-                        "k={k}, x={x:?}, y={y:?}"
-                    );
+                    assert_eq!(rel.contains(&[x, y]), expected, "k={k}, x={x:?}, y={y:?}");
                 }
             }
         }

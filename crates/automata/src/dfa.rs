@@ -8,12 +8,11 @@
 //! [`product_alphabet`](crate::alphabet::product_alphabet).
 
 use crate::nfa::{Nfa, StateId};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
 
 /// A complete deterministic finite automaton over symbol type `S`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Dfa<S: Eq + Hash> {
     /// `transitions[q]` maps each alphabet symbol to the successor state.
     transitions: Vec<HashMap<S, StateId>>,
@@ -150,22 +149,15 @@ impl<S: Clone + Eq + Hash + Ord> Dfa<S> {
     pub fn minimize(&self) -> Dfa<S> {
         let n = self.num_states();
         // Initial partition: accepting vs non-accepting.
-        let mut class: Vec<usize> = self
-            .accepting
-            .iter()
-            .map(|&a| if a { 1 } else { 0 })
-            .collect();
+        let mut class: Vec<usize> = self.accepting.iter().map(|&a| if a { 1 } else { 0 }).collect();
         let mut num_classes = 2;
         loop {
             // Signature of each state: (class, [class of successor per symbol]).
             let mut sig_map: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
             let mut new_class = vec![0usize; n];
             for q in 0..n {
-                let succ: Vec<usize> = self
-                    .alphabet
-                    .iter()
-                    .map(|s| class[self.transitions[q][s] as usize])
-                    .collect();
+                let succ: Vec<usize> =
+                    self.alphabet.iter().map(|s| class[self.transitions[q][s] as usize]).collect();
                 let key = (class[q], succ);
                 let next_id = sig_map.len();
                 let id = *sig_map.entry(key).or_insert(next_id);

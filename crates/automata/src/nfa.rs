@@ -7,7 +7,6 @@
 //! (Section 2 of the paper); that view lives in the `ecrpq-graph` crate and
 //! produces values of this type.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
 
@@ -15,7 +14,7 @@ use std::hash::Hash;
 pub type StateId = u32;
 
 /// A nondeterministic finite automaton with ε-transitions.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Nfa<S> {
     transitions: Vec<Vec<(S, StateId)>>,
     epsilon: Vec<Vec<StateId>>,
@@ -32,7 +31,12 @@ impl<S: Clone + Eq + Hash + Ord> Default for Nfa<S> {
 impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
     /// Creates an NFA with no states.
     pub fn new() -> Self {
-        Nfa { transitions: Vec::new(), epsilon: Vec::new(), initial: Vec::new(), accepting: Vec::new() }
+        Nfa {
+            transitions: Vec::new(),
+            epsilon: Vec::new(),
+            initial: Vec::new(),
+            accepting: Vec::new(),
+        }
     }
 
     /// Adds a fresh state and returns its id.
@@ -125,11 +129,8 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
 
     /// The set of distinct symbols appearing on transitions.
     pub fn symbols_used(&self) -> Vec<S> {
-        let mut set: Vec<S> = self
-            .transitions
-            .iter()
-            .flat_map(|ts| ts.iter().map(|(s, _)| s.clone()))
-            .collect();
+        let mut set: Vec<S> =
+            self.transitions.iter().flat_map(|ts| ts.iter().map(|(s, _)| s.clone())).collect();
         set.sort();
         set.dedup();
         set
@@ -200,14 +201,14 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
         }
         while let Some(q) = queue.pop_front() {
             let push = |nfa: &Nfa<S>,
-                            to: StateId,
-                            sym: Option<S>,
-                            from: StateId,
-                            back: &mut HashMap<StateId, Back<S>>,
-                            queue: &mut VecDeque<StateId>|
+                        to: StateId,
+                        sym: Option<S>,
+                        from: StateId,
+                        back: &mut HashMap<StateId, Back<S>>,
+                        queue: &mut VecDeque<StateId>|
              -> Option<StateId> {
-                if !back.contains_key(&to) {
-                    back.insert(to, Back { prev: from, sym });
+                if let std::collections::hash_map::Entry::Vacant(e) = back.entry(to) {
+                    e.insert(Back { prev: from, sym });
                     if nfa.is_accepting(to) {
                         return Some(to);
                     }
@@ -221,9 +222,7 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
             for (s, to) in self.transitions_from(q).iter() {
                 let closure = self.epsilon_closure(&[*to]);
                 for r in closure {
-                    if let Some(acc) =
-                        push(self, r, Some(s.clone()), q, &mut back, &mut queue)
-                    {
+                    if let Some(acc) = push(self, r, Some(s.clone()), q, &mut back, &mut queue) {
                         return Some(Self::reconstruct(&back, acc));
                     }
                 }
@@ -525,9 +524,7 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
                         // Move through ε-closures on both sides.
                         for ca in self.epsilon_closure(&[*ta]) {
                             for cb in other.epsilon_closure(&[*tb]) {
-                                let to = *map
-                                    .entry((ca, cb))
-                                    .or_insert_with(|| out.add_state());
+                                let to = *map.entry((ca, cb)).or_insert_with(|| out.add_state());
                                 out.set_accepting(
                                     to,
                                     self.is_accepting(ca) && other.is_accepting(cb),

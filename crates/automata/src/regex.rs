@@ -23,7 +23,6 @@
 
 use crate::alphabet::{Alphabet, PadSymbol, Symbol, TupleSym};
 use crate::nfa::Nfa;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors produced while parsing or compiling regular expressions.
@@ -69,7 +68,7 @@ impl fmt::Display for RegexError {
 impl std::error::Error for RegexError {}
 
 /// One component of a tuple atom `<...>`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TupleComponent {
     /// A concrete label.
     Label(String),
@@ -80,7 +79,7 @@ pub enum TupleComponent {
 }
 
 /// Abstract syntax of regular expressions.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Regex {
     /// The empty word ε, written `()`.
     Epsilon,
@@ -172,9 +171,7 @@ impl Regex {
                             .ok_or_else(|| RegexError::UnknownLabel(l.clone()))?;
                         Ok(symbol_nfa(&[s]))
                     }
-                    TupleComponent::Any => {
-                        Ok(symbol_nfa(&alphabet.symbols().collect::<Vec<_>>()))
-                    }
+                    TupleComponent::Any => Ok(symbol_nfa(&alphabet.symbols().collect::<Vec<_>>())),
                     TupleComponent::Pad => Ok(empty_nfa()),
                 }
             }
@@ -246,11 +243,8 @@ impl Regex {
                     }
                     expansions = next;
                 }
-                let letters: Vec<TupleSym> = expansions
-                    .into_iter()
-                    .map(TupleSym::new)
-                    .filter(|t| !t.is_all_pad())
-                    .collect();
+                let letters: Vec<TupleSym> =
+                    expansions.into_iter().map(TupleSym::new).filter(|t| !t.is_all_pad()).collect();
                 Ok(tuple_nfa(&letters))
             }
             Regex::Concat(parts) => {
@@ -269,9 +263,7 @@ impl Regex {
             }
             Regex::Star(inner) => Ok(inner.compile_relation(alphabet, arity)?.star()),
             Regex::Plus(inner) => Ok(inner.compile_relation(alphabet, arity)?.plus()),
-            Regex::Opt(inner) => {
-                Ok(inner.compile_relation(alphabet, arity)?.union(&epsilon_nfa()))
-            }
+            Regex::Opt(inner) => Ok(inner.compile_relation(alphabet, arity)?.union(&epsilon_nfa())),
         }
     }
 }
@@ -591,10 +583,7 @@ mod tests {
             RegexError::ArityMismatch { expected: 3, found: 2 }
         ));
         let r2 = Regex::parse("a").unwrap();
-        assert!(matches!(
-            r2.compile_relation(&al, 2).unwrap_err(),
-            RegexError::LabelInRelation(_)
-        ));
+        assert!(matches!(r2.compile_relation(&al, 2).unwrap_err(), RegexError::LabelInRelation(_)));
     }
 
     #[test]

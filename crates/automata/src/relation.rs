@@ -14,11 +14,10 @@ use crate::alphabet::{convolution, product_alphabet, Alphabet, Symbol, TupleSym}
 use crate::dfa::complement_nfa;
 use crate::nfa::{Nfa, StateId};
 use crate::regex::{Regex, RegexError};
-use serde::{Deserialize, Serialize};
 
 /// An n-ary regular relation over Σ, represented by a synchronous automaton
 /// over `(Σ⊥)^n`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RegularRelation {
     arity: usize,
     nfa: Nfa<TupleSym>,
@@ -269,10 +268,7 @@ mod tests {
         let good = convolution(&[&[a][..], &[a, b][..]]);
         assert!(u.accepts(&good));
         // invalid: real symbol after ⊥ on tape 0
-        let bad = vec![
-            TupleSym::new(vec![None, Some(b)]),
-            TupleSym::new(vec![Some(a), Some(b)]),
-        ];
+        let bad = vec![TupleSym::new(vec![None, Some(b)]), TupleSym::new(vec![Some(a), Some(b)])];
         assert!(!u.accepts(&bad));
     }
 

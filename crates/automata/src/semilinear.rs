@@ -13,10 +13,9 @@
 //! incompleteness explicit).
 
 use crate::unary::Progression;
-use serde::{Deserialize, Serialize};
 
 /// A single linear constraint `Σ coefficients[i]·x_i  (≥ | = | ≤)  constant`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LinearConstraint {
     /// One coefficient per variable.
     pub coefficients: Vec<i64>,
@@ -27,7 +26,7 @@ pub struct LinearConstraint {
 }
 
 /// Comparison operators for linear constraints.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CmpOp {
     /// `≥`
     Ge,
@@ -72,10 +71,7 @@ impl LinearConstraint {
     fn to_ge(&self) -> Vec<(Vec<i64>, i64)> {
         match self.op {
             CmpOp::Ge => vec![(self.coefficients.clone(), self.constant)],
-            CmpOp::Le => vec![(
-                self.coefficients.iter().map(|&c| -c).collect(),
-                -self.constant,
-            )],
+            CmpOp::Le => vec![(self.coefficients.iter().map(|&c| -c).collect(), -self.constant)],
             CmpOp::Eq => vec![
                 (self.coefficients.clone(), self.constant),
                 (self.coefficients.iter().map(|&c| -c).collect(), -self.constant),
@@ -85,7 +81,7 @@ impl LinearConstraint {
 }
 
 /// Configuration of the feasibility solver.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SolverConfig {
     /// Upper bound on each progression multiplier explored by the search.
     pub multiplier_bound: u64,
@@ -131,7 +127,7 @@ pub fn intersect_progressions(a: Progression, b: Progression) -> Option<Progress
                 }
                 gcd(da, db)
             };
-            if (a.offset as i128 - b.offset as i128).unsigned_abs() % g as u128 != 0 {
+            if !(a.offset as i128 - b.offset as i128).unsigned_abs().is_multiple_of(g as u128) {
                 return None;
             }
             let lcm = da / g * db;
@@ -139,10 +135,10 @@ pub fn intersect_progressions(a: Progression, b: Progression) -> Option<Progress
             // by scanning the (db / g) candidate residues.
             let mut x = a.offset;
             loop {
-                if x >= b.offset && (x - b.offset) % db == 0 {
+                if x >= b.offset && (x - b.offset).is_multiple_of(db) {
                     break;
                 }
-                if x < b.offset && (b.offset - x) % db == 0 {
+                if x < b.offset && (b.offset - x).is_multiple_of(db) {
                     break;
                 }
                 x += da;
@@ -208,8 +204,7 @@ pub fn solve(
     }
     let mut kept_constraints: Vec<LinearConstraint> = Vec::new();
     for c in constraints {
-        let nonzero: Vec<usize> =
-            (0..num_vars).filter(|&i| c.coefficients[i] != 0).collect();
+        let nonzero: Vec<usize> = (0..num_vars).filter(|&i| c.coefficients[i] != 0).collect();
         let is_equality_pair = c.op == CmpOp::Eq
             && c.constant == 0
             && nonzero.len() == 2
@@ -253,9 +248,9 @@ pub fn solve(
             .iter()
             .map(|c| {
                 let mut coeffs = vec![0i64; reps.len()];
-                for i in 0..num_vars {
-                    let rep_pos = reps.iter().position(|&r| r == classes[i]).unwrap();
-                    coeffs[rep_pos] += c.coefficients[i];
+                for (&coeff, &class) in c.coefficients.iter().zip(&classes) {
+                    let rep_pos = reps.iter().position(|&r| r == class).unwrap();
+                    coeffs[rep_pos] += coeff;
                 }
                 LinearConstraint { coefficients: coeffs, op: c.op, constant: c.constant }
             })
@@ -449,7 +444,8 @@ mod tests {
         // only explores a bounded range; for pure-parity conflicts the prune
         // cannot conclude, so the answer is Unknown or Unsatisfiable — never
         // Satisfiable.
-        let r = solve(&domains, &cons, &SolverConfig { multiplier_bound: 50, node_budget: 100_000 });
+        let r =
+            solve(&domains, &cons, &SolverConfig { multiplier_bound: 50, node_budget: 100_000 });
         assert!(!matches!(r, Feasibility::Satisfiable(_)));
     }
 
@@ -458,10 +454,7 @@ mod tests {
         // x ∈ 0+1N, y ∈ 0+1N, x - 4y ≥ 0 and x + y ≥ 5  (the paper's airline
         // example shape: at least 80% of the journey with one airline).
         let domains = vec![every(1), every(1)];
-        let cons = vec![
-            LinearConstraint::ge(vec![1, -4], 0),
-            LinearConstraint::ge(vec![1, 1], 5),
-        ];
+        let cons = vec![LinearConstraint::ge(vec![1, -4], 0), LinearConstraint::ge(vec![1, 1], 5)];
         match solve(&domains, &cons, &SolverConfig::default()) {
             Feasibility::Satisfiable(w) => {
                 assert!(w[0] as i64 - 4 * w[1] as i64 >= 0);

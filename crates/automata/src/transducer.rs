@@ -13,12 +13,16 @@ use crate::alphabet::{Alphabet, Symbol, TupleSym};
 use crate::nfa::{Nfa, StateId};
 use std::collections::{HashMap, HashSet, VecDeque};
 
+/// One transducer move: the symbol consumed on each tape (`None` = no
+/// consumption on that tape) and the successor state.
+type Move = (Option<Symbol>, Option<Symbol>, StateId);
+
 /// An asynchronous two-tape automaton (transducer without output — it simply
 /// accepts pairs of words). A move may consume a symbol on either tape, both,
 /// or neither.
 #[derive(Clone, Debug)]
 pub struct Transducer2 {
-    transitions: Vec<Vec<(Option<Symbol>, Option<Symbol>, StateId)>>,
+    transitions: Vec<Vec<Move>>,
     initial: Vec<StateId>,
     accepting: Vec<bool>,
 }
@@ -140,25 +144,28 @@ impl Transducer2 {
         let mut ids: HashMap<Config, StateId> = HashMap::new();
         let mut queue: VecDeque<Config> = VecDeque::new();
 
-        let intern =
-            |cfg: Config, nfa: &mut Nfa<TupleSym>, queue: &mut VecDeque<Config>, ids: &mut HashMap<Config, StateId>| -> StateId {
-                if let Some(&id) = ids.get(&cfg) {
-                    return id;
-                }
-                let id = nfa.add_state();
-                let accepting = cfg.buf0.is_empty()
-                    && cfg.buf1.is_empty()
-                    && self.accepting[cfg.state as usize];
-                nfa.set_accepting(id, accepting);
-                ids.insert(cfg.clone(), id);
-                queue.push_back(cfg);
-                id
-            };
+        let intern = |cfg: Config,
+                      nfa: &mut Nfa<TupleSym>,
+                      queue: &mut VecDeque<Config>,
+                      ids: &mut HashMap<Config, StateId>|
+         -> StateId {
+            if let Some(&id) = ids.get(&cfg) {
+                return id;
+            }
+            let id = nfa.add_state();
+            let accepting =
+                cfg.buf0.is_empty() && cfg.buf1.is_empty() && self.accepting[cfg.state as usize];
+            nfa.set_accepting(id, accepting);
+            ids.insert(cfg.clone(), id);
+            queue.push_back(cfg);
+            id
+        };
 
         // Initial configurations: closure of the transducer's initial states
         // with empty buffers.
         for &q in &self.initial {
-            let base = Config { state: q, buf0: Vec::new(), buf1: Vec::new(), fin0: false, fin1: false };
+            let base =
+                Config { state: q, buf0: Vec::new(), buf1: Vec::new(), fin0: false, fin1: false };
             for cfg in self.consume_closure(base, delay_bound) {
                 let id = intern(cfg, &mut nfa, &mut queue, &mut ids);
                 nfa.add_initial(id);
@@ -214,25 +221,19 @@ impl Transducer2 {
             for (on0, on1, to) in &self.transitions[cfg.state as usize] {
                 let mut next = cfg.clone();
                 next.state = *to;
-                match on0 {
-                    Some(s) => {
-                        if next.buf0.first() == Some(s) {
-                            next.buf0.remove(0);
-                        } else {
-                            continue;
-                        }
+                if let Some(s) = on0 {
+                    if next.buf0.first() == Some(s) {
+                        next.buf0.remove(0);
+                    } else {
+                        continue;
                     }
-                    None => {}
                 }
-                match on1 {
-                    Some(s) => {
-                        if next.buf1.first() == Some(s) {
-                            next.buf1.remove(0);
-                        } else {
-                            continue;
-                        }
+                if let Some(s) = on1 {
+                    if next.buf1.first() == Some(s) {
+                        next.buf1.remove(0);
+                    } else {
+                        continue;
                     }
-                    None => {}
                 }
                 stack.push(next);
             }
@@ -307,15 +308,8 @@ mod tests {
     fn synchronization_agrees_with_direct_acceptance() {
         let al = Alphabet::from_labels(["a", "b"]);
         let (a, b) = (al.sym("a"), al.sym("b"));
-        let words: Vec<Vec<Symbol>> = vec![
-            vec![],
-            vec![a],
-            vec![b],
-            vec![a, b],
-            vec![b, a],
-            vec![a, b, b],
-            vec![b, a, a, b],
-        ];
+        let words: Vec<Vec<Symbol>> =
+            vec![vec![], vec![a], vec![b], vec![a, b], vec![b, a], vec![a, b, b], vec![b, a, a, b]];
         for k in 0..=2usize {
             let t = edit_distance_transducer(&al, k);
             let sync = t.synchronize(k);

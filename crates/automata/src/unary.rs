@@ -12,13 +12,12 @@
 //! caller receives an explicit error rather than a wrong answer.
 
 use crate::nfa::Nfa;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::hash::Hash;
 
 /// An arithmetic progression `{ offset + period·i | i ≥ 0 }`. A period of `0`
 /// denotes the singleton `{offset}`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Progression {
     /// Smallest element.
     pub offset: u64,
@@ -35,14 +34,14 @@ impl Progression {
         if self.period == 0 {
             n == self.offset
         } else {
-            (n - self.offset) % self.period == 0
+            (n - self.offset).is_multiple_of(self.period)
         }
     }
 }
 
 /// The exact set of accepted word lengths of an automaton, stored as an
 /// eventually periodic boolean sequence.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LengthSet {
     /// `membership[ℓ]` for `ℓ < preperiod + period`.
     membership: Vec<bool>,

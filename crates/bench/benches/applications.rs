@@ -1,31 +1,26 @@
-//! Criterion benchmarks for the application workloads APP-1..APP-4 (the
+//! Micro-benchmarks for the application workloads APP-1..APP-4 (the
 //! Section 4 and Section 8.2 scenarios): ρ-isomorphism associations,
 //! edit-distance alignment, square-pattern matching.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_bench::microbench::Runner;
 use ecrpq_bench::workloads;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("applications");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+fn main() {
+    let mut r = Runner::new("applications");
     for &n in &[10usize, 20, 30] {
-        group.bench_with_input(BenchmarkId::new("rho_iso", n), &n, |b, &n| {
-            b.iter(|| workloads::app_rho_iso(&[n]))
+        r.bench("rho_iso", n as u64, || {
+            workloads::app_rho_iso(&[n]);
         });
     }
     for &k in &[0usize, 1, 2] {
-        group.bench_with_input(BenchmarkId::new("alignment_k", k), &k, |b, &k| {
-            b.iter(|| workloads::app_alignment(8, k))
+        r.bench("alignment_k", k as u64, || {
+            workloads::app_alignment(8, k);
         });
     }
     for &n in &[4usize, 8] {
-        group.bench_with_input(BenchmarkId::new("pattern_squares", n), &n, |b, &n| {
-            b.iter(|| workloads::app_pattern(&[n]))
+        r.bench("pattern_squares", n as u64, || {
+            workloads::app_pattern(&[n]);
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,35 +1,30 @@
-//! Criterion benchmark for experiment F1a-C2 (Fig. 1(a), acyclicity):
-//! acyclic chain CRPQs (generic and Yannakakis evaluation) vs acyclic ECRPQs
-//! with equal-length relations, as the chain grows.
+//! Micro-benchmark for experiment F1a-C2 (Fig. 1(a), acyclicity): acyclic
+//! chain CRPQs (generic and Yannakakis evaluation) vs acyclic ECRPQs with
+//! equal-length relations, as the chain grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecrpq::eval;
+use ecrpq_bench::microbench::Runner;
 use ecrpq_bench::workloads;
 use ecrpq_graph::generators;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = workloads::config();
-    let word: Vec<&str> = std::iter::repeat(["a", "b"]).take(6).flatten().collect();
+    let word: Vec<&str> = std::iter::repeat_n(["a", "b"], 6).flatten().collect();
     let (g, _, _) = generators::string_graph(&word);
     let al = g.alphabet().clone();
-    let mut group = c.benchmark_group("fig1a_acyclic");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    let mut r = Runner::new("fig1a_acyclic");
     for len in 2..=5usize {
         let crpq = workloads::chain_query(len, false, &al);
         let ecrpq = workloads::chain_query(len, true, &al);
-        group.bench_with_input(BenchmarkId::new("acyclic_crpq_yannakakis", len), &len, |b, _| {
-            b.iter(|| eval::acyclic::eval_acyclic_crpq(&crpq, &g, &cfg).unwrap())
+        r.bench("acyclic_crpq_yannakakis", len as u64, || {
+            eval::acyclic::eval_acyclic_crpq(&crpq, &g, &cfg).unwrap();
         });
-        group.bench_with_input(BenchmarkId::new("acyclic_crpq_generic", len), &len, |b, _| {
-            b.iter(|| eval::eval_nodes(&crpq, &g, &cfg).unwrap())
+        r.bench("acyclic_crpq_generic", len as u64, || {
+            eval::eval_nodes(&crpq, &g, &cfg).unwrap();
         });
-        group.bench_with_input(BenchmarkId::new("acyclic_ecrpq", len), &len, |b, _| {
-            b.iter(|| eval::eval_nodes(&ecrpq, &g, &cfg).unwrap())
+        r.bench("acyclic_ecrpq", len as u64, || {
+            eval::eval_nodes(&ecrpq, &g, &cfg).unwrap();
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,30 +1,25 @@
-//! Criterion benchmark for experiment F1a-C1 (Fig. 1(a), combined
-//! complexity): the regular-expression-intersection query family with and
-//! without path-equality relations, as the number of atoms grows.
+//! Micro-benchmark for experiment F1a-C1 (Fig. 1(a), combined complexity):
+//! the regular-expression-intersection query family with and without
+//! path-equality relations, as the number of atoms grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecrpq::eval;
+use ecrpq_bench::microbench::Runner;
 use ecrpq_bench::workloads;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = workloads::config();
-    let mut group = c.benchmark_group("fig1a_combined_complexity");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    let mut r = Runner::new("fig1a_combined_complexity");
     for m in 1..=5usize {
         let (q, g) = workloads::rei_query(m, false);
-        group.bench_with_input(BenchmarkId::new("crpq", m), &m, |b, _| {
-            b.iter(|| eval::eval_boolean(&q, &g, &cfg).unwrap())
+        r.bench("crpq", m as u64, || {
+            eval::eval_boolean(&q, &g, &cfg).unwrap();
         });
     }
     for m in 1..=4usize {
         let (q, g) = workloads::rei_query(m, true);
-        group.bench_with_input(BenchmarkId::new("ecrpq", m), &m, |b, _| {
-            b.iter(|| eval::eval_boolean(&q, &g, &cfg).unwrap())
+        r.bench("ecrpq", m as u64, || {
+            eval::eval_boolean(&q, &g, &cfg).unwrap();
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

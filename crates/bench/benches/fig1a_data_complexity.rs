@@ -1,21 +1,16 @@
-//! Criterion benchmark for experiment F1a-D1/D2 (Fig. 1(a), data complexity):
+//! Micro-benchmark for experiment F1a-D1/D2 (Fig. 1(a), data complexity):
 //! a fixed Boolean query evaluated as CRPQ, ECRPQ, and under the length
 //! abstraction, over random graphs of growing size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_bench::microbench::Runner;
 use ecrpq_bench::workloads;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1a_data_complexity");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut r = Runner::new("fig1a_data_complexity");
     for &n in &[64usize, 128, 256] {
-        group.bench_with_input(BenchmarkId::new("crpq_ecrpq_qlen", n), &n, |b, &n| {
-            b.iter(|| workloads::fig1a_data(&[n]))
+        r.bench("crpq_ecrpq_qlen", n as u64, || {
+            workloads::fig1a_data(&[n]);
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,26 +1,21 @@
-//! Criterion benchmark for experiment F1a-C3 (Fig. 1(a), Q_len): the REI
-//! ECRPQ family evaluated exactly vs under the length abstraction.
+//! Micro-benchmark for experiment F1a-C3 (Fig. 1(a), Q_len): the REI ECRPQ
+//! family evaluated exactly vs under the length abstraction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecrpq::eval;
+use ecrpq_bench::microbench::Runner;
 use ecrpq_bench::workloads;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = workloads::config();
-    let mut group = c.benchmark_group("fig1a_qlen");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    let mut r = Runner::new("fig1a_qlen");
     for m in 1..=4usize {
         let (q, g) = workloads::rei_query(m, true);
-        group.bench_with_input(BenchmarkId::new("ecrpq_full", m), &m, |b, _| {
-            b.iter(|| eval::eval_boolean(&q, &g, &cfg).unwrap())
+        r.bench("ecrpq_full", m as u64, || {
+            eval::eval_boolean(&q, &g, &cfg).unwrap();
         });
-        group.bench_with_input(BenchmarkId::new("qlen", m), &m, |b, _| {
-            b.iter(|| eval::length::eval_qlen(&q, &g, &cfg).unwrap())
+        r.bench("qlen", m as u64, || {
+            eval::length::eval_qlen(&q, &g, &cfg).unwrap();
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,24 +1,19 @@
-//! Criterion benchmark for experiment F1b-L1 (Fig. 1(b), linear constraints):
+//! Micro-benchmark for experiment F1b-L1 (Fig. 1(b), linear constraints):
 //! itinerary queries with occurrence-count constraints over growing flight
 //! networks and with growing numbers of constraint rows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_bench::microbench::Runner;
 use ecrpq_bench::workloads;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1b_linear_constraints");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+fn main() {
+    let mut r = Runner::new("fig1b_linear_constraints");
     for &cities in &[4usize, 6, 8] {
-        group.bench_with_input(BenchmarkId::new("linear_data", cities), &cities, |b, &cities| {
-            b.iter(|| workloads::fig1b_linear(&[cities], 0))
+        r.bench("linear_data", cities as u64, || {
+            workloads::fig1b_linear(&[cities], 0);
         });
     }
-    group.bench_function("linear_rows_1_to_4", |b| {
-        b.iter(|| workloads::fig1b_linear(&[], 4))
+    r.bench("linear_rows_1_to_4", 4, || {
+        workloads::fig1b_linear(&[], 4);
     });
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

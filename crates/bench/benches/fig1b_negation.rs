@@ -1,24 +1,19 @@
-//! Criterion benchmark for experiment F1b-N1 (Fig. 1(b), negation): data
+//! Micro-benchmark for experiment F1b-N1 (Fig. 1(b), negation): data
 //! complexity of a fixed CRPQ¬ formula over growing graphs, and growing
 //! quantifier depth over a fixed small graph.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecrpq_bench::microbench::Runner;
 use ecrpq_bench::workloads;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1b_negation");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+fn main() {
+    let mut r = Runner::new("fig1b_negation");
     for &n in &[10usize, 20, 40] {
-        group.bench_with_input(BenchmarkId::new("crpq_neg_data", n), &n, |b, &n| {
-            b.iter(|| workloads::fig1b_negation(&[n], 1))
+        r.bench("crpq_neg_data", n as u64, || {
+            workloads::fig1b_negation(&[n], 1);
         });
     }
-    group.bench_function("crpq_neg_depth_2", |b| {
-        b.iter(|| workloads::fig1b_negation(&[], 2))
+    r.bench("crpq_neg_depth_2", 2, || {
+        workloads::fig1b_negation(&[], 2);
     });
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

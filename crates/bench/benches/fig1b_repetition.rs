@@ -1,28 +1,23 @@
-//! Criterion benchmark for experiment F1b-R1 (Fig. 1(b), repetition of path
+//! Micro-benchmark for experiment F1b-R1 (Fig. 1(b), repetition of path
 //! variables): the intersection query expressed with a repeated path variable
 //! (PSPACE-hard, Prop. 6.8) vs with independent path variables.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecrpq::eval;
+use ecrpq_bench::microbench::Runner;
 use ecrpq_bench::workloads;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = workloads::config();
-    let mut group = c.benchmark_group("fig1b_repetition");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    let mut r = Runner::new("fig1b_repetition");
     for m in 1..=5usize {
         let (q_rep, g) = workloads::repetition_query(m);
         let (q_free, g2) = workloads::rei_query(m, false);
-        group.bench_with_input(BenchmarkId::new("repeated_pathvar", m), &m, |b, _| {
-            b.iter(|| eval::eval_boolean(&q_rep, &g, &cfg).unwrap())
+        r.bench("repeated_pathvar", m as u64, || {
+            eval::eval_boolean(&q_rep, &g, &cfg).unwrap();
         });
-        group.bench_with_input(BenchmarkId::new("repetition_free", m), &m, |b, _| {
-            b.iter(|| eval::eval_boolean(&q_free, &g2, &cfg).unwrap())
+        r.bench("repetition_free", m as u64, || {
+            eval::eval_boolean(&q_free, &g2, &cfg).unwrap();
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,26 +1,41 @@
 //! Benchmark harness: regenerates every experiment of `EXPERIMENTS.md` (the
 //! empirical counterpart of Figure 1 of the paper plus the Section 4 / 8.2
-//! application workloads) and prints one table per experiment, including the
+//! application workloads), prints one table per experiment — including the
 //! fitted growth exponent (for polynomially growing series) or the growth
-//! ratio per step (for exponentially growing series).
+//! ratio per step (for exponentially growing series) — and writes each
+//! experiment's measurements as `BENCH_<experiment>.json` in the current
+//! directory so the perf-trajectory pipeline can consume them.
 //!
 //! Run with `cargo run --release -p ecrpq-bench --bin harness [-- quick]`.
 //! The `quick` argument shrinks every sweep so the harness finishes in a few
 //! seconds (used by CI-style smoke runs).
 
-use ecrpq_bench::{print_table, workloads};
+use ecrpq_bench::{json, print_table, workloads, Measurement};
+
+/// Prints one experiment's table and writes its `BENCH_<id>.json` file.
+fn report(id: &str, title: &str, mode: &str, measurements: &[Measurement], exponential: bool) {
+    print_table(title, measurements, exponential);
+    let path = format!("BENCH_{id}.json");
+    let doc = json::experiment(id, mode, measurements);
+    match std::fs::write(&path, &doc) {
+        Ok(()) => println!("   wrote {path}"),
+        Err(e) => eprintln!("   failed to write {path}: {e}"),
+    }
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
+    let mode = if quick { "quick" } else { "full" };
     println!("ECRPQ reproduction harness — regenerating the Figure 1 experiments");
-    println!("(mode: {})", if quick { "quick" } else { "full" });
+    println!("(mode: {mode})");
 
     // F1a-D1 / F1a-D2: data complexity.
-    let sizes: &[usize] =
-        if quick { &[50, 100, 200] } else { &[100, 200, 400, 800, 1600] };
+    let sizes: &[usize] = if quick { &[50, 100, 200] } else { &[100, 200, 400, 800, 1600] };
     let m = workloads::fig1a_data(sizes);
-    print_table(
+    report(
+        "fig1a_data",
         "Fig 1(a) data complexity: fixed query, growing graph (CRPQ vs ECRPQ vs Q_len)",
+        mode,
         &m,
         false,
     );
@@ -28,16 +43,20 @@ fn main() {
     // F1a-C1: combined complexity.
     let (crpq_m, ecrpq_m) = if quick { (5, 3) } else { (7, 5) };
     let m = workloads::fig1a_combined(crpq_m, ecrpq_m);
-    print_table(
+    report(
+        "fig1a_combined",
         "Fig 1(a) combined complexity: growing query on the REI gadget graph (CRPQ NP vs ECRPQ PSPACE)",
+        mode,
         &m,
         true,
     );
 
     // F1a-C2: acyclicity restriction.
     let m = workloads::fig1a_acyclic(6, if quick { 4 } else { 5 });
-    print_table(
+    report(
+        "fig1a_acyclic",
         "Fig 1(a) acyclic restriction: acyclic CRPQ (PTIME) vs acyclic ECRPQ (PSPACE-hard)",
+        mode,
         &m,
         true,
     );
@@ -45,16 +64,20 @@ fn main() {
     // F1a-C3: the length abstraction Q_len.
     let (full_m, qlen_m) = if quick { (3, 5) } else { (5, 7) };
     let m = workloads::fig1a_qlen(full_m, qlen_m);
-    print_table(
+    report(
+        "fig1a_qlen",
         "Fig 1(a) Q_len: full ECRPQ evaluation vs the length abstraction (NP, matches CQs)",
+        mode,
         &m,
         true,
     );
 
     // F1b-R1: repetition of path variables.
     let m = workloads::fig1b_repetition(if quick { 4 } else { 6 });
-    print_table(
+    report(
+        "fig1b_repetition",
         "Fig 1(b) repetition: CRPQ with a repeated path variable (PSPACE-hard) vs repetition-free",
+        mode,
         &m,
         true,
     );
@@ -62,8 +85,10 @@ fn main() {
     // F1b-N1: negation.
     let sizes: &[usize] = if quick { &[10, 20, 40] } else { &[20, 40, 80, 160] };
     let m = workloads::fig1b_negation(sizes, 2);
-    print_table(
+    report(
+        "fig1b_negation",
         "Fig 1(b) negation: CRPQ¬ data complexity (growing graph) and quantifier depth",
+        mode,
         &m,
         false,
     );
@@ -71,8 +96,10 @@ fn main() {
     // F1b-L1: linear constraints.
     let sizes: &[usize] = if quick { &[4, 6] } else { &[4, 6, 8, 10] };
     let m = workloads::fig1b_linear(sizes, 4);
-    print_table(
+    report(
+        "fig1b_linear",
         "Fig 1(b) linear constraints: itinerary queries, growing network and growing constraint rows",
+        mode,
         &m,
         false,
     );
@@ -80,16 +107,28 @@ fn main() {
     // APP-1: ρ-isomorphism associations.
     let sizes: &[usize] = if quick { &[10, 20] } else { &[10, 20, 30, 40] };
     let m = workloads::app_rho_iso(sizes);
-    print_table("APP-1 semantic-web associations (ρ-isomorphism)", &m, false);
+    report("app_rho_iso", "APP-1 semantic-web associations (ρ-isomorphism)", mode, &m, false);
 
     // APP-3: sequence alignment.
     let m = workloads::app_alignment(if quick { 8 } else { 12 }, 3);
-    print_table("APP-3 sequence alignment: edit-distance relation D≤k for growing k", &m, true);
+    report(
+        "app_alignment",
+        "APP-3 sequence alignment: edit-distance relation D≤k for growing k",
+        mode,
+        &m,
+        true,
+    );
 
     // APP-2: pattern matching.
     let sizes: &[usize] = if quick { &[3, 5] } else { &[4, 8, 12] };
     let m = workloads::app_pattern(sizes);
-    print_table("APP-2 pattern matching: squares (pattern XX) over growing string graphs", &m, false);
+    report(
+        "app_pattern",
+        "APP-2 pattern matching: squares (pattern XX) over growing string graphs",
+        mode,
+        &m,
+        false,
+    );
 
     println!("\nDone. Absolute timings are machine-specific; EXPERIMENTS.md records the");
     println!("qualitative comparison against the paper's complexity claims.");

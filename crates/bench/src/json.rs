@@ -1,0 +1,111 @@
+//! A minimal hand-rolled JSON writer for the harness's measurement output.
+//!
+//! The build environment is fully offline, so instead of `serde` the harness
+//! serializes its [`Measurement`](crate::Measurement) lists with this module.
+//! Only the subset of JSON the perf-trajectory pipeline consumes is
+//! supported: objects, arrays, strings, integers, and finite floats
+//! (non-finite floats serialize as `null`, which JSON requires).
+
+use crate::Measurement;
+
+/// Escapes a string for inclusion in a JSON document (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes an `f64` as a JSON number, or `null` when non-finite.
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        // `{:?}` is guaranteed round-trippable and always contains a decimal
+        // point or exponent, so the output is an unambiguous JSON float.
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes one measurement as a JSON object.
+pub fn measurement(m: &Measurement) -> String {
+    format!(
+        "{{\"series\":\"{}\",\"param\":{},\"seconds\":{},\"note\":\"{}\"}}",
+        escape(&m.series),
+        m.param,
+        number(m.seconds),
+        escape(&m.note)
+    )
+}
+
+/// Serializes a whole experiment family as a JSON document:
+/// `{"experiment": ..., "mode": ..., "measurements": [...]}`.
+pub fn experiment(id: &str, mode: &str, measurements: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"experiment\": \"{}\",\n", escape(id)));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", escape(mode)));
+    out.push_str("  \"measurements\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&measurement(m));
+        if i + 1 < measurements.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(series: &str, param: u64, seconds: f64, note: &str) -> Measurement {
+        Measurement { series: series.to_string(), param, seconds, note: note.to_string() }
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nonfinite_is_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        // integral floats keep a decimal point so they stay floats when parsed
+        assert_eq!(number(2.0), "2.0");
+    }
+
+    #[test]
+    fn experiment_document_shape() {
+        let doc = experiment("fig1a_data", "quick", &[m("crpq", 100, 0.25, "answer=true")]);
+        assert!(doc.contains("\"experiment\": \"fig1a_data\""));
+        assert!(doc.contains("\"mode\": \"quick\""));
+        assert!(doc.contains(
+            "{\"series\":\"crpq\",\"param\":100,\"seconds\":0.25,\"note\":\"answer=true\"}"
+        ));
+        // crude balance check: equal numbers of braces and brackets
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn empty_measurement_list_is_valid() {
+        let doc = experiment("empty", "full", &[]);
+        assert!(doc.contains("\"measurements\": [\n  ]"));
+    }
+}

@@ -1,5 +1,5 @@
-//! Workload definitions shared by the Criterion benchmarks and the
-//! `harness` binary.
+//! Workload definitions shared by the micro-benchmarks (`benches/*.rs`,
+//! built on [`microbench`]) and the `harness` binary.
 //!
 //! Every public function in [`workloads`] corresponds to one experiment of
 //! `EXPERIMENTS.md` (one cell group of Figure 1 of the paper, or one of the
@@ -7,6 +7,9 @@
 //! [`Measurement`]s: the swept parameter, the measured wall-clock time of one
 //! evaluation, and a short annotation (answer counts, state counts) so the
 //! harness output can be sanity-checked against expectations.
+
+pub mod json;
+pub mod microbench;
 
 use ecrpq::eval::{self, EvalConfig};
 use ecrpq::query::Ecrpq;
@@ -200,22 +203,22 @@ pub mod workloads {
     /// `with_equality` adds the relations `π1 = πi`, turning the CRPQ into the
     /// ECRPQ of Theorem 6.3's reduction.
     pub fn rei_query(m: usize, with_equality: bool) -> (Ecrpq, GraphDb) {
+        assert!(m <= PRIMES.len(), "rei_query supports at most {} atoms", PRIMES.len());
         let g = generators::rei_gadget_graph(&["a", "b"]);
         let al = g.alphabet().clone();
         let mut builder = Ecrpq::builder(&al);
-        for i in 0..m {
+        for (i, &prime) in PRIMES.iter().enumerate().take(m) {
             let path = format!("pi{i}");
             builder = builder.atom("x", &path, "y").bind_node("x", "v0");
-            let lang = count_a_mod_language(&al, PRIMES[i]);
+            let lang = count_a_mod_language(&al, prime);
             builder = builder.relation(
-                RegularRelation::from_language(&lang).named(&format!("a_mod_{}", PRIMES[i])),
+                RegularRelation::from_language(&lang).named(&format!("a_mod_{prime}")),
                 &[&path],
             );
         }
         if with_equality {
             for i in 1..m {
-                builder =
-                    builder.relation(builtin::equality(&al), &["pi0", &format!("pi{i}")]);
+                builder = builder.relation(builtin::equality(&al), &["pi0", &format!("pi{i}")]);
             }
         }
         (builder.build().unwrap(), g)
@@ -250,7 +253,11 @@ pub mod workloads {
     /// Acyclic chain queries of `len` atoms over a line graph of `(ab)^k`:
     /// the CRPQ version (with and without the Yannakakis evaluator) and the
     /// ECRPQ version with equal-length relations between consecutive paths.
-    pub fn chain_query(len: usize, with_relations: bool, alphabet: &ecrpq_automata::Alphabet) -> Ecrpq {
+    pub fn chain_query(
+        len: usize,
+        with_relations: bool,
+        alphabet: &ecrpq_automata::Alphabet,
+    ) -> Ecrpq {
         let mut builder = Ecrpq::builder(alphabet).head_nodes(&["x0", &format!("x{len}")]);
         for i in 0..len {
             let path = format!("p{i}");
@@ -273,8 +280,7 @@ pub mod workloads {
     /// pass), while acyclic ECRPQs do not.
     pub fn fig1a_acyclic(graph_len: usize, max_len: usize) -> Vec<Measurement> {
         let cfg = config();
-        let word: Vec<&str> =
-            std::iter::repeat(["a", "b"]).take(graph_len).flatten().collect();
+        let word: Vec<&str> = std::iter::repeat_n(["a", "b"], graph_len).flatten().collect();
         let (g, _, _) = generators::string_graph(&word);
         let al = g.alphabet().clone();
         let mut out = Vec::new();
@@ -329,14 +335,15 @@ pub mod workloads {
     /// `Ans() ← ⋀ (x, π, y_i), R_i(π)` — a single path variable must satisfy
     /// all the counting languages simultaneously.
     pub fn repetition_query(m: usize) -> (Ecrpq, GraphDb) {
+        assert!(m <= PRIMES.len(), "repetition_query supports at most {} atoms", PRIMES.len());
         let g = generators::rei_gadget_graph(&["a", "b"]);
         let al = g.alphabet().clone();
         let mut builder = Ecrpq::builder(&al).bind_node("x", "v0");
-        for i in 0..m {
+        for (i, &prime) in PRIMES.iter().enumerate().take(m) {
             builder = builder.atom("x", "pi", &format!("y{i}"));
-            let lang = count_a_mod_language(&al, PRIMES[i]);
+            let lang = count_a_mod_language(&al, prime);
             builder = builder.relation(
-                RegularRelation::from_language(&lang).named(&format!("a_mod_{}", PRIMES[i])),
+                RegularRelation::from_language(&lang).named(&format!("a_mod_{prime}")),
                 &["pi"],
             );
         }
@@ -536,7 +543,7 @@ pub mod workloads {
         let mut out = Vec::new();
         for &n in sizes {
             // the string (ab)^n — its square prefixes are found by the query
-            let word: Vec<&str> = std::iter::repeat(["a", "b"]).take(n).flatten().collect();
+            let word: Vec<&str> = std::iter::repeat_n(["a", "b"], n).flatten().collect();
             let (g, _, _) = generators::string_graph(&word);
             let al = g.alphabet().clone();
             let q = ecrpq::expressiveness::pattern_to_ecrpq(

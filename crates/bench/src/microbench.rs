@@ -1,0 +1,161 @@
+//! A dependency-free micro-benchmark runner: warmup iterations, N timed
+//! samples, median reporting.
+//!
+//! This replaces the `criterion` harness the bench targets were originally
+//! written against (the build environment is offline, so the `benches/*.rs`
+//! files are plain `harness = false` binaries built on this module). The
+//! statistics are deliberately simple — median of a handful of samples, with
+//! min/max as a spread indicator — which is robust enough to read growth
+//! trends off the Figure-1 workload families.
+
+use std::time::Instant;
+
+/// Sampling configuration for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Untimed warmup iterations before sampling.
+    pub warmup: usize,
+    /// Number of timed samples; the median is reported.
+    pub samples: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { warmup: 1, samples: 5 }
+    }
+}
+
+/// The result of one benchmark: its identity and sample statistics.
+#[derive(Clone, Debug)]
+pub struct BenchStat {
+    /// Benchmark name within the group (e.g. `ecrpq_full`).
+    pub name: String,
+    /// The swept parameter value.
+    pub param: u64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Median of the sampled wall-clock times, in seconds.
+    pub median_seconds: f64,
+    /// Fastest sample, in seconds.
+    pub min_seconds: f64,
+    /// Slowest sample, in seconds.
+    pub max_seconds: f64,
+}
+
+/// Median of a sample list (mean of the middle two for even lengths).
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut xs = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+/// Runs `f` under the given config and returns its statistics.
+pub fn sample<F: FnMut()>(name: &str, param: u64, cfg: Config, mut f: F) -> BenchStat {
+    for _ in 0..cfg.warmup {
+        f();
+    }
+    let samples = cfg.samples.max(1);
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    BenchStat {
+        name: name.to_string(),
+        param,
+        samples,
+        median_seconds: median(&times),
+        min_seconds: min,
+        max_seconds: max,
+    }
+}
+
+/// A named group of benchmarks that prints one line per benchmark as it runs,
+/// criterion-style: `group/name/param  median …s  (min …, max …, N samples)`.
+pub struct Runner {
+    group: String,
+    cfg: Config,
+    results: Vec<BenchStat>,
+}
+
+impl Runner {
+    /// Creates a runner with the default config (1 warmup, 5 samples).
+    pub fn new(group: &str) -> Self {
+        Runner::with_config(group, Config::default())
+    }
+
+    /// Creates a runner with an explicit sampling config.
+    pub fn with_config(group: &str, cfg: Config) -> Self {
+        println!(
+            "benchmark group {group} (warmup {}, {} samples, median)",
+            cfg.warmup, cfg.samples
+        );
+        Runner { group: group.to_string(), cfg, results: Vec::new() }
+    }
+
+    /// Benchmarks `f`, printing and recording its statistics.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, param: u64, f: F) {
+        let stat = sample(name, param, self.cfg, f);
+        println!(
+            "{}/{}/{:<6} median {:>12.6}s  (min {:.6}, max {:.6}, {} samples)",
+            self.group,
+            stat.name,
+            stat.param,
+            stat.median_seconds,
+            stat.min_seconds,
+            stat.max_seconds,
+            stat.samples
+        );
+        self.results.push(stat);
+    }
+
+    /// Finishes the group and returns all recorded statistics.
+    pub fn finish(self) -> Vec<BenchStat> {
+        println!("benchmark group {} done ({} benchmarks)", self.group, self.results.len());
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn sample_counts_iterations() {
+        let mut calls = 0;
+        let stat = sample("t", 1, Config { warmup: 2, samples: 3 }, || calls += 1);
+        assert_eq!(calls, 5, "2 warmup + 3 samples");
+        assert_eq!(stat.samples, 3);
+        assert!(stat.min_seconds <= stat.median_seconds);
+        assert!(stat.median_seconds <= stat.max_seconds);
+    }
+
+    #[test]
+    fn runner_records_results() {
+        let mut r = Runner::with_config("g", Config { warmup: 0, samples: 1 });
+        r.bench("a", 1, || {});
+        r.bench("b", 2, || {});
+        let results = r.finish();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].name, "a");
+        assert_eq!(results[1].param, 2);
+    }
+}

@@ -36,8 +36,8 @@ pub enum ContainmentResult {
     /// A counterexample was found: a canonical graph of `Q` on which some
     /// answer of `Q` is not an answer of `Q'`.
     NotContained {
-        /// The witness graph.
-        witness: GraphDb,
+        /// The witness graph (boxed: it is much larger than the other variant).
+        witness: Box<GraphDb>,
         /// The head-node tuple of `Q` that `Q'` misses.
         nodes: Vec<NodeId>,
         /// The head-path tuple of `Q` that `Q'` misses.
@@ -93,17 +93,15 @@ pub fn check_containment(
         examined += 1;
         let (graph, node_map, path_map) = canonical_graph(q, &labeling);
         // The tuple Q selects on its canonical database.
-        let nodes: Vec<NodeId> =
-            q.head_nodes.iter().map(|v| node_map[v.name()]).collect();
-        let paths: Vec<Path> =
-            q.head_paths.iter().map(|p| path_map[p.name()].clone()).collect();
+        let nodes: Vec<NodeId> = q.head_nodes.iter().map(|v| node_map[v.name()]).collect();
+        let paths: Vec<Path> = q.head_paths.iter().map(|p| path_map[p.name()].clone()).collect();
         // Sanity: Q must indeed select this tuple (it does by construction,
         // but the check also guards against bound-induced truncation).
         if !eval::check(q, &graph, &nodes, &paths, config)? {
             continue;
         }
         if !eval::check(q_prime, &graph, &nodes, &paths, config)? {
-            return Ok(ContainmentResult::NotContained { witness: graph, nodes, paths });
+            return Ok(ContainmentResult::NotContained { witness: Box::new(graph), nodes, paths });
         }
     }
     Ok(ContainmentResult::ContainedUpTo { bound, canonical_databases: examined })

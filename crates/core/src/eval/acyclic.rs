@@ -77,7 +77,9 @@ pub fn eval_acyclic_crpq(
             let new_to: HashSet<NodeId> = domains[e.to]
                 .iter()
                 .copied()
-                .filter(|&v| reach[e.path].bwd[v.index()].iter().any(|u| domains[e.from].contains(u)))
+                .filter(|&v| {
+                    reach[e.path].bwd[v.index()].iter().any(|u| domains[e.from].contains(u))
+                })
                 .collect();
             if new_to.len() != domains[e.to].len() {
                 domains[e.to] = new_to;
@@ -162,7 +164,17 @@ fn enumerate(
             _ => true,
         });
         if ok {
-            enumerate(depth + 1, order, edges, reach, domains, assignment, compiled, answers, budget)?;
+            enumerate(
+                depth + 1,
+                order,
+                edges,
+                reach,
+                domains,
+                assignment,
+                compiled,
+                answers,
+                budget,
+            )?;
         }
         assignment[var] = None;
     }

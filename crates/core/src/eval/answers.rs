@@ -75,8 +75,7 @@ pub fn encode_paths(paths: &[Path]) -> Vec<EncLetter> {
     let mut word = Vec::with_capacity(2 * max_len + 1);
     word.push(EncLetter::Nodes(paths.iter().map(|p| node_at(p, 0)).collect()));
     for i in 0..max_len {
-        let letter: Vec<Option<Symbol>> =
-            paths.iter().map(|p| p.label().get(i).copied()).collect();
+        let letter: Vec<Option<Symbol>> = paths.iter().map(|p| p.label().get(i).copied()).collect();
         word.push(EncLetter::Letter(TupleSym::new(letter)));
         word.push(EncLetter::Nodes(paths.iter().map(|p| node_at(p, i + 1)).collect()));
     }
@@ -167,11 +166,7 @@ fn add_candidate_automaton(
 
     let initial = AState {
         pos: (0..num_paths).map(|p| (sigma[compiled.path_from[p]], false)).collect(),
-        rel: compiled
-            .relations
-            .iter()
-            .map(|r| r.nfa.epsilon_closure(r.nfa.initial()))
-            .collect(),
+        rel: compiled.relations.iter().map(|r| r.nfa.epsilon_closure(r.nfa.initial())).collect(),
     };
 
     // Each search state becomes *two* automaton states: one expecting the
@@ -183,13 +178,15 @@ fn add_candidate_automaton(
     let mut queue: VecDeque<AState> = VecDeque::new();
 
     let accepts = |s: &AState| -> bool {
-        s.pos.iter().enumerate().all(|(p, &(node, done))| {
-            done || node == sigma[compiled.path_to[p]]
-        }) && compiled
-            .relations
+        s.pos
             .iter()
             .enumerate()
-            .all(|(j, r)| s.rel[j].iter().any(|&q| r.nfa.is_accepting(q)))
+            .all(|(p, &(node, done))| done || node == sigma[compiled.path_to[p]])
+            && compiled
+                .relations
+                .iter()
+                .enumerate()
+                .all(|(j, r)| s.rel[j].iter().any(|&q| r.nfa.is_accepting(q)))
     };
 
     // Intern helper: creates the before/after pair for a state, linked by the
@@ -208,8 +205,7 @@ fn add_candidate_automaton(
         }
         let b = nfa.add_state();
         let a = nfa.add_state();
-        let node_letter =
-            EncLetter::Nodes(head.iter().map(|&p| s.pos[p].0).collect());
+        let node_letter = EncLetter::Nodes(head.iter().map(|&p| s.pos[p].0).collect());
         nfa.add_transition(b, node_letter, a);
         nfa.set_accepting(a, accepting);
         before.insert(s.clone(), b);
@@ -218,15 +214,8 @@ fn add_candidate_automaton(
         (b, a)
     }
 
-    let (b0, _a0) = intern(
-        &initial,
-        nfa,
-        &mut before_ids,
-        &mut after_ids,
-        &mut queue,
-        head,
-        accepts(&initial),
-    );
+    let (b0, _a0) =
+        intern(&initial, nfa, &mut before_ids, &mut after_ids, &mut queue, head, accepts(&initial));
     nfa.add_initial(b0);
 
     let mut visited_budget = config.max_search_states;
@@ -275,15 +264,8 @@ fn add_candidate_automaton(
                             .collect(),
                     ));
                     let acc = accepts(&next);
-                    let (nb, _na) = intern(
-                        &next,
-                        nfa,
-                        &mut before_ids,
-                        &mut after_ids,
-                        &mut queue,
-                        head,
-                        acc,
-                    );
+                    let (nb, _na) =
+                        intern(&next, nfa, &mut before_ids, &mut after_ids, &mut queue, head, acc);
                     nfa.add_transition(from_after, letter, nb);
                 }
             }
@@ -365,7 +347,12 @@ mod tests {
         // Path of length 3 (full cycle) is an answer; the empty path is not (a+).
         let a = g.alphabet().sym("a");
         let full_cycle = Path::new(
-            vec![ecrpq_graph::NodeId(0), ecrpq_graph::NodeId(1), ecrpq_graph::NodeId(2), ecrpq_graph::NodeId(0)],
+            vec![
+                ecrpq_graph::NodeId(0),
+                ecrpq_graph::NodeId(1),
+                ecrpq_graph::NodeId(2),
+                ecrpq_graph::NodeId(0),
+            ],
             vec![a, a, a],
         );
         assert!(aut.contains(&[full_cycle]));

@@ -41,11 +41,7 @@ pub fn label_count(path: &str, label: &str, op: CmpOp, constant: i64) -> QLinear
 
 /// Builds the constraint `|path| op constant`.
 pub fn length(path: &str, op: CmpOp, constant: i64) -> QLinearConstraint {
-    QLinearConstraint {
-        terms: vec![(1, CountTarget::Length(PathVar::new(path)))],
-        op,
-        constant,
-    }
+    QLinearConstraint { terms: vec![(1, CountTarget::Length(PathVar::new(path)))], op, constant }
 }
 
 /// Builds the constraint `|path1| op |path2|` (as `|path1| − |path2| op 0`).
@@ -143,11 +139,7 @@ mod tests {
             .atom("z", "p2", "y")
             .language("p1", "a+")
             .language("p2", "b+")
-            .linear_constraint(
-                length_compare("p1", "p2", CmpOp::Eq).terms,
-                CmpOp::Eq,
-                0,
-            )
+            .linear_constraint(length_compare("p1", "p2", CmpOp::Eq).terms, CmpOp::Eq, 0)
             .build()
             .unwrap();
         let answers = eval::eval_nodes(&q, &g, &EvalConfig::default()).unwrap();

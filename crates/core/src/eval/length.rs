@@ -61,7 +61,11 @@ pub fn eval_qlen(
             for (tape, &coef) in c.coefficients.iter().enumerate() {
                 coeffs[tapes[tape]] += coef;
             }
-            constraints.push(LinearConstraint { coefficients: coeffs, op: c.op, constant: c.constant });
+            constraints.push(LinearConstraint {
+                coefficients: coeffs,
+                op: c.op,
+                constant: c.constant,
+            });
         }
     }
     // Explicit linear constraints: only length targets are allowed here.
@@ -170,9 +174,7 @@ pub(crate) fn path_length_set(
     // Product of the graph (as an NFA from `from` to `to`) with the unary
     // constraint automaton, with graph labels translated into the merged
     // alphabet.
-    let graph_nfa = graph
-        .as_nfa(&[from], &[to])
-        .map_symbols(|&l| Some(compiled.translate(l)));
+    let graph_nfa = graph.as_nfa(&[from], &[to]).map_symbols(|&l| Some(compiled.translate(l)));
     let product = match &compiled.unary[p] {
         Some(unary_nfa) => graph_nfa.intersect(unary_nfa),
         None => graph_nfa,

@@ -86,6 +86,9 @@ impl Formula {
     }
 
     /// Negation.
+    // Part of the formula-building DSL (`phi.not().or(...)`); implementing
+    // `std::ops::Not` would force the less readable `!phi` at call sites.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Formula {
         Formula::Not(Box::new(self))
     }
@@ -218,8 +221,7 @@ pub fn eval_crpq_neg(
     }
     // Merge alphabets so graph labels can be translated into formula symbols.
     let mut merged = alphabet.clone();
-    let label_map: Vec<Symbol> =
-        graph.alphabet().iter().map(|(_, l)| merged.intern(l)).collect();
+    let label_map: Vec<Symbol> = graph.alphabet().iter().map(|(_, l)| merged.intern(l)).collect();
 
     // Determinize every language of the formula over the merged alphabet.
     let mut languages: Vec<Nfa<Symbol>> = Vec::new();
@@ -264,9 +266,9 @@ pub fn eval_formula_bounded(
     path_length_bound: usize,
 ) -> Result<bool, QueryError> {
     let mut merged = alphabet.clone();
-    let label_map: Vec<Symbol> =
-        graph.alphabet().iter().map(|(_, l)| merged.intern(l)).collect();
-    let ctx = EvalCtx { graph, label_map: &label_map, domain_paths: None, bound: path_length_bound };
+    let label_map: Vec<Symbol> = graph.alphabet().iter().map(|(_, l)| merged.intern(l)).collect();
+    let ctx =
+        EvalCtx { graph, label_map: &label_map, domain_paths: None, bound: path_length_bound };
     Ok(eval_rec(formula, &ctx, &mut assignment.clone()))
 }
 
@@ -495,9 +497,7 @@ mod tests {
             "pi",
             Formula::edge("x", "pi", "y").not().or(Formula::lang("pi", "a*", &al).unwrap()),
         );
-        let asg = Assignment::empty()
-            .with_node("x", NodeId(0))
-            .with_node("y", NodeId(1));
+        let asg = Assignment::empty().with_node("x", NodeId(0)).with_node("y", NodeId(1));
         assert!(eval_crpq_neg(&phi, &g, &al, &asg, &cfg()).unwrap());
 
         // Add a b-labeled edge 0 → 1 and the property fails.
@@ -524,9 +524,7 @@ mod tests {
         g.add_edge_labeled(n0, "a", mid);
         g.add_edge_labeled(mid, "a", n1);
         let al = g.alphabet().clone();
-        let body = |p: &str| {
-            Formula::edge("x", p, "y").and(Formula::lang(p, "a*", &al).unwrap())
-        };
+        let body = |p: &str| Formula::edge("x", p, "y").and(Formula::lang(p, "a*", &al).unwrap());
         let phi = Formula::exists_path(
             "p1",
             Formula::exists_path(

@@ -124,12 +124,10 @@ impl Compiled {
         query.validate()?;
 
         // Dense numbering of node and path variables.
-        let node_vars: Vec<String> =
-            query.node_vars().into_iter().map(|v| v.0).collect();
+        let node_vars: Vec<String> = query.node_vars().into_iter().map(|v| v.0).collect();
         let node_index: HashMap<&str, usize> =
             node_vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
-        let path_vars: Vec<String> =
-            query.path_vars().into_iter().map(|v| v.0).collect();
+        let path_vars: Vec<String> = query.path_vars().into_iter().map(|v| v.0).collect();
         let path_index: HashMap<&str, usize> =
             path_vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
 
@@ -153,11 +151,8 @@ impl Compiled {
         // Merge the query alphabet with the graph alphabet (appending any
         // labels the query does not know, so relation symbols stay valid).
         let mut merged_alphabet = query.alphabet.clone();
-        let graph_symbol_map: Vec<Symbol> = graph
-            .alphabet()
-            .iter()
-            .map(|(_, label)| merged_alphabet.intern(label))
-            .collect();
+        let graph_symbol_map: Vec<Symbol> =
+            graph.alphabet().iter().map(|(_, label)| merged_alphabet.intern(label)).collect();
 
         // Compile relation atoms.
         let relations: Vec<CompiledRel> = query
@@ -200,15 +195,12 @@ impl Compiled {
             &merged_alphabet,
         )?;
 
-        let head_node_idx =
-            query.head_nodes.iter().map(|v| node_index[v.name()]).collect();
-        let head_path_idx =
-            query.head_paths.iter().map(|p| path_index[p.name()]).collect();
+        let head_node_idx = query.head_nodes.iter().map(|v| node_index[v.name()]).collect();
+        let head_path_idx = query.head_paths.iter().map(|p| path_index[p.name()]).collect();
 
         let has_wide_relation = relations.iter().any(|r| r.tapes.len() >= 2);
-        let relaxation_is_exact = !has_wide_relation
-            && !query.has_relational_repetition()
-            && counters.is_empty();
+        let relaxation_is_exact =
+            !has_wide_relation && !query.has_relational_repetition() && counters.is_empty();
 
         Ok(Compiled {
             node_vars,
@@ -407,9 +399,7 @@ pub(crate) fn enumerate_candidates<F: FnMut(&[NodeId]) -> bool>(
             .max_by_key(|&v| {
                 edges
                     .iter()
-                    .filter(|e| {
-                        (e.from == v && placed[e.to]) || (e.to == v && placed[e.from])
-                    })
+                    .filter(|e| (e.from == v && placed[e.to]) || (e.to == v && placed[e.from]))
                     .count()
             })
             .unwrap();
@@ -422,7 +412,10 @@ pub(crate) fn enumerate_candidates<F: FnMut(&[NodeId]) -> bool>(
     let mut assignment: Vec<Option<NodeId>> = vec![None; num_vars];
     let mut stop = false;
 
-    // Recursive backtracking over the variable order.
+    // Recursive backtracking over the variable order. The parameters are the
+    // loop-invariant pieces of the search state, threaded explicitly so the
+    // recursion stays a free function.
+    #[allow(clippy::too_many_arguments)]
     fn recurse<F: FnMut(&[NodeId]) -> bool>(
         depth: usize,
         order: &[usize],
@@ -485,13 +478,9 @@ pub(crate) fn enumerate_candidates<F: FnMut(&[NodeId]) -> bool>(
             }
             assignment[var] = Some(v);
             // check fully-instantiated edges involving var
-            let ok = edges.iter().all(|e| {
-                match (assignment[e.from], assignment[e.to]) {
-                    (Some(f), Some(t)) if e.from == var || e.to == var => {
-                        reach[e.path].contains(f, t)
-                    }
-                    _ => true,
-                }
+            let ok = edges.iter().all(|e| match (assignment[e.from], assignment[e.to]) {
+                (Some(f), Some(t)) if e.from == var || e.to == var => reach[e.path].contains(f, t),
+                _ => true,
             });
             if ok {
                 recurse(
@@ -609,11 +598,7 @@ pub(crate) fn evaluate(
                 verified += 1;
                 seen_heads.insert(head.clone());
                 let paths = match witness {
-                    Some(w) => compiled
-                        .head_path_idx
-                        .iter()
-                        .map(|&p| w[p].clone())
-                        .collect(),
+                    Some(w) => compiled.head_path_idx.iter().map(|&p| w[p].clone()).collect(),
                     None => Vec::new(),
                 };
                 if mode == Mode::Paths {
@@ -710,11 +695,8 @@ pub(crate) fn check_membership(
     let mut compiled_forced = compiled.clone();
     compiled_forced.constants = forced.iter().map(|(&v, &n)| (v, n)).collect();
 
-    let step_bound = if compiled.counters.is_empty() {
-        None
-    } else {
-        Some(compiled.step_bound(graph, config))
-    };
+    let step_bound =
+        if compiled.counters.is_empty() { None } else { Some(compiled.step_bound(graph, config)) };
     let mut stats = EvalStats::default();
     let mut found = false;
     let mut error: Option<QueryError> = None;

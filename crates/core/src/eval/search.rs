@@ -98,11 +98,7 @@ pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryErr
         pos: (0..num_paths)
             .map(|p| Pos::Active { node: problem.sigma[compiled.path_from[p]], step: 0 })
             .collect(),
-        rel: compiled
-            .relations
-            .iter()
-            .map(|r| r.nfa.epsilon_closure(r.nfa.initial()))
-            .collect(),
+        rel: compiled.relations.iter().map(|r| r.nfa.epsilon_closure(r.nfa.initial())).collect(),
         counters: vec![0i64; compiled.counters.len()],
     };
 
@@ -284,7 +280,11 @@ fn expand<F: FnMut(State, MoveVec) -> bool>(
 
 /// Applies one global move, returning the successor state (or `None` if some
 /// relation automaton has no matching transition).
-fn apply(problem: &SearchProblem<'_>, state: &State, picks: &[Option1]) -> Option<(State, MoveVec)> {
+fn apply(
+    problem: &SearchProblem<'_>,
+    state: &State,
+    picks: &[Option1],
+) -> Option<(State, MoveVec)> {
     let compiled = problem.compiled;
     let mut pos = Vec::with_capacity(picks.len());
     let mut mv: MoveVec = Vec::with_capacity(picks.len());

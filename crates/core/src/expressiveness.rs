@@ -77,8 +77,7 @@ pub fn pattern_to_ecrpq(pattern: &[PatternItem], alphabet: &Alphabet) -> Result<
                     }
                     Some(&j) => {
                         let other = format!("pi{}", j + 1);
-                        builder =
-                            builder.relation(builtin::equality(alphabet), &[&other, &path]);
+                        builder = builder.relation(builtin::equality(alphabet), &[&other, &path]);
                     }
                 }
             }
@@ -267,11 +266,7 @@ mod tests {
         ];
         for w in words {
             let syms: Vec<Symbol> = w.iter().map(|l| al.sym(l)).collect();
-            assert_eq!(
-                nfa.accepts(&syms),
-                oracle.contains(&w).unwrap(),
-                "disagreement on {w:?}"
-            );
+            assert_eq!(nfa.accepts(&syms), oracle.contains(&w).unwrap(), "disagreement on {w:?}");
         }
     }
 

@@ -485,9 +485,7 @@ impl EcrpqBuilder {
             let nfa: Nfa<ecrpq_automata::Symbol> =
                 parsed.compile(&self.alphabet).map_err(|e| QueryError::Regex(e.to_string()))?;
             // Lift the language to an arity-1 relation.
-            let lifted = nfa.map_symbols(|&s| {
-                Some(ecrpq_automata::TupleSym::new(vec![Some(s)]))
-            });
+            let lifted = nfa.map_symbols(|&s| Some(ecrpq_automata::TupleSym::new(vec![Some(s)])));
             let rel = RegularRelation::from_nfa(1, lifted).named(&regex);
             self.relations.push(RelationAtom {
                 relation: rel,
@@ -598,11 +596,8 @@ mod tests {
         assert!(!cyclic.is_acyclic());
         // two atoms between the same pair of variables (in either direction)
         // merge into one hyperedge and stay acyclic
-        let back_and_forth = Ecrpq::builder(&al)
-            .atom("x", "p1", "y")
-            .atom("y", "p2", "x")
-            .build()
-            .unwrap();
+        let back_and_forth =
+            Ecrpq::builder(&al).atom("x", "p1", "y").atom("y", "p2", "x").build().unwrap();
         assert!(back_and_forth.is_acyclic());
         // chain is acyclic
         let chain = Ecrpq::builder(&al)
@@ -620,11 +615,7 @@ mod tests {
     #[test]
     fn repetition_detection() {
         let al = ab();
-        let rep = Ecrpq::builder(&al)
-            .atom("x", "p", "y")
-            .atom("u", "p", "v")
-            .build()
-            .unwrap();
+        let rep = Ecrpq::builder(&al).atom("x", "p", "y").atom("u", "p", "v").build().unwrap();
         assert!(rep.has_relational_repetition());
         let reg_rep = Ecrpq::builder(&al)
             .atom("x", "p", "y")
@@ -641,19 +632,12 @@ mod tests {
     #[test]
     fn boolean_queries_and_constants() {
         let al = ab();
-        let q = Ecrpq::builder(&al)
-            .atom("x", "p", "y")
-            .bind_node("x", "london")
-            .build()
-            .unwrap();
+        let q = Ecrpq::builder(&al).atom("x", "p", "y").bind_node("x", "london").build().unwrap();
         assert!(q.is_boolean());
         assert_eq!(q.node_constants.len(), 1);
         // constant on a variable not in the body is rejected
-        let e = Ecrpq::builder(&al)
-            .atom("x", "p", "y")
-            .bind_node("w", "london")
-            .build()
-            .unwrap_err();
+        let e =
+            Ecrpq::builder(&al).atom("x", "p", "y").bind_node("w", "london").build().unwrap_err();
         assert!(matches!(e, QueryError::UnboundHeadVariable(_)));
     }
 

@@ -7,12 +7,11 @@
 
 use ecrpq_automata::alphabet::{Alphabet, Symbol};
 use ecrpq_automata::nfa::Nfa;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a graph node (dense index).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -30,7 +29,7 @@ impl fmt::Debug for NodeId {
 }
 
 /// A directed edge `(source, label, target)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Edge {
     /// Source node.
     pub from: NodeId,
@@ -41,11 +40,10 @@ pub struct Edge {
 }
 
 /// A Σ-labeled graph database.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct GraphDb {
     alphabet: Alphabet,
     node_names: Vec<Option<String>>,
-    #[serde(skip)]
     name_index: HashMap<String, NodeId>,
     out_edges: Vec<Vec<(Symbol, NodeId)>>,
     in_edges: Vec<Vec<(Symbol, NodeId)>>,
@@ -252,17 +250,6 @@ impl GraphDb {
             ));
         }
         out
-    }
-
-    /// Rebuilds internal lookup indexes after deserialization.
-    pub fn rebuild_indexes(&mut self) {
-        self.alphabet.rebuild_index();
-        self.name_index = self
-            .node_names
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.as_ref().map(|n| (n.clone(), NodeId(i as u32))))
-            .collect();
     }
 }
 

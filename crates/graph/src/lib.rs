@@ -25,6 +25,7 @@
 pub mod generators;
 pub mod graph;
 pub mod path;
+pub mod prng;
 pub mod product;
 
 pub use graph::{Edge, GraphDb, NodeId};

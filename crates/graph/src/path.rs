@@ -6,10 +6,9 @@
 
 use crate::graph::{GraphDb, NodeId};
 use ecrpq_automata::alphabet::Symbol;
-use serde::{Deserialize, Serialize};
 
 /// A path in a graph database.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Path {
     nodes: Vec<NodeId>,
     labels: Vec<Symbol>,

@@ -1,0 +1,100 @@
+//! A small, deterministic, dependency-free PRNG for the workload generators.
+//!
+//! The generators only need reproducible pseudo-randomness — the same seed
+//! must produce the same graph on every platform and toolchain so that tests,
+//! benchmarks, and the perf-trajectory pipeline all see identical workloads.
+//! We use the SplitMix64 finalizer (Steele, Lea & Flood, *Fast Splittable
+//! Pseudorandom Number Generators*, OOPSLA 2014): a 64-bit counter passed
+//! through an avalanching bijection. It is statistically strong enough for
+//! workload synthesis and, unlike external crates, guaranteed stable across
+//! versions.
+
+/// A deterministic SplitMix64 pseudorandom number generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield identical
+    /// streams forever.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 pseudorandom bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly distributed index in `0..bound` (`bound` must be nonzero).
+    ///
+    /// Uses Lemire's multiply-then-widen reduction with rejection sampling, so
+    /// the result is unbiased for every bound.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_index bound must be nonzero");
+        let bound = bound as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn known_reference_values() {
+        // Outputs of the canonical SplitMix64 reference implementation
+        // (Vigna's C code; the seed-0 prefix is the widely published test
+        // vector). Pins the stream across refactors: the seeded workload
+        // generators and the perf-trajectory pipeline rely on it never
+        // changing.
+        let mut rng = SplitMix64::seed_from_u64(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+        let mut rng = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(rng.next_u64(), 0x599E_D017_FB08_FC85);
+        assert_eq!(rng.next_u64(), 0x2C73_F084_5854_0FA5);
+        assert_eq!(rng.next_u64(), 0x883E_BCE5_A3F2_7C77);
+    }
+
+    #[test]
+    fn gen_index_in_bounds_and_covers() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let i = rng.gen_index(5);
+            assert!(i < 5);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+}

@@ -1,4 +1,115 @@
-//! Shim crate whose only purpose is to host the workspace-level integration
-//! tests found in the repository's top-level `tests/` directory (see the
-//! `[[test]]` entries in this crate's `Cargo.toml`). The crate itself exposes
-//! nothing.
+//! Shim crate hosting the workspace-level integration tests found in the
+//! repository's top-level `tests/` directory and the `examples/` programs
+//! (see the `[[test]]` / `[[example]]` entries in this crate's `Cargo.toml`).
+//!
+//! Besides the target entries, the crate provides [`prop`], a minimal
+//! dependency-free property-testing helper used by `tests/properties.rs` in
+//! place of `proptest` (the build environment is offline): seeded case
+//! generation with shrink-free failure reporting.
+
+#![warn(missing_docs)]
+
+pub mod prop {
+    //! Seeded random-case generation for property tests.
+    //!
+    //! [`check`] runs a property closure over `cases` deterministic inputs
+    //! derived from a base seed. On failure it reports the failing case index
+    //! and its per-case seed — there is no shrinking, but re-running a single
+    //! case is cheap: `Gen::new(reported_seed)` reproduces it exactly.
+
+    use ecrpq_graph::prng::SplitMix64;
+
+    /// A deterministic source of random test data for one property case.
+    pub struct Gen {
+        rng: SplitMix64,
+    }
+
+    impl Gen {
+        /// Creates a generator from a case seed.
+        pub fn new(seed: u64) -> Self {
+            Gen { rng: SplitMix64::seed_from_u64(seed) }
+        }
+
+        /// A uniform index in `0..bound` (`bound` must be nonzero).
+        pub fn index(&mut self, bound: usize) -> usize {
+            self.rng.gen_index(bound)
+        }
+
+        /// A uniform length in `0..=max`.
+        pub fn len(&mut self, max: usize) -> usize {
+            self.rng.gen_index(max + 1)
+        }
+
+        /// A uniform value in `lo..=hi`.
+        pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo <= hi);
+            lo + self.rng.gen_index(hi - lo + 1)
+        }
+
+        /// Raw pseudorandom bits.
+        pub fn u64(&mut self) -> u64 {
+            self.rng.next_u64()
+        }
+    }
+
+    /// Runs `property` over `cases` deterministic cases derived from
+    /// `base_seed`. Panics (re-raising the property's panic) after printing
+    /// the failing case index and its seed.
+    pub fn check<F>(cases: usize, base_seed: u64, mut property: F)
+    where
+        F: FnMut(&mut Gen),
+    {
+        for case in 0..cases {
+            // decorrelate case seeds through the same avalanche as the PRNG
+            let case_seed =
+                SplitMix64::seed_from_u64(base_seed.wrapping_add(case as u64)).next_u64();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut gen = Gen::new(case_seed);
+                property(&mut gen);
+            }));
+            if let Err(panic) = result {
+                eprintln!(
+                    "property failed at case {case}/{cases} (case seed {case_seed:#x}); \
+                     reproduce with prop::Gen::new({case_seed:#x})"
+                );
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn check_is_deterministic() {
+            let mut first: Vec<u64> = Vec::new();
+            check(5, 42, |g| first.push(g.u64()));
+            let mut second: Vec<u64> = Vec::new();
+            check(5, 42, |g| second.push(g.u64()));
+            assert_eq!(first, second);
+        }
+
+        #[test]
+        fn gen_ranges_are_in_bounds() {
+            check(20, 7, |g| {
+                assert!(g.index(3) < 3);
+                assert!(g.len(4) <= 4);
+                let r = g.range(2, 5);
+                assert!((2..=5).contains(&r));
+            });
+        }
+
+        #[test]
+        #[should_panic(expected = "property violated")]
+        fn failures_propagate() {
+            check(10, 1, |g| {
+                let x = g.index(100);
+                assert!(x < 101, "always true");
+                if x > 10 {
+                    panic!("property violated");
+                }
+            });
+        }
+    }
+}

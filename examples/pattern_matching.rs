@@ -4,7 +4,9 @@
 //!
 //! Run with `cargo run --example pattern_matching`.
 
-use ecrpq::expressiveness::{anbn_query, anbncn_query, parse_pattern, pattern_to_ecrpq, StringsOracle};
+use ecrpq::expressiveness::{
+    anbn_query, anbncn_query, parse_pattern, pattern_to_ecrpq, StringsOracle,
+};
 use ecrpq::prelude::*;
 
 fn main() -> Result<(), QueryError> {
@@ -16,12 +18,9 @@ fn main() -> Result<(), QueryError> {
     let squares = pattern_to_ecrpq(&parse_pattern("XX"), &alphabet)?;
     println!("pattern XX compiles to: {squares}");
     let oracle = StringsOracle::new(&squares)?;
-    for word in [
-        vec!["a", "b", "a", "b"],
-        vec!["a", "a"],
-        vec!["a", "b", "b", "a"],
-        vec!["a", "b", "a"],
-    ] {
+    for word in
+        [vec!["a", "b", "a", "b"], vec!["a", "a"], vec!["a", "b", "b", "a"], vec!["a", "b", "a"]]
+    {
         println!("  {:?} is a square: {}", word, oracle.contains(&word)?);
     }
 
@@ -39,23 +38,16 @@ fn main() -> Result<(), QueryError> {
     let anbn = anbn_query(&alphabet)?;
     let oracle = StringsOracle::new(&anbn)?;
     println!("\na^n b^n membership over string graphs:");
-    for word in [
-        vec!["a", "b"],
-        vec!["a", "a", "b", "b"],
-        vec!["a", "a", "b"],
-        vec!["b", "a"],
-    ] {
+    for word in [vec!["a", "b"], vec!["a", "a", "b", "b"], vec!["a", "a", "b"], vec!["b", "a"]] {
         println!("  {:?}: {}", word, oracle.contains(&word)?);
     }
 
     let anbncn = anbncn_query(&alphabet)?;
     let oracle = StringsOracle::new(&anbncn)?;
     println!("\na^n b^n c^n membership (not even context-free):");
-    for word in [
-        vec!["a", "b", "c"],
-        vec!["a", "a", "b", "b", "c", "c"],
-        vec!["a", "a", "b", "c", "c"],
-    ] {
+    for word in
+        [vec!["a", "b", "c"], vec!["a", "a", "b", "b", "c", "c"], vec!["a", "a", "b", "c", "c"]]
+    {
         println!("  {:?}: {}", word, oracle.contains(&word)?);
     }
 

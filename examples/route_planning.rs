@@ -59,7 +59,8 @@ fn main() -> Result<(), QueryError> {
         .bind_node("y", destination)
         .linear_constraint(short.terms.clone(), short.op, short.constant)
         .build()?;
-    let answers = eval::eval_with_paths(&with_len, &g, &EvalConfig { answer_limit: 1, ..config.clone() })?;
+    let answers =
+        eval::eval_with_paths(&with_len, &g, &EvalConfig { answer_limit: 1, ..config.clone() })?;
     match answers.first() {
         Some(a) => println!(
             "\na route with ≤ 9 segments ({} segments): {}",

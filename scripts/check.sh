@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline-safe CI check: build, tests, formatting, lints.
+# Usage: scripts/check.sh  (from anywhere inside the repo)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+# --offline everywhere: the workspace has no external dependencies and the
+# build environment has no network.
+run cargo build --release --offline --workspace --all-targets
+run cargo test -q --offline --workspace
+run cargo fmt --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo
+echo "All checks passed."

@@ -1,0 +1,52 @@
+//! Smoke test: every `examples/*.rs` program builds (guaranteed by `cargo
+//! test` compiling all `[[example]]` targets) and runs to successful exit.
+//!
+//! The test executes the example binaries that cargo has already built into
+//! the target directory — no nested cargo invocation, so it stays fast and
+//! offline. When invoked in a filtered way that skips building examples
+//! (e.g. `cargo test --test examples_smoke` on a cold target dir), the test
+//! skips with a note instead of failing.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] =
+    ["quickstart", "pattern_matching", "route_planning", "semantic_web", "sequence_alignment"];
+
+/// The `examples/` directory of the active build profile.
+fn examples_dir() -> PathBuf {
+    let target = match std::env::var("CARGO_TARGET_DIR") {
+        Ok(d) => PathBuf::from(d),
+        // crates/integration/../../target
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target"),
+    };
+    let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
+    target.join(profile).join("examples")
+}
+
+#[test]
+fn every_example_runs_successfully() {
+    let dir = examples_dir();
+    let exe = std::env::consts::EXE_SUFFIX;
+    let missing: Vec<&str> =
+        EXAMPLES.iter().copied().filter(|e| !dir.join(format!("{e}{exe}")).exists()).collect();
+    if missing.len() == EXAMPLES.len() {
+        eprintln!("skipping examples smoke test: no example binaries under {dir:?} (run `cargo test` from the workspace root to build them)");
+        return;
+    }
+    assert!(missing.is_empty(), "some example binaries are missing from {dir:?}: {missing:?}");
+    for example in EXAMPLES {
+        let path = dir.join(format!("{example}{exe}"));
+        let output = Command::new(&path)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {path:?}: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` exited with {}\nstdout:\n{}\nstderr:\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(!output.stdout.is_empty(), "example `{example}` printed nothing on stdout");
+    }
+}

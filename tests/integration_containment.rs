@@ -96,11 +96,9 @@ fn equivalent_queries_have_no_counterexamples() {
 #[test]
 fn pattern_query_containments() {
     let al = Alphabet::from_labels(["a", "b"]);
-    let squares = ecrpq::expressiveness::pattern_to_ecrpq(
-        &ecrpq::expressiveness::parse_pattern("XX"),
-        &al,
-    )
-    .unwrap();
+    let squares =
+        ecrpq::expressiveness::pattern_to_ecrpq(&ecrpq::expressiveness::parse_pattern("XX"), &al)
+            .unwrap();
     // Rebuild an even-length query with the same head-variable names so the
     // head signatures line up.
     let even = Ecrpq::builder(&al)

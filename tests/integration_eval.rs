@@ -130,7 +130,7 @@ fn witness_paths_are_consistent() {
         assert!(ans.paths[0].is_valid_in(&g));
         assert!(ans.paths[1].is_valid_in(&g));
         assert_eq!(ans.paths[0].len(), ans.paths[1].len());
-        assert!(ans.paths[0].len() >= 1);
+        assert!(!ans.paths[0].is_empty());
         assert_eq!(ans.paths[0].start(), ans.nodes[0]);
         assert_eq!(ans.paths[1].end(), ans.nodes[1]);
         // the membership check agrees

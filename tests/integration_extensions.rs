@@ -75,8 +75,7 @@ fn acyclic_vs_generic_on_chains() {
     for (seed, len) in [(1u64, 2usize), (2, 3), (3, 4)] {
         let g = generators::random_graph(16, 1.8, &["a", "b"], seed);
         let al = g.alphabet().clone();
-        let mut builder =
-            Ecrpq::builder(&al).head_nodes(&["x0", &format!("x{len}")]);
+        let mut builder = Ecrpq::builder(&al).head_nodes(&["x0", &format!("x{len}")]);
         for i in 0..len {
             builder = builder
                 .atom(&format!("x{i}"), &format!("p{i}"), &format!("x{}", i + 1))
@@ -174,8 +173,7 @@ fn bounded_ecrpq_negation_on_dags() {
                 .and(Formula::lang("p1", "a b", &al).unwrap()),
         ),
     );
-    let quantified =
-        Formula::exists_node("y", Formula::exists_node("z", two_equal));
+    let quantified = Formula::exists_node("y", Formula::exists_node("z", two_equal));
     // From r: the paths a·b to v and a·b to w are label-equal but end differently.
     let asg = Assignment::empty().with_node("x", r);
     assert!(eval_formula_bounded(&quantified, &g, &al, &asg, g.num_nodes()).unwrap());
