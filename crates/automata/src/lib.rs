@@ -42,6 +42,7 @@ pub mod nfa;
 pub mod regex;
 pub mod relation;
 pub mod semilinear;
+pub mod sim;
 pub mod transducer;
 pub mod unary;
 
@@ -49,3 +50,4 @@ pub use alphabet::{Alphabet, PadSymbol, Symbol, TupleSym};
 pub use nfa::{Nfa, StateId};
 pub use regex::Regex;
 pub use relation::RegularRelation;
+pub use sim::{CompactNfa, StateSet};

@@ -94,6 +94,24 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
         }
     }
 
+    /// Normalizes the transition lists in place: sorts each state's labeled
+    /// transitions and ε-transitions and removes duplicates. Product
+    /// constructions such as [`Nfa::intersect`] can insert the same
+    /// `(symbol, target)` arc many times (once per ε-closure pair that
+    /// produced it); deduplicating keeps [`Nfa::num_transitions`] honest and
+    /// every downstream transition scan proportional to the number of
+    /// *distinct* arcs. The language is unchanged.
+    pub fn compact(&mut self) {
+        for ts in &mut self.transitions {
+            ts.sort_unstable();
+            ts.dedup();
+        }
+        for eps in &mut self.epsilon {
+            eps.sort_unstable();
+            eps.dedup();
+        }
+    }
+
     /// The initial states.
     pub fn initial(&self) -> &[StateId] {
         &self.initial
@@ -152,6 +170,45 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
         out
     }
 
+    /// ε-closures of every state, computed in one pass with a shared stamp
+    /// array (no per-call hashing). Used by the product construction.
+    fn all_epsilon_closures(&self) -> Vec<Vec<StateId>> {
+        let n = self.num_states();
+        let mut stamp: Vec<u32> = vec![u32::MAX; n];
+        let mut stack: Vec<StateId> = Vec::new();
+        let mut out = Vec::with_capacity(n);
+        for q in 0..n as StateId {
+            let mut closure = vec![q];
+            stamp[q as usize] = q;
+            stack.push(q);
+            while let Some(p) = stack.pop() {
+                for &r in self.epsilon_from(p) {
+                    if stamp[r as usize] != q {
+                        stamp[r as usize] = q;
+                        closure.push(r);
+                        stack.push(r);
+                    }
+                }
+            }
+            closure.sort_unstable();
+            out.push(closure);
+        }
+        out
+    }
+
+    /// Per-state transition lists sorted by symbol, for merge-joins in the
+    /// product construction.
+    fn sorted_transitions(&self) -> Vec<Vec<(S, StateId)>> {
+        self.transitions
+            .iter()
+            .map(|ts| {
+                let mut v = ts.clone();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
     /// One simulation step: all states reachable from `states` by reading
     /// `sym` and then taking ε-transitions.
     pub fn step(&self, states: &[StateId], sym: &S) -> Vec<StateId> {
@@ -185,9 +242,11 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
         self.shortest_word().is_none()
     }
 
-    /// Returns a shortest accepted word, if any (BFS over states).
+    /// Returns a shortest accepted word, if any (BFS over states, with a
+    /// dense backtracking table).
     pub fn shortest_word(&self) -> Option<Vec<S>> {
-        let mut back: HashMap<StateId, Back<S>> = HashMap::new();
+        let n = self.num_states();
+        let mut back: Vec<Option<Back<S>>> = (0..n).map(|_| None).collect();
         let mut queue: VecDeque<StateId> = VecDeque::new();
         let start = self.epsilon_closure(&self.initial);
         for &q in &start {
@@ -196,50 +255,41 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
             }
         }
         for &q in &start {
-            back.insert(q, Back { prev: q, sym: None });
+            back[q as usize] = Some(Back { prev: q, sym: None });
             queue.push_back(q);
         }
         while let Some(q) = queue.pop_front() {
-            let push = |nfa: &Nfa<S>,
-                        to: StateId,
-                        sym: Option<S>,
-                        from: StateId,
-                        back: &mut HashMap<StateId, Back<S>>,
-                        queue: &mut VecDeque<StateId>|
-             -> Option<StateId> {
-                if let std::collections::hash_map::Entry::Vacant(e) = back.entry(to) {
-                    e.insert(Back { prev: from, sym });
-                    if nfa.is_accepting(to) {
-                        return Some(to);
-                    }
-                    queue.push_back(to);
-                }
-                None
-            };
             // ε first so words stay shortest: ε does not add a symbol, so a
             // plain BFS over the graph with ε edges of weight 0 would need a
             // 0/1 BFS; we instead expand ε-closures eagerly when stepping.
             for (s, to) in self.transitions_from(q).iter() {
-                let closure = self.epsilon_closure(&[*to]);
-                for r in closure {
-                    if let Some(acc) = push(self, r, Some(s.clone()), q, &mut back, &mut queue) {
-                        return Some(Self::reconstruct(&back, acc));
+                for r in self.epsilon_closure(&[*to]) {
+                    if back[r as usize].is_none() {
+                        back[r as usize] = Some(Back { prev: q, sym: Some(s.clone()) });
+                        if self.is_accepting(r) {
+                            return Some(Self::reconstruct(&back, r));
+                        }
+                        queue.push_back(r);
                     }
                 }
             }
             for &to in self.epsilon_from(q) {
-                if let Some(acc) = push(self, to, None, q, &mut back, &mut queue) {
-                    return Some(Self::reconstruct(&back, acc));
+                if back[to as usize].is_none() {
+                    back[to as usize] = Some(Back { prev: q, sym: None });
+                    if self.is_accepting(to) {
+                        return Some(Self::reconstruct(&back, to));
+                    }
+                    queue.push_back(to);
                 }
             }
         }
         None
     }
 
-    fn reconstruct(back: &HashMap<StateId, Back<S>>, mut q: StateId) -> Vec<S> {
+    fn reconstruct(back: &[Option<Back<S>>], mut q: StateId) -> Vec<S> {
         let mut word = Vec::new();
         loop {
-            let b = &back[&q];
+            let b = back[q as usize].as_ref().expect("backtracking chain is complete");
             if let Some(s) = &b.sym {
                 word.push(s.clone());
             }
@@ -293,22 +343,24 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
         out
     }
 
-    /// States reachable from the initial states (following both labeled and
-    /// ε-transitions).
-    pub fn reachable_states(&self) -> HashSet<StateId> {
-        let mut seen: HashSet<StateId> = HashSet::new();
+    /// Dense forward-reachability flags (labeled and ε-transitions).
+    fn reachable_flags(&self) -> Vec<bool> {
+        let n = self.num_states();
+        let mut seen = vec![false; n];
         let mut stack: Vec<StateId> = self.initial.clone();
         for &q in &self.initial {
-            seen.insert(q);
+            seen[q as usize] = true;
         }
         while let Some(q) = stack.pop() {
             for (_, to) in self.transitions_from(q) {
-                if seen.insert(*to) {
+                if !seen[*to as usize] {
+                    seen[*to as usize] = true;
                     stack.push(*to);
                 }
             }
             for &to in self.epsilon_from(q) {
-                if seen.insert(to) {
+                if !seen[to as usize] {
+                    seen[to as usize] = true;
                     stack.push(to);
                 }
             }
@@ -316,8 +368,8 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
         seen
     }
 
-    /// States from which an accepting state is reachable.
-    pub fn coreachable_states(&self) -> HashSet<StateId> {
+    /// Dense backward-reachability flags (states that reach acceptance).
+    fn coreachable_flags(&self) -> Vec<bool> {
         // Build reverse adjacency once.
         let n = self.num_states();
         let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
@@ -329,17 +381,18 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
                 rev[to as usize].push(q as StateId);
             }
         }
-        let mut seen: HashSet<StateId> = HashSet::new();
+        let mut seen = vec![false; n];
         let mut stack: Vec<StateId> = Vec::new();
         for q in 0..n as StateId {
             if self.is_accepting(q) {
-                seen.insert(q);
+                seen[q as usize] = true;
                 stack.push(q);
             }
         }
         while let Some(q) = stack.pop() {
             for &p in &rev[q as usize] {
-                if seen.insert(p) {
+                if !seen[p as usize] {
+                    seen[p as usize] = true;
                     stack.push(p);
                 }
             }
@@ -347,37 +400,61 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
         seen
     }
 
+    /// States reachable from the initial states (following both labeled and
+    /// ε-transitions).
+    pub fn reachable_states(&self) -> HashSet<StateId> {
+        self.reachable_flags()
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r)
+            .map(|(q, _)| q as StateId)
+            .collect()
+    }
+
+    /// States from which an accepting state is reachable.
+    pub fn coreachable_states(&self) -> HashSet<StateId> {
+        self.coreachable_flags()
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r)
+            .map(|(q, _)| q as StateId)
+            .collect()
+    }
+
     /// Removes states that are unreachable or cannot reach an accepting
     /// state, renumbering the rest. The language is unchanged.
     pub fn trim(&self) -> Nfa<S> {
-        let reach = self.reachable_states();
-        let coreach = self.coreachable_states();
-        let keep: Vec<StateId> = (0..self.num_states() as StateId)
-            .filter(|q| reach.contains(q) && coreach.contains(q))
-            .collect();
-        let mut map: HashMap<StateId, StateId> = HashMap::new();
+        let n = self.num_states();
+        let reach = self.reachable_flags();
+        let coreach = self.coreachable_flags();
+        let mut map: Vec<StateId> = vec![StateId::MAX; n];
         let mut out = Nfa::new();
-        for &q in &keep {
-            let nq = out.add_state();
-            map.insert(q, nq);
-            out.set_accepting(nq, self.is_accepting(q));
+        for q in 0..n {
+            if reach[q] && coreach[q] {
+                let nq = out.add_state();
+                map[q] = nq;
+                out.set_accepting(nq, self.is_accepting(q as StateId));
+            }
         }
-        for &q in &keep {
-            let nq = map[&q];
-            for (s, to) in self.transitions_from(q) {
-                if let Some(&nto) = map.get(to) {
-                    out.add_transition(nq, s.clone(), nto);
+        for q in 0..n {
+            let nq = map[q];
+            if nq == StateId::MAX {
+                continue;
+            }
+            for (s, to) in self.transitions_from(q as StateId) {
+                if map[*to as usize] != StateId::MAX {
+                    out.add_transition(nq, s.clone(), map[*to as usize]);
                 }
             }
-            for &to in self.epsilon_from(q) {
-                if let Some(&nto) = map.get(&to) {
-                    out.add_epsilon(nq, nto);
+            for &to in self.epsilon_from(q as StateId) {
+                if map[to as usize] != StateId::MAX {
+                    out.add_epsilon(nq, map[to as usize]);
                 }
             }
         }
         for &q in &self.initial {
-            if let Some(&nq) = map.get(&q) {
-                out.add_initial(nq);
+            if map[q as usize] != StateId::MAX {
+                out.add_initial(map[q as usize]);
             }
         }
         out
@@ -499,46 +576,114 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
     }
 
     /// Product (language intersection) of two NFAs over the same symbol type.
-    /// Built lazily over reachable state pairs.
+    /// Built lazily over reachable state pairs: ε-closures are precomputed
+    /// once per operand, transitions are matched by a merge-join over
+    /// symbol-sorted lists, and state pairs are interned through a dense
+    /// index table whenever the product space fits (hashing only as the
+    /// fallback for very large operands).
     pub fn intersect(&self, other: &Nfa<S>) -> Nfa<S> {
         let mut out: Nfa<S> = Nfa::new();
-        let mut map: HashMap<(StateId, StateId), StateId> = HashMap::new();
+        let na = self.num_states();
+        let nb = other.num_states();
+        if na == 0 || nb == 0 {
+            return out;
+        }
+        let ca = self.all_epsilon_closures();
+        let cb = other.all_epsilon_closures();
+        let ta = self.sorted_transitions();
+        let tb = other.sorted_transitions();
+
+        // Pair interner: dense table below ~4M pairs, hash map above.
+        let use_dense = na.saturating_mul(nb) <= (1 << 22);
+        let mut dense: Vec<StateId> =
+            if use_dense { vec![StateId::MAX; na * nb] } else { Vec::new() };
+        let mut sparse: HashMap<(StateId, StateId), StateId> = HashMap::new();
         let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
+
+        #[allow(clippy::too_many_arguments)]
+        fn pair_id<S: Clone + Eq + Hash + Ord>(
+            a: StateId,
+            b: StateId,
+            nb: usize,
+            dense: &mut [StateId],
+            sparse: &mut HashMap<(StateId, StateId), StateId>,
+            out: &mut Nfa<S>,
+            queue: &mut VecDeque<(StateId, StateId)>,
+            accepting: bool,
+        ) -> StateId {
+            let existing = if dense.is_empty() {
+                sparse.get(&(a, b)).copied()
+            } else {
+                let slot = dense[a as usize * nb + b as usize];
+                (slot != StateId::MAX).then_some(slot)
+            };
+            if let Some(id) = existing {
+                return id;
+            }
+            let id = out.add_state();
+            out.set_accepting(id, accepting);
+            if dense.is_empty() {
+                sparse.insert((a, b), id);
+            } else {
+                dense[a as usize * nb + b as usize] = id;
+            }
+            queue.push_back((a, b));
+            id
+        }
 
         let left_init = self.epsilon_closure(&self.initial);
         let right_init = other.epsilon_closure(&other.initial);
         for &a in &left_init {
             for &b in &right_init {
-                let q = *map.entry((a, b)).or_insert_with(|| out.add_state());
+                let acc = self.is_accepting(a) && other.is_accepting(b);
+                let q = pair_id(a, b, nb, &mut dense, &mut sparse, &mut out, &mut queue, acc);
                 out.add_initial(q);
-                out.set_accepting(q, self.is_accepting(a) && other.is_accepting(b));
-                queue.push_back((a, b));
             }
         }
-        let mut seen: HashSet<(StateId, StateId)> = map.keys().copied().collect();
         while let Some((a, b)) = queue.pop_front() {
-            let from = map[&(a, b)];
-            for (s, ta) in self.transitions_from(a) {
-                for (s2, tb) in other.transitions_from(b) {
-                    if s == s2 {
-                        // Move through ε-closures on both sides.
-                        for ca in self.epsilon_closure(&[*ta]) {
-                            for cb in other.epsilon_closure(&[*tb]) {
-                                let to = *map.entry((ca, cb)).or_insert_with(|| out.add_state());
-                                out.set_accepting(
-                                    to,
-                                    self.is_accepting(ca) && other.is_accepting(cb),
-                                );
-                                out.add_transition(from, s.clone(), to);
-                                if seen.insert((ca, cb)) {
-                                    queue.push_back((ca, cb));
+            let from =
+                if use_dense { dense[a as usize * nb + b as usize] } else { sparse[&(a, b)] };
+            // Merge-join the symbol-sorted transition lists.
+            let (la, lb) = (&ta[a as usize], &tb[b as usize]);
+            let (mut i, mut j) = (0, 0);
+            while i < la.len() && j < lb.len() {
+                match la[i].0.cmp(&lb[j].0) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let sym = &la[i].0;
+                        let i2 = la[i..].iter().take_while(|(s, _)| s == sym).count() + i;
+                        let j2 = lb[j..].iter().take_while(|(s, _)| s == sym).count() + j;
+                        for (_, x) in &la[i..i2] {
+                            for (_, y) in &lb[j..j2] {
+                                // Move through ε-closures on both sides.
+                                for &cx in &ca[*x as usize] {
+                                    for &cy in &cb[*y as usize] {
+                                        let acc = self.is_accepting(cx) && other.is_accepting(cy);
+                                        let to = pair_id(
+                                            cx,
+                                            cy,
+                                            nb,
+                                            &mut dense,
+                                            &mut sparse,
+                                            &mut out,
+                                            &mut queue,
+                                            acc,
+                                        );
+                                        out.add_transition(from, sym.clone(), to);
+                                    }
                                 }
                             }
                         }
+                        i = i2;
+                        j = j2;
                     }
                 }
             }
         }
+        // The ε-closure double loop above inserts one arc per closure pair,
+        // so the same (symbol, target) arc can appear many times.
+        out.compact();
         out
     }
 }
@@ -673,6 +818,36 @@ mod tests {
         let m = n.map_symbols(|&s| if s == 0 { Some(7u32) } else { None });
         assert!(m.accepts(&[7, 7]));
         assert!(!m.accepts(&[7]));
+    }
+
+    #[test]
+    fn compact_dedups_transitions() {
+        let mut n: Nfa<u32> = Nfa::new();
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        n.add_initial(q0);
+        n.set_accepting(q1, true);
+        for _ in 0..5 {
+            n.add_transition(q0, 0, q1);
+            n.add_epsilon(q0, q1);
+        }
+        assert_eq!(n.num_transitions(), 5);
+        n.compact();
+        assert_eq!(n.num_transitions(), 1);
+        assert_eq!(n.epsilon_from(q0).len(), 1);
+        assert!(n.accepts(&[0]) && n.accepts(&[]));
+    }
+
+    #[test]
+    fn intersect_output_has_no_duplicate_arcs() {
+        // aa over a 2-symbol alphabet, intersected with itself after star —
+        // the ε-closure pairs in the product would otherwise duplicate arcs.
+        let a = word_nfa(&[0]).star();
+        let product = a.intersect(&a);
+        let mut seen = std::collections::HashSet::new();
+        for (q, s, to) in product.all_transitions() {
+            assert!(seen.insert((q, *s, to)), "duplicate arc ({q}, {s:?}, {to})");
+        }
     }
 
     #[test]

@@ -14,21 +14,41 @@ use crate::alphabet::{convolution, product_alphabet, Alphabet, Symbol, TupleSym}
 use crate::dfa::complement_nfa;
 use crate::nfa::{Nfa, StateId};
 use crate::regex::{Regex, RegexError};
+use std::sync::{Arc, OnceLock};
 
 /// An n-ary regular relation over Σ, represented by a synchronous automaton
 /// over `(Σ⊥)^n`.
+///
+/// The automaton is reference-counted so that compiling the same query (or
+/// the same relation into several queries) shares one copy instead of
+/// deep-cloning a transition list whose every label owns a heap-allocated
+/// tuple. Per-tape projections are memoized for the same reason: the query
+/// compiler projects each relation once per evaluation. `Arc`/`OnceLock`
+/// keep the type `Send`/`Sync`, so relations and queries can be built on
+/// one thread and evaluated on another.
 #[derive(Clone, Debug)]
 pub struct RegularRelation {
     arity: usize,
-    nfa: Nfa<TupleSym>,
+    nfa: Arc<Nfa<TupleSym>>,
     /// Optional human-readable name (used when pretty-printing queries).
     name: Option<String>,
+    /// Memoized per-tape projections (index = tape), shared across clones.
+    projections: Arc<Vec<OnceLock<Arc<Nfa<Symbol>>>>>,
 }
 
 impl RegularRelation {
+    fn new(arity: usize, nfa: Nfa<TupleSym>, name: Option<String>) -> Self {
+        RegularRelation {
+            arity,
+            nfa: Arc::new(nfa),
+            name,
+            projections: Arc::new((0..arity).map(|_| OnceLock::new()).collect()),
+        }
+    }
+
     /// Wraps an existing automaton over `(Σ⊥)^arity`.
     pub fn from_nfa(arity: usize, nfa: Nfa<TupleSym>) -> Self {
-        RegularRelation { arity, nfa, name: None }
+        RegularRelation::new(arity, nfa, None)
     }
 
     /// Compiles a regular expression over tuple atoms (see
@@ -36,14 +56,14 @@ impl RegularRelation {
     pub fn from_regex(expr: &str, alphabet: &Alphabet, arity: usize) -> Result<Self, RegexError> {
         let regex = Regex::parse(expr)?;
         let nfa = regex.compile_relation(alphabet, arity)?;
-        Ok(RegularRelation { arity, nfa, name: Some(expr.to_string()) })
+        Ok(RegularRelation::new(arity, nfa, Some(expr.to_string())))
     }
 
     /// Lifts a regular language over Σ into an arity-1 regular relation (a
     /// CRPQ language atom).
     pub fn from_language(nfa: &Nfa<Symbol>) -> Self {
         let lifted = nfa.map_symbols(|&s| Some(TupleSym::new(vec![Some(s)])));
-        RegularRelation { arity: 1, nfa: lifted, name: None }
+        RegularRelation::new(1, lifted, None)
     }
 
     /// Attaches a human-readable name.
@@ -67,6 +87,12 @@ impl RegularRelation {
         &self.nfa
     }
 
+    /// The underlying synchronous automaton as a shared handle (O(1), no
+    /// transition cloning). This is what the query compiler stores.
+    pub fn nfa_shared(&self) -> Arc<Nfa<TupleSym>> {
+        Arc::clone(&self.nfa)
+    }
+
     /// Number of automaton states (used in complexity reporting).
     pub fn num_states(&self) -> usize {
         self.nfa.num_states()
@@ -81,9 +107,12 @@ impl RegularRelation {
 
     /// Projects the relation onto tape `i`: the regular language
     /// `{ s_i | (s_1,…,s_n) ∈ S }`. Padding symbols become ε-transitions.
-    pub fn project(&self, tape: usize) -> Nfa<Symbol> {
+    /// The result is memoized, so repeated query compilations share it.
+    pub fn project(&self, tape: usize) -> Arc<Nfa<Symbol>> {
         assert!(tape < self.arity);
-        self.nfa.map_symbols(|t| t.get(tape))
+        let cached =
+            self.projections[tape].get_or_init(|| Arc::new(self.nfa.map_symbols(|t| t.get(tape))));
+        Arc::clone(cached)
     }
 
     /// Projects the relation onto a subset of its tapes (in the given order),
@@ -101,19 +130,19 @@ impl RegularRelation {
                 Some(restricted)
             }
         });
-        RegularRelation { arity: tapes.len(), nfa, name: None }
+        RegularRelation::new(tapes.len(), nfa, None)
     }
 
     /// Intersection with another relation of the same arity.
     pub fn intersect(&self, other: &RegularRelation) -> RegularRelation {
         assert_eq!(self.arity, other.arity, "arity mismatch in intersection");
-        RegularRelation { arity: self.arity, nfa: self.nfa.intersect(&other.nfa), name: None }
+        RegularRelation::new(self.arity, self.nfa.intersect(&other.nfa), None)
     }
 
     /// Union with another relation of the same arity.
     pub fn union(&self, other: &RegularRelation) -> RegularRelation {
         assert_eq!(self.arity, other.arity, "arity mismatch in union");
-        RegularRelation { arity: self.arity, nfa: self.nfa.union(&other.nfa), name: None }
+        RegularRelation::new(self.arity, self.nfa.union(&other.nfa), None)
     }
 
     /// Complement relative to the set of *valid convolutions* over the given
@@ -122,7 +151,7 @@ impl RegularRelation {
         let letters = product_alphabet(alphabet, self.arity);
         let comp = complement_nfa(&self.nfa, &letters);
         let universe = valid_convolutions(alphabet, self.arity);
-        RegularRelation { arity: self.arity, nfa: comp.intersect(&universe), name: None }
+        RegularRelation::new(self.arity, comp.intersect(&universe), None)
     }
 
     /// Normalizes the relation so that its automaton only accepts valid
@@ -131,11 +160,7 @@ impl RegularRelation {
     /// user-supplied relation regexes by the query validator.
     pub fn normalize_padding(&self, alphabet: &Alphabet) -> RegularRelation {
         let universe = valid_convolutions(alphabet, self.arity);
-        RegularRelation {
-            arity: self.arity,
-            nfa: self.nfa.intersect(&universe).trim(),
-            name: self.name.clone(),
-        }
+        RegularRelation::new(self.arity, self.nfa.intersect(&universe).trim(), self.name.clone())
     }
 
     /// True if the relation is empty.

@@ -6,130 +6,351 @@
 //! experiment's measurements as `BENCH_<experiment>.json` in the current
 //! directory so the perf-trajectory pipeline can consume them.
 //!
-//! Run with `cargo run --release -p ecrpq-bench --bin harness [-- quick]`.
-//! The `quick` argument shrinks every sweep so the harness finishes in a few
-//! seconds (used by CI-style smoke runs).
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ecrpq-bench --bin harness [-- MODE] [OPTIONS]
+//!
+//! MODE:
+//!   full      the full sweeps (default)
+//!   quick     shrunk sweeps, finishes in a few seconds (CI-style runs)
+//!   smoke     only the smallest size point of each experiment family
+//!
+//! OPTIONS:
+//!   --baseline <path>   additionally write all experiments as one combined
+//!                       baseline JSON document to <path>
+//!   --compare <path>    diff the fresh medians against a previously written
+//!                       baseline document and exit nonzero if any point
+//!                       regressed past the threshold
+//!   --threshold <x>     regression threshold for --compare (default 1.3)
+//! ```
 
 use ecrpq_bench::{json, print_table, workloads, Measurement};
 
-/// Prints one experiment's table and writes its `BENCH_<id>.json` file.
-fn report(id: &str, title: &str, mode: &str, measurements: &[Measurement], exponential: bool) {
-    print_table(title, measurements, exponential);
-    let path = format!("BENCH_{id}.json");
-    let doc = json::experiment(id, mode, measurements);
-    match std::fs::write(&path, &doc) {
-        Ok(()) => println!("   wrote {path}"),
-        Err(e) => eprintln!("   failed to write {path}: {e}"),
+/// Parsed command line.
+struct Args {
+    mode: Mode,
+    baseline_out: Option<String>,
+    compare: Option<String>,
+    threshold: f64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Full,
+    Quick,
+    Smoke,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Full => "full",
+            Mode::Quick => "quick",
+            Mode::Smoke => "smoke",
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { mode: Mode::Full, baseline_out: None, compare: None, threshold: 1.3 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "full" => args.mode = Mode::Full,
+            "quick" => args.mode = Mode::Quick,
+            "smoke" => args.mode = Mode::Smoke,
+            "--baseline" => args.baseline_out = Some(flag_value(&mut it, "--baseline")),
+            "--compare" => args.compare = Some(flag_value(&mut it, "--compare")),
+            "--threshold" => {
+                args.threshold = flag_value(&mut it, "--threshold")
+                    .parse()
+                    .unwrap_or_else(|_| die("--threshold expects a number"));
+            }
+            other => die(&format!("unknown argument `{other}` (see the doc comment)")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("harness: {msg}");
+    std::process::exit(2);
+}
+
+/// The value of a flag that requires one; dies if it is missing or looks
+/// like another flag (so `--baseline --compare x.json` cannot silently
+/// swallow `--compare` as a path and skip the regression gate).
+fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    match it.next() {
+        Some(v) if !v.starts_with("--") => v,
+        _ => die(&format!("{flag} expects a value")),
+    }
+}
+
+/// Collected output of the experiment families run so far.
+struct Report {
+    docs: Vec<String>,
+    current: Vec<json::ParsedExperiment>,
+    mode: &'static str,
+}
+
+impl Report {
+    /// Prints one experiment's table and writes its `BENCH_<id>.json` file.
+    fn report(&mut self, id: &str, title: &str, measurements: &[Measurement], exponential: bool) {
+        print_table(title, measurements, exponential);
+        let path = format!("BENCH_{id}.json");
+        let doc = json::experiment(id, self.mode, measurements);
+        match std::fs::write(&path, &doc) {
+            Ok(()) => println!("   wrote {path}"),
+            Err(e) => eprintln!("   failed to write {path}: {e}"),
+        }
+        self.current.push(json::ParsedExperiment {
+            id: id.to_string(),
+            points: measurements.iter().map(|m| (m.series.clone(), m.param, m.seconds)).collect(),
+        });
+        self.docs.push(doc);
     }
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "quick");
-    let mode = if quick { "quick" } else { "full" };
+    let args = parse_args();
+    let mode = args.mode;
     println!("ECRPQ reproduction harness — regenerating the Figure 1 experiments");
-    println!("(mode: {mode})");
+    println!("(mode: {})", mode.name());
+    let mut rep = Report { docs: Vec::new(), current: Vec::new(), mode: mode.name() };
 
     // F1a-D1 / F1a-D2: data complexity.
-    let sizes: &[usize] = if quick { &[50, 100, 200] } else { &[100, 200, 400, 800, 1600] };
+    let sizes: &[usize] = match mode {
+        Mode::Full => &[100, 200, 400, 800, 1600],
+        Mode::Quick => &[50, 100, 200],
+        Mode::Smoke => &[50],
+    };
     let m = workloads::fig1a_data(sizes);
-    report(
+    rep.report(
         "fig1a_data",
         "Fig 1(a) data complexity: fixed query, growing graph (CRPQ vs ECRPQ vs Q_len)",
-        mode,
         &m,
         false,
     );
 
     // F1a-C1: combined complexity.
-    let (crpq_m, ecrpq_m) = if quick { (5, 3) } else { (7, 5) };
+    let (crpq_m, ecrpq_m) = match mode {
+        Mode::Full => (7, 5),
+        Mode::Quick => (5, 3),
+        Mode::Smoke => (2, 2),
+    };
     let m = workloads::fig1a_combined(crpq_m, ecrpq_m);
-    report(
+    rep.report(
         "fig1a_combined",
         "Fig 1(a) combined complexity: growing query on the REI gadget graph (CRPQ NP vs ECRPQ PSPACE)",
-        mode,
         &m,
         true,
     );
 
     // F1a-C2: acyclicity restriction.
-    let m = workloads::fig1a_acyclic(6, if quick { 4 } else { 5 });
-    report(
+    let acyclic_max = match mode {
+        Mode::Full => 5,
+        Mode::Quick => 4,
+        Mode::Smoke => 2,
+    };
+    let m = workloads::fig1a_acyclic(6, acyclic_max);
+    rep.report(
         "fig1a_acyclic",
         "Fig 1(a) acyclic restriction: acyclic CRPQ (PTIME) vs acyclic ECRPQ (PSPACE-hard)",
-        mode,
         &m,
         true,
     );
 
     // F1a-C3: the length abstraction Q_len.
-    let (full_m, qlen_m) = if quick { (3, 5) } else { (5, 7) };
+    let (full_m, qlen_m) = match mode {
+        Mode::Full => (5, 7),
+        Mode::Quick => (3, 5),
+        Mode::Smoke => (1, 1),
+    };
     let m = workloads::fig1a_qlen(full_m, qlen_m);
-    report(
+    rep.report(
         "fig1a_qlen",
         "Fig 1(a) Q_len: full ECRPQ evaluation vs the length abstraction (NP, matches CQs)",
-        mode,
         &m,
         true,
     );
 
     // F1b-R1: repetition of path variables.
-    let m = workloads::fig1b_repetition(if quick { 4 } else { 6 });
-    report(
+    let rep_max = match mode {
+        Mode::Full => 6,
+        Mode::Quick => 4,
+        Mode::Smoke => 1,
+    };
+    let m = workloads::fig1b_repetition(rep_max);
+    rep.report(
         "fig1b_repetition",
         "Fig 1(b) repetition: CRPQ with a repeated path variable (PSPACE-hard) vs repetition-free",
-        mode,
         &m,
         true,
     );
 
     // F1b-N1: negation.
-    let sizes: &[usize] = if quick { &[10, 20, 40] } else { &[20, 40, 80, 160] };
-    let m = workloads::fig1b_negation(sizes, 2);
-    report(
+    let (sizes, depth): (&[usize], usize) = match mode {
+        Mode::Full => (&[20, 40, 80, 160], 2),
+        Mode::Quick => (&[10, 20, 40], 2),
+        Mode::Smoke => (&[10], 1),
+    };
+    let m = workloads::fig1b_negation(sizes, depth);
+    rep.report(
         "fig1b_negation",
         "Fig 1(b) negation: CRPQ¬ data complexity (growing graph) and quantifier depth",
-        mode,
         &m,
         false,
     );
 
     // F1b-L1: linear constraints.
-    let sizes: &[usize] = if quick { &[4, 6] } else { &[4, 6, 8, 10] };
-    let m = workloads::fig1b_linear(sizes, 4);
-    report(
+    let (sizes, rows): (&[usize], usize) = match mode {
+        Mode::Full => (&[4, 6, 8, 10], 4),
+        Mode::Quick => (&[4, 6], 4),
+        Mode::Smoke => (&[4], 1),
+    };
+    let m = workloads::fig1b_linear(sizes, rows);
+    rep.report(
         "fig1b_linear",
         "Fig 1(b) linear constraints: itinerary queries, growing network and growing constraint rows",
-        mode,
         &m,
         false,
     );
 
     // APP-1: ρ-isomorphism associations.
-    let sizes: &[usize] = if quick { &[10, 20] } else { &[10, 20, 30, 40] };
+    let sizes: &[usize] = match mode {
+        Mode::Full => &[10, 20, 30, 40],
+        Mode::Quick => &[10, 20],
+        Mode::Smoke => &[10],
+    };
     let m = workloads::app_rho_iso(sizes);
-    report("app_rho_iso", "APP-1 semantic-web associations (ρ-isomorphism)", mode, &m, false);
+    rep.report("app_rho_iso", "APP-1 semantic-web associations (ρ-isomorphism)", &m, false);
 
     // APP-3: sequence alignment.
-    let m = workloads::app_alignment(if quick { 8 } else { 12 }, 3);
-    report(
+    let (read_len, max_k) = match mode {
+        Mode::Full => (12, 3),
+        Mode::Quick => (8, 3),
+        Mode::Smoke => (8, 1),
+    };
+    let m = workloads::app_alignment(read_len, max_k);
+    rep.report(
         "app_alignment",
         "APP-3 sequence alignment: edit-distance relation D≤k for growing k",
-        mode,
         &m,
         true,
     );
 
     // APP-2: pattern matching.
-    let sizes: &[usize] = if quick { &[3, 5] } else { &[4, 8, 12] };
+    let sizes: &[usize] = match mode {
+        Mode::Full => &[4, 8, 12],
+        Mode::Quick => &[3, 5],
+        Mode::Smoke => &[3],
+    };
     let m = workloads::app_pattern(sizes);
-    report(
+    rep.report(
         "app_pattern",
         "APP-2 pattern matching: squares (pattern XX) over growing string graphs",
-        mode,
         &m,
         false,
     );
 
+    if let Some(path) = &args.baseline_out {
+        let doc = json::baseline_document(mode.name(), &rep.docs);
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("\nwrote combined baseline {path}"),
+            Err(e) => die(&format!("failed to write baseline {path}: {e}")),
+        }
+    }
+
+    let mut regressed = false;
+    if let Some(path) = &args.compare {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read baseline {path}: {e}")));
+        let baseline = json::parse_baseline(&text)
+            .unwrap_or_else(|e| die(&format!("cannot parse baseline {path}: {e}")));
+        regressed = compare(&rep.current, &baseline, args.threshold);
+    }
+
     println!("\nDone. Absolute timings are machine-specific; EXPERIMENTS.md records the");
     println!("qualitative comparison against the paper's complexity claims.");
+    if regressed {
+        eprintln!("harness: regression gate FAILED");
+        std::process::exit(1);
+    }
+}
+
+/// Sub-millisecond points are scheduler noise at this sampling resolution;
+/// a point gates only when both its baseline and current medians exceed the
+/// floor (a sub-millisecond baseline can triple on a loaded machine without
+/// meaning anything).
+const NOISE_FLOOR_SECONDS: f64 = 1e-3;
+
+/// Diffs the fresh measurements against a baseline, printing one line per
+/// shared `(experiment, series, param)` point and a per-family median ratio.
+/// Returns `true` if any point above the noise floor regressed past
+/// `threshold`.
+fn compare(
+    current: &[json::ParsedExperiment],
+    baseline: &[json::ParsedExperiment],
+    threshold: f64,
+) -> bool {
+    let mut regressed = false;
+    println!("\n== comparison against baseline (regression threshold {threshold:.2}x) ==");
+    println!(
+        "{:<16} {:<26} {:>8} {:>13} {:>13} {:>9}",
+        "experiment", "series", "param", "baseline s", "current s", "ratio"
+    );
+    for cur in current {
+        let Some(base) = baseline.iter().find(|b| b.id == cur.id) else {
+            println!("{:<16} (no baseline data; skipped)", cur.id);
+            continue;
+        };
+        let mut ratios: Vec<f64> = Vec::new();
+        let (mut total_base, mut total_cur) = (0.0, 0.0);
+        for (series, param, secs) in &cur.points {
+            let Some((_, _, bsecs)) =
+                base.points.iter().find(|(s, p, _)| s == series && *p == *param)
+            else {
+                continue;
+            };
+            if !bsecs.is_finite() || *bsecs <= 0.0 {
+                continue;
+            }
+            let ratio = secs / bsecs;
+            ratios.push(ratio);
+            total_base += bsecs;
+            total_cur += secs;
+            let flag =
+                if ratio > threshold && *secs > NOISE_FLOOR_SECONDS && *bsecs > NOISE_FLOOR_SECONDS
+                {
+                    regressed = true;
+                    "  REGRESSION"
+                } else {
+                    ""
+                };
+            println!(
+                "{:<16} {:<26} {:>8} {:>13.6} {:>13.6} {:>8.2}x{}",
+                cur.id, series, param, bsecs, secs, ratio, flag
+            );
+        }
+        if !ratios.is_empty() {
+            let med = ecrpq_bench::microbench::median(&ratios);
+            println!(
+                "   {}: median ratio {:.3}x (median speedup {:.2}x over {} shared points); \
+                 total {:.4}s -> {:.4}s (time-weighted speedup {:.2}x)",
+                cur.id,
+                med,
+                1.0 / med,
+                ratios.len(),
+                total_base,
+                total_cur,
+                if total_cur > 0.0 { total_base / total_cur } else { f64::NAN },
+            );
+        }
+    }
+    regressed
 }

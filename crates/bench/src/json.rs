@@ -67,6 +67,285 @@ pub fn experiment(id: &str, mode: &str, measurements: &[Measurement]) -> String 
     out
 }
 
+// ---------------------------------------------------------------------------
+// Parsing (for the `--compare` regression gate)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. The parser covers the documents this module itself
+/// emits (and general JSON built from them); the one known gap is `\u`
+/// surrogate-pair escapes, which decode as two replacement characters — the
+/// harness never emits them, so baseline files round-trip exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null` (also produced for non-finite floats by [`number`]).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object as ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document. Returns a descriptive error on malformed input.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>().map(Value::Num).map_err(|_| format!("bad number `{s}`"))
+        }
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // copy a full UTF-8 scalar
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b
+                    .get(*pos..*pos + len)
+                    .ok_or_else(|| "truncated UTF-8 sequence".to_string())?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *pos += len;
+            }
+        }
+    }
+}
+
+/// One experiment family parsed back from a `BENCH_*.json` document or a
+/// combined baseline file.
+#[derive(Clone, Debug)]
+pub struct ParsedExperiment {
+    /// The experiment id (e.g. `fig1a_combined`).
+    pub id: String,
+    /// `(series, param) → seconds`.
+    pub points: Vec<(String, u64, f64)>,
+}
+
+fn parse_one_experiment(v: &Value) -> Result<ParsedExperiment, String> {
+    let id = v
+        .get("experiment")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing `experiment` field".to_string())?
+        .to_string();
+    let mut points = Vec::new();
+    for m in v.get("measurements").and_then(Value::as_arr).unwrap_or(&[]) {
+        let series = m
+            .get("series")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "missing `series`".to_string())?;
+        let param = m.get("param").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        let seconds = m.get("seconds").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        points.push((series.to_string(), param, seconds));
+    }
+    Ok(ParsedExperiment { id, points })
+}
+
+/// Parses a baseline document: either one experiment document or a combined
+/// `{"experiments": [...]}` baseline as written by `scripts/bench_baseline.sh`.
+pub fn parse_baseline(text: &str) -> Result<Vec<ParsedExperiment>, String> {
+    let v = parse(text)?;
+    match v.get("experiments") {
+        Some(Value::Arr(items)) => items.iter().map(parse_one_experiment).collect(),
+        _ => Ok(vec![parse_one_experiment(&v)?]),
+    }
+}
+
+/// Serializes a combined baseline document from per-experiment documents.
+pub fn baseline_document(mode: &str, experiments: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ecrpq-bench-baseline-v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", escape(mode)));
+    out.push_str("  \"experiments\": [\n");
+    for (i, doc) in experiments.iter().enumerate() {
+        // re-indent each experiment document by two spaces
+        for line in doc.trim_end().lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        if i + 1 < experiments.len() {
+            out.truncate(out.trim_end().len());
+            out.push_str(",\n");
+        }
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +386,43 @@ mod tests {
     fn empty_measurement_list_is_valid() {
         let doc = experiment("empty", "full", &[]);
         assert!(doc.contains("\"measurements\": [\n  ]"));
+    }
+
+    #[test]
+    fn parse_round_trips_experiment_documents() {
+        let doc = experiment(
+            "fig1a_data",
+            "full",
+            &[m("crpq", 100, 0.25, "answer=true"), m("ecrpq", 200, 0.5, "x \"quoted\"")],
+        );
+        let parsed = parse_baseline(&doc).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].id, "fig1a_data");
+        assert_eq!(parsed[0].points.len(), 2);
+        assert_eq!(parsed[0].points[0], ("crpq".to_string(), 100, 0.25));
+        assert_eq!(parsed[0].points[1].2, 0.5);
+    }
+
+    #[test]
+    fn parse_handles_general_json() {
+        let v = parse(r#"{"a": [1, 2.5, null, true, "s\n"], "b": {"c": -3e2}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_f64(), Some(-300.0));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[4].as_str(), Some("s\n"));
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn baseline_document_round_trips() {
+        let e1 = experiment("one", "quick", &[m("s", 1, 0.1, "")]);
+        let e2 = experiment("two", "quick", &[m("t", 2, 0.2, "")]);
+        let combined = baseline_document("quick", &[e1, e2]);
+        let parsed = parse_baseline(&combined).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].id, "one");
+        assert_eq!(parsed[1].id, "two");
+        assert_eq!(parsed[1].points[0], ("t".to_string(), 2, 0.2));
     }
 }

@@ -34,11 +34,29 @@ pub struct Measurement {
     pub note: String,
 }
 
-/// Times a closure once and wraps the result in a [`Measurement`].
-pub fn measure<F: FnOnce() -> String>(series: &str, param: u64, f: F) -> Measurement {
-    let start = Instant::now();
-    let note = f();
-    Measurement { series: series.to_string(), param, seconds: start.elapsed().as_secs_f64(), note }
+/// Timed repetitions per measured point; the median is recorded, which is
+/// what the `--compare` regression gate of the harness diffs.
+pub const MEASURE_SAMPLES: usize = 5;
+
+/// Untimed warmup iterations before the samples (same policy as
+/// [`microbench::Config`]), so one-time costs — allocator warmup, lazily
+/// compiled simulation tables — do not skew the medians.
+pub const MEASURE_WARMUP: usize = 1;
+
+/// Times a closure [`MEASURE_SAMPLES`] times (after [`MEASURE_WARMUP`]
+/// untimed runs) and records the median wall-clock time in a [`Measurement`].
+pub fn measure<F: FnMut() -> String>(series: &str, param: u64, mut f: F) -> Measurement {
+    for _ in 0..MEASURE_WARMUP {
+        let _ = f();
+    }
+    let mut times = Vec::with_capacity(MEASURE_SAMPLES);
+    let mut note = String::new();
+    for _ in 0..MEASURE_SAMPLES {
+        let start = Instant::now();
+        note = f();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    Measurement { series: series.to_string(), param, seconds: microbench::median(&times), note }
 }
 
 /// Least-squares slope of log(time) against log(param): the fitted polynomial

@@ -125,7 +125,7 @@ fn enumerate_satisfying_labelings(
             if r.relation.arity() == 1 && r.paths[0].name() == pv {
                 let proj = r.relation.project(0);
                 lang = Some(match lang {
-                    None => proj,
+                    None => proj.as_ref().clone(),
                     Some(l) => l.intersect(&proj).trim(),
                 });
             }

@@ -41,7 +41,7 @@ pub fn eval_acyclic_crpq(
     }
     let compiled = Compiled::new(query, graph)?;
     let reach: Vec<ReachRel> = (0..compiled.path_vars.len())
-        .map(|p| plan::reachability(graph, &compiled, compiled.unary[p].as_ref()))
+        .map(|p| plan::reachability(graph, &compiled, compiled.unary[p].as_deref()))
         .collect();
 
     let num_vars = compiled.node_vars.len();

@@ -14,11 +14,13 @@
 //! fixed query (Theorem 6.1), and exponential only in the query.
 
 use crate::error::QueryError;
-use crate::eval::plan::{self, Compiled};
+use crate::eval::dense::{odometer_next, Arena, Layout};
+use crate::eval::plan::{self, Compiled, RelSim};
 use crate::eval::EvalConfig;
 use crate::query::Ecrpq;
 use ecrpq_automata::alphabet::{Symbol, TupleSym};
 use ecrpq_automata::nfa::{Nfa, StateId};
+use ecrpq_automata::sim::StateSet;
 use ecrpq_graph::{GraphDb, NodeId, Path};
 use std::collections::{HashMap, VecDeque};
 
@@ -121,7 +123,7 @@ pub fn answer_automaton(
         bound.constants.push((vi, nodes[i]));
     }
     let reach: Vec<plan::ReachRel> = (0..compiled.path_vars.len())
-        .map(|p| plan::reachability(graph, &compiled, compiled.unary[p].as_ref()))
+        .map(|p| plan::reachability(graph, &compiled, compiled.unary[p].as_deref()))
         .collect();
 
     let mut err: Option<QueryError> = None;
@@ -138,16 +140,217 @@ pub fn answer_automaton(
     Ok(AnswerAutomaton { nfa: nfa.trim(), arity })
 }
 
-/// Search state used by the answer-automaton construction (same shape as the
-/// convolution search, without counters).
+// The construction explores the same product states as the convolution
+// search, using the same dense encoding: a state is one flat row of `u64`
+// words — one position word per path variable (`node << 1 | done`) followed
+// by the bitset blocks of every relation automaton's state set — interned
+// into the arena of [`super::dense`]. Each interned state owns a pair of
+// automaton states ("before nodes" / "after nodes"); the queue and the
+// pair table are indexed by the `u32` arena ids.
+
+fn add_candidate_automaton(
+    nfa: &mut Nfa<EncLetter>,
+    compiled: &Compiled,
+    graph: &GraphDb,
+    sigma: &[NodeId],
+    arity: usize,
+    config: &EvalConfig,
+) -> Result<(), QueryError> {
+    if !compiled.dense_search {
+        // Oversized relation automata: fall back to the classical
+        // cloned-state construction (see the note on `Compiled::dense_search`).
+        return add_candidate_automaton_classic(nfa, compiled, graph, sigma, arity, config);
+    }
+    // Check repeated-atom endpoint consistency.
+    for &(p, f, t) in &compiled.extra_endpoints {
+        if sigma[f] != sigma[compiled.path_from[p]] || sigma[t] != sigma[compiled.path_to[p]] {
+            return Ok(());
+        }
+    }
+    let num_paths = compiled.path_vars.len();
+    let head = &compiled.head_path_idx;
+    let sims: Vec<&RelSim> = compiled.relations.iter().map(|r| r.sim(compiled.code_base)).collect();
+
+    // Same word layout as the convolution search, without counters.
+    let layout = Layout::new(num_paths, &sims, 0);
+    let (rel_off, rel_blocks, words) = (&layout.rel_off, &layout.rel_blocks, layout.words);
+
+    let accepts_key = |key: &[u64]| -> bool {
+        (0..num_paths)
+            .all(|p| key[p] & 1 == 1 || NodeId((key[p] >> 1) as u32) == sigma[compiled.path_to[p]])
+            && sims.iter().enumerate().all(|(j, rs)| {
+                rs.sim.any_accepting_blocks(&key[rel_off[j]..rel_off[j] + rel_blocks[j]])
+            })
+    };
+
+    let mut arena = Arena::new(words);
+    // Per arena id: the (before-nodes, after-nodes) automaton state pair.
+    let mut pairs: Vec<(StateId, StateId)> = Vec::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+
+    // Intern helper: creates the before/after pair for a fresh state, linked
+    // by the Nodes letter of the head path variables.
+    let intern = |key: &[u64],
+                  nfa: &mut Nfa<EncLetter>,
+                  arena: &mut Arena,
+                  pairs: &mut Vec<(StateId, StateId)>,
+                  queue: &mut VecDeque<u32>|
+     -> (StateId, StateId) {
+        let (id, fresh) = arena.intern(key);
+        if !fresh {
+            return pairs[id as usize];
+        }
+        let b = nfa.add_state();
+        let a = nfa.add_state();
+        let node_letter =
+            EncLetter::Nodes(head.iter().map(|&p| NodeId((key[p] >> 1) as u32)).collect());
+        nfa.add_transition(b, node_letter, a);
+        nfa.set_accepting(a, accepts_key(key));
+        pairs.push((b, a));
+        queue.push_back(id);
+        (b, a)
+    };
+
+    // Encode the initial state.
+    let mut initial = vec![0u64; words];
+    for p in 0..num_paths {
+        initial[p] = (sigma[compiled.path_from[p]].0 as u64) << 1;
+    }
+    for (j, rs) in sims.iter().enumerate() {
+        initial[rel_off[j]..rel_off[j] + rel_blocks[j]]
+            .copy_from_slice(rs.sim.initial_set().as_blocks());
+    }
+    let (b0, _a0) = intern(&initial, nfa, &mut arena, &mut pairs, &mut queue);
+    nfa.add_initial(b0);
+
+    // Scratch buffers reused across all expansions.
+    let mut options: Vec<Vec<Option<(Symbol, NodeId)>>> = vec![Vec::new(); num_paths];
+    let mut choice = vec![0usize; num_paths];
+    let mut letters: Vec<Option<Symbol>> = vec![None; num_paths];
+    let mut cur = vec![0u64; words];
+    let mut next = vec![0u64; words];
+    let mut rel_scratch: Vec<StateSet> =
+        sims.iter().map(|rs| StateSet::empty(rs.sim.blocks())).collect();
+
+    let mut visited_budget = config.max_search_states;
+    while let Some(id) = queue.pop_front() {
+        if visited_budget == 0 {
+            return Err(QueryError::BudgetExceeded {
+                what: "answer-automaton construction exceeded the state budget".to_string(),
+            });
+        }
+        visited_budget -= 1;
+        let from_after = pairs[id as usize].1;
+        cur.copy_from_slice(arena.get(id));
+
+        // Expand global moves (same move structure as the convolution search).
+        let mut dead = false;
+        for p in 0..num_paths {
+            let opts = &mut options[p];
+            opts.clear();
+            let node = NodeId((cur[p] >> 1) as u32);
+            let done = cur[p] & 1 == 1;
+            if done {
+                opts.push(None);
+            } else {
+                for &(label, to) in graph.out_edges(node) {
+                    opts.push(Some((label, to)));
+                }
+                if node == sigma[compiled.path_to[p]] {
+                    opts.push(None); // finish here
+                }
+            }
+            if opts.is_empty() {
+                dead = true;
+                break;
+            }
+        }
+        if dead {
+            continue;
+        }
+        choice.fill(0);
+        'outer: loop {
+            let any_real = (0..num_paths).any(|p| options[p][choice[p]].is_some());
+            if any_real
+                && apply_move(
+                    compiled,
+                    &sims,
+                    rel_off,
+                    rel_blocks,
+                    &cur,
+                    &options,
+                    &choice,
+                    &mut letters,
+                    &mut rel_scratch,
+                    &mut next,
+                )
+            {
+                let letter = EncLetter::Letter(TupleSym::new(
+                    head.iter()
+                        .map(|&p| options[p][choice[p]].map(|(l, _)| compiled.translate(l)))
+                        .collect(),
+                ));
+                let (nb, _na) = intern(&next, nfa, &mut arena, &mut pairs, &mut queue);
+                nfa.add_transition(from_after, letter, nb);
+            }
+            if !odometer_next(&mut choice, |i| options[i].len()) {
+                break 'outer;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies the global move selected by `choice` to the encoded state `cur`,
+/// writing the successor into `next`. Returns `false` if some relation
+/// automaton has no matching transition.
+#[allow(clippy::too_many_arguments)]
+fn apply_move(
+    compiled: &Compiled,
+    sims: &[&RelSim],
+    rel_off: &[usize],
+    rel_blocks: &[usize],
+    cur: &[u64],
+    options: &[Vec<Option<(Symbol, NodeId)>>],
+    choice: &[usize],
+    letters: &mut [Option<Symbol>],
+    rel_scratch: &mut [StateSet],
+    next: &mut [u64],
+) -> bool {
+    let num_paths = options.len();
+    for p in 0..num_paths {
+        match options[p][choice[p]] {
+            Some((label, to)) => {
+                next[p] = (to.0 as u64) << 1;
+                letters[p] = Some(compiled.translate(label));
+            }
+            None => {
+                next[p] = cur[p] | 1; // keep the node, set the done flag
+                letters[p] = None;
+            }
+        }
+    }
+    plan::advance_relations(compiled, sims, rel_off, rel_blocks, letters, cur, rel_scratch, next)
+}
+
+// ---------------------------------------------------------------------------
+// Classical fallback (oversized relation automata)
+// ---------------------------------------------------------------------------
+
+/// Search state used by the classical answer-automaton construction: current
+/// node per path variable plus a "finished" flag, and the relation state
+/// sets as sorted vectors.
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct AState {
-    /// Current node per path variable, plus a "finished" flag.
     pos: Vec<(NodeId, bool)>,
     rel: Vec<Vec<StateId>>,
 }
 
-fn add_candidate_automaton(
+/// The classical cloned-state construction, retained for queries whose
+/// relation automata exceed the dense-table size bound: sparse sorted-vector
+/// state sets stepped through [`Nfa::step`] scale with the reachable
+/// frontier instead of the automaton size.
+fn add_candidate_automaton_classic(
     nfa: &mut Nfa<EncLetter>,
     compiled: &Compiled,
     graph: &GraphDb,
@@ -171,8 +374,7 @@ fn add_candidate_automaton(
 
     // Each search state becomes *two* automaton states: one expecting the
     // next Nodes letter ("before nodes") and one expecting the next
-    // convolution letter ("after nodes"). The encoding starts and ends with a
-    // Nodes letter.
+    // convolution letter ("after nodes").
     let mut before_ids: HashMap<AState, StateId> = HashMap::new();
     let mut after_ids: HashMap<AState, StateId> = HashMap::new();
     let mut queue: VecDeque<AState> = VecDeque::new();
@@ -189,8 +391,6 @@ fn add_candidate_automaton(
                 .all(|(j, r)| s.rel[j].iter().any(|&q| r.nfa.is_accepting(q)))
     };
 
-    // Intern helper: creates the before/after pair for a state, linked by the
-    // Nodes letter of the head path variables.
     fn intern(
         s: &AState,
         nfa: &mut Nfa<EncLetter>,
@@ -227,7 +427,6 @@ fn add_candidate_automaton(
         }
         visited_budget -= 1;
         let from_after = after_ids[&state];
-        // Expand global moves (same move structure as the convolution search).
         let mut options: Vec<Vec<Option<(Symbol, NodeId)>>> = Vec::with_capacity(num_paths);
         let mut dead = false;
         for p in 0..num_paths {
@@ -257,7 +456,7 @@ fn add_candidate_automaton(
             let picks: Vec<Option<(Symbol, NodeId)>> =
                 (0..num_paths).map(|p| options[p][choice[p]]).collect();
             if picks.iter().any(|o| o.is_some()) {
-                if let Some(next) = apply_move(compiled, &state, &picks) {
+                if let Some(next) = apply_move_classic(compiled, &state, &picks) {
                     let letter = EncLetter::Letter(TupleSym::new(
                         head.iter()
                             .map(|&p| picks[p].map(|(l, _)| compiled.translate(l)))
@@ -286,7 +485,7 @@ fn add_candidate_automaton(
     Ok(())
 }
 
-fn apply_move(
+fn apply_move_classic(
     compiled: &Compiled,
     state: &AState,
     picks: &[Option<(Symbol, NodeId)>],

@@ -95,7 +95,7 @@ pub fn eval_qlen(
 
     // Reachability join for the node variables (unary constraints are exact).
     let reach: Vec<ReachRel> = (0..num_paths)
-        .map(|p| plan::reachability(graph, &compiled, compiled.unary[p].as_ref()))
+        .map(|p| plan::reachability(graph, &compiled, compiled.unary[p].as_deref()))
         .collect();
 
     let mut answers: HashSet<Vec<NodeId>> = HashSet::new();

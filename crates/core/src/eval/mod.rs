@@ -27,9 +27,11 @@
 pub mod acyclic;
 pub mod answers;
 pub mod counts;
+pub(crate) mod dense;
 pub mod length;
 pub mod negation;
 pub(crate) mod plan;
+pub mod reference;
 pub(crate) mod search;
 
 use crate::error::QueryError;

@@ -158,7 +158,7 @@ impl Formula {
     fn collect_languages(&self, out: &mut Vec<Nfa<Symbol>>) {
         match self {
             Formula::Lang(_, nfa) => out.push(nfa.clone()),
-            Formula::Rel(rel, _) if rel.arity() == 1 => out.push(rel.project(0)),
+            Formula::Rel(rel, _) if rel.arity() == 1 => out.push(rel.project(0).as_ref().clone()),
             Formula::Not(f) => f.collect_languages(out),
             Formula::And(a, b) | Formula::Or(a, b) => {
                 a.collect_languages(out);

@@ -9,12 +9,13 @@
 //! plain CRPQs, for which the relaxation is exact).
 
 use crate::error::QueryError;
-use crate::eval::search::{self, SearchOutcome, SearchProblem};
-use crate::eval::{Answer, EvalConfig};
+use crate::eval::search::{SearchOutcome, SearchProblem};
+use crate::eval::{reference, search, Answer, EvalConfig};
 use crate::query::{CountTarget, Ecrpq, QLinearConstraint};
 use ecrpq_automata::alphabet::{Alphabet, Symbol, TupleSym};
 use ecrpq_automata::nfa::Nfa;
 use ecrpq_automata::semilinear::CmpOp;
+use ecrpq_automata::sim::CompactNfa;
 use ecrpq_graph::{GraphDb, NodeId, Path};
 use std::collections::{HashMap, HashSet};
 
@@ -41,11 +42,170 @@ pub(crate) enum Mode {
 }
 
 /// A compiled relation atom: the synchronous automaton plus the indices of
-/// the path variables on its tapes.
+/// the path variables on its tapes, with lazily compiled simulation tables
+/// for the dense product engine.
 #[derive(Clone, Debug)]
 pub(crate) struct CompiledRel {
-    pub nfa: Nfa<TupleSym>,
+    pub nfa: std::sync::Arc<Nfa<TupleSym>>,
     pub tapes: Vec<usize>,
+    /// Simulation tables, compiled on first use so plain-CRPQ evaluation
+    /// (which never runs the convolution search) pays nothing for them.
+    sim_cell: std::cell::OnceCell<RelSim>,
+}
+
+impl CompiledRel {
+    /// The compiled simulation tables (built on first call).
+    pub fn sim(&self, code_base: u64) -> &RelSim {
+        self.sim_cell.get_or_init(|| RelSim::build(&self.nfa, code_base))
+    }
+}
+
+/// Upper bound on automaton states for the dense engine. Above this, the
+/// per-`(state, symbol)` bitset table and the fixed-width bitset rows
+/// embedded in search keys stop paying for themselves (a 28k-state
+/// edit-distance automaton would need a multi-gigabyte table and 3.5 KB per
+/// stored search state); such queries fall back to the sparse reference
+/// verifier.
+const DENSE_MAX_STATES: usize = 2048;
+
+/// Upper bound on dense transition-table size (in `u64` words, 32 MB).
+const DENSE_MAX_TABLE_WORDS: usize = 1 << 22;
+
+/// True if `nfa` is small enough for dense table compilation.
+pub(crate) fn dense_eligible<S: Clone + Eq + std::hash::Hash + Ord>(nfa: &Nfa<S>) -> bool {
+    let n = nfa.num_states();
+    if n > DENSE_MAX_STATES {
+        return false;
+    }
+    let blocks = n.div_ceil(64).max(1);
+    let syms = nfa.symbols_used().len().max(1);
+    n.max(1) * blocks * syms <= DENSE_MAX_TABLE_WORDS
+}
+
+/// Dense simulation tables of one relation automaton plus the tuple-letter
+/// code index used to avoid materializing `TupleSym` values in the hot loop.
+#[derive(Clone, Debug)]
+pub(crate) struct RelSim {
+    /// Dense transition tables + ε-closures + bitset state sets.
+    pub sim: CompactNfa<TupleSym>,
+    /// Encoded tuple letter → dense symbol id of `sim`.
+    pub codes: CodeMap,
+}
+
+impl RelSim {
+    fn build(nfa: &Nfa<TupleSym>, code_base: u64) -> RelSim {
+        let sim = CompactNfa::compile(nfa);
+        let pairs = sim.symbols().iter().enumerate().map(|(sid, t)| {
+            let mut code = 0u64;
+            let mut mult = 1u64;
+            for i in 0..t.arity() {
+                let digit = match t.get(i) {
+                    None => 0,
+                    Some(s) => s.0 as u64 + 1,
+                };
+                code += digit * mult;
+                mult *= code_base;
+            }
+            (code, sid as u32)
+        });
+        let arity = sim.symbols().first().map_or(0, |t| t.arity());
+        let space = code_base.saturating_pow(arity as u32);
+        let codes = if space <= CODE_MAP_DENSE_LIMIT {
+            let mut table = vec![u32::MAX; space as usize];
+            for (code, sid) in pairs {
+                table[code as usize] = sid;
+            }
+            CodeMap::Dense(table)
+        } else {
+            CodeMap::Hash(pairs.collect())
+        };
+        RelSim { sim, codes }
+    }
+}
+
+/// Largest direct-indexed code table (entries). Below this the tuple-code
+/// lookup is one array index; above it, a hash probe.
+const CODE_MAP_DENSE_LIMIT: u64 = 1 << 16;
+
+/// Tuple-letter code → dense symbol id. The search performs one lookup per
+/// (move, relation); a direct-indexed table avoids hashing entirely whenever
+/// `(|A|+1)^arity` is small, which covers every realistic query alphabet.
+#[derive(Clone, Debug)]
+pub(crate) enum CodeMap {
+    Dense(Vec<u32>),
+    Hash(HashMap<u64, u32>),
+}
+
+impl CodeMap {
+    /// The dense symbol id of an encoded tuple letter, if the relation reads
+    /// that letter at all.
+    #[inline]
+    pub fn get(&self, code: u64) -> Option<u32> {
+        match self {
+            CodeMap::Dense(table) => {
+                table.get(code as usize).copied().filter(|&sid| sid != u32::MAX)
+            }
+            CodeMap::Hash(map) => map.get(&code).copied(),
+        }
+    }
+}
+
+/// Encodes the convolution letter a relation reads (the projection of the
+/// per-variable letters onto its tapes) as one `u64`, for lookup in
+/// [`RelSim::codes`]. `base` must be `merged alphabet size + 1`.
+#[inline]
+pub(crate) fn tuple_code(tapes: &[usize], letters: &[Option<Symbol>], base: u64) -> u64 {
+    let mut code = 0u64;
+    let mut mult = 1u64;
+    for &t in tapes {
+        let digit = match letters[t] {
+            None => 0,
+            Some(s) => s.0 as u64 + 1,
+        };
+        code += digit * mult;
+        mult *= base;
+    }
+    code
+}
+
+/// Advances every relation automaton of an encoded search state on the
+/// global step described by `letters` (per-variable merged-alphabet letters,
+/// `None` = `⊥`), reading the current bitset rows from `cur` and writing the
+/// successor rows into `next` at the offsets given by `rel_off`/`rel_blocks`.
+/// Returns `false` if some relation has no matching transition. Shared by
+/// the convolution search and the answer-automaton construction so the two
+/// dense engines cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn advance_relations(
+    compiled: &Compiled,
+    sims: &[&RelSim],
+    rel_off: &[usize],
+    rel_blocks: &[usize],
+    letters: &[Option<Symbol>],
+    cur: &[u64],
+    rel_scratch: &mut [ecrpq_automata::sim::StateSet],
+    next: &mut [u64],
+) -> bool {
+    for (j, r) in compiled.relations.iter().enumerate() {
+        let rs = sims[j];
+        let (off, nb) = (rel_off[j], rel_blocks[j]);
+        if r.tapes.iter().all(|&t| letters[t].is_none()) {
+            // This relation's convolution has already ended; it does not
+            // read ⊥-only letters.
+            next[off..off + nb].copy_from_slice(&cur[off..off + nb]);
+            continue;
+        }
+        let code = tuple_code(&r.tapes, letters, compiled.code_base);
+        let Some(sid) = rs.codes.get(code) else {
+            return false; // letter not in the relation's alphabet
+        };
+        if !rs.sim.step_blocks_into(&cur[off..off + nb], sid, &mut rel_scratch[j]) {
+            return false;
+        }
+        next[off..off + nb].copy_from_slice(rel_scratch[j].as_blocks());
+    }
+    true
 }
 
 /// A compiled linear-constraint row: per path variable, a length coefficient
@@ -99,7 +259,7 @@ pub(crate) struct Compiled {
     /// Per path variable: the intersection of its unary constraints (arity-1
     /// relation atoms and per-tape projections of wider relations), or `None`
     /// if unconstrained.
-    pub unary: Vec<Option<Nfa<Symbol>>>,
+    pub unary: Vec<Option<std::sync::Arc<Nfa<Symbol>>>>,
     /// Head node variables as indices into `node_vars`.
     pub head_node_idx: Vec<usize>,
     /// Head path variables as indices into `path_vars`.
@@ -113,9 +273,15 @@ pub(crate) struct Compiled {
     pub merged_alphabet: Alphabet,
     /// Translation from graph symbols to merged-alphabet symbols.
     pub graph_symbol_map: Vec<Symbol>,
+    /// Radix for [`tuple_code`]: merged alphabet size + 1 (digit 0 is `⊥`).
+    pub code_base: u64,
     /// True if verification by convolution search is unnecessary (plain CRPQ
     /// without repetition or counters).
     pub relaxation_is_exact: bool,
+    /// True if every relation automaton is small enough for the dense
+    /// product engine; otherwise candidate verification and the
+    /// answer-automaton construction fall back to the sparse classical loop.
+    pub dense_search: bool,
 }
 
 impl Compiled {
@@ -154,26 +320,36 @@ impl Compiled {
         let graph_symbol_map: Vec<Symbol> =
             graph.alphabet().iter().map(|(_, label)| merged_alphabet.intern(label)).collect();
 
-        // Compile relation atoms.
+        // Compile relation atoms. The dense simulation tables are built
+        // lazily (see [`CompiledRel::sim`]); only the size check runs here.
+        let code_base = merged_alphabet.len() as u64 + 1;
         let relations: Vec<CompiledRel> = query
             .relations
             .iter()
             .map(|r| CompiledRel {
-                nfa: r.relation.nfa().clone(),
+                nfa: r.relation.nfa_shared(),
+                sim_cell: std::cell::OnceCell::new(),
                 tapes: r.paths.iter().map(|p| path_index[p.name()]).collect(),
             })
             .collect();
+        // Dense engines also require every relation's tuple-letter code to
+        // fit in u64 (`tuple_code` packs one base-(A+1) digit per tape);
+        // otherwise codes could wrap and collide, so such queries use the
+        // reference engine, which never encodes letters.
+        let dense_search = relations.iter().all(|r| {
+            dense_eligible(&r.nfa) && code_base.checked_pow(r.tapes.len() as u32).is_some()
+        });
 
         // Per-path unary constraint: intersection of projections of every
         // relation atom that mentions the path variable.
-        let mut unary: Vec<Option<Nfa<Symbol>>> = vec![None; path_vars.len()];
+        let mut unary: Vec<Option<std::sync::Arc<Nfa<Symbol>>>> = vec![None; path_vars.len()];
         for r in &query.relations {
             for (tape, p) in r.paths.iter().enumerate() {
                 let pi = path_index[p.name()];
                 let proj = r.relation.project(tape);
                 unary[pi] = Some(match unary[pi].take() {
                     None => proj,
-                    Some(existing) => existing.intersect(&proj).trim(),
+                    Some(existing) => std::sync::Arc::new(existing.intersect(&proj).trim()),
                 });
             }
         }
@@ -216,7 +392,9 @@ impl Compiled {
             counters,
             merged_alphabet,
             graph_symbol_map,
+            code_base,
             relaxation_is_exact,
+            dense_search,
         })
     }
 
@@ -290,6 +468,12 @@ impl ReachRel {
 }
 
 /// Computes the reachability relation of a path variable.
+///
+/// Both cases run one BFS per start node over dense `bool`/bitset visited
+/// arrays; the constrained case first flattens the graph into a CSR-style
+/// adjacency whose labels are pre-translated to the dense symbol ids of the
+/// compiled constraint NFA, so the inner loop is a table lookup plus bit
+/// tests instead of per-edge hashing and ε-closure recomputation.
 pub(crate) fn reachability(
     graph: &GraphDb,
     compiled: &Compiled,
@@ -299,46 +483,180 @@ pub(crate) fn reachability(
     let mut fwd: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     match unary {
         None => {
+            // Label-oblivious reachability: plain BFS with reused buffers.
+            // `seen` is cleared by walking the hits, not the whole array, so
+            // a sparse reach set costs O(|reach| log |reach|), not O(n).
+            let mut seen = vec![false; n];
+            let mut stack: Vec<NodeId> = Vec::new();
             for u in graph.nodes() {
-                let mut reach = graph.reachable_from(u);
-                reach.sort_unstable();
-                fwd[u.index()] = reach;
+                let mut hits: Vec<NodeId> = vec![u];
+                seen[u.index()] = true;
+                stack.push(u);
+                while let Some(v) = stack.pop() {
+                    for &(_, to) in graph.out_edges(v) {
+                        if !seen[to.index()] {
+                            seen[to.index()] = true;
+                            hits.push(to);
+                            stack.push(to);
+                        }
+                    }
+                }
+                for h in &hits {
+                    seen[h.index()] = false;
+                }
+                hits.sort_unstable();
+                fwd[u.index()] = hits;
             }
         }
-        Some(nfa) => {
-            // Product of the graph with the constraint NFA; one BFS per start node.
+        Some(nfa) if !dense_eligible(nfa) => {
+            // The constraint NFA is too big for table compilation (e.g. the
+            // 30k-state intersection of several counting languages): run the
+            // classical per-start product BFS, but with precomputed sparse
+            // ε-closures and a dense `(node, state)` visited bitset instead
+            // of per-pair hashing.
+            let s = nfa.num_states().max(1);
+            let closures: Vec<Vec<u32>> =
+                (0..s as u32).map(|q| nfa.epsilon_closure(&[q])).collect();
             let init = nfa.epsilon_closure(nfa.initial());
+            // `visited` is allocated once and cleared per start by replaying
+            // the touched words, so a sparse BFS costs O(|visited pairs|),
+            // not O(n*s/64), per start node.
+            let mut visited = vec![0u64; (n * s).div_ceil(64).max(1)];
+            let mut touched: Vec<usize> = Vec::new();
+            let mut result = vec![false; n];
+            let mut stack: Vec<(u32, u32)> = Vec::new();
             for u in graph.nodes() {
-                let mut seen: HashSet<(NodeId, u32)> = HashSet::new();
-                let mut stack: Vec<(NodeId, u32)> = Vec::new();
-                let mut result: HashSet<NodeId> = HashSet::new();
+                let mut hits: Vec<NodeId> = Vec::new();
                 for &q in &init {
-                    seen.insert((u, q));
-                    stack.push((u, q));
-                    if nfa.is_accepting(q) {
-                        result.insert(u);
+                    let bit = u.index() * s + q as usize;
+                    visited[bit / 64] |= 1 << (bit % 64);
+                    touched.push(bit / 64);
+                    stack.push((u.0, q));
+                    if nfa.is_accepting(q) && !result[u.index()] {
+                        result[u.index()] = true;
+                        hits.push(u);
                     }
                 }
                 while let Some((v, q)) = stack.pop() {
-                    for &(label, to) in graph.out_edges(v) {
+                    for &(label, to) in graph.out_edges(NodeId(v)) {
                         let sym = compiled.translate(label);
-                        for (s, nq) in nfa.transitions_from(q) {
-                            if *s == sym {
-                                for cq in nfa.epsilon_closure(&[*nq]) {
-                                    if seen.insert((to, cq)) {
-                                        if nfa.is_accepting(cq) {
-                                            result.insert(to);
-                                        }
-                                        stack.push((to, cq));
+                        for (t, nq) in nfa.transitions_from(q) {
+                            if *t != sym {
+                                continue;
+                            }
+                            for &cq in &closures[*nq as usize] {
+                                let bit = to.index() * s + cq as usize;
+                                if visited[bit / 64] >> (bit % 64) & 1 == 0 {
+                                    visited[bit / 64] |= 1 << (bit % 64);
+                                    touched.push(bit / 64);
+                                    if nfa.is_accepting(cq) && !result[to.index()] {
+                                        result[to.index()] = true;
+                                        hits.push(to);
                                     }
+                                    stack.push((to.0, cq));
                                 }
                             }
                         }
                     }
                 }
-                let mut r: Vec<NodeId> = result.into_iter().collect();
-                r.sort_unstable();
-                fwd[u.index()] = r;
+                for &w in &touched {
+                    visited[w] = 0;
+                }
+                touched.clear();
+                for h in &hits {
+                    result[h.index()] = false;
+                }
+                hits.sort_unstable();
+                fwd[u.index()] = hits;
+            }
+        }
+        Some(nfa) => {
+            // Product of the graph with the compiled constraint NFA.
+            let sim = CompactNfa::compile(nfa);
+            let s = sim.num_states().max(1);
+            // CSR adjacency keeping only edges whose translated label the
+            // NFA can read at all, with labels as dense sim symbol ids.
+            let mut label_map: Vec<Option<u32>> = Vec::with_capacity(graph.alphabet().len());
+            for g in graph.alphabet().symbols() {
+                label_map.push(sim.sym_id(&compiled.translate(g)));
+            }
+            let mut off = vec![0u32; n + 1];
+            for v in graph.nodes() {
+                let live = graph
+                    .out_edges(v)
+                    .iter()
+                    .filter(|(l, _)| label_map[l.index()].is_some())
+                    .count();
+                off[v.index() + 1] = off[v.index()] + live as u32;
+            }
+            let total = off[n] as usize;
+            let mut adj_to = vec![0u32; total];
+            let mut adj_sid = vec![0u32; total];
+            let mut cursor = off.clone();
+            for v in graph.nodes() {
+                for &(l, to) in graph.out_edges(v) {
+                    if let Some(sid) = label_map[l.index()] {
+                        let c = cursor[v.index()] as usize;
+                        adj_to[c] = to.0;
+                        adj_sid[c] = sid;
+                        cursor[v.index()] += 1;
+                    }
+                }
+            }
+            // One BFS per start node over (node, NFA state) pairs, tracked
+            // in a dense bitset of n·s bits.
+            let init = sim.initial_set();
+            // Cleared per start by replaying the touched words (see the
+            // sparse branch above).
+            let mut visited = vec![0u64; (n * s).div_ceil(64).max(1)];
+            let mut touched: Vec<usize> = Vec::new();
+            let mut result = vec![false; n];
+            let mut stack: Vec<(u32, u32)> = Vec::new();
+            for u in graph.nodes() {
+                let mut hits: Vec<NodeId> = Vec::new();
+                for q in init.iter() {
+                    let bit = u.index() * s + q as usize;
+                    visited[bit / 64] |= 1 << (bit % 64);
+                    touched.push(bit / 64);
+                    stack.push((u.0, q));
+                    if sim.is_accepting(q) && !result[u.index()] {
+                        result[u.index()] = true;
+                        hits.push(u);
+                    }
+                }
+                while let Some((v, q)) = stack.pop() {
+                    let (lo, hi) = (off[v as usize] as usize, off[v as usize + 1] as usize);
+                    for e in lo..hi {
+                        let to = adj_to[e];
+                        let row = sim.row(q, adj_sid[e]);
+                        for (bi, &block) in row.iter().enumerate() {
+                            let mut b = block;
+                            while b != 0 {
+                                let nq = bi as u32 * 64 + b.trailing_zeros();
+                                b &= b - 1;
+                                let bit = to as usize * s + nq as usize;
+                                if visited[bit / 64] >> (bit % 64) & 1 == 0 {
+                                    visited[bit / 64] |= 1 << (bit % 64);
+                                    touched.push(bit / 64);
+                                    if sim.is_accepting(nq) && !result[to as usize] {
+                                        result[to as usize] = true;
+                                        hits.push(NodeId(to));
+                                    }
+                                    stack.push((to, nq));
+                                }
+                            }
+                        }
+                    }
+                }
+                for &w in &touched {
+                    visited[w] = 0;
+                }
+                touched.clear();
+                for h in &hits {
+                    result[h.index()] = false;
+                }
+                hits.sort_unstable();
+                fwd[u.index()] = hits;
             }
         }
     }
@@ -541,19 +859,51 @@ fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
 // Driver
 // ---------------------------------------------------------------------------
 
-/// Evaluates a query in the requested mode.
+/// Which candidate-verification engine to use: the dense product engine
+/// (default) or the retained reference implementation (classic cloned-state
+/// BFS, kept for differential testing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Engine {
+    Dense,
+    Reference,
+}
+
+impl Engine {
+    fn run(self, problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryError> {
+        match self {
+            // Oversized relation automata (see `dense_eligible`) make the
+            // fixed-width bitset rows of the dense engine counterproductive;
+            // such problems run on the sparse classical loop instead.
+            Engine::Dense if problem.compiled.dense_search => search::run(problem),
+            Engine::Dense | Engine::Reference => reference::run(problem),
+        }
+    }
+}
+
+/// Evaluates a query in the requested mode with the dense engine.
 pub(crate) fn evaluate(
     query: &Ecrpq,
     graph: &GraphDb,
     config: &EvalConfig,
     mode: Mode,
 ) -> Result<(Vec<Answer>, EvalStats), QueryError> {
+    evaluate_engine(query, graph, config, mode, Engine::Dense)
+}
+
+/// Evaluates a query in the requested mode with an explicit engine.
+pub(crate) fn evaluate_engine(
+    query: &Ecrpq,
+    graph: &GraphDb,
+    config: &EvalConfig,
+    mode: Mode,
+    engine: Engine,
+) -> Result<(Vec<Answer>, EvalStats), QueryError> {
     let compiled = Compiled::new(query, graph)?;
     let mut stats = EvalStats::default();
 
     // Reachability relation per path variable.
     let reach: Vec<ReachRel> = (0..compiled.path_vars.len())
-        .map(|p| reachability(graph, &compiled, compiled.unary[p].as_ref()))
+        .map(|p| reachability(graph, &compiled, compiled.unary[p].as_deref()))
         .collect();
 
     let needs_search = !compiled.relaxation_is_exact || mode == Mode::Paths;
@@ -588,7 +938,7 @@ pub(crate) fn evaluate(
             step_bound,
             max_states: config.max_search_states,
         };
-        match search::run(&problem) {
+        match engine.run(&problem) {
             Ok(SearchOutcome { accepted: false, states_visited, .. }) => {
                 search_states += states_visited;
                 true
@@ -633,6 +983,18 @@ pub(crate) fn check_membership(
     nodes: &[NodeId],
     paths: &[Path],
     config: &EvalConfig,
+) -> Result<bool, QueryError> {
+    check_membership_engine(query, graph, nodes, paths, config, Engine::Dense)
+}
+
+/// The membership check with an explicit verification engine.
+pub(crate) fn check_membership_engine(
+    query: &Ecrpq,
+    graph: &GraphDb,
+    nodes: &[NodeId],
+    paths: &[Path],
+    config: &EvalConfig,
+    engine: Engine,
 ) -> Result<bool, QueryError> {
     let compiled = Compiled::new(query, graph)?;
     if nodes.len() != compiled.head_node_idx.len() || paths.len() != compiled.head_path_idx.len() {
@@ -690,7 +1052,7 @@ pub(crate) fn check_membership(
 
     // Reachability for the remaining join, with forced values added as constants.
     let reach: Vec<ReachRel> = (0..compiled.path_vars.len())
-        .map(|p| reachability(graph, &compiled, compiled.unary[p].as_ref()))
+        .map(|p| reachability(graph, &compiled, compiled.unary[p].as_deref()))
         .collect();
     let mut compiled_forced = compiled.clone();
     compiled_forced.constants = forced.iter().map(|(&v, &n)| (v, n)).collect();
@@ -710,7 +1072,7 @@ pub(crate) fn check_membership(
             step_bound,
             max_states: config.max_search_states,
         };
-        match search::run(&problem) {
+        match engine.run(&problem) {
             Ok(out) => {
                 if out.accepted {
                     found = true;

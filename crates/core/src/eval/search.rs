@@ -11,13 +11,23 @@
 //! least one real edge overall (the all-`⊥` letter never occurs in a
 //! convolution), advances every relation automaton on the projection of the
 //! step onto its tapes, and updates the counters.
+//!
+//! This is the dense product engine: a state is one flat row of `u64` words —
+//! one position word per path variable, the bitset blocks of every relation
+//! automaton's current state set (stepped through the precompiled tables of
+//! [`CompactNfa`](ecrpq_automata::sim::CompactNfa)), and one word per counter
+//! — interned into the arena of [`super::dense`]. The BFS queue and parent
+//! pointers hold `u32` state indices, and expansion reuses scratch buffers,
+//! so the hot loop performs no allocation. The classical cloned-state
+//! formulation is retained in [`super::reference`] for differential testing.
 
 use crate::error::QueryError;
-use crate::eval::plan::Compiled;
-use ecrpq_automata::alphabet::{Symbol, TupleSym};
-use ecrpq_automata::nfa::StateId;
+use crate::eval::dense::{odometer_next, Arena, Layout};
+use crate::eval::plan::{self, Compiled, RelSim};
+use ecrpq_automata::alphabet::Symbol;
+use ecrpq_automata::sim::StateSet;
 use ecrpq_graph::{GraphDb, NodeId, Path};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// One candidate-verification problem.
 pub(crate) struct SearchProblem<'a> {
@@ -48,28 +58,34 @@ pub(crate) struct SearchOutcome {
     pub witness: Option<Vec<Path>>,
 }
 
-/// Position of one path variable within a search state.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-enum Pos {
-    /// Still tracing its path: current node and (for pinned paths) the number
-    /// of pinned steps already taken.
-    Active { node: NodeId, step: u32 },
-    /// The path has ended (the variable now reads `⊥`).
-    Done,
-}
-
-/// A search state.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-struct State {
-    pos: Vec<Pos>,
-    rel: Vec<Vec<StateId>>,
-    counters: Vec<i64>,
-}
-
 /// The per-variable component of one global step (used for witness
 /// reconstruction): `Some((graph label, target node))` for a real edge,
 /// `None` for `⊥`.
-type MoveVec = Vec<Option<(Symbol, NodeId)>>;
+pub(crate) type MoveVec = Vec<Option<(Symbol, NodeId)>>;
+
+/// True if path variable `p`, currently at `node` after `step` pinned steps,
+/// may end its path here.
+pub(crate) fn finishable(problem: &SearchProblem<'_>, p: usize, node: NodeId, step: u32) -> bool {
+    match problem.pinned[p] {
+        Some(path) => step as usize == path.len(),
+        None => node == problem.sigma[problem.compiled.path_to[p]],
+    }
+}
+
+/// Position word of the search encoding: `Active { node, step }` →
+/// `(node+1) << 32 | step`, `Done` → 0.
+#[inline]
+fn active_word(node: NodeId, step: u32) -> u64 {
+    ((node.0 as u64 + 1) << 32) | step as u64
+}
+
+/// One option for one path variable within a global step.
+#[derive(Clone, Copy)]
+enum Option1 {
+    Real { label: Symbol, to: NodeId, step: u32 },
+    Finish,
+    Pad,
+}
 
 /// Runs the search.
 pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryError> {
@@ -94,135 +110,67 @@ pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryErr
         }
     }
 
-    let initial = State {
-        pos: (0..num_paths)
-            .map(|p| Pos::Active { node: problem.sigma[compiled.path_from[p]], step: 0 })
-            .collect(),
-        rel: compiled.relations.iter().map(|r| r.nfa.epsilon_closure(r.nfa.initial())).collect(),
-        counters: vec![0i64; compiled.counters.len()],
-    };
+    let sims: Vec<&RelSim> = compiled.relations.iter().map(|r| r.sim(compiled.code_base)).collect();
+    let layout = Layout::new(num_paths, &sims, compiled.counters.len());
+    let mut arena = Arena::new(layout.words);
 
-    let mut visited: HashSet<State> = HashSet::new();
-    let mut parents: HashMap<State, (State, MoveVec)> = HashMap::new();
-    let mut queue: VecDeque<(State, usize)> = VecDeque::new();
+    // Encode the initial state.
+    let mut initial = vec![0u64; layout.words];
+    for (p, w) in initial.iter_mut().enumerate().take(num_paths) {
+        *w = active_word(problem.sigma[compiled.path_from[p]], 0);
+    }
+    for (j, rs) in sims.iter().enumerate() {
+        let off = layout.rel_off[j];
+        initial[off..off + layout.rel_blocks[j]].copy_from_slice(rs.sim.initial_set().as_blocks());
+    }
+    // counters start at zero (already 0)
 
-    if accepts(problem, &initial) {
-        let witness = if problem.want_witness {
-            Some(reconstruct(problem, &parents, &initial))
-        } else {
-            None
-        };
+    if accepts_key(problem, &layout, &sims, &initial) {
+        let witness =
+            if problem.want_witness { Some(reconstruct(problem, &[], &[], 0)) } else { None };
         return Ok(SearchOutcome { accepted: true, states_visited: 1, witness });
     }
-    visited.insert(initial.clone());
-    queue.push_back((initial, 0));
+    let (init_id, _) = arena.intern(&initial);
 
-    while let Some((state, depth)) = queue.pop_front() {
+    // Parent pointers and per-state incoming moves, only kept when a witness
+    // must be reconstructed. Indexed by arena id.
+    let mut parents: Vec<u32> = Vec::new();
+    let mut moves: Vec<MoveVec> = Vec::new();
+    if problem.want_witness {
+        parents.push(u32::MAX);
+        moves.push(Vec::new());
+    }
+    let mut queue: VecDeque<(u32, u32)> = VecDeque::new();
+    queue.push_back((init_id, 0));
+
+    // Scratch buffers reused across all expansions.
+    let mut options: Vec<Vec<Option1>> = vec![Vec::new(); num_paths];
+    let mut choice = vec![0usize; num_paths];
+    let mut letters: Vec<Option<Symbol>> = vec![None; num_paths];
+    let mut cur = vec![0u64; layout.words];
+    let mut next = vec![0u64; layout.words];
+    let mut rel_scratch: Vec<StateSet> =
+        sims.iter().map(|rs| StateSet::empty(rs.sim.blocks())).collect();
+
+    while let Some((id, depth)) = queue.pop_front() {
         if let Some(bound) = problem.step_bound {
-            if depth >= bound {
+            if depth as usize >= bound {
                 continue;
             }
         }
-        // Generate all global moves from this state.
-        let mut found: Option<State> = None;
-        expand(problem, &state, &mut |next: State, mv: MoveVec| {
-            if visited.contains(&next) {
-                return true;
-            }
-            visited.insert(next.clone());
-            if problem.want_witness {
-                parents.insert(next.clone(), (state.clone(), mv));
-            }
-            if accepts(problem, &next) {
-                found = Some(next);
-                return false;
-            }
-            queue.push_back((next, depth + 1));
-            true
-        });
-        if let Some(accepting) = found {
-            let witness = if problem.want_witness {
-                Some(reconstruct(problem, &parents, &accepting))
+        cur.copy_from_slice(arena.get(id));
+
+        // Per-variable options.
+        let mut dead = false;
+        for p in 0..num_paths {
+            let opts = &mut options[p];
+            opts.clear();
+            let w = cur[p];
+            if w == 0 {
+                opts.push(Option1::Pad);
             } else {
-                None
-            };
-            return Ok(SearchOutcome {
-                accepted: true,
-                states_visited: visited.len() as u64,
-                witness,
-            });
-        }
-        if visited.len() > problem.max_states {
-            return Err(QueryError::BudgetExceeded {
-                what: format!("convolution search visited more than {} states", problem.max_states),
-            });
-        }
-    }
-    Ok(SearchOutcome { accepted: false, states_visited: visited.len() as u64, witness: None })
-}
-
-/// True if the state is accepting: every path variable is finished or can
-/// finish at its current node, every relation automaton is in an accepting
-/// state, and every counter row is satisfied.
-fn accepts(problem: &SearchProblem<'_>, state: &State) -> bool {
-    let compiled = problem.compiled;
-    for (p, pos) in state.pos.iter().enumerate() {
-        match pos {
-            Pos::Done => {}
-            Pos::Active { node, step } => {
-                if !finishable(problem, p, *node, *step) {
-                    return false;
-                }
-            }
-        }
-    }
-    for (j, rel) in compiled.relations.iter().enumerate() {
-        if !state.rel[j].iter().any(|&q| rel.nfa.is_accepting(q)) {
-            return false;
-        }
-    }
-    for (i, row) in compiled.counters.iter().enumerate() {
-        if !row.satisfied(state.counters[i]) {
-            return false;
-        }
-    }
-    true
-}
-
-/// True if path variable `p`, currently at `node` after `step` pinned steps,
-/// may end its path here.
-fn finishable(problem: &SearchProblem<'_>, p: usize, node: NodeId, step: u32) -> bool {
-    match problem.pinned[p] {
-        Some(path) => step as usize == path.len(),
-        None => node == problem.sigma[problem.compiled.path_to[p]],
-    }
-}
-
-/// One option for one path variable within a global step.
-#[derive(Clone, Copy)]
-enum Option1 {
-    Real { label: Symbol, to: NodeId, step: u32 },
-    Finish,
-    Pad,
-}
-
-/// Expands all global successors of `state`, calling `visit(next, move)`;
-/// `visit` returns `false` to stop the expansion early.
-fn expand<F: FnMut(State, MoveVec) -> bool>(
-    problem: &SearchProblem<'_>,
-    state: &State,
-    visit: &mut F,
-) {
-    let compiled = problem.compiled;
-    let num_paths = compiled.path_vars.len();
-
-    // Per-variable options.
-    let mut options: Vec<Vec<Option1>> = Vec::with_capacity(num_paths);
-    for p in 0..num_paths {
-        let mut opts = Vec::new();
-        match state.pos[p] {
-            Pos::Done => opts.push(Option1::Pad),
-            Pos::Active { node, step } => {
+                let node = NodeId((w >> 32) as u32 - 1);
+                let step = w as u32;
                 match problem.pinned[p] {
                     Some(path) => {
                         if (step as usize) < path.len() {
@@ -243,124 +191,189 @@ fn expand<F: FnMut(State, MoveVec) -> bool>(
                     opts.push(Option1::Finish);
                 }
             }
-        }
-        if opts.is_empty() {
-            return; // dead end: this variable can neither move nor finish
-        }
-        options.push(opts);
-    }
-
-    // Cartesian product of the options, requiring at least one real move.
-    let mut choice = vec![0usize; num_paths];
-    'outer: loop {
-        let picks: Vec<Option1> = (0..num_paths).map(|p| options[p][choice[p]]).collect();
-        let any_real = picks.iter().any(|o| matches!(o, Option1::Real { .. }));
-        if any_real {
-            if let Some((next, mv)) = apply(problem, state, &picks) {
-                if !visit(next, mv) {
-                    return;
-                }
-            }
-        }
-        // odometer
-        let mut i = 0;
-        loop {
-            if i == num_paths {
-                break 'outer;
-            }
-            choice[i] += 1;
-            if choice[i] < options[i].len() {
+            if opts.is_empty() {
+                dead = true; // this variable can neither move nor finish
                 break;
             }
-            choice[i] = 0;
-            i += 1;
+        }
+        if dead {
+            continue;
+        }
+
+        // Cartesian product of the options (odometer), requiring at least
+        // one real move.
+        let mut found: Option<u32> = None;
+        choice.fill(0);
+        'outer: loop {
+            let any_real =
+                (0..num_paths).any(|p| matches!(options[p][choice[p]], Option1::Real { .. }));
+            if any_real
+                && apply_key(
+                    problem,
+                    &layout,
+                    &sims,
+                    &cur,
+                    &options,
+                    &choice,
+                    &mut letters,
+                    &mut rel_scratch,
+                    &mut next,
+                )
+            {
+                let (nid, fresh) = arena.intern(&next);
+                if fresh {
+                    if problem.want_witness {
+                        parents.push(id);
+                        moves.push(
+                            (0..num_paths)
+                                .map(|p| match options[p][choice[p]] {
+                                    Option1::Real { label, to, .. } => Some((label, to)),
+                                    Option1::Finish | Option1::Pad => None,
+                                })
+                                .collect(),
+                        );
+                    }
+                    if accepts_key(problem, &layout, &sims, &next) {
+                        found = Some(nid);
+                        break 'outer;
+                    }
+                    queue.push_back((nid, depth + 1));
+                }
+            }
+            if !odometer_next(&mut choice, |i| options[i].len()) {
+                break 'outer;
+            }
+        }
+        if let Some(accepting) = found {
+            let witness = if problem.want_witness {
+                Some(reconstruct(problem, &parents, &moves, accepting))
+            } else {
+                None
+            };
+            return Ok(SearchOutcome {
+                accepted: true,
+                states_visited: arena.len() as u64,
+                witness,
+            });
+        }
+        if arena.len() > problem.max_states {
+            return Err(QueryError::BudgetExceeded {
+                what: format!("convolution search visited more than {} states", problem.max_states),
+            });
         }
     }
+    Ok(SearchOutcome { accepted: false, states_visited: arena.len() as u64, witness: None })
 }
 
-/// Applies one global move, returning the successor state (or `None` if some
-/// relation automaton has no matching transition).
-fn apply(
+/// True if the encoded state is accepting: every path variable is finished or
+/// can finish at its current node, every relation automaton's state set
+/// intersects its accepting set, and every counter row is satisfied.
+fn accepts_key(
     problem: &SearchProblem<'_>,
-    state: &State,
-    picks: &[Option1],
-) -> Option<(State, MoveVec)> {
+    layout: &Layout,
+    sims: &[&RelSim],
+    key: &[u64],
+) -> bool {
     let compiled = problem.compiled;
-    let mut pos = Vec::with_capacity(picks.len());
-    let mut mv: MoveVec = Vec::with_capacity(picks.len());
-    // The letter each variable contributes, already translated into the
-    // merged alphabet (None = ⊥).
-    let mut letters: Vec<Option<Symbol>> = Vec::with_capacity(picks.len());
-    for (p, pick) in picks.iter().enumerate() {
-        match pick {
+    for (p, &w) in key.iter().enumerate().take(layout.num_paths) {
+        if w == 0 {
+            continue; // Done
+        }
+        if !finishable(problem, p, NodeId((w >> 32) as u32 - 1), w as u32) {
+            return false;
+        }
+    }
+    for (j, rs) in sims.iter().enumerate() {
+        let off = layout.rel_off[j];
+        if !rs.sim.any_accepting_blocks(&key[off..off + layout.rel_blocks[j]]) {
+            return false;
+        }
+    }
+    for (i, row) in compiled.counters.iter().enumerate() {
+        if !row.satisfied(key[layout.cnt_off + i] as i64) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Applies the global move selected by `choice` to the encoded state `cur`,
+/// writing the successor into `next`. Returns `false` if some relation
+/// automaton has no matching transition (the move is a dead end).
+#[allow(clippy::too_many_arguments)]
+fn apply_key(
+    problem: &SearchProblem<'_>,
+    layout: &Layout,
+    sims: &[&RelSim],
+    cur: &[u64],
+    options: &[Vec<Option1>],
+    choice: &[usize],
+    letters: &mut [Option<Symbol>],
+    rel_scratch: &mut [StateSet],
+    next: &mut [u64],
+) -> bool {
+    let compiled = problem.compiled;
+    for p in 0..layout.num_paths {
+        match options[p][choice[p]] {
             Option1::Real { label, to, step } => {
-                pos.push(Pos::Active { node: *to, step: *step });
-                mv.push(Some((*label, *to)));
-                letters.push(Some(compiled.translate(*label)));
+                next[p] = active_word(to, step);
+                letters[p] = Some(compiled.translate(label));
             }
-            Option1::Finish => {
-                pos.push(Pos::Done);
-                mv.push(None);
-                letters.push(None);
-            }
-            Option1::Pad => {
-                pos.push(Pos::Done);
-                mv.push(None);
-                letters.push(None);
+            Option1::Finish | Option1::Pad => {
+                next[p] = 0;
+                letters[p] = None;
             }
         }
-        let _ = p;
     }
 
     // Advance every relation automaton on the projection of the step.
-    let mut rel = Vec::with_capacity(compiled.relations.len());
-    for (j, r) in compiled.relations.iter().enumerate() {
-        let tuple: Vec<Option<Symbol>> = r.tapes.iter().map(|&t| letters[t]).collect();
-        if tuple.iter().all(|c| c.is_none()) {
-            // This relation's convolution has already ended; it does not read ⊥-only letters.
-            rel.push(state.rel[j].clone());
-            continue;
-        }
-        let next = r.nfa.step(&state.rel[j], &TupleSym::new(tuple));
-        if next.is_empty() {
-            return None;
-        }
-        rel.push(next);
+    if !plan::advance_relations(
+        compiled,
+        sims,
+        &layout.rel_off,
+        &layout.rel_blocks,
+        letters,
+        cur,
+        rel_scratch,
+        next,
+    ) {
+        return false;
     }
 
     // Update counters.
-    let mut counters = state.counters.clone();
     for (i, row) in compiled.counters.iter().enumerate() {
-        for (p, pick) in picks.iter().enumerate() {
-            if let Option1::Real { label, .. } = pick {
-                counters[i] += row.step_delta(p, compiled.translate(*label));
+        let mut v = cur[layout.cnt_off + i] as i64;
+        for p in 0..layout.num_paths {
+            if let Option1::Real { label, .. } = options[p][choice[p]] {
+                v += row.step_delta(p, compiled.translate(label));
             }
         }
+        next[layout.cnt_off + i] = v as u64;
     }
-
-    Some((State { pos, rel, counters }, mv))
+    true
 }
 
-/// Reconstructs one witness path per path variable from the parent pointers.
+/// Reconstructs one witness path per path variable by following the `u32`
+/// parent pointers from the accepting state back to the root.
 fn reconstruct(
     problem: &SearchProblem<'_>,
-    parents: &HashMap<State, (State, MoveVec)>,
-    accepting: &State,
+    parents: &[u32],
+    moves: &[MoveVec],
+    accepting: u32,
 ) -> Vec<Path> {
     let compiled = problem.compiled;
-    // Collect the sequence of moves from the initial state to `accepting`.
-    let mut moves: Vec<MoveVec> = Vec::new();
-    let mut current = accepting.clone();
-    while let Some((prev, mv)) = parents.get(&current) {
-        moves.push(mv.clone());
-        current = prev.clone();
+    let mut seq: Vec<u32> = Vec::new();
+    let mut id = accepting;
+    while !parents.is_empty() && parents[id as usize] != u32::MAX {
+        seq.push(id);
+        id = parents[id as usize];
     }
-    moves.reverse();
+    seq.reverse();
     (0..compiled.path_vars.len())
         .map(|p| {
             let mut path = Path::empty(problem.sigma[compiled.path_from[p]]);
-            for step in &moves {
-                if let Some((label, to)) = step[p] {
+            for &mid in &seq {
+                if let Some((label, to)) = moves[mid as usize][p] {
                     path.push(label, to);
                 }
             }

@@ -144,7 +144,7 @@ pub fn strings_nfa_for_single_atom(query: &Ecrpq) -> Result<Nfa<Symbol>, QueryEr
     for r in &query.relations {
         let proj = r.relation.project(0);
         lang = Some(match lang {
-            None => proj,
+            None => proj.as_ref().clone(),
             Some(l) => l.intersect(&proj).trim(),
         });
     }

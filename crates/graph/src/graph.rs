@@ -89,13 +89,16 @@ impl GraphDb {
     }
 
     /// Adds a named node (or returns the existing node with that name).
+    /// The hit path is a single probe with no allocation; the name is only
+    /// copied when the node is actually new.
     pub fn add_named_node(&mut self, name: &str) -> NodeId {
         if let Some(&id) = self.name_index.get(name) {
             return id;
         }
         let id = NodeId(self.node_names.len() as u32);
-        self.node_names.push(Some(name.to_string()));
-        self.name_index.insert(name.to_string(), id);
+        let owned = name.to_string();
+        self.node_names.push(Some(owned.clone()));
+        self.name_index.insert(owned, id);
         self.out_edges.push(Vec::new());
         self.in_edges.push(Vec::new());
         id
@@ -164,8 +167,19 @@ impl GraphDb {
     }
 
     /// True if the graph contains the edge `(from, label, to)`.
+    ///
+    /// Edge lists are unsorted, so this is a linear scan — O(min(out-degree,
+    /// in-degree)) per call, choosing whichever endpoint has the shorter
+    /// list. Callers that probe many edges of the same node (e.g. validation
+    /// loops) should iterate [`GraphDb::out_edges`] directly instead.
     pub fn has_edge(&self, from: NodeId, label: Symbol, to: NodeId) -> bool {
-        self.out_edges[from.index()].iter().any(|&(l, t)| l == label && t == to)
+        let out = &self.out_edges[from.index()];
+        let inn = &self.in_edges[to.index()];
+        if out.len() <= inn.len() {
+            out.iter().any(|&(l, t)| l == label && t == to)
+        } else {
+            inn.iter().any(|&(l, f)| l == label && f == from)
+        }
     }
 
     /// Iterates over all edges.

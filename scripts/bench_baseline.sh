@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Records a benchmark baseline for the regression gate.
+#
+# Runs the full harness in a scratch directory and writes the combined
+# baseline document to benchmarks/baseline/baseline.json (committed to the
+# repository so `harness --compare` has something to diff against).
+#
+# Usage:
+#   scripts/bench_baseline.sh [mode] [out.json]
+#     mode      full (default) | quick | smoke
+#     out.json  defaults to benchmarks/baseline/baseline.json
+#
+# Compare a fresh run against the recorded baseline with:
+#   cargo run --release --offline -p ecrpq-bench --bin harness -- \
+#       --compare benchmarks/baseline/baseline.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+repo_root=$(pwd)
+
+mode="${1:-full}"
+out="${2:-benchmarks/baseline/baseline.json}"
+case "$out" in
+    /*) abs_out="$out" ;;
+    *) abs_out="$repo_root/$out" ;;
+esac
+
+echo "==> building the harness (release)"
+cargo build --release --offline -p ecrpq-bench --bin harness
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+echo "==> running the harness (mode: $mode) in $scratch"
+(cd "$scratch" && "$repo_root/target/release/harness" "$mode" --baseline "$abs_out")
+
+echo "==> baseline written to $out"

@@ -1,9 +1,21 @@
 #!/usr/bin/env bash
 # Offline-safe CI check: build, tests, formatting, lints.
-# Usage: scripts/check.sh  (from anywhere inside the repo)
+# Usage: scripts/check.sh [--bench-smoke]  (from anywhere inside the repo)
+#
+# --bench-smoke additionally runs the benchmark harness on the smallest size
+# point of each experiment family (in a scratch directory), so bench bit-rot
+# fails fast without paying for a full sweep.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+bench_smoke=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench-smoke) bench_smoke=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 run() {
     echo
@@ -17,6 +29,15 @@ run cargo build --release --offline --workspace --all-targets
 run cargo test -q --offline --workspace
 run cargo fmt --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [[ "$bench_smoke" == 1 ]]; then
+    repo_root=$(pwd)
+    scratch=$(mktemp -d)
+    trap 'rm -rf "$scratch"' EXIT
+    echo
+    echo "==> harness smoke run (smallest point of every experiment family)"
+    (cd "$scratch" && "$repo_root/target/release/harness" smoke)
+fi
 
 echo
 echo "All checks passed."

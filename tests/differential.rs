@@ -1,0 +1,301 @@
+//! Differential property suite: the dense product engine against the
+//! retained reference implementation.
+//!
+//! Every test generates seeded random multi-label graphs and queries and
+//! asserts that `ecrpq::eval` (the dense engine: interned flat-`u64` states,
+//! bitset relation state sets stepped through precompiled tables) and
+//! `ecrpq::eval::reference` (the classical cloned-state BFS) agree exactly:
+//! identical answer sets, identical `EvalStats::verified` counts, identical
+//! membership verdicts for pinned paths, and answer-automaton emptiness
+//! verdicts consistent with the reference answer set.
+
+use ecrpq::eval::{self, answers, reference, EvalConfig};
+use ecrpq::prelude::*;
+use ecrpq_automata::builtin;
+use ecrpq_automata::semilinear::CmpOp;
+use ecrpq_graph::path::enumerate_paths;
+use ecrpq_integration::prop::{self, Gen};
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+const CASES: usize = 24;
+
+fn alphabet() -> Alphabet {
+    Alphabet::from_labels(LABELS)
+}
+
+/// A small random graph over 5 nodes and 3 labels.
+fn graph(g: &mut Gen) -> GraphDb {
+    let mut db = GraphDb::new(alphabet());
+    let nodes = db.add_nodes(5);
+    let num_edges = g.range(2, 11);
+    for _ in 0..num_edges {
+        let from = nodes[g.index(5)];
+        let label = Symbol(g.index(3) as u32);
+        let to = nodes[g.index(5)];
+        db.add_edge(from, label, to);
+    }
+    db
+}
+
+/// A random regular-language constraint string.
+fn language(g: &mut Gen) -> &'static str {
+    const LANGS: [&str; 6] = ["a*", "(a|b)*", "a (a|b)*", "(a|b|c)* c", "a* b*", ". .*"];
+    LANGS[g.index(LANGS.len())]
+}
+
+fn config() -> EvalConfig {
+    EvalConfig { max_search_states: 200_000, ..EvalConfig::default() }
+}
+
+/// Sorts node-tuple answer sets for order-insensitive comparison.
+fn sorted(mut answers: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+    answers.sort();
+    answers
+}
+
+/// Asserts both engines agree on the answer set and the verified count.
+fn assert_engines_agree(q: &ecrpq::query::Ecrpq, db: &GraphDb, what: &str) {
+    let cfg = config();
+    let (dense, dense_stats) = eval::eval_nodes_with_stats(q, db, &cfg).unwrap();
+    let (refr, ref_stats) = reference::eval_nodes_with_stats(q, db, &cfg).unwrap();
+    assert_eq!(sorted(dense.clone()), sorted(refr), "{what}: answer sets differ");
+    assert_eq!(dense_stats.verified, ref_stats.verified, "{what}: verified counts differ");
+    assert_eq!(dense_stats.candidates, ref_stats.candidates, "{what}: candidate counts differ");
+}
+
+/// Plain two-atom ECRPQs with an equal-length or equality relation.
+#[test]
+fn engines_agree_on_relational_queries() {
+    let al = alphabet();
+    prop::check(CASES, 0xD1FF_0001, |g| {
+        let db = graph(g);
+        let rel = if g.index(2) == 0 { builtin::equal_length(&al) } else { builtin::equality(&al) };
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["x", "y"])
+            .atom("x", "p1", "z")
+            .atom("z", "p2", "y")
+            .language("p1", language(g))
+            .language("p2", language(g))
+            .relation(rel, &["p1", "p2"])
+            .build()
+            .unwrap();
+        assert_engines_agree(&q, &db, "relational");
+    });
+}
+
+/// CRPQs with a repeated path variable (the same π bound by two atoms).
+#[test]
+fn engines_agree_on_repeated_atoms() {
+    let al = alphabet();
+    prop::check(CASES, 0xD1FF_0002, |g| {
+        let db = graph(g);
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["x"])
+            .atom("x", "p", "y")
+            .atom("x", "p", "z")
+            .language("p", language(g))
+            .build()
+            .unwrap();
+        assert_engines_agree(&q, &db, "repeated atom");
+    });
+}
+
+/// Queries with linear constraints (counters in the search state).
+#[test]
+fn engines_agree_on_linear_constraints() {
+    let al = alphabet();
+    prop::check(CASES, 0xD1FF_0003, |g| {
+        let db = graph(g);
+        let ops = [CmpOp::Ge, CmpOp::Eq, CmpOp::Le];
+        let c1 = eval::counts::length("p", ops[g.index(3)], g.range(0, 4) as i64);
+        let c2 = eval::counts::label_count("p", "a", ops[g.index(3)], g.range(0, 2) as i64);
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["x", "y"])
+            .atom("x", "p", "y")
+            .language("p", language(g))
+            .linear_constraint(c1.terms.clone(), c1.op, c1.constant)
+            .linear_constraint(c2.terms.clone(), c2.op, c2.constant)
+            .build()
+            .unwrap();
+        assert_engines_agree(&q, &db, "linear constraints");
+    });
+}
+
+/// Membership checks with pinned paths: both engines must return the same
+/// verdict for random (node, path) tuples, both valid and invalid.
+#[test]
+fn engines_agree_on_pinned_path_membership() {
+    let al = alphabet();
+    let cfg = config();
+    prop::check(CASES, 0xD1FF_0004, |g| {
+        let db = graph(g);
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["x"])
+            .head_paths(&["p1", "p2"])
+            .atom("x", "p1", "z")
+            .atom("z", "p2", "y")
+            .language("p1", language(g))
+            .relation(builtin::equal_length(&al), &["p1", "p2"])
+            .build()
+            .unwrap();
+        let start = NodeId(g.index(5) as u32);
+        let paths1 = enumerate_paths(&db, start, 3, 8);
+        let p1 = paths1[g.index(paths1.len())].clone();
+        let paths2 = enumerate_paths(&db, p1.end(), 3, 8);
+        let p2 = paths2[g.index(paths2.len())].clone();
+        let nodes = [start];
+        let tuple = [p1, p2];
+        let dense = eval::check(&q, &db, &nodes, &tuple, &cfg).unwrap();
+        let refr = reference::check(&q, &db, &nodes, &tuple, &cfg).unwrap();
+        assert_eq!(dense, refr, "membership verdicts differ for {tuple:?}");
+    });
+}
+
+/// Witness paths produced by the dense engine are genuine members of the
+/// answer set according to the reference engine.
+#[test]
+fn dense_witnesses_verify_under_reference_membership() {
+    let al = alphabet();
+    let cfg = EvalConfig { answer_limit: 8, ..config() };
+    prop::check(CASES, 0xD1FF_0005, |g| {
+        let db = graph(g);
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["x", "y"])
+            .head_paths(&["p"])
+            .atom("x", "p", "y")
+            .language("p", language(g))
+            .build()
+            .unwrap();
+        let answers = eval::eval_with_paths(&q, &db, &cfg).unwrap();
+        for ans in answers.iter().take(4) {
+            assert!(
+                reference::check(&q, &db, &ans.nodes, &ans.paths, &cfg).unwrap(),
+                "dense witness rejected by the reference engine: {ans:?}"
+            );
+        }
+    });
+}
+
+/// Answer-automaton emptiness must coincide with membership of the bound
+/// nodes in the reference engine's answer set: the automaton for `v̄` is
+/// non-empty iff some path tuple completes `v̄` to an answer.
+#[test]
+fn answer_automaton_emptiness_matches_reference_answers() {
+    let al = alphabet();
+    let cfg = config();
+    prop::check(CASES, 0xD1FF_0006, |g| {
+        let db = graph(g);
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["x", "y"])
+            .head_paths(&["p"])
+            .atom("x", "p", "y")
+            .language("p", language(g))
+            .build()
+            .unwrap();
+        let (ref_answers, _) = reference::eval_nodes_with_stats(&q, &db, &cfg).unwrap();
+        let x = NodeId(g.index(5) as u32);
+        let y = NodeId(g.index(5) as u32);
+        let aut = answers::answer_automaton(&q, &db, &[x, y], &cfg).unwrap();
+        let in_ref = ref_answers.contains(&vec![x, y]);
+        assert_eq!(
+            !aut.is_empty(),
+            in_ref,
+            "automaton emptiness for ({x:?},{y:?}) disagrees with the reference answer set"
+        );
+    });
+}
+
+/// The two-sided variant with a relation: emptiness verdicts across all node
+/// pairs on a fixed small graph.
+#[test]
+fn answer_automaton_emptiness_with_relations() {
+    let al = alphabet();
+    let cfg = config();
+    prop::check(8, 0xD1FF_0007, |g| {
+        let db = graph(g);
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["x", "y"])
+            .head_paths(&["p1", "p2"])
+            .atom("x", "p1", "z")
+            .atom("z", "p2", "y")
+            .relation(builtin::equal_length(&al), &["p1", "p2"])
+            .build()
+            .unwrap();
+        let (ref_answers, _) = reference::eval_nodes_with_stats(&q, &db, &cfg).unwrap();
+        for x in 0..5u32 {
+            for y in 0..5u32 {
+                let aut =
+                    answers::answer_automaton(&q, &db, &[NodeId(x), NodeId(y)], &cfg).unwrap();
+                assert_eq!(
+                    !aut.is_empty(),
+                    ref_answers.contains(&vec![NodeId(x), NodeId(y)]),
+                    "emptiness disagrees at ({x},{y})"
+                );
+            }
+        }
+    });
+}
+
+/// The size-gated fallback paths: a relation automaton past the dense-engine
+/// state bound must route candidate verification, reachability, and the
+/// answer-automaton construction through the classical sparse code while
+/// producing exactly the reference answers.
+#[test]
+fn oversized_relation_automata_fall_back_correctly() {
+    // a^2100 as a 2101-state chain NFA — past the ~2k dense-engine bound.
+    const LEN: usize = 2100;
+    const CYCLE: usize = 30; // LEN % CYCLE == 0, so a^LEN loops back to start
+    let mut g = GraphDb::new(Alphabet::from_labels(["a"]));
+    let nodes = g.add_nodes(CYCLE);
+    let a = g.alphabet().sym("a");
+    for i in 0..CYCLE {
+        g.add_edge(nodes[i], a, nodes[(i + 1) % CYCLE]);
+    }
+    let mut chain = ecrpq_automata::Nfa::new();
+    let states = chain.add_states(LEN + 1);
+    chain.add_initial(states[0]);
+    chain.set_accepting(states[LEN], true);
+    for i in 0..LEN {
+        chain.add_transition(states[i], a, states[i + 1]);
+    }
+    let al = g.alphabet().clone();
+    let rel = ecrpq_automata::RegularRelation::from_language(&chain);
+    assert!(rel.num_states() > 2048, "test must exceed the dense-engine bound");
+
+    // Head paths force the convolution search even for this arity-1 query.
+    let q = Ecrpq::builder(&al)
+        .head_nodes(&["x", "y"])
+        .head_paths(&["p"])
+        .atom("x", "p", "y")
+        .relation(rel, &["p"])
+        .build()
+        .unwrap();
+    let cfg = EvalConfig { max_search_states: 500_000, ..EvalConfig::default() };
+
+    // Dense entry point (which must dispatch to the fallback) vs reference.
+    let (dense, dense_stats) = eval::eval_nodes_with_stats(&q, &g, &cfg).unwrap();
+    let (refr, ref_stats) = reference::eval_nodes_with_stats(&q, &g, &cfg).unwrap();
+    assert_eq!(sorted(dense.clone()), sorted(refr));
+    assert_eq!(dense_stats.verified, ref_stats.verified);
+    // a^2100 from node i always ends back at node i on a 30-cycle.
+    let expected: Vec<Vec<NodeId>> =
+        (0..CYCLE as u32).map(|i| vec![NodeId(i), NodeId(i)]).collect();
+    assert_eq!(sorted(dense), expected);
+
+    // Answer automaton (classical fallback): non-empty exactly at (v, v),
+    // accepting the a^LEN path and rejecting the short cycle.
+    let aut = answers::answer_automaton(&q, &g, &[nodes[0], nodes[0]], &cfg).unwrap();
+    assert!(!aut.is_empty());
+    let mut long_path = ecrpq_graph::Path::empty(nodes[0]);
+    let mut short_path = ecrpq_graph::Path::empty(nodes[0]);
+    for i in 0..LEN {
+        long_path.push(a, nodes[(i + 1) % CYCLE]);
+        if i < CYCLE {
+            short_path.push(a, nodes[(i + 1) % CYCLE]);
+        }
+    }
+    assert!(aut.contains(&[long_path]));
+    assert!(!aut.contains(&[short_path]));
+    let aut_off = answers::answer_automaton(&q, &g, &[nodes[0], nodes[1]], &cfg).unwrap();
+    assert!(aut_off.is_empty());
+}
