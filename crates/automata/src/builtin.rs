@@ -151,7 +151,7 @@ pub fn hamming_leq(alphabet: &Alphabet, k: usize) -> RegularRelation {
             }
         }
     }
-    RegularRelation::from_nfa(2, nfa).named("hamming_le")
+    RegularRelation::from_nfa(2, nfa).named(&format!("hamming_le_{k}"))
 }
 
 /// Bounded edit distance `D≤k`: pairs of words at Levenshtein distance at
@@ -160,7 +160,7 @@ pub fn hamming_leq(alphabet: &Alphabet, k: usize) -> RegularRelation {
 pub fn edit_distance_leq(alphabet: &Alphabet, k: usize) -> RegularRelation {
     let transducer = edit_distance_transducer(alphabet, k);
     let nfa = transducer.synchronize(k);
-    RegularRelation::from_nfa(2, nfa).named("edit_le")
+    RegularRelation::from_nfa(2, nfa).named(&format!("edit_le_{k}"))
 }
 
 /// The universal binary relation (any pair of words). Useful for padding

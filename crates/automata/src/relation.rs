@@ -14,6 +14,7 @@ use crate::alphabet::{convolution, product_alphabet, Alphabet, Symbol, TupleSym}
 use crate::dfa::complement_nfa;
 use crate::nfa::{Nfa, StateId};
 use crate::regex::{Regex, RegexError};
+use crate::sim::CompactNfa;
 use std::sync::{Arc, OnceLock};
 
 /// An n-ary regular relation over Σ, represented by a synchronous automaton
@@ -34,6 +35,19 @@ pub struct RegularRelation {
     name: Option<String>,
     /// Memoized per-tape projections (index = tape), shared across clones.
     projections: Arc<Vec<OnceLock<Arc<Nfa<Symbol>>>>>,
+    /// Memoized dense simulation tables of the relation automaton, shared
+    /// across clones: preparing the same relation into several queries (or
+    /// the same prepared query against several graphs) compiles the tables
+    /// exactly once.
+    sim: Arc<OnceLock<Arc<CompactNfa<TupleSym>>>>,
+    /// Memoized dense simulation tables of the per-tape projections (the
+    /// unary constraints the reachability pass runs), shared across clones.
+    projection_sims: Arc<Vec<OnceLock<Arc<CompactNfa<Symbol>>>>>,
+    /// Memoized largest component-symbol index over all transition letters
+    /// (`None` if the automaton reads nothing). The query compiler sizes its
+    /// tuple-code radix with this; memoizing keeps repeated one-shot
+    /// compilations of large automata from rescanning every transition.
+    max_symbol: Arc<OnceLock<Option<u32>>>,
 }
 
 impl RegularRelation {
@@ -43,6 +57,9 @@ impl RegularRelation {
             nfa: Arc::new(nfa),
             name,
             projections: Arc::new((0..arity).map(|_| OnceLock::new()).collect()),
+            sim: Arc::new(OnceLock::new()),
+            projection_sims: Arc::new((0..arity).map(|_| OnceLock::new()).collect()),
+            max_symbol: Arc::new(OnceLock::new()),
         }
     }
 
@@ -113,6 +130,57 @@ impl RegularRelation {
         let cached =
             self.projections[tape].get_or_init(|| Arc::new(self.nfa.map_symbols(|t| t.get(tape))));
         Arc::clone(cached)
+    }
+
+    /// The relation automaton compiled into dense simulation tables, memoized
+    /// behind the shared handle: every clone of this relation (every query it
+    /// is prepared into, every graph a prepared query is bound to) reuses one
+    /// compilation.
+    pub fn compiled_sim(&self) -> Arc<CompactNfa<TupleSym>> {
+        Arc::clone(self.sim.get_or_init(|| Arc::new(CompactNfa::compile(&self.nfa))))
+    }
+
+    /// True if [`compiled_sim`](Self::compiled_sim) has already been built
+    /// (used by the evaluator's cache-hit counters).
+    pub fn compiled_sim_is_cached(&self) -> bool {
+        self.sim.get().is_some()
+    }
+
+    /// The tape-`i` projection compiled into dense simulation tables,
+    /// memoized like [`compiled_sim`](Self::compiled_sim). This is what the
+    /// reachability pass of the evaluator runs, so caching it here shares the
+    /// compiled unary constraint across every evaluation of the relation.
+    pub fn projection_sim(&self, tape: usize) -> Arc<CompactNfa<Symbol>> {
+        assert!(tape < self.arity);
+        let cached = self.projection_sims[tape]
+            .get_or_init(|| Arc::new(CompactNfa::compile(&self.project(tape))));
+        Arc::clone(cached)
+    }
+
+    /// True if [`projection_sim`](Self::projection_sim) for `tape` has
+    /// already been built.
+    pub fn projection_sim_is_cached(&self, tape: usize) -> bool {
+        assert!(tape < self.arity);
+        self.projection_sims[tape].get().is_some()
+    }
+
+    /// The largest component-symbol index read by any transition letter
+    /// (`None` when the automaton reads no symbols at all). Memoized behind
+    /// the shared handle; the scan itself allocates nothing.
+    pub fn max_symbol_index(&self) -> Option<u32> {
+        *self.max_symbol.get_or_init(|| {
+            let mut max: Option<u32> = None;
+            for q in 0..self.nfa.num_states() as StateId {
+                for (t, _) in self.nfa.transitions_from(q) {
+                    for i in 0..t.arity() {
+                        if let Some(s) = t.get(i) {
+                            max = Some(max.map_or(s.0, |m| m.max(s.0)));
+                        }
+                    }
+                }
+            }
+            max
+        })
     }
 
     /// Projects the relation onto a subset of its tapes (in the given order),
@@ -311,6 +379,28 @@ mod tests {
         let normalized = sloppy.normalize_padding(&al);
         assert!(!normalized.nfa().accepts(&bad_word));
         assert!(normalized.is_empty());
+    }
+
+    #[test]
+    fn compiled_sim_is_memoized_across_clones() {
+        let al = ab();
+        let eq = RegularRelation::from_regex("(<a,a>|<b,b>)*", &al, 2).unwrap();
+        assert!(!eq.compiled_sim_is_cached());
+        assert!(!eq.projection_sim_is_cached(0));
+        let clone = eq.clone();
+        let sim = eq.compiled_sim();
+        // The clone sees the same compilation (shared cache, same allocation).
+        assert!(clone.compiled_sim_is_cached());
+        assert!(Arc::ptr_eq(&sim, &clone.compiled_sim()));
+        let p0 = clone.projection_sim(0);
+        assert!(eq.projection_sim_is_cached(0));
+        assert!(!eq.projection_sim_is_cached(1));
+        assert!(Arc::ptr_eq(&p0, &eq.projection_sim(0)));
+        // The compiled tables simulate the same language.
+        let (a, b) = (al.sym("a"), al.sym("b"));
+        let conv = convolution(&[&[a, b][..], &[a, b][..]]);
+        assert!(sim.accepts(&conv));
+        assert!(p0.accepts(&[a, b]));
     }
 
     #[test]

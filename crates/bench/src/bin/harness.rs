@@ -15,6 +15,8 @@
 //!   full      the full sweeps (default)
 //!   quick     shrunk sweeps, finishes in a few seconds (CI-style runs)
 //!   smoke     only the smallest size point of each experiment family
+//!   prepared  only the prepared-query pipeline experiment (compile vs run
+//!             columns + the `prepared_reuse` micro-family), at full size
 //!
 //! OPTIONS:
 //!   --baseline <path>   additionally write all experiments as one combined
@@ -30,6 +32,8 @@ use ecrpq_bench::{json, print_table, workloads, Measurement};
 /// Parsed command line.
 struct Args {
     mode: Mode,
+    /// `prepared` mode: run only the prepared-pipeline experiment.
+    only_prepared: bool,
     baseline_out: Option<String>,
     compare: Option<String>,
     threshold: f64,
@@ -53,13 +57,23 @@ impl Mode {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { mode: Mode::Full, baseline_out: None, compare: None, threshold: 1.3 };
+    let mut args = Args {
+        mode: Mode::Full,
+        only_prepared: false,
+        baseline_out: None,
+        compare: None,
+        threshold: 1.3,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "full" => args.mode = Mode::Full,
             "quick" => args.mode = Mode::Quick,
             "smoke" => args.mode = Mode::Smoke,
+            "prepared" => {
+                args.mode = Mode::Full;
+                args.only_prepared = true;
+            }
             "--baseline" => args.baseline_out = Some(flag_value(&mut it, "--baseline")),
             "--compare" => args.compare = Some(flag_value(&mut it, "--compare")),
             "--threshold" => {
@@ -99,6 +113,11 @@ impl Report {
     /// Prints one experiment's table and writes its `BENCH_<id>.json` file.
     fn report(&mut self, id: &str, title: &str, measurements: &[Measurement], exponential: bool) {
         print_table(title, measurements, exponential);
+        self.report_quiet(id, measurements);
+    }
+
+    /// Records an experiment whose table the caller already printed.
+    fn report_quiet(&mut self, id: &str, measurements: &[Measurement]) {
         let path = format!("BENCH_{id}.json");
         let doc = json::experiment(id, self.mode, measurements);
         match std::fs::write(&path, &doc) {
@@ -116,9 +135,15 @@ impl Report {
 fn main() {
     let args = parse_args();
     let mode = args.mode;
+    let mode_name = if args.only_prepared { "prepared" } else { mode.name() };
     println!("ECRPQ reproduction harness — regenerating the Figure 1 experiments");
-    println!("(mode: {})", mode.name());
-    let mut rep = Report { docs: Vec::new(), current: Vec::new(), mode: mode.name() };
+    println!("(mode: {mode_name})");
+    let mut rep = Report { docs: Vec::new(), current: Vec::new(), mode: mode_name };
+    if args.only_prepared {
+        run_prepared(mode, &mut rep);
+        finish(&args, rep);
+        return;
+    }
 
     // F1a-D1 / F1a-D2: data complexity.
     let sizes: &[usize] = match mode {
@@ -255,8 +280,34 @@ fn main() {
         false,
     );
 
+    // PREP: the prepared-query pipeline (compile vs run, reuse family).
+    run_prepared(mode, &mut rep);
+
+    finish(&args, rep);
+}
+
+/// Runs the prepared-pipeline experiment: a compile/run split of
+/// representative workloads plus the `prepared_reuse` micro-family (one
+/// query, N fresh graphs; the compile column collapses to ≈ 0 on reuse).
+fn run_prepared(mode: Mode, rep: &mut Report) {
+    let (graphs, n, rei_m, edit_k) = match mode {
+        Mode::Full => (5, 400, 3, 2),
+        Mode::Quick => (3, 100, 2, 1),
+        Mode::Smoke => (2, 50, 1, 1),
+    };
+    let mut m = workloads::prepared_split(n, rei_m, edit_k);
+    m.extend(workloads::prepared_reuse(graphs, n));
+    ecrpq_bench::print_compile_run_table(
+        "PREP prepared-query pipeline: compile vs run (reuse = same query, fresh graphs)",
+        &m,
+    );
+    rep.report_quiet("prepared", &m);
+}
+
+/// Writes the baseline document and runs the regression gate.
+fn finish(args: &Args, rep: Report) {
     if let Some(path) = &args.baseline_out {
-        let doc = json::baseline_document(mode.name(), &rep.docs);
+        let doc = json::baseline_document(rep.mode, &rep.docs);
         if let Some(parent) = std::path::Path::new(path).parent() {
             let _ = std::fs::create_dir_all(parent);
         }

@@ -554,6 +554,130 @@ pub mod workloads {
         out
     }
 
+    // ------------------------------------------------------------------
+    // PREP-1 / PREP-2: the prepared-query pipeline (compile vs run)
+    // ------------------------------------------------------------------
+
+    /// The `prepared_reuse` micro-family: one query prepared once, then
+    /// bound and run against `graphs` fresh graphs of `n` nodes. Per graph
+    /// `i` three series are recorded:
+    ///
+    /// * `reuse_compile` — the time to make every compiled automaton
+    ///   artifact available before run `i` (prepare + [`PreparedQuery::warm`]
+    ///   on the first graph; pure cache hits, ≈ 0, afterwards);
+    /// * `reuse_run` — bind + execute with the prepared query;
+    /// * `reuse_oneshot` — the classic one-shot `eval_nodes` on the same
+    ///   graph, for comparison.
+    ///
+    /// [`PreparedQuery::warm`]: ecrpq::eval::PreparedQuery::warm
+    pub fn prepared_reuse(graphs: usize, n: usize) -> Vec<Measurement> {
+        use ecrpq::eval::PreparedQuery;
+        let cfg = config();
+        let mut out = Vec::new();
+        let g0 = data_complexity_graph(n, 1);
+        let (_, query) = data_queries(&g0);
+        let mut prepared: Option<PreparedQuery> = None;
+        for i in 1..=graphs {
+            let g = data_complexity_graph(n, i as u64);
+            let start = Instant::now();
+            let pq = prepared.get_or_insert_with(|| ecrpq::eval::prepare(&query).unwrap());
+            let (hits, misses) = pq.warm();
+            out.push(Measurement {
+                series: "reuse_compile".to_string(),
+                param: i as u64,
+                seconds: start.elapsed().as_secs_f64(),
+                note: format!("cache_hits={hits} cache_misses={misses}"),
+            });
+            let pq = prepared.as_ref().unwrap();
+            out.push(measure("reuse_run", i as u64, || {
+                let bound = pq.bind(&g).unwrap();
+                let (ans, stats) = bound.run_nodes(&cfg).unwrap();
+                format!("answers={} cache_hits={}", ans.len(), stats.sim_cache_hits)
+            }));
+            out.push(measure("reuse_oneshot", i as u64, || {
+                format!("answers={}", eval::eval_nodes(&query, &g, &cfg).unwrap().len())
+            }));
+        }
+        out
+    }
+
+    /// Compile/run split of representative workloads: per point, a
+    /// `<name>_compile` series (query construction + prepare + warm, rebuilt
+    /// from scratch every sample so the compilation is cold) and a
+    /// `<name>_run` series (bind + execute with a pre-warmed prepared
+    /// query). Shows compilation cost as an explicit, separate line item.
+    pub fn prepared_split(n: usize, rei_m: usize, edit_k: usize) -> Vec<Measurement> {
+        let cfg = config();
+        let mut out = Vec::new();
+
+        // Data-complexity ECRPQ over a random graph.
+        let g = data_complexity_graph(n, 7);
+        let build = || data_queries(&g).1;
+        out.push(measure("data_ecrpq_compile", n as u64, || {
+            let q = build();
+            let pq = ecrpq::eval::prepare(&q).unwrap();
+            let (_, misses) = pq.warm();
+            format!("compiled={misses}")
+        }));
+        let q = build();
+        let pq = ecrpq::eval::prepare(&q).unwrap();
+        pq.warm();
+        out.push(measure("data_ecrpq_run", n as u64, || {
+            let (holds, _) = pq.bind(&g).unwrap().run_boolean(&cfg).unwrap();
+            format!("answer={holds}")
+        }));
+
+        // The REI ECRPQ family (counting automata + equality relations).
+        let (q, g) = rei_query(rei_m, true);
+        out.push(measure("rei_ecrpq_compile", rei_m as u64, || {
+            let (q, _) = rei_query(rei_m, true);
+            let pq = ecrpq::eval::prepare(&q).unwrap();
+            let (_, misses) = pq.warm();
+            format!("compiled={misses}")
+        }));
+        let pq = ecrpq::eval::prepare(&q).unwrap();
+        pq.warm();
+        out.push(measure("rei_ecrpq_run", rei_m as u64, || {
+            let (holds, _) = pq.bind(&g).unwrap().run_boolean(&cfg).unwrap();
+            format!("answer={holds}")
+        }));
+
+        // Edit distance D≤k between two reads (compile-heavy relation).
+        let seq1 = generators::random_dna(10, 21);
+        let mut seq2 = seq1.clone();
+        seq2[3] = "A";
+        seq2.remove(7);
+        let w = generators::sequence_pair_graph(&seq1, &seq2, false);
+        let al = w.graph.alphabet().clone();
+        let build = |k: usize| {
+            Ecrpq::builder(&al)
+                .atom("x1", "p1", "y1")
+                .atom("x2", "p2", "y2")
+                .relation(builtin::edit_distance_leq(&al, k), &["p1", "p2"])
+                .bind_node("x1", "s0")
+                .bind_node("y1", &format!("s{}", seq1.len()))
+                .bind_node("x2", "t0")
+                .bind_node("y2", &format!("t{}", seq2.len()))
+                .build()
+                .unwrap()
+        };
+        out.push(measure("edit_distance_compile", edit_k as u64, || {
+            let q = build(edit_k);
+            let pq = ecrpq::eval::prepare(&q).unwrap();
+            let (_, misses) = pq.warm();
+            format!("compiled={misses}")
+        }));
+        let q = build(edit_k);
+        let pq = ecrpq::eval::prepare(&q).unwrap();
+        pq.warm();
+        out.push(measure("edit_distance_run", edit_k as u64, || {
+            let (holds, _) = pq.bind(&w.graph).unwrap().run_boolean(&cfg).unwrap();
+            format!("within={holds}")
+        }));
+
+        out
+    }
+
     /// Square-pattern matching (pattern `XX`) over string graphs of growing
     /// length.
     pub fn app_pattern(sizes: &[usize]) -> Vec<Measurement> {
@@ -574,6 +698,49 @@ pub mod workloads {
             }));
         }
         out
+    }
+}
+
+/// Pretty-prints the prepared-pipeline measurements: one row per
+/// `(workload, param)` point with the compile time and the run time as
+/// separate columns (plus the one-shot total where recorded). Rows are
+/// paired by series suffix: `<base>_compile` / `<base>_run` /
+/// `<base>_oneshot`.
+pub fn print_compile_run_table(title: &str, measurements: &[Measurement]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<22} {:>8} {:>13} {:>13} {:>13}  note",
+        "workload", "param", "compile s", "run s", "oneshot s"
+    );
+    let find = |series: &str, param: u64| {
+        measurements.iter().find(|m| m.series == series && m.param == param)
+    };
+    for m in measurements {
+        let Some(base) = m.series.strip_suffix("_compile") else {
+            continue;
+        };
+        let run = find(&format!("{base}_run"), m.param);
+        let oneshot = find(&format!("{base}_oneshot"), m.param);
+        let fmt =
+            |m: Option<&Measurement>| m.map_or("-".to_string(), |m| format!("{:.6}", m.seconds));
+        let mut note = m.note.clone();
+        if let Some(r) = run {
+            if !r.note.is_empty() {
+                if !note.is_empty() {
+                    note.push_str("; ");
+                }
+                note.push_str(&r.note);
+            }
+        }
+        println!(
+            "{:<22} {:>8} {:>13.6} {:>13} {:>13}  {}",
+            base,
+            m.param,
+            m.seconds,
+            fmt(run),
+            fmt(oneshot),
+            note
+        );
     }
 }
 

@@ -9,7 +9,8 @@
 //! backtracks into dead branches.
 
 use crate::error::QueryError;
-use crate::eval::plan::{self, Compiled, ReachRel};
+use crate::eval::plan::{self, ReachRel};
+use crate::eval::prepared::PreparedQuery;
 use crate::eval::EvalConfig;
 use crate::query::Ecrpq;
 use ecrpq_graph::{GraphDb, NodeId};
@@ -39,18 +40,20 @@ pub fn eval_acyclic_crpq(
                 .to_string(),
         ));
     }
-    let compiled = Compiled::new(query, graph)?;
-    let reach: Vec<ReachRel> = (0..compiled.path_vars.len())
-        .map(|p| plan::reachability(graph, &compiled, compiled.unary[p].as_deref()))
-        .collect();
+    let prepared = PreparedQuery::prepare(query)?;
+    let bound = prepared.bind(graph)?;
+    let pq = bound.prepared();
+    let mut stats = plan::EvalStats::default();
+    let reach: Vec<ReachRel> =
+        (0..pq.path_vars.len()).map(|p| plan::reachability(&bound, p, &mut stats)).collect();
 
-    let num_vars = compiled.node_vars.len();
-    let edges: Vec<AtomEdge> = (0..compiled.path_vars.len())
-        .map(|p| AtomEdge { path: p, from: compiled.path_from[p], to: compiled.path_to[p] })
+    let num_vars = pq.node_vars.len();
+    let edges: Vec<AtomEdge> = (0..pq.path_vars.len())
+        .map(|p| AtomEdge { path: p, from: pq.path_from[p], to: pq.path_to[p] })
         .collect();
 
     // Initial domains: all nodes, restricted by constants.
-    let constants: HashMap<usize, NodeId> = compiled.constants.iter().copied().collect();
+    let constants: HashMap<usize, NodeId> = bound.constants.iter().copied().collect();
     let all_nodes: Vec<NodeId> = graph.nodes().collect();
     let mut domains: Vec<HashSet<NodeId>> = (0..num_vars)
         .map(|v| match constants.get(&v) {
@@ -124,7 +127,7 @@ pub fn eval_acyclic_crpq(
         &reach,
         &domains,
         &mut assignment,
-        &compiled,
+        &pq.head_node_idx,
         &mut answers,
         &mut budget,
     )?;
@@ -139,7 +142,7 @@ fn enumerate(
     reach: &[ReachRel],
     domains: &[HashSet<NodeId>],
     assignment: &mut Vec<Option<NodeId>>,
-    compiled: &Compiled,
+    head_node_idx: &[usize],
     answers: &mut HashSet<Vec<NodeId>>,
     budget: &mut u64,
 ) -> Result<(), QueryError> {
@@ -150,8 +153,7 @@ fn enumerate(
             });
         }
         *budget -= 1;
-        let head: Vec<NodeId> =
-            compiled.head_node_idx.iter().map(|&i| assignment[i].unwrap()).collect();
+        let head: Vec<NodeId> = head_node_idx.iter().map(|&i| assignment[i].unwrap()).collect();
         answers.insert(head);
         return Ok(());
     }
@@ -171,7 +173,7 @@ fn enumerate(
                 reach,
                 domains,
                 assignment,
-                compiled,
+                head_node_idx,
                 answers,
                 budget,
             )?;

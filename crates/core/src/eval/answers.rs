@@ -15,7 +15,8 @@
 
 use crate::error::QueryError;
 use crate::eval::dense::{odometer_next, Arena, Layout};
-use crate::eval::plan::{self, Compiled, RelSim};
+use crate::eval::plan;
+use crate::eval::prepared::{BoundPlan, PreparedQuery, RelSim};
 use crate::eval::EvalConfig;
 use crate::query::Ecrpq;
 use ecrpq_automata::alphabet::{Symbol, TupleSym};
@@ -95,49 +96,66 @@ pub fn answer_automaton(
     nodes: &[NodeId],
     config: &EvalConfig,
 ) -> Result<AnswerAutomaton, QueryError> {
-    let compiled = Compiled::new(query, graph)?;
-    if nodes.len() != compiled.head_node_idx.len() {
-        return Err(QueryError::Unsupported(format!(
-            "expected {} head node values, got {}",
-            compiled.head_node_idx.len(),
-            nodes.len()
-        )));
-    }
-    if !compiled.counters.is_empty() {
-        return Err(QueryError::Unsupported(
-            "answer automata are not defined for queries with linear constraints".to_string(),
-        ));
-    }
-    let arity = compiled.head_path_idx.len();
+    let prepared = PreparedQuery::prepare(query)?;
+    prepared.bind(graph)?.answer_automaton(nodes, config)
+}
 
-    // Build one product automaton per Q-compatible candidate assignment σ
-    // that extends the given head nodes, and take their union. The states are
-    // the convolution-search states; transitions alternate Letter and Nodes.
-    let mut nfa: Nfa<EncLetter> = Nfa::new();
-    let mut stats = plan::EvalStats::default();
-
-    // Enumerate candidates via the same machinery as the evaluator, by
-    // temporarily binding head node variables as constants.
-    let mut bound = compiled.clone();
-    for (i, &vi) in compiled.head_node_idx.iter().enumerate() {
-        bound.constants.push((vi, nodes[i]));
-    }
-    let reach: Vec<plan::ReachRel> = (0..compiled.path_vars.len())
-        .map(|p| plan::reachability(graph, &compiled, compiled.unary[p].as_deref()))
-        .collect();
-
-    let mut err: Option<QueryError> = None;
-    plan::enumerate_candidates(&bound, graph, &reach, config, &mut stats, |sigma| {
-        if let Err(e) = add_candidate_automaton(&mut nfa, &compiled, graph, sigma, arity, config) {
-            err = Some(e);
-            return false;
+impl BoundPlan<'_> {
+    /// Builds the answer automaton of Proposition 5.2 for this plan's head
+    /// path variables with the head node variables bound to `nodes`
+    /// (prepared-pipeline counterpart of [`answer_automaton`]).
+    pub fn answer_automaton(
+        &self,
+        nodes: &[NodeId],
+        config: &EvalConfig,
+    ) -> Result<AnswerAutomaton, QueryError> {
+        let pq = self.pq;
+        if nodes.len() != pq.head_node_idx.len() {
+            return Err(QueryError::Unsupported(format!(
+                "expected {} head node values, got {}",
+                pq.head_node_idx.len(),
+                nodes.len()
+            )));
         }
-        true
-    })?;
-    if let Some(e) = err {
-        return Err(e);
+        if !self.counters.is_empty() {
+            return Err(QueryError::Unsupported(
+                "answer automata are not defined for queries with linear constraints".to_string(),
+            ));
+        }
+        let arity = pq.head_path_idx.len();
+
+        // Build one product automaton per Q-compatible candidate assignment σ
+        // that extends the given head nodes, and take their union. The states
+        // are the convolution-search states; transitions alternate Letter and
+        // Nodes.
+        let mut nfa: Nfa<EncLetter> = Nfa::new();
+        let mut stats = plan::EvalStats::default();
+        if pq.dense_search {
+            pq.force_rel_sims(&mut stats);
+        }
+
+        // Enumerate candidates via the same machinery as the evaluator, with
+        // the head node variables joining the constants.
+        let mut constants = self.constants.clone();
+        for (i, &vi) in pq.head_node_idx.iter().enumerate() {
+            constants.push((vi, nodes[i]));
+        }
+        let reach: Vec<plan::ReachRel> =
+            (0..pq.path_vars.len()).map(|p| plan::reachability(self, p, &mut stats)).collect();
+
+        let mut err: Option<QueryError> = None;
+        plan::enumerate_candidates(self, &constants, &reach, config, &mut stats, |sigma| {
+            if let Err(e) = add_candidate_automaton(&mut nfa, self, sigma, arity, config) {
+                err = Some(e);
+                return false;
+            }
+            true
+        })?;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(AnswerAutomaton { nfa: nfa.trim(), arity })
     }
-    Ok(AnswerAutomaton { nfa: nfa.trim(), arity })
 }
 
 // The construction explores the same product states as the convolution
@@ -150,26 +168,28 @@ pub fn answer_automaton(
 
 fn add_candidate_automaton(
     nfa: &mut Nfa<EncLetter>,
-    compiled: &Compiled,
-    graph: &GraphDb,
+    plan: &BoundPlan<'_>,
     sigma: &[NodeId],
     arity: usize,
     config: &EvalConfig,
 ) -> Result<(), QueryError> {
-    if !compiled.dense_search {
+    let pq = plan.pq;
+    let graph = plan.graph;
+    if !pq.dense_search {
         // Oversized relation automata: fall back to the classical
-        // cloned-state construction (see the note on `Compiled::dense_search`).
-        return add_candidate_automaton_classic(nfa, compiled, graph, sigma, arity, config);
+        // cloned-state construction (see the note on
+        // `PreparedQuery::dense_search`).
+        return add_candidate_automaton_classic(nfa, plan, sigma, arity, config);
     }
     // Check repeated-atom endpoint consistency.
-    for &(p, f, t) in &compiled.extra_endpoints {
-        if sigma[f] != sigma[compiled.path_from[p]] || sigma[t] != sigma[compiled.path_to[p]] {
+    for &(p, f, t) in &pq.extra_endpoints {
+        if sigma[f] != sigma[pq.path_from[p]] || sigma[t] != sigma[pq.path_to[p]] {
             return Ok(());
         }
     }
-    let num_paths = compiled.path_vars.len();
-    let head = &compiled.head_path_idx;
-    let sims: Vec<&RelSim> = compiled.relations.iter().map(|r| r.sim(compiled.code_base)).collect();
+    let num_paths = pq.path_vars.len();
+    let head = &pq.head_path_idx;
+    let sims: Vec<&RelSim> = pq.relations.iter().map(|r| r.sim(pq.code_base)).collect();
 
     // Same word layout as the convolution search, without counters.
     let layout = Layout::new(num_paths, &sims, 0);
@@ -177,7 +197,7 @@ fn add_candidate_automaton(
 
     let accepts_key = |key: &[u64]| -> bool {
         (0..num_paths)
-            .all(|p| key[p] & 1 == 1 || NodeId((key[p] >> 1) as u32) == sigma[compiled.path_to[p]])
+            .all(|p| key[p] & 1 == 1 || NodeId((key[p] >> 1) as u32) == sigma[pq.path_to[p]])
             && sims.iter().enumerate().all(|(j, rs)| {
                 rs.sim.any_accepting_blocks(&key[rel_off[j]..rel_off[j] + rel_blocks[j]])
             })
@@ -214,7 +234,7 @@ fn add_candidate_automaton(
     // Encode the initial state.
     let mut initial = vec![0u64; words];
     for p in 0..num_paths {
-        initial[p] = (sigma[compiled.path_from[p]].0 as u64) << 1;
+        initial[p] = (sigma[pq.path_from[p]].0 as u64) << 1;
     }
     for (j, rs) in sims.iter().enumerate() {
         initial[rel_off[j]..rel_off[j] + rel_blocks[j]]
@@ -256,7 +276,7 @@ fn add_candidate_automaton(
                 for &(label, to) in graph.out_edges(node) {
                     opts.push(Some((label, to)));
                 }
-                if node == sigma[compiled.path_to[p]] {
+                if node == sigma[pq.path_to[p]] {
                     opts.push(None); // finish here
                 }
             }
@@ -273,7 +293,7 @@ fn add_candidate_automaton(
             let any_real = (0..num_paths).any(|p| options[p][choice[p]].is_some());
             if any_real
                 && apply_move(
-                    compiled,
+                    plan,
                     &sims,
                     rel_off,
                     rel_blocks,
@@ -287,7 +307,7 @@ fn add_candidate_automaton(
             {
                 let letter = EncLetter::Letter(TupleSym::new(
                     head.iter()
-                        .map(|&p| options[p][choice[p]].map(|(l, _)| compiled.translate(l)))
+                        .map(|&p| options[p][choice[p]].map(|(l, _)| plan.translate(l)))
                         .collect(),
                 ));
                 let (nb, _na) = intern(&next, nfa, &mut arena, &mut pairs, &mut queue);
@@ -306,7 +326,7 @@ fn add_candidate_automaton(
 /// automaton has no matching transition.
 #[allow(clippy::too_many_arguments)]
 fn apply_move(
-    compiled: &Compiled,
+    plan: &BoundPlan<'_>,
     sims: &[&RelSim],
     rel_off: &[usize],
     rel_blocks: &[usize],
@@ -322,7 +342,7 @@ fn apply_move(
         match options[p][choice[p]] {
             Some((label, to)) => {
                 next[p] = (to.0 as u64) << 1;
-                letters[p] = Some(compiled.translate(label));
+                letters[p] = Some(plan.translate(label));
             }
             None => {
                 next[p] = cur[p] | 1; // keep the node, set the done flag
@@ -330,7 +350,7 @@ fn apply_move(
             }
         }
     }
-    plan::advance_relations(compiled, sims, rel_off, rel_blocks, letters, cur, rel_scratch, next)
+    plan::advance_relations(plan.pq, sims, rel_off, rel_blocks, letters, cur, rel_scratch, next)
 }
 
 // ---------------------------------------------------------------------------
@@ -352,24 +372,25 @@ struct AState {
 /// frontier instead of the automaton size.
 fn add_candidate_automaton_classic(
     nfa: &mut Nfa<EncLetter>,
-    compiled: &Compiled,
-    graph: &GraphDb,
+    plan: &BoundPlan<'_>,
     sigma: &[NodeId],
     _arity: usize,
     config: &EvalConfig,
 ) -> Result<(), QueryError> {
+    let pq = plan.pq;
+    let graph = plan.graph;
     // Check repeated-atom endpoint consistency.
-    for &(p, f, t) in &compiled.extra_endpoints {
-        if sigma[f] != sigma[compiled.path_from[p]] || sigma[t] != sigma[compiled.path_to[p]] {
+    for &(p, f, t) in &pq.extra_endpoints {
+        if sigma[f] != sigma[pq.path_from[p]] || sigma[t] != sigma[pq.path_to[p]] {
             return Ok(());
         }
     }
-    let num_paths = compiled.path_vars.len();
-    let head = &compiled.head_path_idx;
+    let num_paths = pq.path_vars.len();
+    let head = &pq.head_path_idx;
 
     let initial = AState {
-        pos: (0..num_paths).map(|p| (sigma[compiled.path_from[p]], false)).collect(),
-        rel: compiled.relations.iter().map(|r| r.nfa.epsilon_closure(r.nfa.initial())).collect(),
+        pos: (0..num_paths).map(|p| (sigma[pq.path_from[p]], false)).collect(),
+        rel: pq.relations.iter().map(|r| r.nfa.epsilon_closure(r.nfa.initial())).collect(),
     };
 
     // Each search state becomes *two* automaton states: one expecting the
@@ -380,11 +401,8 @@ fn add_candidate_automaton_classic(
     let mut queue: VecDeque<AState> = VecDeque::new();
 
     let accepts = |s: &AState| -> bool {
-        s.pos
-            .iter()
-            .enumerate()
-            .all(|(p, &(node, done))| done || node == sigma[compiled.path_to[p]])
-            && compiled
+        s.pos.iter().enumerate().all(|(p, &(node, done))| done || node == sigma[pq.path_to[p]])
+            && pq
                 .relations
                 .iter()
                 .enumerate()
@@ -438,7 +456,7 @@ fn add_candidate_automaton_classic(
                 for &(label, to) in graph.out_edges(node) {
                     opts.push(Some((label, to)));
                 }
-                if node == sigma[compiled.path_to[p]] {
+                if node == sigma[pq.path_to[p]] {
                     opts.push(None); // finish here
                 }
             }
@@ -456,11 +474,9 @@ fn add_candidate_automaton_classic(
             let picks: Vec<Option<(Symbol, NodeId)>> =
                 (0..num_paths).map(|p| options[p][choice[p]]).collect();
             if picks.iter().any(|o| o.is_some()) {
-                if let Some(next) = apply_move_classic(compiled, &state, &picks) {
+                if let Some(next) = apply_move_classic(plan, &state, &picks) {
                     let letter = EncLetter::Letter(TupleSym::new(
-                        head.iter()
-                            .map(|&p| picks[p].map(|(l, _)| compiled.translate(l)))
-                            .collect(),
+                        head.iter().map(|&p| picks[p].map(|(l, _)| plan.translate(l))).collect(),
                     ));
                     let acc = accepts(&next);
                     let (nb, _na) =
@@ -486,7 +502,7 @@ fn add_candidate_automaton_classic(
 }
 
 fn apply_move_classic(
-    compiled: &Compiled,
+    plan: &BoundPlan<'_>,
     state: &AState,
     picks: &[Option<(Symbol, NodeId)>],
 ) -> Option<AState> {
@@ -496,7 +512,7 @@ fn apply_move_classic(
         match pick {
             Some((label, to)) => {
                 pos.push((*to, false));
-                letters.push(Some(compiled.translate(*label)));
+                letters.push(Some(plan.translate(*label)));
             }
             None => {
                 pos.push((state.pos[p].0, true));
@@ -504,8 +520,8 @@ fn apply_move_classic(
             }
         }
     }
-    let mut rel = Vec::with_capacity(compiled.relations.len());
-    for (j, r) in compiled.relations.iter().enumerate() {
+    let mut rel = Vec::with_capacity(plan.pq.relations.len());
+    for (j, r) in plan.pq.relations.iter().enumerate() {
         let tuple: Vec<Option<Symbol>> = r.tapes.iter().map(|&t| letters[t]).collect();
         if tuple.iter().all(|c| c.is_none()) {
             rel.push(state.rel[j].clone());

@@ -8,7 +8,7 @@
 //! interning a state costs one hash of `words` machine words and (for fresh
 //! states) one `extend_from_slice` — no per-state allocation at all.
 
-use crate::eval::plan::RelSim;
+use crate::eval::prepared::RelSim;
 
 /// Word layout of one encoded search state shared by the dense engines:
 /// `num_paths` position words, then the bitset blocks of each relation

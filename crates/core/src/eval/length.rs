@@ -23,7 +23,8 @@
 //! an [`QueryError::Unsupported`] error rather than silently approximating.
 
 use crate::error::QueryError;
-use crate::eval::plan::{self, Compiled, ReachRel};
+use crate::eval::plan::{self, ReachRel};
+use crate::eval::prepared::{BoundPlan, PreparedQuery};
 use crate::eval::EvalConfig;
 use crate::query::{CountTarget, Ecrpq};
 use ecrpq_automata::semilinear::{self, Feasibility, LinearConstraint};
@@ -38,10 +39,12 @@ pub fn eval_qlen(
     graph: &GraphDb,
     config: &EvalConfig,
 ) -> Result<Vec<Vec<NodeId>>, QueryError> {
-    let compiled = Compiled::new(query, graph)?;
+    let prepared = PreparedQuery::prepare(query)?;
+    let bound = prepared.bind(graph)?;
+    let pq = bound.prepared();
 
     // Gather the length constraints induced by the relation atoms.
-    let num_paths = compiled.path_vars.len();
+    let num_paths = pq.path_vars.len();
     let mut constraints: Vec<LinearConstraint> = Vec::new();
     for (j, rel_atom) in query.relations.iter().enumerate() {
         if rel_atom.relation.arity() < 2 {
@@ -54,7 +57,7 @@ pub fn eval_qlen(
                 rel_atom.relation.name().unwrap_or("<unnamed>")
             ))
         })?;
-        let tapes = &compiled.relations[j].tapes;
+        let tapes = &pq.relations[j].tapes;
         for c in abs {
             // Re-index the per-tape coefficients over all path variables.
             let mut coeffs = vec![0i64; num_paths];
@@ -74,7 +77,7 @@ pub fn eval_qlen(
         for (coef, target) in &c.terms {
             match target {
                 CountTarget::Length(p) => {
-                    let pi = compiled
+                    let pi = pq
                         .path_vars
                         .iter()
                         .position(|v| v == p.name())
@@ -94,26 +97,25 @@ pub fn eval_qlen(
     }
 
     // Reachability join for the node variables (unary constraints are exact).
-    let reach: Vec<ReachRel> = (0..num_paths)
-        .map(|p| plan::reachability(graph, &compiled, compiled.unary[p].as_deref()))
-        .collect();
+    let mut stats = plan::EvalStats::default();
+    let reach: Vec<ReachRel> =
+        (0..num_paths).map(|p| plan::reachability(&bound, p, &mut stats)).collect();
 
     let mut answers: HashSet<Vec<NodeId>> = HashSet::new();
-    let mut stats = plan::EvalStats::default();
     let mut error: Option<QueryError> = None;
 
-    plan::enumerate_candidates(&compiled, graph, &reach, config, &mut stats, |sigma| {
-        let head: Vec<NodeId> = compiled.head_node_idx.iter().map(|&i| sigma[i]).collect();
+    plan::enumerate_candidates(&bound, &bound.constants, &reach, config, &mut stats, |sigma| {
+        let head: Vec<NodeId> = pq.head_node_idx.iter().map(|&i| sigma[i]).collect();
         if answers.contains(&head) {
             return true;
         }
         // Repeated-atom endpoint consistency.
-        for &(p, f, t) in &compiled.extra_endpoints {
-            if sigma[f] != sigma[compiled.path_from[p]] || sigma[t] != sigma[compiled.path_to[p]] {
+        for &(p, f, t) in &pq.extra_endpoints {
+            if sigma[f] != sigma[pq.path_from[p]] || sigma[t] != sigma[pq.path_to[p]] {
                 return true;
             }
         }
-        match candidate_feasible(&compiled, graph, sigma, &constraints, config) {
+        match candidate_feasible(&bound, sigma, &constraints, config) {
             Ok(true) => {
                 answers.insert(head);
                 true
@@ -134,17 +136,17 @@ pub fn eval_qlen(
 /// Computes the admissible length sets of all path variables for one
 /// candidate assignment and solves the induced linear-arithmetic instance.
 fn candidate_feasible(
-    compiled: &Compiled,
-    graph: &GraphDb,
+    bound: &BoundPlan<'_>,
     sigma: &[NodeId],
     constraints: &[LinearConstraint],
     config: &EvalConfig,
 ) -> Result<bool, QueryError> {
-    let mut domains: Vec<Vec<Progression>> = Vec::with_capacity(compiled.path_vars.len());
-    for p in 0..compiled.path_vars.len() {
-        let from = sigma[compiled.path_from[p]];
-        let to = sigma[compiled.path_to[p]];
-        let lengths = path_length_set(compiled, graph, from, to, p)?;
+    let pq = bound.prepared();
+    let mut domains: Vec<Vec<Progression>> = Vec::with_capacity(pq.path_vars.len());
+    for p in 0..pq.path_vars.len() {
+        let from = sigma[pq.path_from[p]];
+        let to = sigma[pq.path_to[p]];
+        let lengths = path_length_set(bound, from, to, p)?;
         if lengths.is_empty() {
             return Ok(false);
         }
@@ -165,8 +167,7 @@ fn candidate_feasible(
 /// The semilinear set of lengths of paths from `from` to `to` whose label
 /// satisfies the unary constraints of path variable `p`.
 pub(crate) fn path_length_set(
-    compiled: &Compiled,
-    graph: &GraphDb,
+    bound: &BoundPlan<'_>,
     from: NodeId,
     to: NodeId,
     p: usize,
@@ -174,9 +175,9 @@ pub(crate) fn path_length_set(
     // Product of the graph (as an NFA from `from` to `to`) with the unary
     // constraint automaton, with graph labels translated into the merged
     // alphabet.
-    let graph_nfa = graph.as_nfa(&[from], &[to]).map_symbols(|&l| Some(compiled.translate(l)));
-    let product = match &compiled.unary[p] {
-        Some(unary_nfa) => graph_nfa.intersect(unary_nfa),
+    let graph_nfa = bound.graph().as_nfa(&[from], &[to]).map_symbols(|&l| Some(bound.translate(l)));
+    let product = match &bound.prepared().unary[p] {
+        Some(u) => graph_nfa.intersect(&u.nfa),
         None => graph_nfa,
     };
     let cap = unary::length_set_default_cap(product.num_states());

@@ -31,6 +31,7 @@ pub(crate) mod dense;
 pub mod length;
 pub mod negation;
 pub(crate) mod plan;
+pub mod prepared;
 pub mod reference;
 pub(crate) mod search;
 
@@ -40,6 +41,14 @@ use ecrpq_automata::semilinear::SolverConfig;
 use ecrpq_graph::{GraphDb, NodeId, Path};
 
 pub use plan::EvalStats;
+pub use prepared::{BoundPlan, PreparedQuery};
+
+/// Compiles a query into its graph-independent prepared form (the
+/// compile phase of the parse → compile → bind/execute pipeline). Alias for
+/// [`PreparedQuery::prepare`].
+pub fn prepare(query: &Ecrpq) -> Result<PreparedQuery, QueryError> {
+    PreparedQuery::prepare(query)
+}
 
 /// Tunable budgets for query evaluation. The defaults are generous enough for
 /// all the workloads in this repository; the limits exist because ECRPQ
@@ -94,8 +103,8 @@ pub fn eval_nodes(
     graph: &GraphDb,
     config: &EvalConfig,
 ) -> Result<Vec<Vec<NodeId>>, QueryError> {
-    let (answers, _) = plan::evaluate(query, graph, config, plan::Mode::Nodes)?;
-    Ok(answers.into_iter().map(|a| a.nodes).collect())
+    let (answers, _) = PreparedQuery::prepare(query)?.bind(graph)?.run_nodes(config)?;
+    Ok(answers)
 }
 
 /// Evaluates a query and also reports evaluation statistics (candidates
@@ -105,8 +114,7 @@ pub fn eval_nodes_with_stats(
     graph: &GraphDb,
     config: &EvalConfig,
 ) -> Result<(Vec<Vec<NodeId>>, EvalStats), QueryError> {
-    let (answers, stats) = plan::evaluate(query, graph, config, plan::Mode::Nodes)?;
-    Ok((answers.into_iter().map(|a| a.nodes).collect(), stats))
+    PreparedQuery::prepare(query)?.bind(graph)?.run_nodes(config)
 }
 
 /// Evaluates a Boolean query.
@@ -115,8 +123,8 @@ pub fn eval_boolean(
     graph: &GraphDb,
     config: &EvalConfig,
 ) -> Result<bool, QueryError> {
-    let (answers, _) = plan::evaluate(query, graph, config, plan::Mode::Boolean)?;
-    Ok(!answers.is_empty())
+    let (holds, _) = PreparedQuery::prepare(query)?.bind(graph)?.run_boolean(config)?;
+    Ok(holds)
 }
 
 /// Evaluates a query and materializes up to `config.answer_limit` answers
@@ -126,7 +134,7 @@ pub fn eval_with_paths(
     graph: &GraphDb,
     config: &EvalConfig,
 ) -> Result<Vec<Answer>, QueryError> {
-    let (answers, _) = plan::evaluate(query, graph, config, plan::Mode::Paths)?;
+    let (answers, _) = PreparedQuery::prepare(query)?.bind(graph)?.run_with_paths(config)?;
     Ok(answers)
 }
 
@@ -140,5 +148,5 @@ pub fn check(
     paths: &[Path],
     config: &EvalConfig,
 ) -> Result<bool, QueryError> {
-    plan::check_membership(query, graph, nodes, paths, config)
+    PreparedQuery::prepare(query)?.bind(graph)?.check(nodes, paths, config)
 }

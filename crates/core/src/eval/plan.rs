@@ -1,23 +1,22 @@
-//! Query compilation and the evaluation driver.
+//! The evaluation driver: reachability relations, candidate enumeration, and
+//! the shared relation-advancing step of the dense engines.
 //!
-//! A query is compiled into dense index space (node variables, path
-//! variables, relation atoms over path-variable tapes), its per-path unary
-//! constraints are intersected, per-atom binary reachability relations are
+//! Query *compilation* lives in [`super::prepared`]: a graph-independent
+//! [`PreparedQuery`](super::prepared::PreparedQuery) built once per query,
+//! and a cheap per-graph [`BoundPlan`](super::prepared::BoundPlan). This
+//! module consumes a bound plan: per-path-variable reachability relations are
 //! computed by product with the graph, candidate node assignments are
 //! enumerated by a backtracking join over those relations, and each candidate
 //! is verified by the convolution search of [`super::search`] (skipped for
 //! plain CRPQs, for which the relaxation is exact).
 
 use crate::error::QueryError;
+use crate::eval::prepared::{tuple_code, BoundPlan, PreparedQuery, RelSim};
 use crate::eval::search::{SearchOutcome, SearchProblem};
 use crate::eval::{reference, search, Answer, EvalConfig};
-use crate::query::{CountTarget, Ecrpq, QLinearConstraint};
-use ecrpq_automata::alphabet::{Alphabet, Symbol, TupleSym};
-use ecrpq_automata::nfa::Nfa;
-use ecrpq_automata::semilinear::CmpOp;
-use ecrpq_automata::sim::CompactNfa;
+use crate::query::Ecrpq;
 use ecrpq_graph::{GraphDb, NodeId, Path};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Evaluation statistics reported alongside answers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -28,6 +27,12 @@ pub struct EvalStats {
     pub verified: u64,
     /// Total states visited by convolution searches.
     pub search_states: u64,
+    /// Compiled-automaton artifacts (relation tables, unary-constraint
+    /// tables) fetched from a cache instead of being compiled for this run.
+    /// Re-running a prepared query reports only hits.
+    pub sim_cache_hits: u64,
+    /// Compiled-automaton artifacts built fresh for this run.
+    pub sim_cache_misses: u64,
 }
 
 /// What the driver should produce.
@@ -41,133 +46,6 @@ pub(crate) enum Mode {
     Paths,
 }
 
-/// A compiled relation atom: the synchronous automaton plus the indices of
-/// the path variables on its tapes, with lazily compiled simulation tables
-/// for the dense product engine.
-#[derive(Clone, Debug)]
-pub(crate) struct CompiledRel {
-    pub nfa: std::sync::Arc<Nfa<TupleSym>>,
-    pub tapes: Vec<usize>,
-    /// Simulation tables, compiled on first use so plain-CRPQ evaluation
-    /// (which never runs the convolution search) pays nothing for them.
-    sim_cell: std::cell::OnceCell<RelSim>,
-}
-
-impl CompiledRel {
-    /// The compiled simulation tables (built on first call).
-    pub fn sim(&self, code_base: u64) -> &RelSim {
-        self.sim_cell.get_or_init(|| RelSim::build(&self.nfa, code_base))
-    }
-}
-
-/// Upper bound on automaton states for the dense engine. Above this, the
-/// per-`(state, symbol)` bitset table and the fixed-width bitset rows
-/// embedded in search keys stop paying for themselves (a 28k-state
-/// edit-distance automaton would need a multi-gigabyte table and 3.5 KB per
-/// stored search state); such queries fall back to the sparse reference
-/// verifier.
-const DENSE_MAX_STATES: usize = 2048;
-
-/// Upper bound on dense transition-table size (in `u64` words, 32 MB).
-const DENSE_MAX_TABLE_WORDS: usize = 1 << 22;
-
-/// True if `nfa` is small enough for dense table compilation.
-pub(crate) fn dense_eligible<S: Clone + Eq + std::hash::Hash + Ord>(nfa: &Nfa<S>) -> bool {
-    let n = nfa.num_states();
-    if n > DENSE_MAX_STATES {
-        return false;
-    }
-    let blocks = n.div_ceil(64).max(1);
-    let syms = nfa.symbols_used().len().max(1);
-    n.max(1) * blocks * syms <= DENSE_MAX_TABLE_WORDS
-}
-
-/// Dense simulation tables of one relation automaton plus the tuple-letter
-/// code index used to avoid materializing `TupleSym` values in the hot loop.
-#[derive(Clone, Debug)]
-pub(crate) struct RelSim {
-    /// Dense transition tables + ε-closures + bitset state sets.
-    pub sim: CompactNfa<TupleSym>,
-    /// Encoded tuple letter → dense symbol id of `sim`.
-    pub codes: CodeMap,
-}
-
-impl RelSim {
-    fn build(nfa: &Nfa<TupleSym>, code_base: u64) -> RelSim {
-        let sim = CompactNfa::compile(nfa);
-        let pairs = sim.symbols().iter().enumerate().map(|(sid, t)| {
-            let mut code = 0u64;
-            let mut mult = 1u64;
-            for i in 0..t.arity() {
-                let digit = match t.get(i) {
-                    None => 0,
-                    Some(s) => s.0 as u64 + 1,
-                };
-                code += digit * mult;
-                mult *= code_base;
-            }
-            (code, sid as u32)
-        });
-        let arity = sim.symbols().first().map_or(0, |t| t.arity());
-        let space = code_base.saturating_pow(arity as u32);
-        let codes = if space <= CODE_MAP_DENSE_LIMIT {
-            let mut table = vec![u32::MAX; space as usize];
-            for (code, sid) in pairs {
-                table[code as usize] = sid;
-            }
-            CodeMap::Dense(table)
-        } else {
-            CodeMap::Hash(pairs.collect())
-        };
-        RelSim { sim, codes }
-    }
-}
-
-/// Largest direct-indexed code table (entries). Below this the tuple-code
-/// lookup is one array index; above it, a hash probe.
-const CODE_MAP_DENSE_LIMIT: u64 = 1 << 16;
-
-/// Tuple-letter code → dense symbol id. The search performs one lookup per
-/// (move, relation); a direct-indexed table avoids hashing entirely whenever
-/// `(|A|+1)^arity` is small, which covers every realistic query alphabet.
-#[derive(Clone, Debug)]
-pub(crate) enum CodeMap {
-    Dense(Vec<u32>),
-    Hash(HashMap<u64, u32>),
-}
-
-impl CodeMap {
-    /// The dense symbol id of an encoded tuple letter, if the relation reads
-    /// that letter at all.
-    #[inline]
-    pub fn get(&self, code: u64) -> Option<u32> {
-        match self {
-            CodeMap::Dense(table) => {
-                table.get(code as usize).copied().filter(|&sid| sid != u32::MAX)
-            }
-            CodeMap::Hash(map) => map.get(&code).copied(),
-        }
-    }
-}
-
-/// Encodes the convolution letter a relation reads (the projection of the
-/// per-variable letters onto its tapes) as one `u64`, for lookup in
-/// [`RelSim::codes`]. `base` must be `merged alphabet size + 1`.
-#[inline]
-pub(crate) fn tuple_code(tapes: &[usize], letters: &[Option<Symbol>], base: u64) -> u64 {
-    let mut code = 0u64;
-    let mut mult = 1u64;
-    for &t in tapes {
-        let digit = match letters[t] {
-            None => 0,
-            Some(s) => s.0 as u64 + 1,
-        };
-        code += digit * mult;
-        mult *= base;
-    }
-    code
-}
-
 /// Advances every relation automaton of an encoded search state on the
 /// global step described by `letters` (per-variable merged-alphabet letters,
 /// `None` = `⊥`), reading the current bitset rows from `cur` and writing the
@@ -178,16 +56,16 @@ pub(crate) fn tuple_code(tapes: &[usize], letters: &[Option<Symbol>], base: u64)
 #[allow(clippy::too_many_arguments)]
 #[inline]
 pub(crate) fn advance_relations(
-    compiled: &Compiled,
+    pq: &PreparedQuery,
     sims: &[&RelSim],
     rel_off: &[usize],
     rel_blocks: &[usize],
-    letters: &[Option<Symbol>],
+    letters: &[Option<ecrpq_automata::alphabet::Symbol>],
     cur: &[u64],
     rel_scratch: &mut [ecrpq_automata::sim::StateSet],
     next: &mut [u64],
 ) -> bool {
-    for (j, r) in compiled.relations.iter().enumerate() {
+    for (j, r) in pq.relations.iter().enumerate() {
         let rs = sims[j];
         let (off, nb) = (rel_off[j], rel_blocks[j]);
         if r.tapes.iter().all(|&t| letters[t].is_none()) {
@@ -196,7 +74,7 @@ pub(crate) fn advance_relations(
             next[off..off + nb].copy_from_slice(&cur[off..off + nb]);
             continue;
         }
-        let code = tuple_code(&r.tapes, letters, compiled.code_base);
+        let code = tuple_code(&r.tapes, letters, pq.alphabet_len, pq.code_base);
         let Some(sid) = rs.codes.get(code) else {
             return false; // letter not in the relation's alphabet
         };
@@ -206,244 +84,6 @@ pub(crate) fn advance_relations(
         next[off..off + nb].copy_from_slice(rel_scratch[j].as_blocks());
     }
     true
-}
-
-/// A compiled linear-constraint row: per path variable, a length coefficient
-/// and per-symbol coefficients (over the merged alphabet).
-#[derive(Clone, Debug)]
-pub(crate) struct CounterRow {
-    pub length_coeff: Vec<i64>,
-    pub symbol_coeff: Vec<Vec<i64>>,
-    pub op: CmpOp,
-    pub constant: i64,
-}
-
-impl CounterRow {
-    /// The contribution of one step of path variable `var` reading `label`.
-    pub fn step_delta(&self, var: usize, label: Symbol) -> i64 {
-        let mut d = self.length_coeff[var];
-        if let Some(per_sym) = self.symbol_coeff.get(var) {
-            if let Some(&c) = per_sym.get(label.index()) {
-                d += c;
-            }
-        }
-        d
-    }
-
-    /// Whether a final accumulated value satisfies the row.
-    pub fn satisfied(&self, value: i64) -> bool {
-        match self.op {
-            CmpOp::Ge => value >= self.constant,
-            CmpOp::Eq => value == self.constant,
-            CmpOp::Le => value <= self.constant,
-        }
-    }
-}
-
-/// A query compiled against a specific graph.
-#[derive(Clone, Debug)]
-pub(crate) struct Compiled {
-    /// Distinct node variables (dense indices).
-    pub node_vars: Vec<String>,
-    /// Distinct path variables (dense indices).
-    pub path_vars: Vec<String>,
-    /// Per path variable: node-variable indices of its endpoints (from the
-    /// first relational atom that binds it).
-    pub path_from: Vec<usize>,
-    pub path_to: Vec<usize>,
-    /// Additional endpoint constraints from repeated relational atoms:
-    /// `(path var, from node var, to node var)`.
-    pub extra_endpoints: Vec<(usize, usize, usize)>,
-    /// Compiled relation atoms (arity ≥ 1).
-    pub relations: Vec<CompiledRel>,
-    /// Per path variable: the intersection of its unary constraints (arity-1
-    /// relation atoms and per-tape projections of wider relations), or `None`
-    /// if unconstrained.
-    pub unary: Vec<Option<std::sync::Arc<Nfa<Symbol>>>>,
-    /// Head node variables as indices into `node_vars`.
-    pub head_node_idx: Vec<usize>,
-    /// Head path variables as indices into `path_vars`.
-    pub head_path_idx: Vec<usize>,
-    /// Node variables bound to graph constants.
-    pub constants: Vec<(usize, NodeId)>,
-    /// Compiled linear constraints (empty for plain queries).
-    pub counters: Vec<CounterRow>,
-    /// The query alphabet extended with all graph labels.
-    #[allow(dead_code)]
-    pub merged_alphabet: Alphabet,
-    /// Translation from graph symbols to merged-alphabet symbols.
-    pub graph_symbol_map: Vec<Symbol>,
-    /// Radix for [`tuple_code`]: merged alphabet size + 1 (digit 0 is `⊥`).
-    pub code_base: u64,
-    /// True if verification by convolution search is unnecessary (plain CRPQ
-    /// without repetition or counters).
-    pub relaxation_is_exact: bool,
-    /// True if every relation automaton is small enough for the dense
-    /// product engine; otherwise candidate verification and the
-    /// answer-automaton construction fall back to the sparse classical loop.
-    pub dense_search: bool,
-}
-
-impl Compiled {
-    /// Compiles `query` for evaluation over `graph`.
-    pub fn new(query: &Ecrpq, graph: &GraphDb) -> Result<Compiled, QueryError> {
-        query.validate()?;
-
-        // Dense numbering of node and path variables.
-        let node_vars: Vec<String> = query.node_vars().into_iter().map(|v| v.0).collect();
-        let node_index: HashMap<&str, usize> =
-            node_vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
-        let path_vars: Vec<String> = query.path_vars().into_iter().map(|v| v.0).collect();
-        let path_index: HashMap<&str, usize> =
-            path_vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
-
-        // Endpoints per path variable; extra atoms binding the same path
-        // variable become additional endpoint constraints.
-        let mut path_from = vec![usize::MAX; path_vars.len()];
-        let mut path_to = vec![usize::MAX; path_vars.len()];
-        let mut extra_endpoints = Vec::new();
-        for a in &query.atoms {
-            let p = path_index[a.path.name()];
-            let f = node_index[a.from.name()];
-            let t = node_index[a.to.name()];
-            if path_from[p] == usize::MAX {
-                path_from[p] = f;
-                path_to[p] = t;
-            } else {
-                extra_endpoints.push((p, f, t));
-            }
-        }
-
-        // Merge the query alphabet with the graph alphabet (appending any
-        // labels the query does not know, so relation symbols stay valid).
-        let mut merged_alphabet = query.alphabet.clone();
-        let graph_symbol_map: Vec<Symbol> =
-            graph.alphabet().iter().map(|(_, label)| merged_alphabet.intern(label)).collect();
-
-        // Compile relation atoms. The dense simulation tables are built
-        // lazily (see [`CompiledRel::sim`]); only the size check runs here.
-        let code_base = merged_alphabet.len() as u64 + 1;
-        let relations: Vec<CompiledRel> = query
-            .relations
-            .iter()
-            .map(|r| CompiledRel {
-                nfa: r.relation.nfa_shared(),
-                sim_cell: std::cell::OnceCell::new(),
-                tapes: r.paths.iter().map(|p| path_index[p.name()]).collect(),
-            })
-            .collect();
-        // Dense engines also require every relation's tuple-letter code to
-        // fit in u64 (`tuple_code` packs one base-(A+1) digit per tape);
-        // otherwise codes could wrap and collide, so such queries use the
-        // reference engine, which never encodes letters.
-        let dense_search = relations.iter().all(|r| {
-            dense_eligible(&r.nfa) && code_base.checked_pow(r.tapes.len() as u32).is_some()
-        });
-
-        // Per-path unary constraint: intersection of projections of every
-        // relation atom that mentions the path variable.
-        let mut unary: Vec<Option<std::sync::Arc<Nfa<Symbol>>>> = vec![None; path_vars.len()];
-        for r in &query.relations {
-            for (tape, p) in r.paths.iter().enumerate() {
-                let pi = path_index[p.name()];
-                let proj = r.relation.project(tape);
-                unary[pi] = Some(match unary[pi].take() {
-                    None => proj,
-                    Some(existing) => std::sync::Arc::new(existing.intersect(&proj).trim()),
-                });
-            }
-        }
-
-        // Resolve node constants.
-        let mut constants = Vec::new();
-        for (v, name) in &query.node_constants {
-            let node = graph
-                .node_by_name(name)
-                .ok_or_else(|| QueryError::UnknownGraphNode(name.clone()))?;
-            constants.push((node_index[v.name()], node));
-        }
-
-        // Compile linear constraints.
-        let counters = compile_counters(
-            &query.linear_constraints,
-            &path_index,
-            path_vars.len(),
-            &merged_alphabet,
-        )?;
-
-        let head_node_idx = query.head_nodes.iter().map(|v| node_index[v.name()]).collect();
-        let head_path_idx = query.head_paths.iter().map(|p| path_index[p.name()]).collect();
-
-        let has_wide_relation = relations.iter().any(|r| r.tapes.len() >= 2);
-        let relaxation_is_exact =
-            !has_wide_relation && !query.has_relational_repetition() && counters.is_empty();
-
-        Ok(Compiled {
-            node_vars,
-            path_vars,
-            path_from,
-            path_to,
-            extra_endpoints,
-            relations,
-            unary,
-            head_node_idx,
-            head_path_idx,
-            constants,
-            counters,
-            merged_alphabet,
-            graph_symbol_map,
-            code_base,
-            relaxation_is_exact,
-            dense_search,
-        })
-    }
-
-    /// Translates a graph edge label into the merged alphabet.
-    #[inline]
-    pub fn translate(&self, graph_label: Symbol) -> Symbol {
-        self.graph_symbol_map[graph_label.index()]
-    }
-
-    /// Derives the step bound used when counters are present.
-    pub fn step_bound(&self, graph: &GraphDb, config: &EvalConfig) -> usize {
-        if let Some(b) = config.max_convolution_steps {
-            return b;
-        }
-        let rel_states: usize = self.relations.iter().map(|r| r.nfa.num_states()).sum();
-        (graph.num_nodes() * (1 + rel_states)).clamp(64, 100_000)
-    }
-}
-
-fn compile_counters(
-    constraints: &[QLinearConstraint],
-    path_index: &HashMap<&str, usize>,
-    num_paths: usize,
-    alphabet: &Alphabet,
-) -> Result<Vec<CounterRow>, QueryError> {
-    let mut rows = Vec::new();
-    for c in constraints {
-        let mut length_coeff = vec![0i64; num_paths];
-        let mut symbol_coeff = vec![vec![0i64; alphabet.len()]; num_paths];
-        for (coef, target) in &c.terms {
-            match target {
-                CountTarget::Length(p) => {
-                    let pi = path_index[p.name()];
-                    length_coeff[pi] += coef;
-                }
-                CountTarget::LabelCount(p, label) => {
-                    let pi = path_index[p.name()];
-                    let sym = alphabet.symbol(label).ok_or_else(|| {
-                        QueryError::InvalidLinearConstraint(format!(
-                            "label `{label}` is not in the query or graph alphabet"
-                        ))
-                    })?;
-                    symbol_coeff[pi][sym.index()] += coef;
-                }
-            }
-        }
-        rows.push(CounterRow { length_coeff, symbol_coeff, op: c.op, constant: c.constant });
-    }
-    Ok(rows)
 }
 
 // ---------------------------------------------------------------------------
@@ -467,36 +107,37 @@ impl ReachRel {
     }
 }
 
-/// Computes the reachability relation of a path variable.
+/// Computes the reachability relation of path variable `p` over the bound
+/// plan's graph.
 ///
-/// Both cases run one BFS per start node over dense `bool`/bitset visited
-/// arrays; the constrained case first flattens the graph into a CSR-style
-/// adjacency whose labels are pre-translated to the dense symbol ids of the
-/// compiled constraint NFA, so the inner loop is a table lookup plus bit
-/// tests instead of per-edge hashing and ε-closure recomputation.
-pub(crate) fn reachability(
-    graph: &GraphDb,
-    compiled: &Compiled,
-    unary: Option<&Nfa<Symbol>>,
-) -> ReachRel {
+/// All cases run one BFS per start node over the plan's pre-translated CSR
+/// adjacency with dense `bool`/bitset visited arrays. The constrained case
+/// steps the unary constraint through its compiled simulation tables, which
+/// come from the prepared query's (and, for single-projection constraints,
+/// the relation's) cache — recorded in `stats` as a cache hit or miss.
+pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStats) -> ReachRel {
+    let graph = bound.graph;
+    let pq = bound.pq;
     let n = graph.num_nodes();
     let mut fwd: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let unary = pq.unary[p].as_ref();
     match unary {
         None => {
             // Label-oblivious reachability: plain BFS with reused buffers.
             // `seen` is cleared by walking the hits, not the whole array, so
             // a sparse reach set costs O(|reach| log |reach|), not O(n).
             let mut seen = vec![false; n];
-            let mut stack: Vec<NodeId> = Vec::new();
+            let mut stack: Vec<u32> = Vec::new();
             for u in graph.nodes() {
                 let mut hits: Vec<NodeId> = vec![u];
                 seen[u.index()] = true;
-                stack.push(u);
+                stack.push(u.0);
                 while let Some(v) = stack.pop() {
-                    for &(_, to) in graph.out_edges(v) {
-                        if !seen[to.index()] {
-                            seen[to.index()] = true;
-                            hits.push(to);
+                    let (tos, _) = bound.csr_out(v as usize);
+                    for &to in tos {
+                        if !seen[to as usize] {
+                            seen[to as usize] = true;
+                            hits.push(NodeId(to));
                             stack.push(to);
                         }
                     }
@@ -508,12 +149,13 @@ pub(crate) fn reachability(
                 fwd[u.index()] = hits;
             }
         }
-        Some(nfa) if !dense_eligible(nfa) => {
+        Some(u_plan) if !u_plan.dense => {
             // The constraint NFA is too big for table compilation (e.g. the
             // 30k-state intersection of several counting languages): run the
             // classical per-start product BFS, but with precomputed sparse
             // ε-closures and a dense `(node, state)` visited bitset instead
             // of per-pair hashing.
+            let nfa = &u_plan.nfa;
             let s = nfa.num_states().max(1);
             let closures: Vec<Vec<u32>> =
                 (0..s as u32).map(|q| nfa.epsilon_closure(&[q])).collect();
@@ -538,22 +180,23 @@ pub(crate) fn reachability(
                     }
                 }
                 while let Some((v, q)) = stack.pop() {
-                    for &(label, to) in graph.out_edges(NodeId(v)) {
-                        let sym = compiled.translate(label);
+                    let (tos, labels) = bound.csr_out(v as usize);
+                    for (e, &to) in tos.iter().enumerate() {
+                        let sym = labels[e];
                         for (t, nq) in nfa.transitions_from(q) {
                             if *t != sym {
                                 continue;
                             }
                             for &cq in &closures[*nq as usize] {
-                                let bit = to.index() * s + cq as usize;
+                                let bit = to as usize * s + cq as usize;
                                 if visited[bit / 64] >> (bit % 64) & 1 == 0 {
                                     visited[bit / 64] |= 1 << (bit % 64);
                                     touched.push(bit / 64);
-                                    if nfa.is_accepting(cq) && !result[to.index()] {
-                                        result[to.index()] = true;
-                                        hits.push(to);
+                                    if nfa.is_accepting(cq) && !result[to as usize] {
+                                        result[to as usize] = true;
+                                        hits.push(NodeId(to));
                                     }
-                                    stack.push((to.0, cq));
+                                    stack.push((to, cq));
                                 }
                             }
                         }
@@ -570,39 +213,16 @@ pub(crate) fn reachability(
                 fwd[u.index()] = hits;
             }
         }
-        Some(nfa) => {
-            // Product of the graph with the compiled constraint NFA.
-            let sim = CompactNfa::compile(nfa);
+        Some(_) => {
+            // Product of the graph with the compiled constraint tables
+            // (fetched from the prepared query's cache).
+            let sim = pq.unary_sim(p, stats);
             let s = sim.num_states().max(1);
-            // CSR adjacency keeping only edges whose translated label the
-            // NFA can read at all, with labels as dense sim symbol ids.
-            let mut label_map: Vec<Option<u32>> = Vec::with_capacity(graph.alphabet().len());
-            for g in graph.alphabet().symbols() {
-                label_map.push(sim.sym_id(&compiled.translate(g)));
-            }
-            let mut off = vec![0u32; n + 1];
-            for v in graph.nodes() {
-                let live = graph
-                    .out_edges(v)
-                    .iter()
-                    .filter(|(l, _)| label_map[l.index()].is_some())
-                    .count();
-                off[v.index() + 1] = off[v.index()] + live as u32;
-            }
-            let total = off[n] as usize;
-            let mut adj_to = vec![0u32; total];
-            let mut adj_sid = vec![0u32; total];
-            let mut cursor = off.clone();
-            for v in graph.nodes() {
-                for &(l, to) in graph.out_edges(v) {
-                    if let Some(sid) = label_map[l.index()] {
-                        let c = cursor[v.index()] as usize;
-                        adj_to[c] = to.0;
-                        adj_sid[c] = sid;
-                        cursor[v.index()] += 1;
-                    }
-                }
-            }
+            // Merged symbol → dense sim symbol id (`None`: the constraint
+            // never reads this label, so the edge is dead for this variable).
+            let label_map: Vec<Option<u32>> = (0..bound.merged_len)
+                .map(|i| sim.sym_id(&ecrpq_automata::alphabet::Symbol(i as u32)))
+                .collect();
             // One BFS per start node over (node, NFA state) pairs, tracked
             // in a dense bitset of n·s bits.
             let init = sim.initial_set();
@@ -625,10 +245,12 @@ pub(crate) fn reachability(
                     }
                 }
                 while let Some((v, q)) = stack.pop() {
-                    let (lo, hi) = (off[v as usize] as usize, off[v as usize + 1] as usize);
-                    for e in lo..hi {
-                        let to = adj_to[e];
-                        let row = sim.row(q, adj_sid[e]);
+                    let (tos, labels) = bound.csr_out(v as usize);
+                    for (e, &to) in tos.iter().enumerate() {
+                        let Some(sid) = label_map[labels[e].index()] else {
+                            continue;
+                        };
+                        let row = sim.row(q, sid);
                         for (bi, &block) in row.iter().enumerate() {
                             let mut b = block;
                             while b != 0 {
@@ -682,29 +304,35 @@ struct JoinEdge {
 
 /// Enumerates candidate node assignments consistent with the reachability
 /// relations, invoking `visit` on each; `visit` returns `false` to stop.
-/// Returns the number of candidates produced (or an error if the candidate
-/// budget is exceeded).
+/// `constants` are the node variables with forced values (the plan's
+/// resolved constants, or the values forced by a membership check).
+/// Returns an error if the candidate budget is exceeded.
 pub(crate) fn enumerate_candidates<F: FnMut(&[NodeId]) -> bool>(
-    compiled: &Compiled,
-    graph: &GraphDb,
+    bound: &BoundPlan<'_>,
+    constants: &[(usize, NodeId)],
     reach: &[ReachRel],
     config: &EvalConfig,
     stats: &mut EvalStats,
     mut visit: F,
 ) -> Result<(), QueryError> {
-    let num_vars = compiled.node_vars.len();
+    let pq = bound.pq;
+    let graph = bound.graph;
+    let num_vars = pq.node_vars.len();
     let mut edges: Vec<JoinEdge> = Vec::new();
-    for p in 0..compiled.path_vars.len() {
-        edges.push(JoinEdge { path: p, from: compiled.path_from[p], to: compiled.path_to[p] });
+    for p in 0..pq.path_vars.len() {
+        edges.push(JoinEdge { path: p, from: pq.path_from[p], to: pq.path_to[p] });
     }
-    for &(p, f, t) in &compiled.extra_endpoints {
+    for &(p, f, t) in &pq.extra_endpoints {
         edges.push(JoinEdge { path: p, from: f, to: t });
     }
 
-    // Variable ordering: constants first, then a connectivity-greedy order.
+    // Variable ordering: constants first, then a connectivity-greedy order
+    // tie-broken by the prepared query's automaton-size weights (a variable
+    // whose incident unary automata are smaller tends to have a sparser
+    // reachability relation, so placing it early prunes more).
     let mut order: Vec<usize> = Vec::new();
     let mut placed = vec![false; num_vars];
-    for &(v, _) in &compiled.constants {
+    for &(v, _) in constants {
         if !placed[v] {
             placed[v] = true;
             order.push(v);
@@ -715,17 +343,18 @@ pub(crate) fn enumerate_candidates<F: FnMut(&[NodeId]) -> bool>(
         let next = (0..num_vars)
             .filter(|&v| !placed[v])
             .max_by_key(|&v| {
-                edges
+                let connectivity = edges
                     .iter()
                     .filter(|e| (e.from == v && placed[e.to]) || (e.to == v && placed[e.from]))
-                    .count()
+                    .count();
+                (connectivity, std::cmp::Reverse(pq.var_weight[v]))
             })
             .unwrap();
         placed[next] = true;
         order.push(next);
     }
 
-    let constants: HashMap<usize, NodeId> = compiled.constants.iter().copied().collect();
+    let constants: HashMap<usize, NodeId> = constants.iter().copied().collect();
     let all_nodes: Vec<NodeId> = graph.nodes().collect();
     let mut assignment: Vec<Option<NodeId>> = vec![None; num_vars];
     let mut stop = false;
@@ -869,28 +498,19 @@ pub(crate) enum Engine {
 }
 
 impl Engine {
-    fn run(self, problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryError> {
+    pub(crate) fn run(self, problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryError> {
         match self {
             // Oversized relation automata (see `dense_eligible`) make the
             // fixed-width bitset rows of the dense engine counterproductive;
             // such problems run on the sparse classical loop instead.
-            Engine::Dense if problem.compiled.dense_search => search::run(problem),
+            Engine::Dense if problem.plan.pq.dense_search => search::run(problem),
             Engine::Dense | Engine::Reference => reference::run(problem),
         }
     }
 }
 
-/// Evaluates a query in the requested mode with the dense engine.
-pub(crate) fn evaluate(
-    query: &Ecrpq,
-    graph: &GraphDb,
-    config: &EvalConfig,
-    mode: Mode,
-) -> Result<(Vec<Answer>, EvalStats), QueryError> {
-    evaluate_engine(query, graph, config, mode, Engine::Dense)
-}
-
-/// Evaluates a query in the requested mode with an explicit engine.
+/// Evaluates a query in the requested mode with an explicit engine. Both
+/// engines consume the same [`PreparedQuery`].
 pub(crate) fn evaluate_engine(
     query: &Ecrpq,
     graph: &GraphDb,
@@ -898,93 +518,9 @@ pub(crate) fn evaluate_engine(
     mode: Mode,
     engine: Engine,
 ) -> Result<(Vec<Answer>, EvalStats), QueryError> {
-    let compiled = Compiled::new(query, graph)?;
-    let mut stats = EvalStats::default();
-
-    // Reachability relation per path variable.
-    let reach: Vec<ReachRel> = (0..compiled.path_vars.len())
-        .map(|p| reachability(graph, &compiled, compiled.unary[p].as_deref()))
-        .collect();
-
-    let needs_search = !compiled.relaxation_is_exact || mode == Mode::Paths;
-    let step_bound =
-        if compiled.counters.is_empty() { None } else { Some(compiled.step_bound(graph, config)) };
-
-    let mut answers: Vec<Answer> = Vec::new();
-    let mut seen_heads: HashSet<Vec<NodeId>> = HashSet::new();
-    let mut seen_answers: HashSet<(Vec<NodeId>, Vec<Path>)> = HashSet::new();
-    let mut error: Option<QueryError> = None;
-    let mut verified: u64 = 0;
-    let mut search_states: u64 = 0;
-
-    enumerate_candidates(&compiled, graph, &reach, config, &mut stats, |sigma| {
-        let head: Vec<NodeId> = compiled.head_node_idx.iter().map(|&i| sigma[i]).collect();
-        if mode == Mode::Nodes && seen_heads.contains(&head) {
-            return true;
-        }
-        if !needs_search {
-            verified += 1;
-            seen_heads.insert(head.clone());
-            answers.push(Answer { nodes: head, paths: Vec::new() });
-            return mode != Mode::Boolean;
-        }
-        // Verify the candidate with the convolution search.
-        let problem = SearchProblem {
-            graph,
-            compiled: &compiled,
-            sigma: sigma.to_vec(),
-            pinned: vec![None; compiled.path_vars.len()],
-            want_witness: mode == Mode::Paths,
-            step_bound,
-            max_states: config.max_search_states,
-        };
-        match engine.run(&problem) {
-            Ok(SearchOutcome { accepted: false, states_visited, .. }) => {
-                search_states += states_visited;
-                true
-            }
-            Ok(SearchOutcome { accepted: true, states_visited, witness }) => {
-                search_states += states_visited;
-                verified += 1;
-                seen_heads.insert(head.clone());
-                let paths = match witness {
-                    Some(w) => compiled.head_path_idx.iter().map(|&p| w[p].clone()).collect(),
-                    None => Vec::new(),
-                };
-                if mode == Mode::Paths {
-                    if seen_answers.insert((head.clone(), paths.clone())) {
-                        answers.push(Answer { nodes: head, paths });
-                    }
-                    answers.len() < config.answer_limit
-                } else {
-                    answers.push(Answer { nodes: head, paths });
-                    mode != Mode::Boolean
-                }
-            }
-            Err(e) => {
-                error = Some(e);
-                false
-            }
-        }
-    })?;
-
-    if let Some(e) = error {
-        return Err(e);
-    }
-    stats.verified = verified;
-    stats.search_states = search_states;
-    Ok((answers, stats))
-}
-
-/// The ECRPQ-EVAL membership check: does `(nodes, paths)` belong to `Q(G)`?
-pub(crate) fn check_membership(
-    query: &Ecrpq,
-    graph: &GraphDb,
-    nodes: &[NodeId],
-    paths: &[Path],
-    config: &EvalConfig,
-) -> Result<bool, QueryError> {
-    check_membership_engine(query, graph, nodes, paths, config, Engine::Dense)
+    let prepared = PreparedQuery::prepare(query)?;
+    let bound = prepared.bind(graph)?;
+    bound.run_mode(config, mode, engine)
 }
 
 /// The membership check with an explicit verification engine.
@@ -996,99 +532,7 @@ pub(crate) fn check_membership_engine(
     config: &EvalConfig,
     engine: Engine,
 ) -> Result<bool, QueryError> {
-    let compiled = Compiled::new(query, graph)?;
-    if nodes.len() != compiled.head_node_idx.len() || paths.len() != compiled.head_path_idx.len() {
-        return Err(QueryError::Unsupported(format!(
-            "membership check expects {} node values and {} path values",
-            compiled.head_node_idx.len(),
-            compiled.head_path_idx.len()
-        )));
-    }
-    for p in paths {
-        if !p.is_valid_in(graph) {
-            return Ok(false);
-        }
-    }
-
-    // Pin head paths and derive node-variable bindings from them and from the
-    // head node values / constants.
-    let mut pinned: Vec<Option<&Path>> = vec![None; compiled.path_vars.len()];
-    let mut forced: HashMap<usize, NodeId> = HashMap::new();
-    let force = |var: usize, value: NodeId, forced: &mut HashMap<usize, NodeId>| -> bool {
-        match forced.get(&var) {
-            Some(&v) => v == value,
-            None => {
-                forced.insert(var, value);
-                true
-            }
-        }
-    };
-    for (i, &pi) in compiled.head_path_idx.iter().enumerate() {
-        pinned[pi] = Some(&paths[i]);
-        if !force(compiled.path_from[pi], paths[i].start(), &mut forced)
-            || !force(compiled.path_to[pi], paths[i].end(), &mut forced)
-        {
-            return Ok(false);
-        }
-    }
-    for (i, &vi) in compiled.head_node_idx.iter().enumerate() {
-        if !force(vi, nodes[i], &mut forced) {
-            return Ok(false);
-        }
-    }
-    for &(vi, n) in &compiled.constants {
-        if !force(vi, n, &mut forced) {
-            return Ok(false);
-        }
-    }
-    // Extra endpoint constraints from repeated atoms must also agree.
-    for &(p, f, t) in &compiled.extra_endpoints {
-        if let Some(path) = pinned[p] {
-            if !force(f, path.start(), &mut forced) || !force(t, path.end(), &mut forced) {
-                return Ok(false);
-            }
-        }
-    }
-
-    // Reachability for the remaining join, with forced values added as constants.
-    let reach: Vec<ReachRel> = (0..compiled.path_vars.len())
-        .map(|p| reachability(graph, &compiled, compiled.unary[p].as_deref()))
-        .collect();
-    let mut compiled_forced = compiled.clone();
-    compiled_forced.constants = forced.iter().map(|(&v, &n)| (v, n)).collect();
-
-    let step_bound =
-        if compiled.counters.is_empty() { None } else { Some(compiled.step_bound(graph, config)) };
-    let mut stats = EvalStats::default();
-    let mut found = false;
-    let mut error: Option<QueryError> = None;
-    enumerate_candidates(&compiled_forced, graph, &reach, config, &mut stats, |sigma| {
-        let problem = SearchProblem {
-            graph,
-            compiled: &compiled,
-            sigma: sigma.to_vec(),
-            pinned: pinned.clone(),
-            want_witness: false,
-            step_bound,
-            max_states: config.max_search_states,
-        };
-        match engine.run(&problem) {
-            Ok(out) => {
-                if out.accepted {
-                    found = true;
-                    false
-                } else {
-                    true
-                }
-            }
-            Err(e) => {
-                error = Some(e);
-                false
-            }
-        }
-    })?;
-    if let Some(e) = error {
-        return Err(e);
-    }
-    Ok(found)
+    let prepared = PreparedQuery::prepare(query)?;
+    let bound = prepared.bind(graph)?;
+    bound.check_engine(nodes, paths, config, engine)
 }

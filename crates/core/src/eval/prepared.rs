@@ -1,0 +1,1062 @@
+//! The prepared-query pipeline: graph-independent compilation
+//! ([`PreparedQuery`]) split from cheap per-graph binding ([`BoundPlan`]).
+//!
+//! Evaluation is a three-phase pipeline:
+//!
+//! 1. **parse** — [`crate::parse`] turns textual ECRPQ syntax into an
+//!    [`Ecrpq`] (queries can also be built programmatically);
+//! 2. **compile** — [`PreparedQuery::prepare`] validates the query, numbers
+//!    its variables densely, intersects per-path unary constraints, and owns
+//!    the lazily compiled dense simulation tables of every relation automaton
+//!    (shared with the [`RegularRelation`] memoization in `ecrpq_automata`,
+//!    so the same relation compiles once per process, not once per query or
+//!    per evaluation);
+//! 3. **bind/execute** — [`PreparedQuery::bind`] resolves everything that
+//!    depends on one concrete graph (named-node constants, the symbol
+//!    translation into the merged alphabet, a CSR adjacency with
+//!    pre-translated labels, label-count coefficients for graph-only labels)
+//!    into a [`BoundPlan`], whose `run*` methods execute the query.
+//!
+//! `prepare(&query)?` once, then `.bind(&graph)?.run(&config)` as many times
+//! as there are graphs: nothing automaton-shaped is recompiled on reuse, and
+//! the cache-hit counters of [`EvalStats`] prove it.
+
+use crate::error::QueryError;
+use crate::eval::plan::{self, Engine, EvalStats, Mode, ReachRel};
+use crate::eval::search::SearchProblem;
+use crate::eval::{Answer, EvalConfig};
+use crate::query::{CountTarget, Ecrpq, QLinearConstraint};
+use ecrpq_automata::alphabet::{Alphabet, Symbol, TupleSym};
+use ecrpq_automata::nfa::Nfa;
+use ecrpq_automata::relation::RegularRelation;
+use ecrpq_automata::semilinear::CmpOp;
+use ecrpq_automata::sim::CompactNfa;
+use ecrpq_graph::{GraphDb, NodeId, Path};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
+
+/// Upper bound on automaton states for the dense engine. Above this, the
+/// per-`(state, symbol)` bitset table and the fixed-width bitset rows
+/// embedded in search keys stop paying for themselves (a 28k-state
+/// edit-distance automaton would need a multi-gigabyte table and 3.5 KB per
+/// stored search state); such queries fall back to the sparse reference
+/// verifier.
+const DENSE_MAX_STATES: usize = 2048;
+
+/// Upper bound on dense transition-table size (in `u64` words, 32 MB).
+const DENSE_MAX_TABLE_WORDS: usize = 1 << 22;
+
+/// True if `nfa` is small enough for dense table compilation.
+pub(crate) fn dense_eligible<S: Clone + Eq + std::hash::Hash + Ord>(nfa: &Nfa<S>) -> bool {
+    let n = nfa.num_states();
+    if n > DENSE_MAX_STATES {
+        return false;
+    }
+    let blocks = n.div_ceil(64).max(1);
+    let syms = nfa.symbols_used().len().max(1);
+    n.max(1) * blocks * syms <= DENSE_MAX_TABLE_WORDS
+}
+
+/// Largest direct-indexed code table (entries). Below this the tuple-code
+/// lookup is one array index; above it, a hash probe.
+const CODE_MAP_DENSE_LIMIT: u64 = 1 << 16;
+
+/// Tuple-letter code → dense symbol id. The search performs one lookup per
+/// (move, relation); a direct-indexed table avoids hashing entirely whenever
+/// `(|A|+2)^arity` is small, which covers every realistic query alphabet.
+#[derive(Clone, Debug)]
+pub(crate) enum CodeMap {
+    Dense(Vec<u32>),
+    Hash(HashMap<u64, u32>),
+}
+
+impl CodeMap {
+    /// The dense symbol id of an encoded tuple letter, if the relation reads
+    /// that letter at all.
+    #[inline]
+    pub fn get(&self, code: u64) -> Option<u32> {
+        match self {
+            CodeMap::Dense(table) => {
+                table.get(code as usize).copied().filter(|&sid| sid != u32::MAX)
+            }
+            CodeMap::Hash(map) => map.get(&code).copied(),
+        }
+    }
+}
+
+/// The base-`base` digit of one convolution-letter component: `0` for `⊥`,
+/// `index + 1` for a query-alphabet symbol (index < `alphabet_len`), and the
+/// reserved top digit `base - 1` for any *foreign* symbol — a graph label
+/// the query alphabet does not know (merged index ≥ `alphabet_len`). No
+/// relation built over the query alphabet can read a foreign symbol, so all
+/// foreign labels collapse into one digit that [`RelSim::build`] never emits
+/// into a [`CodeMap`].
+#[inline]
+fn letter_digit(letter: Option<Symbol>, alphabet_len: usize, base: u64) -> u64 {
+    match letter {
+        None => 0,
+        Some(s) if (s.0 as usize) < alphabet_len => s.0 as u64 + 1,
+        Some(_) => base - 1,
+    }
+}
+
+/// Encodes the convolution letter a relation reads (the projection of the
+/// per-variable letters onto its tapes) as one `u64`, for lookup in
+/// [`RelSim::codes`]. `alphabet_len`/`base` must be the prepared query's
+/// [`PreparedQuery::alphabet_len`]/[`PreparedQuery::code_base`].
+#[inline]
+pub(crate) fn tuple_code(
+    tapes: &[usize],
+    letters: &[Option<Symbol>],
+    alphabet_len: usize,
+    base: u64,
+) -> u64 {
+    let mut code = 0u64;
+    let mut mult = 1u64;
+    for &t in tapes {
+        code += letter_digit(letters[t], alphabet_len, base) * mult;
+        mult *= base;
+    }
+    code
+}
+
+/// Dense simulation tables of one relation automaton plus the tuple-letter
+/// code index used to avoid materializing `TupleSym` values in the hot loop.
+/// The tables themselves come from the [`RegularRelation`] memoization; only
+/// the (cheap) code index is built per prepared query.
+#[derive(Clone, Debug)]
+pub(crate) struct RelSim {
+    /// Dense transition tables + ε-closures + bitset state sets (shared with
+    /// every other prepared query using this relation).
+    pub sim: Arc<CompactNfa<TupleSym>>,
+    /// Encoded tuple letter → dense symbol id of `sim`.
+    pub codes: CodeMap,
+}
+
+impl RelSim {
+    fn build(rel: &RegularRelation, code_base: u64) -> RelSim {
+        let sim = rel.compiled_sim();
+        let pairs = sim.symbols().iter().enumerate().map(|(sid, t)| {
+            let mut code = 0u64;
+            let mut mult = 1u64;
+            for i in 0..t.arity() {
+                // Exact digits: every relation symbol index is < base - 1 by
+                // the radix computation in `prepare`, so the foreign digit
+                // can never appear in the code map.
+                let digit = match t.get(i) {
+                    None => 0,
+                    Some(s) => {
+                        debug_assert!((s.0 as u64) < code_base - 1);
+                        s.0 as u64 + 1
+                    }
+                };
+                code += digit * mult;
+                mult *= code_base;
+            }
+            (code, sid as u32)
+        });
+        let arity = sim.symbols().first().map_or(0, |t| t.arity());
+        let space = code_base.saturating_pow(arity as u32);
+        let codes = if space <= CODE_MAP_DENSE_LIMIT {
+            let mut table = vec![u32::MAX; space as usize];
+            for (code, sid) in pairs {
+                table[code as usize] = sid;
+            }
+            CodeMap::Dense(table)
+        } else {
+            CodeMap::Hash(pairs.collect())
+        };
+        RelSim { sim, codes }
+    }
+}
+
+/// A compiled relation atom: the synchronous automaton plus the indices of
+/// the path variables on its tapes, with lazily compiled simulation tables
+/// so plain-CRPQ evaluation (which never runs the convolution search) pays
+/// nothing for them.
+#[derive(Debug)]
+pub(crate) struct CompiledRel {
+    /// The relation (shared automaton handle + its compiled-artifact caches).
+    pub rel: RegularRelation,
+    /// The synchronous automaton (same handle the relation owns).
+    pub nfa: Arc<Nfa<TupleSym>>,
+    /// Path-variable indices on the relation's tapes.
+    pub tapes: Vec<usize>,
+    /// Per-prepared-query code index over the shared tables.
+    sim_cell: OnceLock<RelSim>,
+}
+
+impl CompiledRel {
+    /// The compiled simulation tables (built on first call, then cached both
+    /// here and — for the expensive table part — inside the relation).
+    pub fn sim(&self, code_base: u64) -> &RelSim {
+        self.sim_cell.get_or_init(|| RelSim::build(&self.rel, code_base))
+    }
+}
+
+/// The per-path-variable unary constraint: the intersection of the arity-1
+/// language atoms and per-tape projections of every relation atom that
+/// mentions the variable, plus a handle to its compiled simulation tables.
+#[derive(Debug)]
+pub(crate) struct UnaryPlan {
+    /// The constraint automaton over Σ.
+    pub nfa: Arc<Nfa<Symbol>>,
+    /// `Some((relation index, tape))` when the constraint is exactly one
+    /// relation-tape projection: the compiled tables then come from (and are
+    /// cached in) the relation itself, shared across queries.
+    source: Option<(usize, usize)>,
+    /// Compiled tables for intersected constraints (owned by this query).
+    sim_cell: OnceLock<Arc<CompactNfa<Symbol>>>,
+    /// Precomputed [`dense_eligible`] verdict.
+    pub dense: bool,
+}
+
+/// A compiled linear-constraint row: per path variable, a length coefficient
+/// and per-symbol coefficients (over the query alphabet; coefficients on
+/// graph-only labels are resolved at bind time).
+#[derive(Clone, Debug)]
+pub(crate) struct CounterRow {
+    pub length_coeff: Vec<i64>,
+    pub symbol_coeff: Vec<Vec<i64>>,
+    pub op: CmpOp,
+    pub constant: i64,
+}
+
+impl CounterRow {
+    /// The contribution of one step of path variable `var` reading `label`.
+    pub fn step_delta(&self, var: usize, label: Symbol) -> i64 {
+        let mut d = self.length_coeff[var];
+        if let Some(per_sym) = self.symbol_coeff.get(var) {
+            if let Some(&c) = per_sym.get(label.index()) {
+                d += c;
+            }
+        }
+        d
+    }
+
+    /// Whether a final accumulated value satisfies the row.
+    pub fn satisfied(&self, value: i64) -> bool {
+        match self.op {
+            CmpOp::Ge => value >= self.constant,
+            CmpOp::Eq => value == self.constant,
+            CmpOp::Le => value <= self.constant,
+        }
+    }
+}
+
+/// A label-count term whose label is not in the query alphabet; resolved
+/// against the merged alphabet when the query is bound to a graph.
+#[derive(Clone, Debug)]
+struct DeferredCountTerm {
+    row: usize,
+    path: usize,
+    label: String,
+    coeff: i64,
+}
+
+/// A query compiled independently of any graph: validated, densely numbered,
+/// with shared handles to every automaton artifact evaluation needs.
+///
+/// Prepare once, then [`bind`](Self::bind) to each graph. All `eval_*` entry
+/// points of [`crate::eval`] are thin wrappers over this type.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    /// The validated query (kept for [`std::fmt::Display`], `Q_len`
+    /// evaluation, and the reference engine).
+    pub(crate) query: Ecrpq,
+    /// Distinct node variables (dense indices).
+    pub(crate) node_vars: Vec<String>,
+    /// Distinct path variables (dense indices).
+    pub(crate) path_vars: Vec<String>,
+    /// Per path variable: node-variable indices of its endpoints (from the
+    /// first relational atom that binds it).
+    pub(crate) path_from: Vec<usize>,
+    pub(crate) path_to: Vec<usize>,
+    /// Additional endpoint constraints from repeated relational atoms:
+    /// `(path var, from node var, to node var)`.
+    pub(crate) extra_endpoints: Vec<(usize, usize, usize)>,
+    /// Compiled relation atoms (arity ≥ 1).
+    pub(crate) relations: Vec<CompiledRel>,
+    /// Per path variable: its unary constraint, or `None` if unconstrained.
+    pub(crate) unary: Vec<Option<UnaryPlan>>,
+    /// Head node variables as indices into `node_vars`.
+    pub(crate) head_node_idx: Vec<usize>,
+    /// Head path variables as indices into `path_vars`.
+    pub(crate) head_path_idx: Vec<usize>,
+    /// Node variables bound to named graph constants (names resolved to
+    /// `NodeId`s at bind time).
+    pub(crate) constants: Vec<(usize, String)>,
+    /// Compiled linear constraints (empty for plain queries).
+    pub(crate) counters: Vec<CounterRow>,
+    /// Label-count terms whose label the query alphabet does not contain.
+    deferred_counts: Vec<DeferredCountTerm>,
+    /// Size of the query alphabet (merged indices at or past this are
+    /// foreign graph labels).
+    pub(crate) alphabet_len: usize,
+    /// Radix for [`tuple_code`]: digit 0 is `⊥`, digits `1..=|Σ|` are query
+    /// symbols, and the top digit is reserved for foreign graph labels.
+    pub(crate) code_base: u64,
+    /// True if verification by convolution search is unnecessary (plain CRPQ
+    /// without repetition or counters).
+    pub(crate) relaxation_is_exact: bool,
+    /// True if every relation automaton is small enough for the dense
+    /// product engine; otherwise candidate verification and the
+    /// answer-automaton construction fall back to the sparse classical loop.
+    pub(crate) dense_search: bool,
+    /// Per node variable: total unary-automaton states over incident path
+    /// variables — the selectivity hint the join-order heuristic combines
+    /// with variable connectivity.
+    pub(crate) var_weight: Vec<usize>,
+}
+
+impl PreparedQuery {
+    /// Compiles `query` into its graph-independent prepared form.
+    pub fn prepare(query: &Ecrpq) -> Result<PreparedQuery, QueryError> {
+        query.validate()?;
+
+        // Dense numbering of node and path variables.
+        let node_vars: Vec<String> = query.node_vars().into_iter().map(|v| v.0).collect();
+        let node_index: HashMap<&str, usize> =
+            node_vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+        let path_vars: Vec<String> = query.path_vars().into_iter().map(|v| v.0).collect();
+        let path_index: HashMap<&str, usize> =
+            path_vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+
+        // Endpoints per path variable; extra atoms binding the same path
+        // variable become additional endpoint constraints.
+        let mut path_from = vec![usize::MAX; path_vars.len()];
+        let mut path_to = vec![usize::MAX; path_vars.len()];
+        let mut extra_endpoints = Vec::new();
+        for a in &query.atoms {
+            let p = path_index[a.path.name()];
+            let f = node_index[a.from.name()];
+            let t = node_index[a.to.name()];
+            if path_from[p] == usize::MAX {
+                path_from[p] = f;
+                path_to[p] = t;
+            } else {
+                extra_endpoints.push((p, f, t));
+            }
+        }
+
+        // Tuple-code radix: one digit per query symbol plus `⊥` and the
+        // reserved foreign digit. Relations pre-built against a larger
+        // alphabet widen the radix so their symbols keep unique digits (the
+        // max-symbol scan is memoized inside each relation).
+        let mut max_sym = query.alphabet.len() as u64;
+        for r in &query.relations {
+            if let Some(s) = r.relation.max_symbol_index() {
+                max_sym = max_sym.max(s as u64 + 1);
+            }
+        }
+        let code_base = max_sym + 2;
+
+        // Compile relation atoms. The dense simulation tables are built
+        // lazily (see [`CompiledRel::sim`]); only the size check runs here.
+        let relations: Vec<CompiledRel> = query
+            .relations
+            .iter()
+            .map(|r| CompiledRel {
+                rel: r.relation.clone(),
+                nfa: r.relation.nfa_shared(),
+                tapes: r.paths.iter().map(|p| path_index[p.name()]).collect(),
+                sim_cell: OnceLock::new(),
+            })
+            .collect();
+        // Dense engines also require every relation's tuple-letter code to
+        // fit in u64 (`tuple_code` packs one base-`code_base` digit per
+        // tape); otherwise codes could wrap and collide, so such queries use
+        // the reference engine, which never encodes letters.
+        let dense_search = relations.iter().all(|r| {
+            dense_eligible(&r.nfa) && code_base.checked_pow(r.tapes.len() as u32).is_some()
+        });
+
+        // Per-path unary constraint: intersection of projections of every
+        // relation atom that mentions the path variable. A single-projection
+        // constraint keeps a pointer back to its relation so the compiled
+        // tables come from the relation's shared cache.
+        let mut sources: Vec<Vec<(usize, usize)>> = vec![Vec::new(); path_vars.len()];
+        for (j, r) in query.relations.iter().enumerate() {
+            for (tape, p) in r.paths.iter().enumerate() {
+                sources[path_index[p.name()]].push((j, tape));
+            }
+        }
+        let unary: Vec<Option<UnaryPlan>> = sources
+            .iter()
+            .map(|srcs| match srcs.as_slice() {
+                [] => None,
+                &[(j, tape)] => {
+                    let nfa = query.relations[j].relation.project(tape);
+                    let dense = dense_eligible(&nfa);
+                    Some(UnaryPlan {
+                        nfa,
+                        source: Some((j, tape)),
+                        sim_cell: OnceLock::new(),
+                        dense,
+                    })
+                }
+                srcs => {
+                    let mut acc: Option<Arc<Nfa<Symbol>>> = None;
+                    for &(j, tape) in srcs {
+                        let proj = query.relations[j].relation.project(tape);
+                        acc = Some(match acc {
+                            None => proj,
+                            Some(existing) => Arc::new(existing.intersect(&proj).trim()),
+                        });
+                    }
+                    let nfa = acc.expect("non-empty source list");
+                    let dense = dense_eligible(&nfa);
+                    Some(UnaryPlan { nfa, source: None, sim_cell: OnceLock::new(), dense })
+                }
+            })
+            .collect();
+
+        // Node constants stay names until a graph is bound.
+        let constants: Vec<(usize, String)> = query
+            .node_constants
+            .iter()
+            .map(|(v, name)| (node_index[v.name()], name.clone()))
+            .collect();
+
+        // Compile linear constraints over the query alphabet; terms counting
+        // labels the query alphabet lacks are deferred to bind time.
+        let (counters, deferred_counts) = compile_counters(
+            &query.linear_constraints,
+            &path_index,
+            path_vars.len(),
+            &query.alphabet,
+        );
+
+        let head_node_idx = query.head_nodes.iter().map(|v| node_index[v.name()]).collect();
+        let head_path_idx = query.head_paths.iter().map(|p| path_index[p.name()]).collect();
+
+        let has_wide_relation = relations.iter().any(|r| r.tapes.len() >= 2);
+        let relaxation_is_exact =
+            !has_wide_relation && !query.has_relational_repetition() && counters.is_empty();
+
+        // Join-order hint: per node variable, the total state count of the
+        // unary automata on its incident path variables (smaller automata
+        // tend to give sparser reachability relations).
+        let mut var_weight = vec![0usize; node_vars.len()];
+        for p in 0..path_vars.len() {
+            let w = unary[p].as_ref().map_or(0, |u| u.nfa.num_states());
+            var_weight[path_from[p]] += w;
+            var_weight[path_to[p]] += w;
+        }
+
+        Ok(PreparedQuery {
+            alphabet_len: query.alphabet.len(),
+            query: query.clone(),
+            node_vars,
+            path_vars,
+            path_from,
+            path_to,
+            extra_endpoints,
+            relations,
+            unary,
+            head_node_idx,
+            head_path_idx,
+            constants,
+            counters,
+            deferred_counts,
+            code_base,
+            relaxation_is_exact,
+            dense_search,
+            var_weight,
+        })
+    }
+
+    /// The query this plan was prepared from.
+    pub fn query(&self) -> &Ecrpq {
+        &self.query
+    }
+
+    /// Binds the prepared query to one graph: resolves named-node constants,
+    /// builds the symbol translation and a label-translated CSR adjacency,
+    /// and resolves deferred label-count coefficients. No automaton is
+    /// compiled here — binding is cheap and linear in the graph size.
+    pub fn bind<'a>(&'a self, graph: &'a GraphDb) -> Result<BoundPlan<'a>, QueryError> {
+        // Merge the query alphabet with the graph alphabet (appending any
+        // labels the query does not know, so relation symbols stay valid).
+        let mut merged_alphabet = self.query.alphabet.clone();
+        let graph_symbol_map: Vec<Symbol> =
+            graph.alphabet().iter().map(|(_, label)| merged_alphabet.intern(label)).collect();
+
+        // Resolve node constants.
+        let mut constants = Vec::new();
+        for (v, name) in &self.constants {
+            let node = graph
+                .node_by_name(name)
+                .ok_or_else(|| QueryError::UnknownGraphNode(name.clone()))?;
+            constants.push((*v, node));
+        }
+
+        // Resolve deferred label-count coefficients against the merged
+        // alphabet (a constraint may count a label only the graph knows).
+        let mut counters = self.counters.clone();
+        for d in &self.deferred_counts {
+            let sym = merged_alphabet.symbol(&d.label).ok_or_else(|| {
+                QueryError::InvalidLinearConstraint(format!(
+                    "label `{}` is not in the query or graph alphabet",
+                    d.label
+                ))
+            })?;
+            let row = &mut counters[d.row].symbol_coeff[d.path];
+            if row.len() <= sym.index() {
+                row.resize(sym.index() + 1, 0);
+            }
+            row[sym.index()] += d.coeff;
+        }
+
+        // CSR adjacency with labels pre-translated into the merged alphabet,
+        // shared by every reachability computation on this plan.
+        let n = graph.num_nodes();
+        let mut csr_off = vec![0u32; n + 1];
+        for v in graph.nodes() {
+            csr_off[v.index() + 1] = csr_off[v.index()] + graph.out_edges(v).len() as u32;
+        }
+        let total = csr_off[n] as usize;
+        let mut csr_to = vec![0u32; total];
+        let mut csr_label = vec![Symbol(0); total];
+        let mut cursor = csr_off.clone();
+        for v in graph.nodes() {
+            for &(l, to) in graph.out_edges(v) {
+                let c = cursor[v.index()] as usize;
+                csr_to[c] = to.0;
+                csr_label[c] = graph_symbol_map[l.index()];
+                cursor[v.index()] += 1;
+            }
+        }
+
+        Ok(BoundPlan {
+            pq: self,
+            graph,
+            merged_len: merged_alphabet.len(),
+            graph_symbol_map,
+            constants,
+            counters,
+            csr_off,
+            csr_to,
+            csr_label,
+        })
+    }
+
+    /// Convenience: bind and run in one call (node answers only).
+    pub fn run(
+        &self,
+        graph: &GraphDb,
+        config: &EvalConfig,
+    ) -> Result<(Vec<Answer>, EvalStats), QueryError> {
+        self.bind(graph)?.run(config)
+    }
+
+    /// Forces compilation of every automaton artifact the dense engines can
+    /// use (relation tables and dense-eligible unary tables). Returns the
+    /// cache counters: `(hits, misses)` — on a warmed query the second call
+    /// reports only hits. Used by the benchmark harness to measure compile
+    /// cost as an explicit, separate phase.
+    pub fn warm(&self) -> (u64, u64) {
+        let mut stats = EvalStats::default();
+        if self.dense_search {
+            self.force_rel_sims(&mut stats);
+        }
+        for p in 0..self.path_vars.len() {
+            if self.unary[p].as_ref().is_some_and(|u| u.dense) {
+                let _ = self.unary_sim(p, &mut stats);
+            }
+        }
+        (stats.sim_cache_hits, stats.sim_cache_misses)
+    }
+
+    /// Compiles (or fetches) the dense tables of every relation automaton,
+    /// recording cache hits/misses. A hit means the expensive table
+    /// compilation was skipped because a previous run (or another query
+    /// sharing the relation) already built it.
+    pub(crate) fn force_rel_sims(&self, stats: &mut EvalStats) {
+        for r in &self.relations {
+            if r.rel.compiled_sim_is_cached() {
+                stats.sim_cache_hits += 1;
+            } else {
+                stats.sim_cache_misses += 1;
+            }
+            let _ = r.sim(self.code_base);
+        }
+    }
+
+    /// The compiled tables of path variable `p`'s unary constraint,
+    /// recording a cache hit or miss. Single-projection constraints share
+    /// the relation's cache (closing the `plan::reachability` recompilation
+    /// item); intersected constraints cache inside this prepared query.
+    pub(crate) fn unary_sim(&self, p: usize, stats: &mut EvalStats) -> Arc<CompactNfa<Symbol>> {
+        let u = self.unary[p].as_ref().expect("unary_sim on an unconstrained path variable");
+        match u.source {
+            Some((j, tape)) => {
+                let rel = &self.relations[j].rel;
+                if rel.projection_sim_is_cached(tape) {
+                    stats.sim_cache_hits += 1;
+                } else {
+                    stats.sim_cache_misses += 1;
+                }
+                rel.projection_sim(tape)
+            }
+            None => {
+                if u.sim_cell.get().is_some() {
+                    stats.sim_cache_hits += 1;
+                } else {
+                    stats.sim_cache_misses += 1;
+                }
+                Arc::clone(u.sim_cell.get_or_init(|| Arc::new(CompactNfa::compile(&u.nfa))))
+            }
+        }
+    }
+}
+
+fn compile_counters(
+    constraints: &[QLinearConstraint],
+    path_index: &HashMap<&str, usize>,
+    num_paths: usize,
+    alphabet: &Alphabet,
+) -> (Vec<CounterRow>, Vec<DeferredCountTerm>) {
+    let mut rows = Vec::new();
+    let mut deferred = Vec::new();
+    for (ri, c) in constraints.iter().enumerate() {
+        let mut length_coeff = vec![0i64; num_paths];
+        let mut symbol_coeff = vec![vec![0i64; alphabet.len()]; num_paths];
+        for (coef, target) in &c.terms {
+            match target {
+                CountTarget::Length(p) => {
+                    let pi = path_index[p.name()];
+                    length_coeff[pi] += coef;
+                }
+                CountTarget::LabelCount(p, label) => {
+                    let pi = path_index[p.name()];
+                    match alphabet.symbol(label) {
+                        Some(sym) => symbol_coeff[pi][sym.index()] += coef,
+                        None => deferred.push(DeferredCountTerm {
+                            row: ri,
+                            path: pi,
+                            label: label.clone(),
+                            coeff: *coef,
+                        }),
+                    }
+                }
+            }
+        }
+        rows.push(CounterRow { length_coeff, symbol_coeff, op: c.op, constant: c.constant });
+    }
+    (rows, deferred)
+}
+
+/// A prepared query bound to one concrete graph: symbol translation, resolved
+/// node constants, resolved counters, and a label-translated CSR adjacency.
+///
+/// Binding performs no automaton compilation; `run*` reuses everything the
+/// [`PreparedQuery`] (and the relations inside it) already compiled.
+#[derive(Debug)]
+pub struct BoundPlan<'a> {
+    pub(crate) pq: &'a PreparedQuery,
+    pub(crate) graph: &'a GraphDb,
+    /// Size of the merged (query + graph) alphabet.
+    pub(crate) merged_len: usize,
+    /// Translation from graph symbols to merged-alphabet symbols.
+    pub(crate) graph_symbol_map: Vec<Symbol>,
+    /// Node variables bound to resolved graph constants.
+    pub(crate) constants: Vec<(usize, NodeId)>,
+    /// Linear-constraint rows with bind-time labels resolved.
+    pub(crate) counters: Vec<CounterRow>,
+    /// CSR adjacency offsets (per node).
+    pub(crate) csr_off: Vec<u32>,
+    /// CSR adjacency targets.
+    pub(crate) csr_to: Vec<u32>,
+    /// CSR edge labels, pre-translated into the merged alphabet.
+    pub(crate) csr_label: Vec<Symbol>,
+}
+
+impl<'a> BoundPlan<'a> {
+    /// The prepared query this plan binds.
+    pub fn prepared(&self) -> &'a PreparedQuery {
+        self.pq
+    }
+
+    /// The graph this plan is bound to.
+    pub fn graph(&self) -> &'a GraphDb {
+        self.graph
+    }
+
+    /// Translates a graph edge label into the merged alphabet.
+    #[inline]
+    pub(crate) fn translate(&self, graph_label: Symbol) -> Symbol {
+        self.graph_symbol_map[graph_label.index()]
+    }
+
+    /// The CSR out-edge range of `node` as `(targets, merged labels)`.
+    #[inline]
+    pub(crate) fn csr_out(&self, node: usize) -> (&[u32], &[Symbol]) {
+        let (lo, hi) = (self.csr_off[node] as usize, self.csr_off[node + 1] as usize);
+        (&self.csr_to[lo..hi], &self.csr_label[lo..hi])
+    }
+
+    /// Derives the step bound used when counters are present.
+    pub(crate) fn step_bound(&self, config: &EvalConfig) -> usize {
+        if let Some(b) = config.max_convolution_steps {
+            return b;
+        }
+        let rel_states: usize = self.pq.relations.iter().map(|r| r.nfa.num_states()).sum();
+        (self.graph.num_nodes() * (1 + rel_states)).clamp(64, 100_000)
+    }
+
+    /// Runs the query: full answers with witness paths when the head has
+    /// path variables, node tuples otherwise.
+    pub fn run(&self, config: &EvalConfig) -> Result<(Vec<Answer>, EvalStats), QueryError> {
+        let mode = if self.pq.head_path_idx.is_empty() { Mode::Nodes } else { Mode::Paths };
+        self.run_mode(config, mode, Engine::Dense)
+    }
+
+    /// Runs the query, returning the set of head-node tuples and statistics.
+    pub fn run_nodes(
+        &self,
+        config: &EvalConfig,
+    ) -> Result<(Vec<Vec<NodeId>>, EvalStats), QueryError> {
+        let (answers, stats) = self.run_mode(config, Mode::Nodes, Engine::Dense)?;
+        Ok((answers.into_iter().map(|a| a.nodes).collect(), stats))
+    }
+
+    /// Runs the query as a Boolean query (stops at the first answer).
+    pub fn run_boolean(&self, config: &EvalConfig) -> Result<(bool, EvalStats), QueryError> {
+        let (answers, stats) = self.run_mode(config, Mode::Boolean, Engine::Dense)?;
+        Ok((!answers.is_empty(), stats))
+    }
+
+    /// Runs the query, materializing up to `config.answer_limit` answers
+    /// with explicit witness paths for the head path variables.
+    pub fn run_with_paths(
+        &self,
+        config: &EvalConfig,
+    ) -> Result<(Vec<Answer>, EvalStats), QueryError> {
+        self.run_mode(config, Mode::Paths, Engine::Dense)
+    }
+
+    /// The `ECRPQ-EVAL` membership check: does `(nodes, paths)` belong to
+    /// `Q(G)`?
+    pub fn check(
+        &self,
+        nodes: &[NodeId],
+        paths: &[Path],
+        config: &EvalConfig,
+    ) -> Result<bool, QueryError> {
+        self.check_engine(nodes, paths, config, Engine::Dense)
+    }
+
+    /// Evaluates the plan in the requested mode with an explicit engine.
+    pub(crate) fn run_mode(
+        &self,
+        config: &EvalConfig,
+        mode: Mode,
+        engine: Engine,
+    ) -> Result<(Vec<Answer>, EvalStats), QueryError> {
+        let pq = self.pq;
+        let mut stats = EvalStats::default();
+
+        // Reachability relation per path variable.
+        let reach: Vec<ReachRel> =
+            (0..pq.path_vars.len()).map(|p| plan::reachability(self, p, &mut stats)).collect();
+
+        let needs_search = !pq.relaxation_is_exact || mode == Mode::Paths;
+        if needs_search && engine == Engine::Dense && pq.dense_search {
+            pq.force_rel_sims(&mut stats);
+        }
+        let step_bound =
+            if self.counters.is_empty() { None } else { Some(self.step_bound(config)) };
+
+        let mut answers: Vec<Answer> = Vec::new();
+        let mut seen_heads: HashSet<Vec<NodeId>> = HashSet::new();
+        let mut seen_answers: HashSet<(Vec<NodeId>, Vec<Path>)> = HashSet::new();
+        let mut error: Option<QueryError> = None;
+        let mut verified: u64 = 0;
+        let mut search_states: u64 = 0;
+
+        plan::enumerate_candidates(self, &self.constants, &reach, config, &mut stats, |sigma| {
+            let head: Vec<NodeId> = pq.head_node_idx.iter().map(|&i| sigma[i]).collect();
+            if mode == Mode::Nodes && seen_heads.contains(&head) {
+                return true;
+            }
+            if !needs_search {
+                verified += 1;
+                seen_heads.insert(head.clone());
+                answers.push(Answer { nodes: head, paths: Vec::new() });
+                return mode != Mode::Boolean;
+            }
+            // Verify the candidate with the convolution search.
+            let problem = SearchProblem {
+                plan: self,
+                sigma: sigma.to_vec(),
+                pinned: vec![None; pq.path_vars.len()],
+                want_witness: mode == Mode::Paths,
+                step_bound,
+                max_states: config.max_search_states,
+            };
+            match engine.run(&problem) {
+                Ok(out) if !out.accepted => {
+                    search_states += out.states_visited;
+                    true
+                }
+                Ok(out) => {
+                    search_states += out.states_visited;
+                    verified += 1;
+                    seen_heads.insert(head.clone());
+                    let paths = match out.witness {
+                        Some(w) => pq.head_path_idx.iter().map(|&p| w[p].clone()).collect(),
+                        None => Vec::new(),
+                    };
+                    if mode == Mode::Paths {
+                        if seen_answers.insert((head.clone(), paths.clone())) {
+                            answers.push(Answer { nodes: head, paths });
+                        }
+                        answers.len() < config.answer_limit
+                    } else {
+                        answers.push(Answer { nodes: head, paths });
+                        mode != Mode::Boolean
+                    }
+                }
+                Err(e) => {
+                    error = Some(e);
+                    false
+                }
+            }
+        })?;
+
+        if let Some(e) = error {
+            return Err(e);
+        }
+        stats.verified = verified;
+        stats.search_states = search_states;
+        Ok((answers, stats))
+    }
+
+    /// The membership check with an explicit verification engine.
+    pub(crate) fn check_engine(
+        &self,
+        nodes: &[NodeId],
+        paths: &[Path],
+        config: &EvalConfig,
+        engine: Engine,
+    ) -> Result<bool, QueryError> {
+        let pq = self.pq;
+        if nodes.len() != pq.head_node_idx.len() || paths.len() != pq.head_path_idx.len() {
+            return Err(QueryError::Unsupported(format!(
+                "membership check expects {} node values and {} path values",
+                pq.head_node_idx.len(),
+                pq.head_path_idx.len()
+            )));
+        }
+        for p in paths {
+            if !p.is_valid_in(self.graph) {
+                return Ok(false);
+            }
+        }
+
+        // Pin head paths and derive node-variable bindings from them and
+        // from the head node values / constants.
+        let mut pinned: Vec<Option<&Path>> = vec![None; pq.path_vars.len()];
+        let mut forced: HashMap<usize, NodeId> = HashMap::new();
+        let force = |var: usize, value: NodeId, forced: &mut HashMap<usize, NodeId>| -> bool {
+            match forced.get(&var) {
+                Some(&v) => v == value,
+                None => {
+                    forced.insert(var, value);
+                    true
+                }
+            }
+        };
+        for (i, &pi) in pq.head_path_idx.iter().enumerate() {
+            pinned[pi] = Some(&paths[i]);
+            if !force(pq.path_from[pi], paths[i].start(), &mut forced)
+                || !force(pq.path_to[pi], paths[i].end(), &mut forced)
+            {
+                return Ok(false);
+            }
+        }
+        for (i, &vi) in pq.head_node_idx.iter().enumerate() {
+            if !force(vi, nodes[i], &mut forced) {
+                return Ok(false);
+            }
+        }
+        for &(vi, n) in &self.constants {
+            if !force(vi, n, &mut forced) {
+                return Ok(false);
+            }
+        }
+        // Extra endpoint constraints from repeated atoms must also agree.
+        for &(p, f, t) in &pq.extra_endpoints {
+            if let Some(path) = pinned[p] {
+                if !force(f, path.start(), &mut forced) || !force(t, path.end(), &mut forced) {
+                    return Ok(false);
+                }
+            }
+        }
+
+        // Reachability for the remaining join, with forced values taking the
+        // place of the plan's constants.
+        let mut stats = EvalStats::default();
+        let reach: Vec<ReachRel> =
+            (0..pq.path_vars.len()).map(|p| plan::reachability(self, p, &mut stats)).collect();
+        let forced: Vec<(usize, NodeId)> = forced.into_iter().collect();
+
+        let step_bound =
+            if self.counters.is_empty() { None } else { Some(self.step_bound(config)) };
+        let mut found = false;
+        let mut error: Option<QueryError> = None;
+        plan::enumerate_candidates(self, &forced, &reach, config, &mut stats, |sigma| {
+            let problem = SearchProblem {
+                plan: self,
+                sigma: sigma.to_vec(),
+                pinned: pinned.clone(),
+                want_witness: false,
+                step_bound,
+                max_states: config.max_search_states,
+            };
+            match engine.run(&problem) {
+                Ok(out) => {
+                    if out.accepted {
+                        found = true;
+                        false
+                    } else {
+                        true
+                    }
+                }
+                Err(e) => {
+                    error = Some(e);
+                    false
+                }
+            }
+        })?;
+        if let Some(e) = error {
+            return Err(e);
+        }
+        Ok(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecrpq_automata::builtin;
+    use ecrpq_graph::generators;
+
+    fn same_length_query(al: &Alphabet) -> Ecrpq {
+        Ecrpq::builder(al)
+            .head_nodes(&["x", "y"])
+            .atom("x", "p1", "z")
+            .atom("z", "p2", "y")
+            .language("p1", "a+")
+            .language("p2", "a+")
+            .relation(builtin::equal_length(al), &["p1", "p2"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn prepare_once_run_many_reuses_compiled_automata() {
+        let g1 = generators::cycle_graph(4, "a");
+        let g2 = generators::cycle_graph(5, "a");
+        let al = g1.alphabet().clone();
+        let q = same_length_query(&al);
+        let cfg = EvalConfig::default();
+
+        let pq = PreparedQuery::prepare(&q).unwrap();
+        let (a1, s1) = pq.bind(&g1).unwrap().run_nodes(&cfg).unwrap();
+        assert!(!a1.is_empty());
+        assert!(s1.sim_cache_misses > 0, "first run must compile: {s1:?}");
+
+        // Re-running on a fresh graph skips automaton compilation entirely.
+        let (a2, s2) = pq.bind(&g2).unwrap().run_nodes(&cfg).unwrap();
+        assert!(!a2.is_empty());
+        assert_eq!(s2.sim_cache_misses, 0, "reuse must not recompile: {s2:?}");
+        assert!(s2.sim_cache_hits > 0, "reuse must hit the caches: {s2:?}");
+    }
+
+    #[test]
+    fn warm_compiles_everything_once() {
+        let al = Alphabet::from_labels(["a"]);
+        let q = same_length_query(&al);
+        let pq = PreparedQuery::prepare(&q).unwrap();
+        let (h0, m0) = pq.warm();
+        assert!(m0 > 0, "cold warm() must compile something");
+        let (h1, m1) = pq.warm();
+        assert_eq!(m1, 0, "second warm() must be all hits");
+        assert_eq!(h1, h0 + m0);
+    }
+
+    #[test]
+    fn prepared_agrees_with_one_shot_eval() {
+        let g = generators::random_graph(18, 2.0, &["a", "b"], 5);
+        let al = g.alphabet().clone();
+        let q = same_length_query(&al);
+        let cfg = EvalConfig::default();
+        let mut oneshot = crate::eval::eval_nodes(&q, &g, &cfg).unwrap();
+        let pq = PreparedQuery::prepare(&q).unwrap();
+        let (mut prepared, _) = pq.bind(&g).unwrap().run_nodes(&cfg).unwrap();
+        oneshot.sort();
+        prepared.sort();
+        assert_eq!(oneshot, prepared);
+    }
+
+    #[test]
+    fn bind_resolves_constants_per_graph() {
+        let mut g1 = GraphDb::empty();
+        let a1 = g1.add_named_node("start");
+        let b1 = g1.add_named_node("end");
+        g1.add_edge_labeled(a1, "a", b1);
+        let al = g1.alphabet().clone();
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["y"])
+            .atom("x", "p", "y")
+            .language("p", "a")
+            .bind_node("x", "start")
+            .build()
+            .unwrap();
+        let pq = PreparedQuery::prepare(&q).unwrap();
+        let cfg = EvalConfig::default();
+        let (ans, _) = pq.bind(&g1).unwrap().run_nodes(&cfg).unwrap();
+        assert_eq!(ans, vec![vec![b1]]);
+        // A graph without the named node fails at bind time.
+        let g2 = generators::cycle_graph(3, "a");
+        assert!(matches!(pq.bind(&g2), Err(QueryError::UnknownGraphNode(_))));
+    }
+
+    #[test]
+    fn foreign_graph_labels_do_not_confuse_relations() {
+        // Query alphabet {a}; the graph additionally has label `z`, which no
+        // relation can read — paths through `z` edges must not satisfy the
+        // equality relation, and unconstrained reachability must still work.
+        let mut g = GraphDb::empty();
+        let n0 = g.add_named_node("n0");
+        let n1 = g.add_named_node("n1");
+        let n2 = g.add_named_node("n2");
+        g.add_edge_labeled(n0, "a", n1);
+        g.add_edge_labeled(n1, "a", n2);
+        g.add_edge_labeled(n0, "z", n1); // foreign label
+        let al = Alphabet::from_labels(["a"]);
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["x", "y"])
+            .atom("x", "p1", "z")
+            .atom("z", "p2", "y")
+            .relation(builtin::equality(&al), &["p1", "p2"])
+            .build()
+            .unwrap();
+        let cfg = EvalConfig::default();
+        let pq = PreparedQuery::prepare(&q).unwrap();
+        let (mut ans, _) = pq.bind(&g).unwrap().run_nodes(&cfg).unwrap();
+        ans.sort();
+        // aa split as a|a: (n0, n2) with midpoint n1; plus all the
+        // empty-path answers (x = z = y).
+        assert!(ans.contains(&vec![n0, n2]));
+        // The z edge alone can never appear in an equality witness, because
+        // `eq` does not read the foreign letter; but the unconstrained
+        // relational part still sees it, so no panic / miscode may occur.
+        let (refr, _) = crate::eval::reference::eval_nodes_with_stats(&q, &g, &cfg).unwrap();
+        let mut refr = refr;
+        refr.sort();
+        assert_eq!(ans, refr);
+    }
+}

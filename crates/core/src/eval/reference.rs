@@ -76,22 +76,22 @@ struct State {
 
 /// Runs the reference search.
 pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryError> {
-    let compiled = problem.compiled;
-    let num_paths = compiled.path_vars.len();
+    let pq = problem.plan.pq;
+    let num_paths = pq.path_vars.len();
 
     // Consistency prechecks for pinned paths and repeated relational atoms.
     for p in 0..num_paths {
         if let Some(path) = problem.pinned[p] {
-            if path.start() != problem.sigma[compiled.path_from[p]]
-                || path.end() != problem.sigma[compiled.path_to[p]]
+            if path.start() != problem.sigma[pq.path_from[p]]
+                || path.end() != problem.sigma[pq.path_to[p]]
             {
                 return Ok(SearchOutcome { accepted: false, states_visited: 0, witness: None });
             }
         }
     }
-    for &(p, f, t) in &compiled.extra_endpoints {
-        if problem.sigma[f] != problem.sigma[compiled.path_from[p]]
-            || problem.sigma[t] != problem.sigma[compiled.path_to[p]]
+    for &(p, f, t) in &pq.extra_endpoints {
+        if problem.sigma[f] != problem.sigma[pq.path_from[p]]
+            || problem.sigma[t] != problem.sigma[pq.path_to[p]]
         {
             return Ok(SearchOutcome { accepted: false, states_visited: 0, witness: None });
         }
@@ -99,10 +99,10 @@ pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryErr
 
     let initial = State {
         pos: (0..num_paths)
-            .map(|p| Pos::Active { node: problem.sigma[compiled.path_from[p]], step: 0 })
+            .map(|p| Pos::Active { node: problem.sigma[pq.path_from[p]], step: 0 })
             .collect(),
-        rel: compiled.relations.iter().map(|r| r.nfa.epsilon_closure(r.nfa.initial())).collect(),
-        counters: vec![0i64; compiled.counters.len()],
+        rel: pq.relations.iter().map(|r| r.nfa.epsilon_closure(r.nfa.initial())).collect(),
+        counters: vec![0i64; problem.plan.counters.len()],
     };
 
     let mut visited: HashSet<State> = HashSet::new();
@@ -168,7 +168,7 @@ pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryErr
 /// finish at its current node, every relation automaton is in an accepting
 /// state, and every counter row is satisfied.
 fn accepts(problem: &SearchProblem<'_>, state: &State) -> bool {
-    let compiled = problem.compiled;
+    let pq = problem.plan.pq;
     for (p, pos) in state.pos.iter().enumerate() {
         match pos {
             Pos::Done => {}
@@ -179,12 +179,12 @@ fn accepts(problem: &SearchProblem<'_>, state: &State) -> bool {
             }
         }
     }
-    for (j, rel) in compiled.relations.iter().enumerate() {
+    for (j, rel) in pq.relations.iter().enumerate() {
         if !state.rel[j].iter().any(|&q| rel.nfa.is_accepting(q)) {
             return false;
         }
     }
-    for (i, row) in compiled.counters.iter().enumerate() {
+    for (i, row) in problem.plan.counters.iter().enumerate() {
         if !row.satisfied(state.counters[i]) {
             return false;
         }
@@ -207,8 +207,7 @@ fn expand<F: FnMut(State, MoveVec) -> bool>(
     state: &State,
     visit: &mut F,
 ) {
-    let compiled = problem.compiled;
-    let num_paths = compiled.path_vars.len();
+    let num_paths = problem.plan.pq.path_vars.len();
 
     // Per-variable options.
     let mut options: Vec<Vec<Option1>> = Vec::with_capacity(num_paths);
@@ -228,7 +227,7 @@ fn expand<F: FnMut(State, MoveVec) -> bool>(
                         }
                     }
                     None => {
-                        for &(label, to) in problem.graph.out_edges(node) {
+                        for &(label, to) in problem.plan.graph.out_edges(node) {
                             opts.push(Option1::Real { label, to, step: 0 });
                         }
                     }
@@ -279,7 +278,8 @@ fn apply(
     state: &State,
     picks: &[Option1],
 ) -> Option<(State, MoveVec)> {
-    let compiled = problem.compiled;
+    let plan = problem.plan;
+    let pq = plan.pq;
     let mut pos = Vec::with_capacity(picks.len());
     let mut mv: MoveVec = Vec::with_capacity(picks.len());
     // The letter each variable contributes, already translated into the
@@ -290,7 +290,7 @@ fn apply(
             Option1::Real { label, to, step } => {
                 pos.push(Pos::Active { node: *to, step: *step });
                 mv.push(Some((*label, *to)));
-                letters.push(Some(compiled.translate(*label)));
+                letters.push(Some(plan.translate(*label)));
             }
             Option1::Finish | Option1::Pad => {
                 pos.push(Pos::Done);
@@ -301,8 +301,8 @@ fn apply(
     }
 
     // Advance every relation automaton on the projection of the step.
-    let mut rel = Vec::with_capacity(compiled.relations.len());
-    for (j, r) in compiled.relations.iter().enumerate() {
+    let mut rel = Vec::with_capacity(pq.relations.len());
+    for (j, r) in pq.relations.iter().enumerate() {
         let tuple: Vec<Option<Symbol>> = r.tapes.iter().map(|&t| letters[t]).collect();
         if tuple.iter().all(|c| c.is_none()) {
             // This relation's convolution has already ended; it does not read ⊥-only letters.
@@ -318,10 +318,10 @@ fn apply(
 
     // Update counters.
     let mut counters = state.counters.clone();
-    for (i, row) in compiled.counters.iter().enumerate() {
+    for (i, row) in plan.counters.iter().enumerate() {
         for (p, pick) in picks.iter().enumerate() {
             if let Option1::Real { label, .. } = pick {
-                counters[i] += row.step_delta(p, compiled.translate(*label));
+                counters[i] += row.step_delta(p, plan.translate(*label));
             }
         }
     }
@@ -335,7 +335,7 @@ fn reconstruct(
     parents: &HashMap<State, (State, MoveVec)>,
     accepting: &State,
 ) -> Vec<Path> {
-    let compiled = problem.compiled;
+    let pq = problem.plan.pq;
     // Collect the sequence of moves from the initial state to `accepting`.
     let mut moves: Vec<MoveVec> = Vec::new();
     let mut current = accepting.clone();
@@ -344,9 +344,9 @@ fn reconstruct(
         current = prev.clone();
     }
     moves.reverse();
-    (0..compiled.path_vars.len())
+    (0..pq.path_vars.len())
         .map(|p| {
-            let mut path = Path::empty(problem.sigma[compiled.path_from[p]]);
+            let mut path = Path::empty(problem.sigma[pq.path_from[p]]);
             for step in &moves {
                 if let Some((label, to)) = step[p] {
                     path.push(label, to);

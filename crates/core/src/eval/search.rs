@@ -23,18 +23,17 @@
 
 use crate::error::QueryError;
 use crate::eval::dense::{odometer_next, Arena, Layout};
-use crate::eval::plan::{self, Compiled, RelSim};
+use crate::eval::plan;
+use crate::eval::prepared::{BoundPlan, RelSim};
 use ecrpq_automata::alphabet::Symbol;
 use ecrpq_automata::sim::StateSet;
-use ecrpq_graph::{GraphDb, NodeId, Path};
+use ecrpq_graph::{NodeId, Path};
 use std::collections::VecDeque;
 
 /// One candidate-verification problem.
 pub(crate) struct SearchProblem<'a> {
-    /// The graph being queried.
-    pub graph: &'a GraphDb,
-    /// The compiled query.
-    pub compiled: &'a Compiled,
+    /// The prepared query bound to the graph being searched.
+    pub plan: &'a BoundPlan<'a>,
     /// Candidate assignment of the node variables.
     pub sigma: Vec<NodeId>,
     /// Pinned paths per path variable (used by the membership check).
@@ -68,7 +67,7 @@ pub(crate) type MoveVec = Vec<Option<(Symbol, NodeId)>>;
 pub(crate) fn finishable(problem: &SearchProblem<'_>, p: usize, node: NodeId, step: u32) -> bool {
     match problem.pinned[p] {
         Some(path) => step as usize == path.len(),
-        None => node == problem.sigma[problem.compiled.path_to[p]],
+        None => node == problem.sigma[problem.plan.pq.path_to[p]],
     }
 }
 
@@ -89,35 +88,36 @@ enum Option1 {
 
 /// Runs the search.
 pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryError> {
-    let compiled = problem.compiled;
-    let num_paths = compiled.path_vars.len();
+    let plan = problem.plan;
+    let pq = plan.pq;
+    let num_paths = pq.path_vars.len();
 
     // Consistency prechecks for pinned paths and repeated relational atoms.
     for p in 0..num_paths {
         if let Some(path) = problem.pinned[p] {
-            if path.start() != problem.sigma[compiled.path_from[p]]
-                || path.end() != problem.sigma[compiled.path_to[p]]
+            if path.start() != problem.sigma[pq.path_from[p]]
+                || path.end() != problem.sigma[pq.path_to[p]]
             {
                 return Ok(SearchOutcome { accepted: false, states_visited: 0, witness: None });
             }
         }
     }
-    for &(p, f, t) in &compiled.extra_endpoints {
-        if problem.sigma[f] != problem.sigma[compiled.path_from[p]]
-            || problem.sigma[t] != problem.sigma[compiled.path_to[p]]
+    for &(p, f, t) in &pq.extra_endpoints {
+        if problem.sigma[f] != problem.sigma[pq.path_from[p]]
+            || problem.sigma[t] != problem.sigma[pq.path_to[p]]
         {
             return Ok(SearchOutcome { accepted: false, states_visited: 0, witness: None });
         }
     }
 
-    let sims: Vec<&RelSim> = compiled.relations.iter().map(|r| r.sim(compiled.code_base)).collect();
-    let layout = Layout::new(num_paths, &sims, compiled.counters.len());
+    let sims: Vec<&RelSim> = pq.relations.iter().map(|r| r.sim(pq.code_base)).collect();
+    let layout = Layout::new(num_paths, &sims, plan.counters.len());
     let mut arena = Arena::new(layout.words);
 
     // Encode the initial state.
     let mut initial = vec![0u64; layout.words];
     for (p, w) in initial.iter_mut().enumerate().take(num_paths) {
-        *w = active_word(problem.sigma[compiled.path_from[p]], 0);
+        *w = active_word(problem.sigma[pq.path_from[p]], 0);
     }
     for (j, rs) in sims.iter().enumerate() {
         let off = layout.rel_off[j];
@@ -182,7 +182,7 @@ pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryErr
                         }
                     }
                     None => {
-                        for &(label, to) in problem.graph.out_edges(node) {
+                        for &(label, to) in plan.graph.out_edges(node) {
                             opts.push(Option1::Real { label, to, step: 0 });
                         }
                     }
@@ -274,7 +274,6 @@ fn accepts_key(
     sims: &[&RelSim],
     key: &[u64],
 ) -> bool {
-    let compiled = problem.compiled;
     for (p, &w) in key.iter().enumerate().take(layout.num_paths) {
         if w == 0 {
             continue; // Done
@@ -289,7 +288,7 @@ fn accepts_key(
             return false;
         }
     }
-    for (i, row) in compiled.counters.iter().enumerate() {
+    for (i, row) in problem.plan.counters.iter().enumerate() {
         if !row.satisfied(key[layout.cnt_off + i] as i64) {
             return false;
         }
@@ -312,12 +311,12 @@ fn apply_key(
     rel_scratch: &mut [StateSet],
     next: &mut [u64],
 ) -> bool {
-    let compiled = problem.compiled;
+    let plan = problem.plan;
     for p in 0..layout.num_paths {
         match options[p][choice[p]] {
             Option1::Real { label, to, step } => {
                 next[p] = active_word(to, step);
-                letters[p] = Some(compiled.translate(label));
+                letters[p] = Some(plan.translate(label));
             }
             Option1::Finish | Option1::Pad => {
                 next[p] = 0;
@@ -328,7 +327,7 @@ fn apply_key(
 
     // Advance every relation automaton on the projection of the step.
     if !plan::advance_relations(
-        compiled,
+        plan.pq,
         sims,
         &layout.rel_off,
         &layout.rel_blocks,
@@ -341,11 +340,11 @@ fn apply_key(
     }
 
     // Update counters.
-    for (i, row) in compiled.counters.iter().enumerate() {
+    for (i, row) in plan.counters.iter().enumerate() {
         let mut v = cur[layout.cnt_off + i] as i64;
         for p in 0..layout.num_paths {
             if let Option1::Real { label, .. } = options[p][choice[p]] {
-                v += row.step_delta(p, compiled.translate(label));
+                v += row.step_delta(p, plan.translate(label));
             }
         }
         next[layout.cnt_off + i] = v as u64;
@@ -361,7 +360,7 @@ fn reconstruct(
     moves: &[MoveVec],
     accepting: u32,
 ) -> Vec<Path> {
-    let compiled = problem.compiled;
+    let pq = problem.plan.pq;
     let mut seq: Vec<u32> = Vec::new();
     let mut id = accepting;
     while !parents.is_empty() && parents[id as usize] != u32::MAX {
@@ -369,9 +368,9 @@ fn reconstruct(
         id = parents[id as usize];
     }
     seq.reverse();
-    (0..compiled.path_vars.len())
+    (0..pq.path_vars.len())
         .map(|p| {
-            let mut path = Path::empty(problem.sigma[compiled.path_from[p]]);
+            let mut path = Path::empty(problem.sigma[pq.path_from[p]]);
             for &mid in &seq {
                 if let Some((label, to)) = moves[mid as usize][p] {
                     path.push(label, to);

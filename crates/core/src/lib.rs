@@ -63,15 +63,18 @@ pub mod containment;
 pub mod error;
 pub mod eval;
 pub mod expressiveness;
+pub mod parse;
 pub mod query;
 
 pub use error::QueryError;
-pub use eval::{Answer, EvalConfig};
+pub use eval::{Answer, BoundPlan, EvalConfig, PreparedQuery};
+pub use parse::{parse_query, parse_query_with, ParseError};
 pub use query::{CountTarget, Ecrpq, NodeVar, PathVar};
 
 /// Convenient re-exports for examples and downstream users.
 pub mod prelude {
-    pub use crate::eval::{self, Answer, EvalConfig};
+    pub use crate::eval::{self, Answer, BoundPlan, EvalConfig, PreparedQuery};
+    pub use crate::parse::{parse_query, parse_query_with, ParseError};
     pub use crate::query::{CountTarget, Ecrpq, NodeVar, PathVar};
     pub use crate::QueryError;
     pub use ecrpq_automata::builtin;

@@ -288,6 +288,10 @@ impl Ecrpq {
 }
 
 impl fmt::Display for Ecrpq {
+    /// Pretty-prints the query in the textual syntax of [`crate::parse`], so
+    /// the output of `Display` is valid parser input: queries whose relation
+    /// atoms carry parseable names (regexes, built-in names, or registered
+    /// names) round-trip exactly.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let heads: Vec<String> = self
             .head_nodes
@@ -302,28 +306,47 @@ impl fmt::Display for Ecrpq {
             .map(|a| format!("({}, {}, {})", a.from.name(), a.path.name(), a.to.name()))
             .collect();
         for r in &self.relations {
-            let name = r.relation.name().unwrap_or("R");
+            let name = r.relation.name().unwrap_or("<unnamed>");
             let args: Vec<&str> = r.paths.iter().map(|p| p.name()).collect();
-            parts.push(format!("{}({})", name, args.join(", ")));
+            let kind = if r.relation.arity() == 1 { "L" } else { "R" };
+            parts.push(format!("{}({}) = {}", kind, args.join(", "), name));
         }
         for c in &self.linear_constraints {
-            let terms: Vec<String> = c
-                .terms
-                .iter()
-                .map(|(coef, t)| match t {
-                    CountTarget::Length(p) => format!("{}*|{}|", coef, p.name()),
-                    CountTarget::LabelCount(p, l) => format!("{}*#{}({})", coef, l, p.name()),
-                })
-                .collect();
+            let mut s = String::new();
+            for (i, (coef, t)) in c.terms.iter().enumerate() {
+                let target = match t {
+                    CountTarget::Length(p) => format!("len({})", p.name()),
+                    CountTarget::LabelCount(p, l) => format!("count({}, {})", l, p.name()),
+                };
+                let magnitude = coef.unsigned_abs();
+                let term = if magnitude == 1 { target } else { format!("{magnitude}*{target}") };
+                if i == 0 {
+                    if *coef < 0 {
+                        s.push('-');
+                    }
+                } else {
+                    s.push_str(if *coef < 0 { " - " } else { " + " });
+                }
+                s.push_str(&term);
+            }
             let op = match c.op {
                 CmpOp::Ge => ">=",
                 CmpOp::Eq => "=",
                 CmpOp::Le => "<=",
             };
-            parts.push(format!("{} {} {}", terms.join(" + "), op, c.constant));
+            parts.push(format!("{} {} {}", s, op, c.constant));
         }
         for (v, n) in &self.node_constants {
-            parts.push(format!("{} = :{}", v.name(), n));
+            let ident_safe = !n.is_empty()
+                && n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '\'');
+            if ident_safe {
+                parts.push(format!("{} = :{}", v.name(), n));
+            } else {
+                // Quoted form with backslash escaping, so names containing
+                // `"` or `\` still round-trip through the parser.
+                let escaped = n.replace('\\', "\\\\").replace('"', "\\\"");
+                parts.push(format!("{} = :\"{}\"", v.name(), escaped));
+            }
         }
         write!(f, "{}", parts.join(", "))
     }
@@ -332,13 +355,17 @@ impl fmt::Display for Ecrpq {
 /// Infers a length abstraction for the named built-in relations of
 /// [`ecrpq_automata::builtin`]: `eq` and `el` become `ℓ1 = ℓ2`, `prefix` and
 /// `len_le` become `ℓ1 ≤ ℓ2`, `len_lt` becomes `ℓ1 < ℓ2` (as `ℓ2 − ℓ1 ≥ 1`),
-/// and `hamming_le` becomes `ℓ1 = ℓ2`. Other relations yield `None`.
+/// and `hamming_le_k` becomes `ℓ1 = ℓ2`. Other relations yield `None`.
 pub fn infer_length_abstraction(
     relation: &RegularRelation,
 ) -> Option<Vec<ecrpq_automata::semilinear::LinearConstraint>> {
     use ecrpq_automata::semilinear::LinearConstraint as LC;
-    match relation.name()? {
-        "eq" | "el" | "hamming_le" => Some(vec![LC::eq(vec![1, -1], 0)]),
+    let name = relation.name()?;
+    if name.starts_with("hamming_le_") {
+        return Some(vec![LC::eq(vec![1, -1], 0)]);
+    }
+    match name {
+        "eq" | "el" => Some(vec![LC::eq(vec![1, -1], 0)]),
         "prefix" | "len_le" => Some(vec![LC::le(vec![1, -1], 0)]),
         "len_lt" => Some(vec![LC::ge(vec![-1, 1], 1)]),
         "true" => Some(vec![]),
@@ -536,7 +563,7 @@ mod tests {
         assert_eq!(q.path_vars().len(), 2);
         let s = q.to_string();
         assert!(s.contains("Ans(x, y)"));
-        assert!(s.contains("eq(pi1, pi2)"));
+        assert!(s.contains("R(pi1, pi2) = eq"));
     }
 
     #[test]

@@ -52,13 +52,15 @@ fn main() -> Result<(), QueryError> {
     }
 
     // -------------------------------------------- patterns on a larger graph
-    // Squares found inside a random graph (not just string graphs).
+    // Squares found inside a random graph (not just string graphs). The
+    // compiled pattern query round-trips through the textual syntax: its
+    // `Display` output is valid parser input.
     let g = generators::random_graph(12, 1.5, &["a", "b"], 7);
-    let squares_ab = pattern_to_ecrpq(&parse_pattern("XX"), g.alphabet())?;
+    let compiled = pattern_to_ecrpq(&parse_pattern("XX"), g.alphabet())?;
+    let squares_ab = parse_query(&compiled.to_string(), g.alphabet())
+        .map_err(|e| QueryError::Regex(e.to_string()))?;
+    println!("\nsquares query, reparsed from its own Display: {squares_ab}");
     let answers = eval::eval_nodes(&squares_ab, &g, &EvalConfig::default())?;
-    println!(
-        "\nnode pairs of a random 12-node graph connected by a squared path: {}",
-        answers.len()
-    );
+    println!("node pairs of a random 12-node graph connected by a squared path: {}", answers.len());
     Ok(())
 }

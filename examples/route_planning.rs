@@ -1,16 +1,15 @@
 //! Route finding with linear constraints (Section 8.2 of the paper): the
 //! "at least 80% of the journey with one airline" itinerary query, plus
-//! length-bounded routing, over a synthetic flight network.
+//! length-bounded routing, over a synthetic flight network — all written in
+//! the textual query language (`len(p)` / `count(label, p)` constraints).
 //!
 //! Run with `cargo run --example route_planning`.
 
-use ecrpq::eval::counts::{fraction_at_least, label_count, length};
 use ecrpq::prelude::*;
-use ecrpq_automata::semilinear::CmpOp;
 use ecrpq_graph::generators::flight_network;
 
 fn main() -> Result<(), QueryError> {
-    // A flight network: 8 cities, three airlines, each flight split into 3
+    // A flight network: 6 cities, three airlines, each flight split into 3
     // segments labeled with the operating airline (so label counts measure
     // journey time, as suggested in the paper).
     let g = flight_network(6, &["SQ", "BA", "QF"], 24, 3, 2024);
@@ -25,40 +24,35 @@ fn main() -> Result<(), QueryError> {
     let destination = "city4";
 
     // Plain reachability first: is there any itinerary at all?
-    let any_route = Ecrpq::builder(&alphabet)
-        .atom("x", "p", "y")
-        .bind_node("x", origin)
-        .bind_node("y", destination)
-        .build()?;
+    let any_route =
+        parse_query(&format!("Ans() <- (x, p, y), x = :{origin}, y = :{destination}"), &alphabet)?;
     println!(
         "\nany itinerary {origin} → {destination}? {}",
         eval::eval_boolean(&any_route, &g, &config)?
     );
 
-    // The paper's query: at least 80% of the journey with Singapore Airlines.
+    // The paper's query: at least `percent`% of the journey with Singapore
+    // Airlines — `100·#SQ(p) − percent·|p| ≥ 0` in the textual syntax.
     for percent in [50, 80, 100] {
-        let c = fraction_at_least("p", "SQ", percent);
-        let q = Ecrpq::builder(&alphabet)
-            .atom("x", "p", "y")
-            .bind_node("x", origin)
-            .bind_node("y", destination)
-            .linear_constraint(c.terms.clone(), c.op, c.constant)
-            .build()?;
+        let q = parse_query(
+            &format!(
+                "Ans() <- (x, p, y), 100*count(SQ, p) - {percent}*len(p) >= 0, \
+                 x = :{origin}, y = :{destination}"
+            ),
+            &alphabet,
+        )?;
         println!(
             "itinerary with ≥ {percent}% SQ segments? {}",
             eval::eval_boolean(&q, &g, &config)?
         );
     }
 
-    // Length-bounded routing: a route of at most 9 segments (3 flights).
-    let short = length("p", CmpOp::Le, 9);
-    let with_len = Ecrpq::builder(&alphabet)
-        .head_paths(&["p"])
-        .atom("x", "p", "y")
-        .bind_node("x", origin)
-        .bind_node("y", destination)
-        .linear_constraint(short.terms.clone(), short.op, short.constant)
-        .build()?;
+    // Length-bounded routing: a route of at most 9 segments (3 flights),
+    // with the witness path in the head.
+    let with_len = parse_query(
+        &format!("Ans(p) <- (x, p, y), len(p) <= 9, x = :{origin}, y = :{destination}"),
+        &alphabet,
+    )?;
     let answers =
         eval::eval_with_paths(&with_len, &g, &EvalConfig { answer_limit: 1, ..config.clone() })?;
     match answers.first() {
@@ -71,13 +65,10 @@ fn main() -> Result<(), QueryError> {
     }
 
     // Avoiding an airline entirely: zero BA segments.
-    let no_ba = label_count("p", "BA", CmpOp::Le, 0);
-    let q = Ecrpq::builder(&alphabet)
-        .atom("x", "p", "y")
-        .bind_node("x", origin)
-        .bind_node("y", destination)
-        .linear_constraint(no_ba.terms.clone(), no_ba.op, no_ba.constant)
-        .build()?;
-    println!("itinerary avoiding BA entirely? {}", eval::eval_boolean(&q, &g, &config)?);
+    let no_ba = parse_query(
+        &format!("Ans() <- (x, p, y), count(BA, p) <= 0, x = :{origin}, y = :{destination}"),
+        &alphabet,
+    )?;
+    println!("itinerary avoiding BA entirely? {}", eval::eval_boolean(&no_ba, &g, &config)?);
     Ok(())
 }

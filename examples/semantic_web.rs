@@ -2,6 +2,10 @@
 //! sequences over an RDF-style graph with a subproperty hierarchy, and
 //! ρ-queries that return the witnessing property sequences.
 //!
+//! The queries are textual; the ρ-isomorphism relation (built from the
+//! subproperty table, so not expressible as a regex) is supplied to the
+//! parser through the relation registry of [`parse_query_with`].
+//!
 //! Run with `cargo run --example semantic_web`.
 
 use ecrpq::prelude::*;
@@ -36,19 +40,20 @@ fn main() -> Result<(), QueryError> {
 
     // The ρ-isomorphism relation: equal-length property sequences whose i-th
     // properties are subproperties of one another (here also reflexively).
+    // Registered under its name so textual queries can refer to it.
     let rho = rho_isomorphism(&alphabet, &subproperties, true);
+    let registry = [("rho_iso", rho)];
     let config = EvalConfig::default();
 
     // ρ-isoAssociated pairs: Ans(x, y) ← (x, π1, z1), (y, π2, z2), R(π1, π2)
     // restricted to non-empty sequences.
-    let associated = Ecrpq::builder(&alphabet)
-        .head_nodes(&["x", "y"])
-        .atom("x", "p1", "z1")
-        .atom("y", "p2", "z2")
-        .language("p1", ". .*")
-        .language("p2", ". .*")
-        .relation(rho.clone(), &["p1", "p2"])
-        .build()?;
+    let associated = parse_query_with(
+        "Ans(x, y) <- (x, p1, z1), (y, p2, z2), L(p1) = . .*, L(p2) = . .*, \
+         R(p1, p2) = rho_iso",
+        &alphabet,
+        &registry,
+    )?;
+    println!("query: {associated}");
     let answers = eval::eval_nodes(&associated, &g, &config)?;
     let mut pairs: Vec<(String, String)> = answers
         .iter()
@@ -63,16 +68,12 @@ fn main() -> Result<(), QueryError> {
 
     // A ρ-query: fix the two origins and return the witnessing property
     // sequences themselves (paths in the head).
-    let rho_query = Ecrpq::builder(&alphabet)
-        .head_paths(&["p1", "p2"])
-        .atom("u", "p1", "z1")
-        .atom("v", "p2", "z2")
-        .language("p1", ". .*")
-        .language("p2", ". .*")
-        .relation(rho, &["p1", "p2"])
-        .bind_node("u", "turing")
-        .bind_node("v", "church")
-        .build()?;
+    let rho_query = parse_query_with(
+        "Ans(p1, p2) <- (u, p1, z1), (v, p2, z2), L(p1) = . .*, L(p2) = . .*, \
+         R(p1, p2) = rho_iso, u = :turing, v = :church",
+        &alphabet,
+        &registry,
+    )?;
     println!("\nwitness property sequences for (turing, church):");
     for answer in eval::eval_with_paths(&rho_query, &g, &config)?.iter().take(6) {
         println!("  π1: {}", answer.paths[0].display(&g));

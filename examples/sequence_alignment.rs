@@ -1,12 +1,13 @@
 //! Approximate matching and sequence alignment (Section 4 of the paper):
 //! deciding whether two DNA sequences are within edit distance k using the
-//! regular relation `D≤k`, and extracting an alignment's mismatch/gap
-//! positions with an ECRPQ whose head contains path variables.
+//! regular relation `D≤k` (the textual built-in `edit_le_<k>`), and
+//! extracting an alignment's mismatch/gap positions with an ECRPQ whose head
+//! contains path variables.
 //!
 //! Run with `cargo run --example sequence_alignment`.
 
 use ecrpq::prelude::*;
-use ecrpq_automata::builtin::{edit_distance_leq, levenshtein};
+use ecrpq_automata::builtin::levenshtein;
 use ecrpq_graph::generators::sequence_pair_graph;
 
 fn main() -> Result<(), QueryError> {
@@ -31,16 +32,15 @@ fn main() -> Result<(), QueryError> {
     // (k = 3 works too but its relation automaton makes a debug-profile run
     // take a minute — keep the demo snappy.)
     for k in 0..=2 {
-        let d_le_k = edit_distance_leq(&alphabet, k);
-        let q = Ecrpq::builder(&alphabet)
-            .atom("x1", "p1", "y1")
-            .atom("x2", "p2", "y2")
-            .relation(d_le_k, &["p1", "p2"])
-            .bind_node("x1", "s0")
-            .bind_node("y1", &format!("s{}", seq1.len()))
-            .bind_node("x2", "t0")
-            .bind_node("y2", &format!("t{}", seq2.len()))
-            .build()?;
+        let q = parse_query(
+            &format!(
+                "Ans() <- (x1, p1, y1), (x2, p2, y2), R(p1, p2) = edit_le_{k}, \
+                 x1 = :s0, y1 = :s{}, x2 = :t0, y2 = :t{}",
+                seq1.len(),
+                seq2.len()
+            ),
+            &alphabet,
+        )?;
         let within = eval::eval_boolean(&q, g, &config)?;
         println!("edit distance ≤ {k}?  {within}");
     }
@@ -54,8 +54,8 @@ fn main() -> Result<(), QueryError> {
     let workload = sequence_pair_graph(&seq1, &seq2, true);
     let g = &workload.graph;
     let alphabet = g.alphabet().clone();
-    let eq = builtin::equality(&alphabet);
-    // mismatch relation: single letters (incl. the ε marker) that differ
+    // mismatch relation: single letters (incl. the ε marker) that differ,
+    // written as a tuple-letter regex directly in the query text.
     let letters = ["A", "C", "G", "T", "eps"];
     let mut mismatch_expr = String::new();
     for a in letters {
@@ -68,25 +68,18 @@ fn main() -> Result<(), QueryError> {
             }
         }
     }
-    let mismatch = RegularRelation::from_regex(&mismatch_expr, &alphabet, 2)
-        .map_err(|e| QueryError::Regex(e.to_string()))?;
 
-    let q = Ecrpq::builder(&alphabet)
-        .head_paths(&["a1", "b1"])
-        .atom("x0", "m0", "x1")
-        .atom("x1", "a1", "x2")
-        .atom("x2", "m1", "x3")
-        .atom("y0", "n0", "y1")
-        .atom("y1", "b1", "y2")
-        .atom("y2", "n1", "y3")
-        .relation(eq.clone(), &["m0", "n0"])
-        .relation(eq, &["m1", "n1"])
-        .relation(mismatch, &["a1", "b1"])
-        .bind_node("x0", "s0")
-        .bind_node("x3", &format!("s{}", seq1.len()))
-        .bind_node("y0", "t0")
-        .bind_node("y3", &format!("t{}", seq2.len()))
-        .build()?;
+    let q = parse_query(
+        &format!(
+            "Ans(a1, b1) <- (x0, m0, x1), (x1, a1, x2), (x2, m1, x3), \
+             (y0, n0, y1), (y1, b1, y2), (y2, n1, y3), \
+             R(m0, n0) = eq, R(m1, n1) = eq, R(a1, b1) = {mismatch_expr}, \
+             x0 = :s0, x3 = :s{}, y0 = :t0, y3 = :t{}",
+            seq1.len(),
+            seq2.len()
+        ),
+        &alphabet,
+    )?;
     let answers = eval::eval_with_paths(&q, g, &EvalConfig { answer_limit: 3, ..config })?;
     println!("\nalignments of ACGT vs ACCT at distance 1 (up to 3 witnesses):");
     for answer in &answers {

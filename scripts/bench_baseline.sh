@@ -7,7 +7,10 @@
 #
 # Usage:
 #   scripts/bench_baseline.sh [mode] [out.json]
-#     mode      full (default) | quick | smoke
+#     mode      full (default) | quick | smoke | prepared
+#               (`prepared` records only the prepared-query pipeline family —
+#               compile/run split + the prepared_reuse micro-family — for a
+#               focused baseline while iterating on the compile path)
 #     out.json  defaults to benchmarks/baseline/baseline.json
 #
 # Compare a fresh run against the recorded baseline with:
@@ -19,7 +22,14 @@ cd "$(dirname "$0")/.."
 repo_root=$(pwd)
 
 mode="${1:-full}"
-out="${2:-benchmarks/baseline/baseline.json}"
+# Partial modes must not clobber the full committed baseline: a prepared-only
+# (or smoke/quick) document would silently vacate the regression gate for
+# every other experiment family. Default them to sibling files instead.
+case "$mode" in
+    full) default_out="benchmarks/baseline/baseline.json" ;;
+    *) default_out="benchmarks/baseline/baseline_${mode}.json" ;;
+esac
+out="${2:-$default_out}"
 case "$out" in
     /*) abs_out="$out" ;;
     *) abs_out="$repo_root/$out" ;;

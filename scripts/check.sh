@@ -30,6 +30,12 @@ run cargo test -q --offline --workspace
 run cargo fmt --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Parser gates: the bounded seeded fuzz smoke (mutated query text must never
+# panic the parser) plus the round-trip property suite, and the examples —
+# which all parse textual queries now — must still run end to end.
+run cargo test -q --offline -p ecrpq-integration --test parser_roundtrip
+run cargo test -q --offline -p ecrpq-integration --test examples_smoke
+
 if [[ "$bench_smoke" == 1 ]]; then
     repo_root=$(pwd)
     scratch=$(mktemp -d)

@@ -236,6 +236,92 @@ fn answer_automaton_emptiness_with_relations() {
     });
 }
 
+/// Prepared-then-bound execution must match both the one-shot path and the
+/// reference engine on identical answer sets, and re-binding the same
+/// prepared query to fresh graphs must skip automaton compilation entirely
+/// (nonzero cache hits, zero misses on reuse).
+#[test]
+fn prepared_then_bound_matches_one_shot_and_reference() {
+    let al = alphabet();
+    let cfg = config();
+    prop::check(CASES, 0xD1FF_0008, |g| {
+        let rel = if g.index(2) == 0 { builtin::equal_length(&al) } else { builtin::equality(&al) };
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["x", "y"])
+            .atom("x", "p1", "z")
+            .atom("z", "p2", "y")
+            .language("p1", language(g))
+            .language("p2", language(g))
+            .relation(rel, &["p1", "p2"])
+            .build()
+            .unwrap();
+        let prepared = eval::prepare(&q).unwrap();
+        for graph_idx in 0..3 {
+            let db = graph(g);
+            let bound = prepared.bind(&db).unwrap();
+            let (mut prep_ans, prep_stats) = bound.run_nodes(&cfg).unwrap();
+            let mut oneshot = eval::eval_nodes(&q, &db, &cfg).unwrap();
+            let (mut refr, _) = reference::eval_nodes_with_stats(&q, &db, &cfg).unwrap();
+            prep_ans.sort();
+            oneshot.sort();
+            refr.sort();
+            assert_eq!(prep_ans, oneshot, "prepared answers differ from one-shot");
+            assert_eq!(prep_ans, refr, "prepared answers differ from reference");
+            if graph_idx == 0 {
+                // A freshly prepared ECRPQ (wide relation forces the search)
+                // must actually compile its automata on the first run.
+                assert!(
+                    prep_stats.sim_cache_misses > 0,
+                    "first run of a fresh prepared query must compile automata"
+                );
+            } else {
+                assert_eq!(
+                    prep_stats.sim_cache_misses, 0,
+                    "reuse on a fresh graph must not recompile automata"
+                );
+                assert!(prep_stats.sim_cache_hits > 0, "reuse must report cache hits");
+            }
+        }
+    });
+}
+
+/// The prepared membership check and answer automaton agree with their
+/// one-shot counterparts.
+#[test]
+fn prepared_check_and_answer_automaton_match_one_shot() {
+    let al = alphabet();
+    let cfg = config();
+    prop::check(8, 0xD1FF_0009, |g| {
+        let db = graph(g);
+        let q = Ecrpq::builder(&al)
+            .head_nodes(&["x", "y"])
+            .head_paths(&["p"])
+            .atom("x", "p", "y")
+            .language("p", language(g))
+            .build()
+            .unwrap();
+        let prepared = eval::prepare(&q).unwrap();
+        let bound = prepared.bind(&db).unwrap();
+        for x in 0..5u32 {
+            for y in 0..5u32 {
+                let nodes = [NodeId(x), NodeId(y)];
+                let one_shot = answers::answer_automaton(&q, &db, &nodes, &cfg).unwrap();
+                let via_plan = bound.answer_automaton(&nodes, &cfg).unwrap();
+                assert_eq!(one_shot.is_empty(), via_plan.is_empty(), "emptiness at ({x},{y})");
+            }
+        }
+        let paths = enumerate_paths(&db, NodeId(g.index(5) as u32), 3, 6);
+        let p = paths[g.index(paths.len())].clone();
+        let nodes = [p.start(), p.end()];
+        let tuple = [p];
+        assert_eq!(
+            bound.check(&nodes, &tuple, &cfg).unwrap(),
+            eval::check(&q, &db, &nodes, &tuple, &cfg).unwrap(),
+            "prepared membership verdict differs from one-shot"
+        );
+    });
+}
+
 /// The size-gated fallback paths: a relation automaton past the dense-engine
 /// state bound must route candidate verification, reachability, and the
 /// answer-automaton construction through the classical sparse code while

@@ -1,0 +1,191 @@
+//! Parser property suite: seeded random queries round-trip through
+//! `Display`, and the parser never panics on mutated input (fuzz smoke).
+//!
+//! The round-trip property is `parse → Display → parse` being the identity:
+//! for a random textual query `t`, `d = parse(t).to_string()` is a fixpoint
+//! (`parse(d).to_string() == d`) and the reparsed query is structurally
+//! identical (same head, atoms, relation names, constraints, constants).
+
+use ecrpq::prelude::*;
+use ecrpq_integration::prop::{self, Gen};
+
+const CASES: usize = 120;
+
+fn alphabet() -> Alphabet {
+    Alphabet::from_labels(["a", "b", "c"])
+}
+
+const LANGS: [&str; 6] = ["a*", "(a|b)*", "a (a|b)*", "(a|b|c)* c", "a+ b*", ". .*"];
+const REL_NAMES: [&str; 7] = ["eq", "el", "prefix", "len_lt", "len_le", "hamming_le_1", "true"];
+const REL_REGEXES: [&str; 3] = ["(<a,a>|<b,b>)*", "<a,b>+", "<.,.>* <_,c>*"];
+
+/// Generates a random textual query: 1–3 atoms in a chain, a random mix of
+/// language atoms, relation atoms (named and regex), linear constraints, and
+/// node-constant bindings, with a random head.
+fn random_query_text(g: &mut Gen) -> String {
+    let num_atoms = g.range(1, 3);
+    let mut clauses: Vec<String> = Vec::new();
+    let mut path_vars: Vec<String> = Vec::new();
+    for i in 0..num_atoms {
+        let p = format!("p{i}");
+        clauses.push(format!("(x{i}, {p}, x{})", i + 1));
+        path_vars.push(p);
+    }
+    // language atoms
+    for p in &path_vars {
+        if g.index(2) == 0 {
+            clauses.push(format!("L({p}) = {}", LANGS[g.index(LANGS.len())]));
+        }
+    }
+    // a relation atom over two paths (repeat the path var when only one)
+    if g.index(2) == 0 {
+        let p1 = &path_vars[g.index(path_vars.len())];
+        let p2 = &path_vars[g.index(path_vars.len())];
+        if g.index(2) == 0 {
+            clauses.push(format!("R({p1}, {p2}) = {}", REL_NAMES[g.index(REL_NAMES.len())]));
+        } else {
+            clauses.push(format!("R({p1}, {p2}) = {}", REL_REGEXES[g.index(REL_REGEXES.len())]));
+        }
+    }
+    // linear constraints
+    if g.index(2) == 0 {
+        let p = &path_vars[g.index(path_vars.len())];
+        let ops = [">=", "<=", "="];
+        match g.index(3) {
+            0 => clauses.push(format!("len({p}) {} {}", ops[g.index(3)], g.range(0, 5))),
+            1 => clauses.push(format!(
+                "{}*count(a, {p}) {} {}",
+                g.range(2, 4),
+                ops[g.index(3)],
+                g.range(0, 5)
+            )),
+            _ => {
+                let q = &path_vars[g.index(path_vars.len())];
+                clauses.push(format!("len({p}) - len({q}) >= {}", g.range(0, 3)));
+            }
+        }
+    }
+    // a binding
+    if g.index(3) == 0 {
+        clauses.push(format!("x0 = :node{}", g.index(4)));
+    }
+    // head: random subset of node vars and path vars
+    let mut head: Vec<String> = Vec::new();
+    for i in 0..=num_atoms {
+        if g.index(3) == 0 {
+            head.push(format!("x{i}"));
+        }
+    }
+    for p in &path_vars {
+        if g.index(4) == 0 {
+            head.push(p.clone());
+        }
+    }
+    format!("Ans({}) <- {}", head.join(", "), clauses.join(", "))
+}
+
+/// Structural equality of two parsed queries (the pieces `Display` prints).
+fn assert_structurally_equal(a: &Ecrpq, b: &Ecrpq, context: &str) {
+    assert_eq!(a.head_nodes, b.head_nodes, "{context}: head nodes");
+    assert_eq!(a.head_paths, b.head_paths, "{context}: head paths");
+    assert_eq!(a.atoms, b.atoms, "{context}: atoms");
+    assert_eq!(a.relations.len(), b.relations.len(), "{context}: relation count");
+    for (ra, rb) in a.relations.iter().zip(&b.relations) {
+        assert_eq!(ra.relation.name(), rb.relation.name(), "{context}: relation name");
+        assert_eq!(ra.relation.arity(), rb.relation.arity(), "{context}: relation arity");
+        assert_eq!(ra.paths, rb.paths, "{context}: relation paths");
+    }
+    assert_eq!(
+        a.linear_constraints.len(),
+        b.linear_constraints.len(),
+        "{context}: constraint count"
+    );
+    for (ca, cb) in a.linear_constraints.iter().zip(&b.linear_constraints) {
+        assert_eq!(ca.terms, cb.terms, "{context}: constraint terms");
+        assert_eq!(ca.op, cb.op, "{context}: constraint op");
+        assert_eq!(ca.constant, cb.constant, "{context}: constraint constant");
+    }
+    assert_eq!(a.node_constants, b.node_constants, "{context}: node constants");
+}
+
+#[test]
+fn parse_display_parse_is_identity_on_random_queries() {
+    let al = alphabet();
+    prop::check(CASES, 0x9A25_0001, |g| {
+        let text = random_query_text(g);
+        let q1 = parse_query(&text, &al)
+            .unwrap_or_else(|e| panic!("generated query must parse: {text:?}: {e}"));
+        let d1 = q1.to_string();
+        let q2 = parse_query(&d1, &al)
+            .unwrap_or_else(|e| panic!("Display output must reparse: {d1:?}: {e}"));
+        assert_eq!(d1, q2.to_string(), "Display must be a fixpoint for {text:?}");
+        assert_structurally_equal(&q1, &q2, &format!("round-trip of {text:?}"));
+    });
+}
+
+#[test]
+fn parsed_and_reparsed_queries_evaluate_identically() {
+    let al = alphabet();
+    let cfg = EvalConfig { max_search_states: 100_000, ..EvalConfig::default() };
+    prop::check(16, 0x9A25_0002, |g| {
+        // Constant-free fragment so evaluation needs no named graph nodes.
+        let mut text = random_query_text(g);
+        while text.contains(" = :") {
+            text = random_query_text(g);
+        }
+        let q1 = parse_query(&text, &al).unwrap();
+        let q2 = parse_query(&q1.to_string(), &al).unwrap();
+        let mut db = GraphDb::new(al.clone());
+        let nodes = db.add_nodes(4);
+        for _ in 0..g.range(2, 8) {
+            let from = nodes[g.index(4)];
+            let label = Symbol(g.index(3) as u32);
+            let to = nodes[g.index(4)];
+            db.add_edge(from, label, to);
+        }
+        let mut a1 = eval::eval_nodes(&q1, &db, &cfg).unwrap();
+        let mut a2 = eval::eval_nodes(&q2, &db, &cfg).unwrap();
+        a1.sort();
+        a2.sort();
+        assert_eq!(a1, a2, "reparsed query must evaluate identically for {text:?}");
+    });
+}
+
+/// Fuzz smoke: the parser must return `Ok`/`Err`, never panic, on randomly
+/// mutated query text (deletions, substitutions, token splices). Bounded
+/// iterations, seeded — `scripts/check.sh` runs this as its parser fuzz
+/// gate.
+#[test]
+fn fuzz_smoke_mutated_inputs_never_panic() {
+    let al = alphabet();
+    const SPLICES: [&str; 14] =
+        [",", "(", ")", "<-", "=", ":", "*", "|", "<", ">", "L(", "R(p", "len(", "Ans"];
+    prop::check(400, 0x9A25_0003, |g| {
+        let mut text = random_query_text(g);
+        for _ in 0..g.range(0, 4) {
+            match g.index(3) {
+                0 if !text.is_empty() => {
+                    // delete a random character
+                    let at = g.index(text.len());
+                    if text.is_char_boundary(at) {
+                        text.remove(at);
+                    }
+                }
+                1 => {
+                    let at = g.index(text.len() + 1);
+                    if text.is_char_boundary(at) {
+                        text.insert_str(at, SPLICES[g.index(SPLICES.len())]);
+                    }
+                }
+                _ => {
+                    let at = g.index(text.len() + 1);
+                    if text.is_char_boundary(at) {
+                        text.insert(at, ['#', '§', '0', 'x', ' '][g.index(5)]);
+                    }
+                }
+            }
+        }
+        // Must not panic; the verdict itself is irrelevant.
+        let _ = parse_query(&text, &al);
+    });
+}
