@@ -51,3 +51,19 @@ pub use nfa::{Nfa, StateId};
 pub use regex::Regex;
 pub use relation::RegularRelation;
 pub use sim::{CompactNfa, StateSet};
+
+/// Compile-time guarantee that every automaton artifact the query pipeline
+/// shares across threads really is `Send + Sync`: relations memoize their
+/// compiled tables behind `Arc`/`OnceLock` (never `Rc`/`RefCell`), so a
+/// prepared query can be evaluated concurrently. A regression here (say, an
+/// `Rc` reintroduced into a cache) fails this build instead of surfacing as
+/// a trait-bound error in a downstream crate.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Alphabet>();
+    assert_send_sync::<Nfa<Symbol>>();
+    assert_send_sync::<Nfa<TupleSym>>();
+    assert_send_sync::<RegularRelation>();
+    assert_send_sync::<CompactNfa<Symbol>>();
+    assert_send_sync::<CompactNfa<TupleSym>>();
+};

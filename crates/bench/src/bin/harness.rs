@@ -17,6 +17,8 @@
 //!   smoke     only the smallest size point of each experiment family
 //!   prepared  only the prepared-query pipeline experiment (compile vs run
 //!             columns + the `prepared_reuse` micro-family), at full size
+//!   serve     only the query-service experiment (loopback TCP throughput
+//!             and p50/p95 latency per client-thread count), at full size
 //!
 //! OPTIONS:
 //!   --baseline <path>   additionally write all experiments as one combined
@@ -34,6 +36,8 @@ struct Args {
     mode: Mode,
     /// `prepared` mode: run only the prepared-pipeline experiment.
     only_prepared: bool,
+    /// `serve` mode: run only the query-service experiment.
+    only_serve: bool,
     baseline_out: Option<String>,
     compare: Option<String>,
     threshold: f64,
@@ -60,6 +64,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         mode: Mode::Full,
         only_prepared: false,
+        only_serve: false,
         baseline_out: None,
         compare: None,
         threshold: 1.3,
@@ -73,6 +78,10 @@ fn parse_args() -> Args {
             "prepared" => {
                 args.mode = Mode::Full;
                 args.only_prepared = true;
+            }
+            "serve" => {
+                args.mode = Mode::Full;
+                args.only_serve = true;
             }
             "--baseline" => args.baseline_out = Some(flag_value(&mut it, "--baseline")),
             "--compare" => args.compare = Some(flag_value(&mut it, "--compare")),
@@ -135,12 +144,23 @@ impl Report {
 fn main() {
     let args = parse_args();
     let mode = args.mode;
-    let mode_name = if args.only_prepared { "prepared" } else { mode.name() };
+    let mode_name = if args.only_prepared {
+        "prepared"
+    } else if args.only_serve {
+        "serve"
+    } else {
+        mode.name()
+    };
     println!("ECRPQ reproduction harness — regenerating the Figure 1 experiments");
     println!("(mode: {mode_name})");
     let mut rep = Report { docs: Vec::new(), current: Vec::new(), mode: mode_name };
     if args.only_prepared {
         run_prepared(mode, &mut rep);
+        finish(&args, rep);
+        return;
+    }
+    if args.only_serve {
+        run_serve(mode, &mut rep);
         finish(&args, rep);
         return;
     }
@@ -283,7 +303,28 @@ fn main() {
     // PREP: the prepared-query pipeline (compile vs run, reuse family).
     run_prepared(mode, &mut rep);
 
+    // SERVE: the query service over loopback TCP.
+    run_serve(mode, &mut rep);
+
     finish(&args, rep);
+}
+
+/// Runs the query-service experiment: an in-process server on loopback TCP,
+/// swept over concurrent client-thread counts. Series: `p50`/`p95` request
+/// latency and `mean` seconds per request (note carries throughput).
+fn run_serve(mode: Mode, rep: &mut Report) {
+    let (threads, requests, n): (&[usize], usize, usize) = match mode {
+        Mode::Full => (&[1, 4, 8], 150, 400),
+        Mode::Quick => (&[1, 4], 50, 100),
+        Mode::Smoke => (&[1], 8, 50),
+    };
+    let m = ecrpq_bench::serve::serve_family(threads, requests, n);
+    rep.report(
+        "serve",
+        "SERVE query service: loopback TCP latency (p50/p95/mean) per client-thread count",
+        &m,
+        false,
+    );
 }
 
 /// Runs the prepared-pipeline experiment: a compile/run split of
@@ -340,6 +381,15 @@ fn finish(args: &Args, rep: Report) {
 /// meaning anything).
 const NOISE_FLOOR_SECONDS: f64 = 1e-3;
 
+/// Threshold multiplier for the `serve` family. Its points are TCP request
+/// latencies under multi-threaded contention (p50/p95 across 1/4/8 client
+/// threads plus server workers), which are scheduler-dominated and shift
+/// with core count and background load far more than the single-threaded
+/// evaluation families. The family still gates — a real serving-layer
+/// regression dwarfs this band — but at a width that doesn't trip on a
+/// loaded CI box.
+const SERVE_THRESHOLD_FACTOR: f64 = 3.0;
+
 /// Diffs the fresh measurements against a baseline, printing one line per
 /// shared `(experiment, series, param)` point and a per-family median ratio.
 /// Returns `true` if any point above the noise floor regressed past
@@ -362,6 +412,8 @@ fn compare(
         };
         let mut ratios: Vec<f64> = Vec::new();
         let (mut total_base, mut total_cur) = (0.0, 0.0);
+        let family_threshold =
+            if cur.id == "serve" { threshold * SERVE_THRESHOLD_FACTOR } else { threshold };
         for (series, param, secs) in &cur.points {
             let Some((_, _, bsecs)) =
                 base.points.iter().find(|(s, p, _)| s == series && *p == *param)
@@ -375,14 +427,15 @@ fn compare(
             ratios.push(ratio);
             total_base += bsecs;
             total_cur += secs;
-            let flag =
-                if ratio > threshold && *secs > NOISE_FLOOR_SECONDS && *bsecs > NOISE_FLOOR_SECONDS
-                {
-                    regressed = true;
-                    "  REGRESSION"
-                } else {
-                    ""
-                };
+            let flag = if ratio > family_threshold
+                && *secs > NOISE_FLOOR_SECONDS
+                && *bsecs > NOISE_FLOOR_SECONDS
+            {
+                regressed = true;
+                "  REGRESSION"
+            } else {
+                ""
+            };
             println!(
                 "{:<16} {:<26} {:>8} {:>13.6} {:>13.6} {:>8.2}x{}",
                 cur.id, series, param, bsecs, secs, ratio, flag

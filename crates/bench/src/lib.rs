@@ -8,8 +8,15 @@
 //! evaluation, and a short annotation (answer counts, state counts) so the
 //! harness output can be sanity-checked against expectations.
 
-pub mod json;
 pub mod microbench;
+pub mod serve;
+
+/// The shared JSON writer/parser (promoted to `ecrpq-util`; re-exported so
+/// existing `ecrpq_bench::json` callers compile unchanged).
+pub use ecrpq_util::json;
+/// One measured point of an experiment series (lives in `ecrpq-util`, shared
+/// with the server bench family).
+pub use ecrpq_util::Measurement;
 
 use ecrpq::eval::{self, EvalConfig};
 use ecrpq::query::Ecrpq;
@@ -20,19 +27,6 @@ use ecrpq_automata::Symbol;
 use ecrpq_graph::generators;
 use ecrpq_graph::GraphDb;
 use std::time::Instant;
-
-/// One measured point of an experiment series.
-#[derive(Clone, Debug)]
-pub struct Measurement {
-    /// Series name (e.g. `crpq`, `ecrpq`, `qlen`).
-    pub series: String,
-    /// The swept parameter (graph size, query size, …).
-    pub param: u64,
-    /// Wall-clock seconds of one evaluation.
-    pub seconds: f64,
-    /// Extra information (answer count, witness, …).
-    pub note: String,
-}
 
 /// Timed repetitions per measured point; the median is recorded, which is
 /// what the `--compare` regression gate of the harness diffs.
@@ -167,7 +161,10 @@ pub mod workloads {
         g
     }
 
-    fn data_queries(g: &GraphDb) -> (Ecrpq, Ecrpq) {
+    /// The (CRPQ, ECRPQ) Boolean query pair of the data-complexity family.
+    /// Public because the `serve` workload ships the ECRPQ over the wire in
+    /// textual form (`Display` emits the parser's syntax).
+    pub fn data_queries(g: &GraphDb) -> (Ecrpq, Ecrpq) {
         let al = g.alphabet().clone();
         let crpq = Ecrpq::builder(&al)
             .atom("x", "p1", "z")

@@ -53,7 +53,7 @@ pub fn eval_acyclic_crpq(
         .collect();
 
     // Initial domains: all nodes, restricted by constants.
-    let constants: HashMap<usize, NodeId> = bound.constants.iter().copied().collect();
+    let constants: HashMap<usize, NodeId> = bound.constants().iter().copied().collect();
     let all_nodes: Vec<NodeId> = graph.nodes().collect();
     let mut domains: Vec<HashSet<NodeId>> = (0..num_vars)
         .map(|v| match constants.get(&v) {

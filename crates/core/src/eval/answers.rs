@@ -117,7 +117,7 @@ impl BoundPlan<'_> {
                 nodes.len()
             )));
         }
-        if !self.counters.is_empty() {
+        if !self.counters().is_empty() {
             return Err(QueryError::Unsupported(
                 "answer automata are not defined for queries with linear constraints".to_string(),
             ));
@@ -136,7 +136,7 @@ impl BoundPlan<'_> {
 
         // Enumerate candidates via the same machinery as the evaluator, with
         // the head node variables joining the constants.
-        let mut constants = self.constants.clone();
+        let mut constants = self.constants().to_vec();
         for (i, &vi) in pq.head_node_idx.iter().enumerate() {
             constants.push((vi, nodes[i]));
         }

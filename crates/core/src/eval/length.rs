@@ -104,7 +104,7 @@ pub fn eval_qlen(
     let mut answers: HashSet<Vec<NodeId>> = HashSet::new();
     let mut error: Option<QueryError> = None;
 
-    plan::enumerate_candidates(&bound, &bound.constants, &reach, config, &mut stats, |sigma| {
+    plan::enumerate_candidates(&bound, bound.constants(), &reach, config, &mut stats, |sigma| {
         let head: Vec<NodeId> = pq.head_node_idx.iter().map(|&i| sigma[i]).collect();
         if answers.contains(&head) {
             return true;

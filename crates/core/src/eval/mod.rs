@@ -41,7 +41,7 @@ use ecrpq_automata::semilinear::SolverConfig;
 use ecrpq_graph::{GraphDb, NodeId, Path};
 
 pub use plan::EvalStats;
-pub use prepared::{BoundPlan, PreparedQuery};
+pub use prepared::{BoundPlan, BoundStatement, PreparedQuery};
 
 /// Compiles a query into its graph-independent prepared form (the
 /// compile phase of the parse → compile → bind/execute pipeline). Alias for

@@ -220,7 +220,7 @@ pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStat
             let s = sim.num_states().max(1);
             // Merged symbol → dense sim symbol id (`None`: the constraint
             // never reads this label, so the edge is dead for this variable).
-            let label_map: Vec<Option<u32>> = (0..bound.merged_len)
+            let label_map: Vec<Option<u32>> = (0..bound.merged_len())
                 .map(|i| sim.sym_id(&ecrpq_automata::alphabet::Symbol(i as u32)))
                 .collect();
             // One BFS per start node over (node, NFA state) pairs, tracked

@@ -32,6 +32,7 @@ use ecrpq_automata::relation::RegularRelation;
 use ecrpq_automata::semilinear::CmpOp;
 use ecrpq_automata::sim::CompactNfa;
 use ecrpq_graph::{GraphDb, NodeId, Path};
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
 
@@ -476,6 +477,14 @@ impl PreparedQuery {
     /// and resolves deferred label-count coefficients. No automaton is
     /// compiled here — binding is cheap and linear in the graph size.
     pub fn bind<'a>(&'a self, graph: &'a GraphDb) -> Result<BoundPlan<'a>, QueryError> {
+        Ok(BoundPlan { pq: self, graph, art: Cow::Owned(self.bind_artifacts(graph)?) })
+    }
+
+    /// Computes everything [`bind`](Self::bind) resolves against one concrete
+    /// graph, as an owned value. [`BoundStatement`] stores this next to
+    /// shared handles of the query and graph so a bound plan can be cached
+    /// and shared across threads.
+    fn bind_artifacts(&self, graph: &GraphDb) -> Result<BindArtifacts, QueryError> {
         // Merge the query alphabet with the graph alphabet (appending any
         // labels the query does not know, so relation symbols stay valid).
         let mut merged_alphabet = self.query.alphabet.clone();
@@ -528,9 +537,7 @@ impl PreparedQuery {
             }
         }
 
-        Ok(BoundPlan {
-            pq: self,
-            graph,
+        Ok(BindArtifacts {
             merged_len: merged_alphabet.len(),
             graph_symbol_map,
             constants,
@@ -647,15 +654,15 @@ fn compile_counters(
     (rows, deferred)
 }
 
-/// A prepared query bound to one concrete graph: symbol translation, resolved
-/// node constants, resolved counters, and a label-translated CSR adjacency.
+/// Everything [`PreparedQuery::bind`] resolves against one concrete graph:
+/// the symbol translation into the merged alphabet, resolved node constants,
+/// counters with bind-time labels, and a label-translated CSR adjacency.
 ///
-/// Binding performs no automaton compilation; `run*` reuses everything the
-/// [`PreparedQuery`] (and the relations inside it) already compiled.
-#[derive(Debug)]
-pub struct BoundPlan<'a> {
-    pub(crate) pq: &'a PreparedQuery,
-    pub(crate) graph: &'a GraphDb,
+/// Owned and clonable so a bound plan can outlive a borrow: [`BoundPlan`]
+/// holds it as [`Cow`] (owned when freshly bound, borrowed when viewed
+/// through a cached [`BoundStatement`]).
+#[derive(Clone, Debug)]
+pub(crate) struct BindArtifacts {
     /// Size of the merged (query + graph) alphabet.
     pub(crate) merged_len: usize,
     /// Translation from graph symbols to merged-alphabet symbols.
@@ -672,6 +679,20 @@ pub struct BoundPlan<'a> {
     pub(crate) csr_label: Vec<Symbol>,
 }
 
+/// A prepared query bound to one concrete graph: symbol translation, resolved
+/// node constants, resolved counters, and a label-translated CSR adjacency.
+///
+/// Binding performs no automaton compilation; `run*` reuses everything the
+/// [`PreparedQuery`] (and the relations inside it) already compiled.
+#[derive(Debug)]
+pub struct BoundPlan<'a> {
+    pub(crate) pq: &'a PreparedQuery,
+    pub(crate) graph: &'a GraphDb,
+    /// The bind-time data: owned for a fresh [`PreparedQuery::bind`],
+    /// borrowed (no copy) when viewed through a [`BoundStatement`].
+    art: Cow<'a, BindArtifacts>,
+}
+
 impl<'a> BoundPlan<'a> {
     /// The prepared query this plan binds.
     pub fn prepared(&self) -> &'a PreparedQuery {
@@ -683,17 +704,32 @@ impl<'a> BoundPlan<'a> {
         self.graph
     }
 
+    /// Node variables bound to resolved graph constants.
+    pub(crate) fn constants(&self) -> &[(usize, NodeId)] {
+        &self.art.constants
+    }
+
+    /// Linear-constraint rows with bind-time labels resolved.
+    pub(crate) fn counters(&self) -> &[CounterRow] {
+        &self.art.counters
+    }
+
+    /// Size of the merged (query + graph) alphabet.
+    pub(crate) fn merged_len(&self) -> usize {
+        self.art.merged_len
+    }
+
     /// Translates a graph edge label into the merged alphabet.
     #[inline]
     pub(crate) fn translate(&self, graph_label: Symbol) -> Symbol {
-        self.graph_symbol_map[graph_label.index()]
+        self.art.graph_symbol_map[graph_label.index()]
     }
 
     /// The CSR out-edge range of `node` as `(targets, merged labels)`.
     #[inline]
     pub(crate) fn csr_out(&self, node: usize) -> (&[u32], &[Symbol]) {
-        let (lo, hi) = (self.csr_off[node] as usize, self.csr_off[node + 1] as usize);
-        (&self.csr_to[lo..hi], &self.csr_label[lo..hi])
+        let (lo, hi) = (self.art.csr_off[node] as usize, self.art.csr_off[node + 1] as usize);
+        (&self.art.csr_to[lo..hi], &self.art.csr_label[lo..hi])
     }
 
     /// Derives the step bound used when counters are present.
@@ -766,7 +802,7 @@ impl<'a> BoundPlan<'a> {
             pq.force_rel_sims(&mut stats);
         }
         let step_bound =
-            if self.counters.is_empty() { None } else { Some(self.step_bound(config)) };
+            if self.counters().is_empty() { None } else { Some(self.step_bound(config)) };
 
         let mut answers: Vec<Answer> = Vec::new();
         let mut seen_heads: HashSet<Vec<NodeId>> = HashSet::new();
@@ -775,7 +811,7 @@ impl<'a> BoundPlan<'a> {
         let mut verified: u64 = 0;
         let mut search_states: u64 = 0;
 
-        plan::enumerate_candidates(self, &self.constants, &reach, config, &mut stats, |sigma| {
+        plan::enumerate_candidates(self, self.constants(), &reach, config, &mut stats, |sigma| {
             let head: Vec<NodeId> = pq.head_node_idx.iter().map(|&i| sigma[i]).collect();
             if mode == Mode::Nodes && seen_heads.contains(&head) {
                 return true;
@@ -881,7 +917,7 @@ impl<'a> BoundPlan<'a> {
                 return Ok(false);
             }
         }
-        for &(vi, n) in &self.constants {
+        for &(vi, n) in self.constants() {
             if !force(vi, n, &mut forced) {
                 return Ok(false);
             }
@@ -903,7 +939,7 @@ impl<'a> BoundPlan<'a> {
         let forced: Vec<(usize, NodeId)> = forced.into_iter().collect();
 
         let step_bound =
-            if self.counters.is_empty() { None } else { Some(self.step_bound(config)) };
+            if self.counters().is_empty() { None } else { Some(self.step_bound(config)) };
         let mut found = false;
         let mut error: Option<QueryError> = None;
         plan::enumerate_candidates(self, &forced, &reach, config, &mut stats, |sigma| {
@@ -934,6 +970,76 @@ impl<'a> BoundPlan<'a> {
             return Err(e);
         }
         Ok(found)
+    }
+}
+
+/// A prepared query bound to a graph, with both held by shared ownership:
+/// the self-contained (`'static`, `Send + Sync`) form of [`BoundPlan`].
+///
+/// Where [`PreparedQuery::bind`] borrows the query and the graph — right for
+/// one-shot evaluation — a `BoundStatement` owns `Arc` handles to both plus
+/// the bind artifacts, so it can be cached (e.g. in a server's
+/// prepared-statement registry keyed by `(statement, graph)`) and executed
+/// concurrently from many threads. [`plan`](Self::plan) yields a view-only
+/// [`BoundPlan`] without copying any bind artifact.
+#[derive(Debug)]
+pub struct BoundStatement {
+    pq: Arc<PreparedQuery>,
+    graph: Arc<GraphDb>,
+    art: BindArtifacts,
+}
+
+impl BoundStatement {
+    /// Binds `pq` to `graph`, keeping shared handles to both. Exactly
+    /// [`PreparedQuery::bind`] otherwise: no automaton compilation, cost
+    /// linear in the graph size.
+    pub fn bind(pq: Arc<PreparedQuery>, graph: Arc<GraphDb>) -> Result<BoundStatement, QueryError> {
+        let art = pq.bind_artifacts(&graph)?;
+        Ok(BoundStatement { pq, graph, art })
+    }
+
+    /// The prepared query this statement binds.
+    pub fn prepared(&self) -> &Arc<PreparedQuery> {
+        &self.pq
+    }
+
+    /// The graph this statement is bound to.
+    pub fn graph(&self) -> &Arc<GraphDb> {
+        &self.graph
+    }
+
+    /// A borrowed [`BoundPlan`] over the cached bind artifacts (no copying;
+    /// all `run*`/`check` entry points hang off the returned plan).
+    pub fn plan(&self) -> BoundPlan<'_> {
+        BoundPlan { pq: &self.pq, graph: &self.graph, art: Cow::Borrowed(&self.art) }
+    }
+
+    /// Convenience for [`BoundPlan::run`].
+    pub fn run(&self, config: &EvalConfig) -> Result<(Vec<Answer>, EvalStats), QueryError> {
+        self.plan().run(config)
+    }
+
+    /// Convenience for [`BoundPlan::run_nodes`].
+    pub fn run_nodes(
+        &self,
+        config: &EvalConfig,
+    ) -> Result<(Vec<Vec<NodeId>>, EvalStats), QueryError> {
+        self.plan().run_nodes(config)
+    }
+
+    /// Convenience for [`BoundPlan::run_boolean`].
+    pub fn run_boolean(&self, config: &EvalConfig) -> Result<(bool, EvalStats), QueryError> {
+        self.plan().run_boolean(config)
+    }
+
+    /// Convenience for [`BoundPlan::check`].
+    pub fn check(
+        &self,
+        nodes: &[NodeId],
+        paths: &[Path],
+        config: &EvalConfig,
+    ) -> Result<bool, QueryError> {
+        self.plan().check(nodes, paths, config)
     }
 }
 
@@ -1022,6 +1128,43 @@ mod tests {
         // A graph without the named node fails at bind time.
         let g2 = generators::cycle_graph(3, "a");
         assert!(matches!(pq.bind(&g2), Err(QueryError::UnknownGraphNode(_))));
+    }
+
+    #[test]
+    fn bound_statement_matches_borrowed_bind_and_shares_across_threads() {
+        let g = Arc::new(generators::random_graph(18, 2.0, &["a", "b"], 5));
+        let al = g.alphabet().clone();
+        let q = same_length_query(&al);
+        let cfg = EvalConfig::default();
+        let pq = Arc::new(PreparedQuery::prepare(&q).unwrap());
+
+        let mut borrowed = pq.bind(&g).unwrap().run_nodes(&cfg).unwrap().0;
+        borrowed.sort();
+
+        let stmt = Arc::new(BoundStatement::bind(Arc::clone(&pq), Arc::clone(&g)).unwrap());
+        // Warm once so the threads below only report cache hits.
+        let (mut owned, _) = stmt.run_nodes(&cfg).unwrap();
+        owned.sort();
+        assert_eq!(borrowed, owned);
+
+        // The same cached statement evaluates concurrently from many threads
+        // with identical answers and zero recompilation.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let stmt = Arc::clone(&stmt);
+                let cfg = cfg.clone();
+                std::thread::spawn(move || {
+                    let (mut ans, stats) = stmt.run_nodes(&cfg).unwrap();
+                    ans.sort();
+                    (ans, stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (ans, stats) = h.join().unwrap();
+            assert_eq!(ans, borrowed);
+            assert_eq!(stats.sim_cache_misses, 0, "cached statement must not recompile");
+        }
     }
 
     #[test]

@@ -102,7 +102,7 @@ pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryErr
             .map(|p| Pos::Active { node: problem.sigma[pq.path_from[p]], step: 0 })
             .collect(),
         rel: pq.relations.iter().map(|r| r.nfa.epsilon_closure(r.nfa.initial())).collect(),
-        counters: vec![0i64; problem.plan.counters.len()],
+        counters: vec![0i64; problem.plan.counters().len()],
     };
 
     let mut visited: HashSet<State> = HashSet::new();
@@ -184,7 +184,7 @@ fn accepts(problem: &SearchProblem<'_>, state: &State) -> bool {
             return false;
         }
     }
-    for (i, row) in problem.plan.counters.iter().enumerate() {
+    for (i, row) in problem.plan.counters().iter().enumerate() {
         if !row.satisfied(state.counters[i]) {
             return false;
         }
@@ -318,7 +318,7 @@ fn apply(
 
     // Update counters.
     let mut counters = state.counters.clone();
-    for (i, row) in plan.counters.iter().enumerate() {
+    for (i, row) in plan.counters().iter().enumerate() {
         for (p, pick) in picks.iter().enumerate() {
             if let Option1::Real { label, .. } = pick {
                 counters[i] += row.step_delta(p, plan.translate(*label));

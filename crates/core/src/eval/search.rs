@@ -111,7 +111,7 @@ pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryErr
     }
 
     let sims: Vec<&RelSim> = pq.relations.iter().map(|r| r.sim(pq.code_base)).collect();
-    let layout = Layout::new(num_paths, &sims, plan.counters.len());
+    let layout = Layout::new(num_paths, &sims, plan.counters().len());
     let mut arena = Arena::new(layout.words);
 
     // Encode the initial state.
@@ -288,7 +288,7 @@ fn accepts_key(
             return false;
         }
     }
-    for (i, row) in problem.plan.counters.iter().enumerate() {
+    for (i, row) in problem.plan.counters().iter().enumerate() {
         if !row.satisfied(key[layout.cnt_off + i] as i64) {
             return false;
         }
@@ -340,7 +340,7 @@ fn apply_key(
     }
 
     // Update counters.
-    for (i, row) in plan.counters.iter().enumerate() {
+    for (i, row) in plan.counters().iter().enumerate() {
         let mut v = cur[layout.cnt_off + i] as i64;
         for p in 0..layout.num_paths {
             if let Option1::Real { label, .. } = options[p][choice[p]] {

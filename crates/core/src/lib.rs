@@ -67,13 +67,25 @@ pub mod parse;
 pub mod query;
 
 pub use error::QueryError;
-pub use eval::{Answer, BoundPlan, EvalConfig, PreparedQuery};
+pub use eval::{Answer, BoundPlan, BoundStatement, EvalConfig, PreparedQuery};
+
+/// Compile-time guarantee that the compiled query pipeline is shareable
+/// across threads: a server prepares a query once (`Arc<PreparedQuery>`),
+/// binds it to a cataloged graph (`BoundStatement`), and runs it from a
+/// worker pool. Any non-`Send`/`Sync` state sneaking into the pipeline
+/// (an `Rc`-based cache, say) breaks this build immediately.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<query::Ecrpq>();
+    assert_send_sync::<PreparedQuery>();
+    assert_send_sync::<BoundStatement>();
+};
 pub use parse::{parse_query, parse_query_with, ParseError};
 pub use query::{CountTarget, Ecrpq, NodeVar, PathVar};
 
 /// Convenient re-exports for examples and downstream users.
 pub mod prelude {
-    pub use crate::eval::{self, Answer, BoundPlan, EvalConfig, PreparedQuery};
+    pub use crate::eval::{self, Answer, BoundPlan, BoundStatement, EvalConfig, PreparedQuery};
     pub use crate::parse::{parse_query, parse_query_with, ParseError};
     pub use crate::query::{CountTarget, Ecrpq, NodeVar, PathVar};
     pub use crate::QueryError;

@@ -30,3 +30,14 @@ pub mod product;
 
 pub use graph::{Edge, GraphDb, NodeId};
 pub use path::Path;
+
+/// Compile-time guarantee that the data model can be shared across threads
+/// (`Arc<GraphDb>` in a server's graph catalog, paths in worker responses).
+/// If a future change introduces non-`Send`/`Sync` interior state (an `Rc`,
+/// a `Cell`), this fails to build instead of failing at a distant use site.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GraphDb>();
+    assert_send_sync::<Path>();
+    assert_send_sync::<Edge>();
+};

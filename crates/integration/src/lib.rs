@@ -5,9 +5,107 @@
 //! Besides the target entries, the crate provides [`prop`], a minimal
 //! dependency-free property-testing helper used by `tests/properties.rs` in
 //! place of `proptest` (the build environment is offline): seeded case
-//! generation with shrink-free failure reporting.
+//! generation with shrink-free failure reporting, and [`corpus`], the seeded
+//! random textual-query generator shared by the parser round-trip suite and
+//! the concurrency differential test.
 
 #![warn(missing_docs)]
+
+pub mod corpus {
+    //! The seeded textual-query corpus: random well-formed ECRPQ texts over
+    //! the alphabet `{a, b, c}`, used by `tests/parser_roundtrip.rs` (parse →
+    //! Display → parse identity, fuzz smoke) and `tests/concurrency.rs`
+    //! (multi-threaded evaluation against a single-threaded reference).
+
+    use crate::prop::Gen;
+    use ecrpq_automata::Alphabet;
+
+    /// The alphabet every corpus query is written over.
+    pub fn alphabet() -> Alphabet {
+        Alphabet::from_labels(["a", "b", "c"])
+    }
+
+    const LANGS: [&str; 6] = ["a*", "(a|b)*", "a (a|b)*", "(a|b|c)* c", "a+ b*", ". .*"];
+    const REL_NAMES: [&str; 7] = ["eq", "el", "prefix", "len_lt", "len_le", "hamming_le_1", "true"];
+    const REL_REGEXES: [&str; 3] = ["(<a,a>|<b,b>)*", "<a,b>+", "<.,.>* <_,c>*"];
+
+    /// Generates a random textual query: 1–3 atoms in a chain, a random mix
+    /// of language atoms, relation atoms (named and regex), linear
+    /// constraints, and node-constant bindings, with a random head.
+    pub fn random_query_text(g: &mut Gen) -> String {
+        let num_atoms = g.range(1, 3);
+        let mut clauses: Vec<String> = Vec::new();
+        let mut path_vars: Vec<String> = Vec::new();
+        for i in 0..num_atoms {
+            let p = format!("p{i}");
+            clauses.push(format!("(x{i}, {p}, x{})", i + 1));
+            path_vars.push(p);
+        }
+        // language atoms
+        for p in &path_vars {
+            if g.index(2) == 0 {
+                clauses.push(format!("L({p}) = {}", LANGS[g.index(LANGS.len())]));
+            }
+        }
+        // a relation atom over two paths (repeat the path var when only one)
+        if g.index(2) == 0 {
+            let p1 = &path_vars[g.index(path_vars.len())];
+            let p2 = &path_vars[g.index(path_vars.len())];
+            if g.index(2) == 0 {
+                clauses.push(format!("R({p1}, {p2}) = {}", REL_NAMES[g.index(REL_NAMES.len())]));
+            } else {
+                clauses
+                    .push(format!("R({p1}, {p2}) = {}", REL_REGEXES[g.index(REL_REGEXES.len())]));
+            }
+        }
+        // linear constraints
+        if g.index(2) == 0 {
+            let p = &path_vars[g.index(path_vars.len())];
+            let ops = [">=", "<=", "="];
+            match g.index(3) {
+                0 => clauses.push(format!("len({p}) {} {}", ops[g.index(3)], g.range(0, 5))),
+                1 => clauses.push(format!(
+                    "{}*count(a, {p}) {} {}",
+                    g.range(2, 4),
+                    ops[g.index(3)],
+                    g.range(0, 5)
+                )),
+                _ => {
+                    let q = &path_vars[g.index(path_vars.len())];
+                    clauses.push(format!("len({p}) - len({q}) >= {}", g.range(0, 3)));
+                }
+            }
+        }
+        // a binding
+        if g.index(3) == 0 {
+            clauses.push(format!("x0 = :node{}", g.index(4)));
+        }
+        // head: random subset of node vars and path vars
+        let mut head: Vec<String> = Vec::new();
+        for i in 0..=num_atoms {
+            if g.index(3) == 0 {
+                head.push(format!("x{i}"));
+            }
+        }
+        for p in &path_vars {
+            if g.index(4) == 0 {
+                head.push(p.clone());
+            }
+        }
+        format!("Ans({}) <- {}", head.join(", "), clauses.join(", "))
+    }
+
+    /// Generates a random *constant-free* query text (no `:node` bindings),
+    /// so evaluation needs no particular named graph nodes.
+    pub fn random_constant_free_query_text(g: &mut Gen) -> String {
+        loop {
+            let text = random_query_text(g);
+            if !text.contains(" = :") {
+                return text;
+            }
+        }
+    }
+}
 
 pub mod prop {
     //! Seeded random-case generation for property tests.

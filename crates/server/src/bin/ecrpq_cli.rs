@@ -1,0 +1,140 @@
+//! `ecrpq-cli` — a small command-line client for `ecrpq-serve`.
+//!
+//! ```text
+//! ecrpq-cli --addr HOST:PORT COMMAND [ARGS…]
+//!
+//! COMMANDS
+//!   load <graph> <generator-spec>      load from a generator (cycle:8:a, …)
+//!   load-edges <graph> <file>          load an edge-list file (read locally)
+//!   prepare <name> <query> <graph>     parse+compile over <graph>'s alphabet
+//!   run <name> <graph> [mode]          execute (mode: nodes|boolean|paths)
+//!   check <name> <graph> <json>        membership check; <json> supplies
+//!                                      {"nodes": […], "paths": […]}
+//!   stats                              server counters
+//!   shutdown                           stop the server
+//!   raw <json-line>…                   send raw request lines verbatim
+//!   script                             read raw request lines from stdin
+//! ```
+//!
+//! Every reply is printed as one JSON line on stdout, so scripts can grep
+//! fields (`scripts/check.sh` greps `"sim_cache_misses":0` for its warm-run
+//! gate). Exit status is nonzero if any reply has `ok: false`.
+
+use ecrpq_server::client::Client;
+use ecrpq_util::json::Value;
+use std::io::BufRead;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().unwrap_or_else(|| die("--addr expects a value"))),
+            "--help" | "-h" => {
+                println!("usage: ecrpq-cli --addr HOST:PORT COMMAND [ARGS…] (see the doc comment)");
+                return;
+            }
+            _ => {
+                rest.push(a);
+                rest.extend(it);
+                break;
+            }
+        }
+    }
+    let addr = addr.unwrap_or_else(|| die("--addr HOST:PORT is required"));
+    let mut client =
+        Client::connect(addr.as_str()).unwrap_or_else(|e| die(&format!("connect: {e}")));
+
+    let mut ok = true;
+    match rest.first().map(String::as_str) {
+        Some("load") => {
+            let (g, spec) = two(&rest, "load <graph> <generator-spec>");
+            ok &= print_reply(client.load_generator(g, spec));
+        }
+        Some("load-edges") => {
+            let (g, file) = two(&rest, "load-edges <graph> <file>");
+            let text = std::fs::read_to_string(file)
+                .unwrap_or_else(|e| die(&format!("cannot read `{file}`: {e}")));
+            ok &= print_reply(client.load_edges(g, &text));
+        }
+        Some("prepare") => {
+            let [name, query, graph] = three(&rest, "prepare <name> <query> <graph>");
+            ok &= print_reply(client.prepare_for_graph(name, query, graph));
+        }
+        Some("run") => {
+            let name = rest.get(1).unwrap_or_else(|| die("run <name> <graph> [mode]"));
+            let graph = rest.get(2).unwrap_or_else(|| die("run <name> <graph> [mode]"));
+            let mode = rest.get(3).map(String::as_str).unwrap_or("nodes");
+            ok &= print_reply(client.run_mode(name, graph, mode));
+        }
+        Some("check") => {
+            let [name, graph, extra] = three(&rest, "check <name> <graph> <json>");
+            let v = ecrpq_util::json::parse(extra)
+                .unwrap_or_else(|e| die(&format!("bad check JSON: {e}")));
+            let mut req = vec![
+                ("op".to_string(), Value::str("check")),
+                ("name".to_string(), Value::str(name.as_str())),
+                ("graph".to_string(), Value::str(graph.as_str())),
+            ];
+            if let Value::Obj(pairs) = v {
+                req.extend(pairs);
+            }
+            ok &= print_reply(client.request(&Value::Obj(req)));
+        }
+        Some("stats") => ok &= print_reply(client.stats()),
+        Some("shutdown") => ok &= print_reply(client.shutdown()),
+        Some("raw") => {
+            for line in &rest[1..] {
+                ok &= print_reply(client.request_raw(line).and_then(Client::interpret));
+            }
+        }
+        Some("script") => {
+            for line in std::io::stdin().lock().lines() {
+                let line = line.unwrap_or_else(|e| die(&format!("stdin: {e}")));
+                if line.trim().is_empty() {
+                    continue;
+                }
+                ok &= print_reply(client.request_raw(&line).and_then(Client::interpret));
+            }
+        }
+        _ => die("missing command (try --help)"),
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// Prints the reply (or the error reply) as one JSON line; returns success.
+fn print_reply(reply: Result<Value, ecrpq_server::ServerError>) -> bool {
+    match reply {
+        Ok(v) => {
+            println!("{v}");
+            true
+        }
+        Err(e) => {
+            println!("{}", Value::obj([("ok", Value::Bool(false)), ("error", Value::str(e.0))]));
+            false
+        }
+    }
+}
+
+fn two<'a>(rest: &'a [String], usage: &str) -> (&'a str, &'a str) {
+    match rest {
+        [_, a, b] => (a, b),
+        _ => die(usage),
+    }
+}
+
+fn three<'a>(rest: &'a [String], usage: &str) -> [&'a String; 3] {
+    match rest {
+        [_, a, b, c] => [a, b, c],
+        _ => die(usage),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("ecrpq-cli: {msg}");
+    std::process::exit(2);
+}

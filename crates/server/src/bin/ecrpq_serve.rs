@@ -1,0 +1,58 @@
+//! `ecrpq-serve` — the standalone query server binary.
+//!
+//! ```text
+//! ecrpq-serve [--addr HOST:PORT] [--workers N] [--bound-capacity N]
+//! ```
+//!
+//! Binds (port 0 = ephemeral), prints one line `listening on <addr>` to
+//! stdout — scripts parse this to discover the port — and serves until a
+//! client sends `{"op":"shutdown"}` (or the process is killed).
+
+use ecrpq_server::server::{Server, ServerConfig};
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => config.addr = value(&mut it, "--addr"),
+            "--workers" => config.workers = parse(&value(&mut it, "--workers"), "--workers"),
+            "--bound-capacity" => {
+                config.bound_capacity =
+                    parse(&value(&mut it, "--bound-capacity"), "--bound-capacity")
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ecrpq-serve [--addr HOST:PORT] [--workers N] [--bound-capacity N]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    let handle = match Server::spawn(config) {
+        Ok(h) => h,
+        Err(e) => die(&format!("failed to start: {e}")),
+    };
+    println!("listening on {}", handle.addr());
+    // Stdout is parsed by scripts; flush so the port is visible immediately.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    // Block until a protocol `shutdown` drains the listener and workers.
+    handle.shutdown_wait();
+}
+
+fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| die(&format!("{flag} expects a value")))
+}
+
+fn parse(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| die(&format!("{flag} expects a number")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("ecrpq-serve: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,150 @@
+//! A small blocking client for the line-delimited protocol.
+//!
+//! One [`Client`] owns one TCP connection. [`Client::request`] sends any
+//! JSON value as a line and reads the reply line; convenience wrappers cover
+//! the protocol ops and turn `ok: false` replies into [`ServerError`]s. The
+//! `ecrpq-cli` binary, the `server_roundtrip` example, and the benchmark
+//! harness's `serve` workload all drive this type.
+
+use crate::ServerError;
+use ecrpq_util::json::{self, Value};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServerError> {
+        let stream = TcpStream::connect(addr).map_err(ServerError::msg)?;
+        let read_half = stream.try_clone().map_err(ServerError::msg)?;
+        Ok(Client { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
+    }
+
+    /// Sends one request value and reads the reply. Transport errors and
+    /// `ok: false` replies both surface as `Err`; use
+    /// [`request_raw`](Self::request_raw) to inspect error replies.
+    pub fn request(&mut self, req: &Value) -> Result<Value, ServerError> {
+        let reply = self.request_raw(&req.to_string())?;
+        Client::interpret(reply)
+    }
+
+    /// Interprets a reply value: passes `ok: true` replies through and turns
+    /// `ok: false` into the carried [`ServerError`]. This is the one place
+    /// the reply contract is decoded; `ecrpq-cli`'s raw/script modes reuse
+    /// it for their exit-status contract.
+    pub fn interpret(reply: Value) -> Result<Value, ServerError> {
+        match reply.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(reply),
+            _ => {
+                let msg = reply
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("server replied ok=false")
+                    .to_string();
+                Err(ServerError(msg))
+            }
+        }
+    }
+
+    /// Sends one raw request line and parses the reply line (without
+    /// interpreting `ok`).
+    pub fn request_raw(&mut self, line: &str) -> Result<Value, ServerError> {
+        self.writer.write_all(line.trim_end().as_bytes()).map_err(ServerError::msg)?;
+        self.writer.write_all(b"\n").map_err(ServerError::msg)?;
+        self.writer.flush().map_err(ServerError::msg)?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply).map_err(ServerError::msg)?;
+        if n == 0 {
+            return Err(ServerError("server closed the connection".into()));
+        }
+        json::parse(reply.trim()).map_err(|e| ServerError(format!("bad reply JSON: {e}")))
+    }
+
+    /// `load` from a built-in generator spec (e.g. `cycle:8:a`).
+    pub fn load_generator(&mut self, graph: &str, spec: &str) -> Result<Value, ServerError> {
+        self.request(&Value::obj([
+            ("op", Value::str("load")),
+            ("graph", Value::str(graph)),
+            ("generator", Value::str(spec)),
+        ]))
+    }
+
+    /// `load` from inline edge-list text.
+    pub fn load_edges(&mut self, graph: &str, edges: &str) -> Result<Value, ServerError> {
+        self.request(&Value::obj([
+            ("op", Value::str("load")),
+            ("graph", Value::str(graph)),
+            ("edges", Value::str(edges)),
+        ]))
+    }
+
+    /// `prepare` a named statement over an explicit label alphabet.
+    pub fn prepare(
+        &mut self,
+        name: &str,
+        query: &str,
+        alphabet: &[&str],
+    ) -> Result<Value, ServerError> {
+        self.request(&Value::obj([
+            ("op", Value::str("prepare")),
+            ("name", Value::str(name)),
+            ("query", Value::str(query)),
+            ("alphabet", Value::Arr(alphabet.iter().map(|&l| Value::str(l)).collect())),
+        ]))
+    }
+
+    /// `prepare` a named statement using a cataloged graph's alphabet.
+    pub fn prepare_for_graph(
+        &mut self,
+        name: &str,
+        query: &str,
+        graph: &str,
+    ) -> Result<Value, ServerError> {
+        self.request(&Value::obj([
+            ("op", Value::str("prepare")),
+            ("name", Value::str(name)),
+            ("query", Value::str(query)),
+            ("graph", Value::str(graph)),
+        ]))
+    }
+
+    /// `run` a prepared statement against a cataloged graph (node mode).
+    pub fn run(&mut self, name: &str, graph: &str) -> Result<Value, ServerError> {
+        self.request(&Value::obj([
+            ("op", Value::str("run")),
+            ("name", Value::str(name)),
+            ("graph", Value::str(graph)),
+        ]))
+    }
+
+    /// `run` with an explicit mode (`nodes`, `boolean`, or `paths`).
+    pub fn run_mode(&mut self, name: &str, graph: &str, mode: &str) -> Result<Value, ServerError> {
+        self.request(&Value::obj([
+            ("op", Value::str("run")),
+            ("name", Value::str(name)),
+            ("graph", Value::str(graph)),
+            ("mode", Value::str(mode)),
+        ]))
+    }
+
+    /// `stats`.
+    pub fn stats(&mut self) -> Result<Value, ServerError> {
+        self.request(&Value::obj([("op", Value::str("stats"))]))
+    }
+
+    /// `close` this connection (the server acknowledges, then hangs up).
+    pub fn close(&mut self) -> Result<Value, ServerError> {
+        self.request(&Value::obj([("op", Value::str("close"))]))
+    }
+
+    /// `shutdown` the whole server.
+    pub fn shutdown(&mut self) -> Result<Value, ServerError> {
+        self.request(&Value::obj([("op", Value::str("shutdown"))]))
+    }
+}

@@ -1,0 +1,61 @@
+//! # ecrpq-server
+//!
+//! A concurrent query service over the ECRPQ engine: load graphs once, keep
+//! prepared statements warm, and answer streams of textual queries from many
+//! clients — the "serve heavy traffic" deployment shape the prepared-query
+//! pipeline of `ecrpq` was built for.
+//!
+//! The crate is std-only, like the rest of the workspace. Four components:
+//!
+//! * [`catalog`] — named graphs behind `Arc<GraphDb>`, loaded from edge-list
+//!   text/files, a small JSON format, or built-in generators;
+//! * [`registry`] — a prepared-statement registry: each statement's text is
+//!   parsed and compiled once (`Arc<PreparedQuery>`), and per-graph
+//!   [`BoundStatement`](ecrpq::BoundStatement) plans are cached under a
+//!   bounded LRU policy with hit/miss counters;
+//! * [`pool`] — a hand-rolled worker pool over `std::thread` + channels;
+//! * [`server`] + [`protocol`] — a line-delimited TCP protocol (one JSON
+//!   object per line, both directions) served by the pool, with graceful
+//!   shutdown; [`client`] is the matching blocking client used by the
+//!   `ecrpq-cli` binary, the examples, and the benchmark harness.
+//!
+//! ```no_run
+//! use ecrpq_server::client::Client;
+//! use ecrpq_server::server::{Server, ServerConfig};
+//!
+//! let handle = Server::spawn(ServerConfig::default()).unwrap();
+//! let mut c = Client::connect(handle.addr()).unwrap();
+//! c.load_generator("g", "cycle:8:a").unwrap();
+//! c.prepare("q", "Ans(x, y) <- (x, p, y), L(p) = a a", &["a"]).unwrap();
+//! let reply = c.run("q", "g").unwrap();
+//! assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod client;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+/// Errors produced by the service layer (catalog, registry, protocol).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerError(pub String);
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl ServerError {
+    /// Builds an error from anything printable.
+    pub fn msg(e: impl std::fmt::Display) -> ServerError {
+        ServerError(e.to_string())
+    }
+}

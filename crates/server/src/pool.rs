@@ -1,0 +1,109 @@
+//! A hand-rolled worker pool over `std::thread` and `std::sync::mpsc`.
+//!
+//! The server hands each accepted connection to the pool; a worker owns the
+//! connection for its lifetime (the protocol is line-oriented and
+//! conversational, so a connection is one job, not one job per request).
+//! Shutdown is graceful: dropping the sender lets every worker finish its
+//! current job and drain the queue before the `join` in [`ThreadPool::shutdown`]
+//! returns.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads consuming jobs from one queue.
+#[derive(Debug)]
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `size` workers (at least 1).
+    pub fn new(size: usize) -> ThreadPool {
+        let size = size.max(1);
+        let (tx, rx) = std::sync::mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..size)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("ecrpq-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool { tx: Some(tx), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job. Returns `false` if the pool is already shut down.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Closes the queue and joins every worker. Queued jobs still run;
+    /// idempotent (also invoked by `Drop`).
+    pub fn shutdown(&mut self) {
+        self.tx.take(); // closing the channel stops the worker loops
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only to receive; never while running a job.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders dropped: drain complete
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_jobs_concurrently_and_drains_on_shutdown() {
+        let mut pool = ThreadPool::new(4);
+        assert_eq!(pool.size(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100, "shutdown must drain the queue");
+        // after shutdown, jobs are rejected instead of silently dropped
+        assert!(!pool.execute(|| {}));
+    }
+
+    #[test]
+    fn zero_size_is_clamped() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+    }
+}

@@ -1,0 +1,467 @@
+//! The line-delimited JSON protocol and its transport-independent service
+//! core.
+//!
+//! A request is one JSON object per line with an `op` field; the reply is
+//! one JSON object per line with an `ok` field (plus `error` when `ok` is
+//! `false`). Serialization reuses the shared `ecrpq_util::json` writer.
+//!
+//! | op | request fields | reply fields |
+//! |----|----------------|--------------|
+//! | `load` | `graph`, plus one of `edges` (inline edge-list text), `path` (edge-list file), `json` (inline `{"edges": …}`), `json_path`, `generator` (e.g. `cycle:8:a`) | `graph`, `nodes`, `edges` |
+//! | `prepare` | `name`, `query`, plus `alphabet` (label array) or `graph` (use its alphabet) | `name`, `node_vars`, `path_vars` |
+//! | `run` | `name`, `graph`, optional `mode` (`nodes`\|`boolean`\|`paths`), `limit` | `registry` (`hit`\|`miss`), `answers`/`answer`, `count`, `stats` |
+//! | `check` | `name`, `graph`, `nodes` (names), `paths` (alternating `[node, label, node, …]`) | `member` |
+//! | `stats` | — | catalog/registry/server counters |
+//! | `close` | — | `closing: true`, then the connection ends |
+//! | `shutdown` | — | `shutting_down: true`, then the whole server stops |
+
+use crate::catalog::{GraphCatalog, GraphSource};
+use crate::registry::StatementRegistry;
+use crate::ServerError;
+use ecrpq::eval::EvalStats;
+use ecrpq::EvalConfig;
+use ecrpq_automata::Alphabet;
+use ecrpq_graph::{GraphDb, NodeId, Path};
+use ecrpq_util::json::{self, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What the transport should do after writing a reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading requests from this connection.
+    Continue,
+    /// Close this connection.
+    Close,
+    /// Stop the whole server (after closing this connection).
+    Shutdown,
+}
+
+/// Transport-level counters.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests dispatched.
+    pub requests: AtomicU64,
+    /// Requests answered with `ok: false`.
+    pub errors: AtomicU64,
+}
+
+/// The transport-independent query service: a graph catalog, a statement
+/// registry, and the request dispatcher. The TCP server, tests, and any
+/// future transport all drive this one type.
+#[derive(Debug, Default)]
+pub struct Service {
+    /// Named graphs.
+    pub catalog: GraphCatalog,
+    /// Prepared statements and their bound-plan cache.
+    pub registry: StatementRegistry,
+    /// Request/connection counters.
+    pub stats: ServiceStats,
+}
+
+impl Service {
+    /// A service with the given bound-plan cache capacity.
+    pub fn new(bound_capacity: usize) -> Service {
+        Service { registry: StatementRegistry::new(bound_capacity), ..Service::default() }
+    }
+
+    /// Dispatches one request line, returning the reply line (no trailing
+    /// newline) and what the transport should do next.
+    pub fn dispatch(&self, line: &str) -> (String, Control) {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let (reply, control) = match self.dispatch_value(line) {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                (
+                    Value::obj([("ok", Value::Bool(false)), ("error", Value::str(e.0))]),
+                    Control::Continue,
+                )
+            }
+        };
+        (reply.to_string(), control)
+    }
+
+    fn dispatch_value(&self, line: &str) -> Result<(Value, Control), ServerError> {
+        let req =
+            json::parse(line.trim()).map_err(|e| ServerError(format!("bad request JSON: {e}")))?;
+        let op = req
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServerError("request needs a string `op` field".into()))?;
+        let reply = match op {
+            "load" => self.op_load(&req)?,
+            "prepare" => self.op_prepare(&req)?,
+            "run" => self.op_run(&req)?,
+            "check" => self.op_check(&req)?,
+            "stats" => self.op_stats(),
+            "close" => return Ok((ok_obj([("closing", Value::Bool(true))]), Control::Close)),
+            "shutdown" => {
+                return Ok((ok_obj([("shutting_down", Value::Bool(true))]), Control::Shutdown))
+            }
+            other => return Err(ServerError(format!("unknown op `{other}`"))),
+        };
+        Ok((reply, Control::Continue))
+    }
+
+    fn op_load(&self, req: &Value) -> Result<Value, ServerError> {
+        let name = str_field(req, "graph")?;
+        let source = if let Some(text) = req.get("edges").and_then(Value::as_str) {
+            GraphSource::EdgeListText(text.to_string())
+        } else if let Some(path) = req.get("path").and_then(Value::as_str) {
+            GraphSource::EdgeListFile(path.to_string())
+        } else if let Some(v) = req.get("json") {
+            GraphSource::Json(v.clone())
+        } else if let Some(path) = req.get("json_path").and_then(Value::as_str) {
+            GraphSource::JsonFile(path.to_string())
+        } else if let Some(spec) = req.get("generator").and_then(Value::as_str) {
+            GraphSource::Generator(spec.to_string())
+        } else {
+            return Err(ServerError(
+                "load needs one of `edges`, `path`, `json`, `json_path`, `generator`".into(),
+            ));
+        };
+        let graph = self.catalog.load(name, &source)?;
+        Ok(ok_obj([
+            ("graph", Value::str(name)),
+            ("nodes", Value::int(graph.num_nodes() as u64)),
+            ("edges", Value::int(graph.num_edges() as u64)),
+        ]))
+    }
+
+    fn op_prepare(&self, req: &Value) -> Result<Value, ServerError> {
+        let name = str_field(req, "name")?;
+        let text = str_field(req, "query")?;
+        let alphabet = if let Some(labels) = req.get("alphabet").and_then(Value::as_arr) {
+            let labels: Vec<&str> = labels
+                .iter()
+                .map(|l| {
+                    l.as_str()
+                        .ok_or_else(|| ServerError("`alphabet` entries must be strings".into()))
+                })
+                .collect::<Result<_, _>>()?;
+            Alphabet::from_labels(labels)
+        } else if let Some(gname) = req.get("graph").and_then(Value::as_str) {
+            self.graph(gname)?.alphabet().clone()
+        } else {
+            return Err(ServerError("prepare needs an `alphabet` array or a `graph` name".into()));
+        };
+        let stmt = self.registry.prepare(name, text, &alphabet)?;
+        Ok(ok_obj([
+            ("name", Value::str(name)),
+            ("node_vars", Value::int(stmt.prepared.query().node_vars().len() as u64)),
+            ("path_vars", Value::int(stmt.prepared.query().path_vars().len() as u64)),
+        ]))
+    }
+
+    fn op_run(&self, req: &Value) -> Result<Value, ServerError> {
+        let name = str_field(req, "name")?;
+        let gname = str_field(req, "graph")?;
+        let graph = self.graph(gname)?;
+        let (plan, hit) = self.registry.bound(name, gname, &graph)?;
+        let mut config = EvalConfig::default();
+        if let Some(limit) = req.get("limit").and_then(Value::as_u64) {
+            config.answer_limit = limit as usize;
+        }
+        let mode = req.get("mode").and_then(Value::as_str).unwrap_or("nodes");
+        let registry_field = ("registry", Value::str(if hit { "hit" } else { "miss" }));
+        match mode {
+            "boolean" => {
+                let (answer, stats) = plan.run_boolean(&config).map_err(ServerError::msg)?;
+                Ok(ok_obj([
+                    registry_field,
+                    ("answer", Value::Bool(answer)),
+                    ("stats", stats_value(&stats)),
+                ]))
+            }
+            "nodes" => {
+                let (answers, stats) = plan.run_nodes(&config).map_err(ServerError::msg)?;
+                let rows: Vec<Value> = answers
+                    .iter()
+                    .map(|row| {
+                        Value::Arr(row.iter().map(|&n| Value::str(graph.node_display(n))).collect())
+                    })
+                    .collect();
+                Ok(ok_obj([
+                    registry_field,
+                    ("count", Value::int(rows.len() as u64)),
+                    ("answers", Value::Arr(rows)),
+                    ("stats", stats_value(&stats)),
+                ]))
+            }
+            "paths" => {
+                let (answers, stats) =
+                    plan.plan().run_with_paths(&config).map_err(ServerError::msg)?;
+                let rows: Vec<Value> = answers
+                    .iter()
+                    .map(|a| {
+                        Value::obj([
+                            (
+                                "nodes",
+                                Value::Arr(
+                                    a.nodes
+                                        .iter()
+                                        .map(|&n| Value::str(graph.node_display(n)))
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "paths",
+                                Value::Arr(a.paths.iter().map(|p| path_value(p, &graph)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Ok(ok_obj([
+                    registry_field,
+                    ("count", Value::int(rows.len() as u64)),
+                    ("answers", Value::Arr(rows)),
+                    ("stats", stats_value(&stats)),
+                ]))
+            }
+            other => Err(ServerError(format!("unknown run mode `{other}`"))),
+        }
+    }
+
+    fn op_check(&self, req: &Value) -> Result<Value, ServerError> {
+        let name = str_field(req, "name")?;
+        let gname = str_field(req, "graph")?;
+        let graph = self.graph(gname)?;
+        let (plan, hit) = self.registry.bound(name, gname, &graph)?;
+        let nodes: Vec<NodeId> = req
+            .get("nodes")
+            .and_then(Value::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|v| {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| ServerError("`nodes` entries must be strings".into()))?;
+                resolve_node(&graph, name)
+            })
+            .collect::<Result<_, _>>()?;
+        let paths: Vec<Path> = req
+            .get("paths")
+            .and_then(Value::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|v| parse_path(&graph, v))
+            .collect::<Result<_, _>>()?;
+        let member =
+            plan.check(&nodes, &paths, &EvalConfig::default()).map_err(ServerError::msg)?;
+        Ok(ok_obj([
+            ("registry", Value::str(if hit { "hit" } else { "miss" })),
+            ("member", Value::Bool(member)),
+        ]))
+    }
+
+    fn op_stats(&self) -> Value {
+        let reg = self.registry.stats();
+        ok_obj([
+            ("graphs", Value::int(self.catalog.len() as u64)),
+            ("statements", Value::int(self.registry.len() as u64)),
+            ("bound_cached", Value::int(self.registry.bound_len() as u64)),
+            (
+                "registry",
+                Value::obj([
+                    ("hits", Value::int(reg.hits)),
+                    ("misses", Value::int(reg.misses)),
+                    ("evictions", Value::int(reg.evictions)),
+                    ("prepared", Value::int(reg.prepared)),
+                ]),
+            ),
+            ("connections", Value::int(self.stats.connections.load(Ordering::Relaxed))),
+            ("requests", Value::int(self.stats.requests.load(Ordering::Relaxed))),
+            ("errors", Value::int(self.stats.errors.load(Ordering::Relaxed))),
+        ])
+    }
+
+    fn graph(&self, name: &str) -> Result<Arc<GraphDb>, ServerError> {
+        self.catalog.get(name).ok_or_else(|| ServerError(format!("unknown graph `{name}`")))
+    }
+}
+
+/// An `{"ok": true, …}` reply object.
+fn ok_obj(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+    let mut all = vec![("ok".to_string(), Value::Bool(true))];
+    all.extend(pairs.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Value::Obj(all)
+}
+
+fn str_field<'a>(req: &'a Value, key: &str) -> Result<&'a str, ServerError> {
+    req.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServerError(format!("request needs a string `{key}` field")))
+}
+
+/// [`EvalStats`] as a reply object, including the sim-table cache counters
+/// that prove (or disprove) compiled-artifact reuse.
+fn stats_value(stats: &EvalStats) -> Value {
+    Value::obj([
+        ("candidates", Value::int(stats.candidates)),
+        ("verified", Value::int(stats.verified)),
+        ("search_states", Value::int(stats.search_states)),
+        ("sim_cache_hits", Value::int(stats.sim_cache_hits)),
+        ("sim_cache_misses", Value::int(stats.sim_cache_misses)),
+    ])
+}
+
+/// A path as the alternating `[node, label, node, …]` array the protocol
+/// uses in both directions.
+fn path_value(path: &Path, graph: &GraphDb) -> Value {
+    let mut items = Vec::with_capacity(path.nodes().len() + path.label().len());
+    for (i, &n) in path.nodes().iter().enumerate() {
+        if i > 0 {
+            items.push(Value::str(graph.alphabet().label(path.label()[i - 1])));
+        }
+        items.push(Value::str(graph.node_display(n)));
+    }
+    Value::Arr(items)
+}
+
+/// Resolves a protocol node token: a node name, or `n<i>` for an anonymous
+/// node — exactly the tokens [`GraphDb::node_display`] emits. A bare index
+/// or an `n<i>` pointing at a *named* node is rejected rather than silently
+/// resolved, so a stale or mistyped token cannot validate against the wrong
+/// node.
+fn resolve_node(graph: &GraphDb, token: &str) -> Result<NodeId, ServerError> {
+    if let Some(id) = graph.node_by_name(token) {
+        return Ok(id);
+    }
+    if let Some(digits) = token.strip_prefix('n') {
+        if let Ok(i) = digits.parse::<u32>() {
+            if (i as usize) < graph.num_nodes() && graph.node_name(NodeId(i)).is_none() {
+                return Ok(NodeId(i));
+            }
+        }
+    }
+    Err(ServerError(format!("unknown node `{token}`")))
+}
+
+/// Parses the alternating `[node, label, node, …]` path format.
+fn parse_path(graph: &GraphDb, v: &Value) -> Result<Path, ServerError> {
+    let items = v.as_arr().ok_or_else(|| ServerError("each path must be an array".into()))?;
+    if items.len() % 2 == 0 {
+        return Err(ServerError(
+            "a path array alternates node, label, node, … (odd length)".into(),
+        ));
+    }
+    let mut nodes = Vec::with_capacity(items.len() / 2 + 1);
+    let mut labels = Vec::with_capacity(items.len() / 2);
+    for (i, item) in items.iter().enumerate() {
+        let s =
+            item.as_str().ok_or_else(|| ServerError("path components must be strings".into()))?;
+        if i % 2 == 0 {
+            nodes.push(resolve_node(graph, s)?);
+        } else {
+            let sym = graph
+                .alphabet()
+                .symbol(s)
+                .ok_or_else(|| ServerError(format!("unknown edge label `{s}`")))?;
+            labels.push(sym);
+        }
+    }
+    Ok(Path::new(nodes, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply(service: &Service, line: &str) -> Value {
+        let (text, control) = service.dispatch(line);
+        assert_eq!(control, Control::Continue, "unexpected control for {line}");
+        json::parse(&text).unwrap()
+    }
+
+    fn loaded_service() -> Service {
+        let s = Service::new(8);
+        let r = reply(&s, r#"{"op":"load","graph":"g","generator":"cycle:6:a"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("nodes").unwrap().as_u64(), Some(6));
+        s
+    }
+
+    #[test]
+    fn load_prepare_run_roundtrip_with_cache_counters() {
+        let s = loaded_service();
+        let r = reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+
+        let r1 = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        assert_eq!(r1.get("registry").unwrap().as_str(), Some("miss"));
+        assert_eq!(r1.get("count").unwrap().as_u64(), Some(6));
+
+        // Second run: registry hit and zero sim-table compilations.
+        let r2 = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        assert_eq!(r2.get("registry").unwrap().as_str(), Some("hit"));
+        let misses = r2.get("stats").unwrap().get("sim_cache_misses").unwrap().as_u64();
+        assert_eq!(misses, Some(0));
+        assert_eq!(r1.get("answers").unwrap(), r2.get("answers").unwrap());
+
+        let st = reply(&s, r#"{"op":"stats"}"#);
+        assert_eq!(st.get("graphs").unwrap().as_u64(), Some(1));
+        assert_eq!(st.get("registry").unwrap().get("hits").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn boolean_and_paths_modes() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"b","query":"Ans() <- (x, p, y), L(p) = a a a","graph":"g"}"#,
+        );
+        let r = reply(&s, r#"{"op":"run","name":"b","graph":"g","mode":"boolean"}"#);
+        assert_eq!(r.get("answer").unwrap().as_bool(), Some(true));
+
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"p","query":"Ans(x, p) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        let r = reply(&s, r#"{"op":"run","name":"p","graph":"g","mode":"paths","limit":3}"#);
+        assert_eq!(r.get("count").unwrap().as_u64(), Some(3));
+        let first = &r.get("answers").unwrap().as_arr().unwrap()[0];
+        let path = &first.get("paths").unwrap().as_arr().unwrap()[0];
+        assert_eq!(path.as_arr().unwrap().len(), 5, "2-edge path prints 5 components");
+    }
+
+    #[test]
+    fn check_membership_over_the_wire() {
+        let s = Service::new(8);
+        reply(&s, r#"{"op":"load","graph":"g","edges":"a x b\nb x c\n"}"#);
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(u, p) <- (u, p, v), L(p) = x x","graph":"g"}"#,
+        );
+        let r = reply(
+            &s,
+            r#"{"op":"check","name":"q","graph":"g","nodes":["a"],"paths":[["a","x","b","x","c"]]}"#,
+        );
+        assert_eq!(r.get("member").unwrap().as_bool(), Some(true));
+        let r = reply(
+            &s,
+            r#"{"op":"check","name":"q","graph":"g","nodes":["b"],"paths":[["a","x","b","x","c"]]}"#,
+        );
+        assert_eq!(r.get("member").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn errors_and_control_flow() {
+        let s = Service::new(8);
+        let (text, _) = s.dispatch("not json");
+        assert!(text.contains("\"ok\":false"));
+        let r = reply(&s, r#"{"op":"run","name":"q","graph":"none"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+        assert!(r.get("error").unwrap().as_str().unwrap().contains("unknown graph"));
+        let (_, c) = s.dispatch(r#"{"op":"close"}"#);
+        assert_eq!(c, Control::Close);
+        let (_, c) = s.dispatch(r#"{"op":"shutdown"}"#);
+        assert_eq!(c, Control::Shutdown);
+        assert!(s.stats.errors.load(Ordering::Relaxed) >= 2);
+    }
+}

@@ -1,0 +1,281 @@
+//! The prepared-statement registry: parse and compile each statement once,
+//! cache per-graph bound plans with bounded LRU eviction.
+//!
+//! A *statement* is a named textual ECRPQ. Registering it runs the
+//! parse + compile phases of the pipeline (`parse_query` →
+//! [`PreparedQuery::prepare`]) exactly once; the automaton artifacts inside
+//! the prepared query are additionally memoized per relation, so even
+//! re-registering a statement over the same relations recompiles nothing.
+//!
+//! Executing a statement against a cataloged graph needs a
+//! [`BoundStatement`] (the bind phase: constants, symbol translation, CSR
+//! adjacency). Those are cached here keyed by `(statement, graph)` with an
+//! LRU-style bound — re-running a statement on the same graph skips binding
+//! entirely and reports a registry **hit**. The cache watches handle
+//! identity: reloading a graph (or re-registering a statement) under the
+//! same name makes the stale entry miss and rebind on next use.
+
+use crate::ServerError;
+use ecrpq::eval::{BoundStatement, PreparedQuery};
+use ecrpq::parse_query;
+use ecrpq_automata::Alphabet;
+use ecrpq_graph::GraphDb;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A registered statement: the original text and its compiled form.
+#[derive(Debug)]
+pub struct Statement {
+    /// The statement's registry name.
+    pub name: String,
+    /// The textual query it was parsed from.
+    pub text: String,
+    /// The graph-independent compiled query.
+    pub prepared: Arc<PreparedQuery>,
+}
+
+/// Counters describing registry effectiveness, surfaced alongside
+/// [`EvalStats`](ecrpq::eval::EvalStats) in server responses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Bound-plan cache hits (bind phase skipped).
+    pub hits: u64,
+    /// Bound-plan cache misses (fresh bind performed).
+    pub misses: u64,
+    /// Bound plans evicted by the LRU bound.
+    pub evictions: u64,
+    /// Statements compiled (including re-registrations).
+    pub prepared: u64,
+}
+
+/// One cached bound plan with its recency stamp.
+#[derive(Debug)]
+struct BoundEntry {
+    plan: Arc<BoundStatement>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    statements: HashMap<String, Arc<Statement>>,
+    bound: HashMap<(String, String), BoundEntry>,
+    tick: u64,
+    stats: RegistryStats,
+}
+
+/// A thread-safe statement registry with a bounded bound-plan cache.
+#[derive(Debug)]
+pub struct StatementRegistry {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+/// Default bound on cached `(statement, graph)` plans.
+pub const DEFAULT_BOUND_CAPACITY: usize = 64;
+
+impl Default for StatementRegistry {
+    fn default() -> Self {
+        StatementRegistry::new(DEFAULT_BOUND_CAPACITY)
+    }
+}
+
+impl StatementRegistry {
+    /// A registry whose bound-plan cache holds at most `capacity` entries
+    /// (at least 1).
+    pub fn new(capacity: usize) -> StatementRegistry {
+        StatementRegistry { inner: Mutex::new(Inner::default()), capacity: capacity.max(1) }
+    }
+
+    /// Parses and compiles `text` over `alphabet`, registering it under
+    /// `name`. Replaces (and invalidates the cached bindings of) any
+    /// previous statement with that name.
+    pub fn prepare(
+        &self,
+        name: &str,
+        text: &str,
+        alphabet: &Alphabet,
+    ) -> Result<Arc<Statement>, ServerError> {
+        let query = parse_query(text, alphabet).map_err(ServerError::msg)?;
+        let prepared = PreparedQuery::prepare(&query).map_err(ServerError::msg)?;
+        let stmt = Arc::new(Statement {
+            name: name.to_string(),
+            text: text.to_string(),
+            prepared: Arc::new(prepared),
+        });
+        let mut inner = self.inner.lock().unwrap();
+        inner.stats.prepared += 1;
+        inner.bound.retain(|(s, _), _| s != name);
+        inner.statements.insert(name.to_string(), Arc::clone(&stmt));
+        Ok(stmt)
+    }
+
+    /// The statement registered under `name`.
+    pub fn statement(&self, name: &str) -> Option<Arc<Statement>> {
+        self.inner.lock().unwrap().statements.get(name).cloned()
+    }
+
+    /// Sorted `(name, text)` pairs of every registered statement.
+    pub fn summaries(&self) -> Vec<(String, String)> {
+        let inner = self.inner.lock().unwrap();
+        let mut out: Vec<(String, String)> =
+            inner.statements.values().map(|s| (s.name.clone(), s.text.clone())).collect();
+        out.sort();
+        out
+    }
+
+    /// Number of registered statements.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().statements.len()
+    }
+
+    /// True if no statement is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of cached bound plans.
+    pub fn bound_len(&self) -> usize {
+        self.inner.lock().unwrap().bound.len()
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> RegistryStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// The bound plan of statement `name` against `graph` (cataloged as
+    /// `graph_name`), binding and caching on a miss. Returns the plan and
+    /// whether it was a cache **hit**.
+    ///
+    /// A cached entry only hits while both handles are current: a reloaded
+    /// graph or re-registered statement changes `Arc` identity, so the stale
+    /// plan misses and is rebound against the fresh handles.
+    pub fn bound(
+        &self,
+        name: &str,
+        graph_name: &str,
+        graph: &Arc<GraphDb>,
+    ) -> Result<(Arc<BoundStatement>, bool), ServerError> {
+        let key = (name.to_string(), graph_name.to_string());
+        let stmt = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            // A cached entry hits only while both handles are current.
+            let hit = match inner.bound.get(&key) {
+                Some(entry)
+                    if Arc::ptr_eq(entry.plan.graph(), graph)
+                        && inner
+                            .statements
+                            .get(name)
+                            .is_some_and(|s| Arc::ptr_eq(&s.prepared, entry.plan.prepared())) =>
+                {
+                    Some(Arc::clone(&entry.plan))
+                }
+                _ => None,
+            };
+            if let Some(plan) = hit {
+                inner.bound.get_mut(&key).expect("entry just found").last_used = tick;
+                inner.stats.hits += 1;
+                return Ok((plan, true));
+            }
+            inner
+                .statements
+                .get(name)
+                .cloned()
+                .ok_or_else(|| ServerError(format!("unknown statement `{name}`")))?
+        };
+
+        // Bind outside the lock: binding is cheap but linear in the graph,
+        // and concurrent workers must not serialize on it.
+        let plan = Arc::new(
+            BoundStatement::bind(Arc::clone(&stmt.prepared), Arc::clone(graph))
+                .map_err(ServerError::msg)?,
+        );
+
+        let mut inner = self.inner.lock().unwrap();
+        inner.stats.misses += 1;
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.bound.len() >= self.capacity && !inner.bound.contains_key(&key) {
+            // LRU-style eviction: drop the least recently used entry.
+            if let Some(victim) =
+                inner.bound.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                inner.bound.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.bound.insert(key, BoundEntry { plan: Arc::clone(&plan), last_used: tick });
+        Ok((plan, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecrpq_graph::generators;
+
+    fn graph(n: usize) -> Arc<GraphDb> {
+        Arc::new(generators::cycle_graph(n, "a"))
+    }
+
+    fn registry_with_statement() -> (StatementRegistry, Alphabet) {
+        let reg = StatementRegistry::new(2);
+        let al = Alphabet::from_labels(["a"]);
+        reg.prepare("q", "Ans(x, y) <- (x, p, y), L(p) = a a", &al).unwrap();
+        (reg, al)
+    }
+
+    #[test]
+    fn prepare_parses_and_rejects_bad_text() {
+        let (reg, al) = registry_with_statement();
+        assert_eq!(reg.len(), 1);
+        assert!(reg.statement("q").is_some());
+        assert!(reg.prepare("bad", "Ans(x <- ", &al).is_err());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn bound_cache_hits_and_invalidates_on_reload() {
+        let (reg, al) = registry_with_statement();
+        let g = graph(4);
+        let (p1, hit1) = reg.bound("q", "g", &g).unwrap();
+        assert!(!hit1);
+        let (p2, hit2) = reg.bound("q", "g", &g).unwrap();
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(reg.stats(), RegistryStats { hits: 1, misses: 1, evictions: 0, prepared: 1 });
+
+        // Same catalog name, fresh graph handle: the stale entry must miss.
+        let g2 = graph(5);
+        let (_, hit3) = reg.bound("q", "g", &g2).unwrap();
+        assert!(!hit3);
+
+        // Re-registering the statement invalidates its bindings too.
+        reg.prepare("q", "Ans(x, y) <- (x, p, y), L(p) = a", &al).unwrap();
+        let (_, hit4) = reg.bound("q", "g", &g2).unwrap();
+        assert!(!hit4);
+        assert!(reg.bound("q", "g", &g2).unwrap().1);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_the_cache() {
+        let (reg, _) = registry_with_statement();
+        let (ga, gb, gc) = (graph(3), graph(4), graph(5));
+        reg.bound("q", "a", &ga).unwrap();
+        reg.bound("q", "b", &gb).unwrap();
+        reg.bound("q", "a", &ga).unwrap(); // refresh `a`
+        reg.bound("q", "c", &gc).unwrap(); // evicts `b`, the LRU entry
+        assert_eq!(reg.bound_len(), 2);
+        assert_eq!(reg.stats().evictions, 1);
+        assert!(reg.bound("q", "a", &ga).unwrap().1, "recently used entry must survive");
+        assert!(!reg.bound("q", "b", &gb).unwrap().1, "evicted entry must rebind");
+    }
+
+    #[test]
+    fn unknown_statement_errors() {
+        let (reg, _) = registry_with_statement();
+        assert!(reg.bound("nope", "g", &graph(3)).is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! The thread-pooled TCP transport: accept loop, per-connection protocol
+//! driver, and graceful shutdown.
+//!
+//! One listener thread accepts connections and hands each to the worker
+//! pool; the owning worker reads request lines and writes reply lines until
+//! the client disconnects, sends `close`, or sends `shutdown`. Shutdown
+//! (from a request or from [`ServerHandle::shutdown`]) flips a flag and
+//! pokes the listener with a loopback connection so `accept` wakes up, then
+//! joins the listener and drains the pool.
+
+use crate::pool::ThreadPool;
+use crate::protocol::{Control, Service};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (the bound address is
+    /// reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads (each owns one live connection at a time). Defaults to
+    /// the machine's available parallelism, at least 4.
+    pub workers: usize,
+    /// Bound on the registry's cached `(statement, graph)` plans.
+    pub bound_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).max(4);
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            bound_capacity: crate::registry::DEFAULT_BOUND_CAPACITY,
+        }
+    }
+}
+
+/// The running server. Construct with [`Server::spawn`].
+pub struct Server;
+
+/// A handle to a running server: its bound address and the shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    listener_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the accept thread and worker pool, and
+    /// returns immediately. The server runs until
+    /// [`ServerHandle::shutdown`] or a client's `shutdown` request.
+    pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let service = Arc::new(Service::new(config.bound_capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_service = Arc::clone(&service);
+        let accept_stop = Arc::clone(&stop);
+        let workers = config.workers.max(1);
+        let listener_thread =
+            std::thread::Builder::new().name("ecrpq-accept".to_string()).spawn(move || {
+                let mut pool = ThreadPool::new(workers);
+                // Live connections. Each occupies one worker for its whole
+                // lifetime, so admission is bounded by the pool size: an
+                // over-capacity connection gets an explicit error reply and
+                // is closed instead of queueing behind a worker that may
+                // never free up.
+                let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    accept_service.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    if active.fetch_add(1, Ordering::SeqCst) >= workers {
+                        active.fetch_sub(1, Ordering::SeqCst);
+                        let reply = format!(
+                            "{{\"ok\":false,\"error\":\"server at capacity \
+                             ({workers} workers busy); retry later\"}}\n"
+                        );
+                        let _ = stream.write_all(reply.as_bytes());
+                        continue; // dropping the stream closes it
+                    }
+                    let service = Arc::clone(&accept_service);
+                    let stop = Arc::clone(&accept_stop);
+                    let active = Arc::clone(&active);
+                    let served = pool.execute(move || {
+                        let control = serve_connection(&service, stream, &stop);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                        if let Control::Shutdown = control {
+                            request_stop(&stop, addr);
+                        }
+                    });
+                    if !served {
+                        break;
+                    }
+                }
+                // Joining the pool here lets in-flight connections finish
+                // their current requests before shutdown completes (idle
+                // connections notice the stop flag within one read timeout).
+                pool.shutdown();
+            })?;
+
+        Ok(ServerHandle { addr, service, stop, listener_thread: Mutex::new(Some(listener_thread)) })
+    }
+}
+
+impl ServerHandle {
+    /// The bound socket address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (catalog + registry + counters) — useful for
+    /// in-process inspection in tests and benchmarks.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and waits for the listener and workers to drain.
+    /// Idempotent; also called on drop.
+    pub fn shutdown(&self) {
+        request_stop(&self.stop, self.addr);
+        if let Some(t) = self.listener_thread.lock().unwrap().take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server stops on its own (a client's `shutdown`
+    /// request), without requesting a stop itself. `ecrpq-serve` parks its
+    /// main thread here.
+    pub fn shutdown_wait(&self) {
+        if let Some(t) = self.listener_thread.lock().unwrap().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Flips the stop flag and unblocks the accept loop with a loopback
+/// connection (the listener checks the flag after every `accept`).
+fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
+    if stop.swap(true, Ordering::SeqCst) {
+        return; // already stopping
+    }
+    let _ = TcpStream::connect(addr);
+}
+
+/// How often an idle connection polls the stop flag. Reads run with this
+/// timeout so a server shutdown interrupts parked workers instead of
+/// waiting for every client to hang up.
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// Drives one connection: read a request line, dispatch, write the reply
+/// line, until EOF, a `close`/`shutdown` request, or server shutdown.
+/// Returns the final control decision.
+fn serve_connection(service: &Service, stream: TcpStream, stop: &AtomicBool) -> Control {
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let Ok(read_half) = stream.try_clone() else { return Control::Close };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Read one full line; timeouts keep any partial data in `line` and
+        // just give the stop flag a chance to end the connection.
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return Control::Close, // EOF
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        return Control::Close;
+                    }
+                }
+                Err(_) => return Control::Close, // broken pipe
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, control) = service.dispatch(&line);
+        let write_ok = writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_ok();
+        if !write_ok || control != Control::Continue {
+            return control;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    #[test]
+    fn spawn_roundtrip_and_graceful_shutdown() {
+        let handle = Server::spawn(ServerConfig { workers: 2, ..ServerConfig::default() }).unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        c.load_generator("g", "cycle:5:a").unwrap();
+        c.prepare("q", "Ans(x, y) <- (x, p, y), L(p) = a", &["a"]).unwrap();
+        let r = c.run("q", "g").unwrap();
+        assert_eq!(r.get("count").and_then(|v| v.as_u64()), Some(5));
+        c.close().unwrap();
+
+        // A second connection still sees the cataloged state.
+        let mut c2 = Client::connect(handle.addr()).unwrap();
+        let r = c2.run("q", "g").unwrap();
+        assert_eq!(r.get("registry").and_then(|v| v.as_str()), Some("hit"));
+        drop(c2);
+
+        handle.shutdown();
+        assert!(handle.is_shutting_down());
+        // After shutdown the port stops accepting protocol traffic.
+        assert!(
+            Client::connect(handle.addr()).and_then(|mut c| c.stats()).is_err(),
+            "a drained server must not answer new requests"
+        );
+    }
+
+    #[test]
+    fn over_capacity_connection_gets_an_error_instead_of_hanging() {
+        let handle = Server::spawn(ServerConfig { workers: 1, ..ServerConfig::default() }).unwrap();
+        // c1 occupies the only worker for its connection lifetime.
+        let mut c1 = Client::connect(handle.addr()).unwrap();
+        c1.stats().unwrap();
+        // c2 must be rejected promptly with an explicit capacity error, not
+        // queued behind a worker that may never free up.
+        let mut c2 = Client::connect(handle.addr()).unwrap();
+        let err = c2.stats().expect_err("over-capacity connection must error");
+        assert!(err.0.contains("capacity"), "unexpected error: {err}");
+        // Freeing the worker admits the next connection.
+        c1.close().unwrap();
+        let mut c3 = Client::connect(handle.addr()).unwrap();
+        for _ in 0..50 {
+            if c3.stats().is_ok() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            c3 = Client::connect(handle.addr()).unwrap();
+        }
+        c3.stats().expect("freed worker must admit a new connection");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_interrupts_idle_connections() {
+        let handle = Server::spawn(ServerConfig { workers: 2, ..ServerConfig::default() }).unwrap();
+        // An idle client that never closes must not block graceful shutdown:
+        // the owning worker polls the stop flag between read timeouts.
+        let mut idle = Client::connect(handle.addr()).unwrap();
+        idle.stats().unwrap();
+        let start = std::time::Instant::now();
+        handle.shutdown();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "shutdown must not wait for idle clients to hang up"
+        );
+        assert!(idle.stats().is_err(), "the idle connection was closed by shutdown");
+    }
+
+    #[test]
+    fn four_concurrent_clients_match_in_process_evaluation() {
+        let graph = ecrpq_graph::generators::cycle_graph(9, "a");
+        let text = "Ans(x, y) <- (x, p, y), L(p) = a a a";
+        let query = ecrpq::parse_query(text, graph.alphabet()).unwrap();
+        let mut expected: Vec<Vec<String>> =
+            ecrpq::eval::eval_nodes(&query, &graph, &ecrpq::EvalConfig::default())
+                .unwrap()
+                .iter()
+                .map(|row| row.iter().map(|&n| graph.node_display(n)).collect())
+                .collect();
+        expected.sort();
+
+        let handle = Server::spawn(ServerConfig { workers: 6, ..ServerConfig::default() }).unwrap();
+        let addr = handle.addr();
+        let mut setup = Client::connect(addr).unwrap();
+        setup.load_edges("g", &graph.to_edge_list()).unwrap();
+        setup.prepare_for_graph("q", text, "g").unwrap();
+        setup.close().unwrap();
+
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let r = c.run("q", "g").unwrap();
+                    let mut rows: Vec<Vec<String>> = r
+                        .get("answers")
+                        .unwrap()
+                        .as_arr()
+                        .unwrap()
+                        .iter()
+                        .map(|row| {
+                            row.as_arr()
+                                .unwrap()
+                                .iter()
+                                .map(|v| v.as_str().unwrap().to_string())
+                                .collect()
+                        })
+                        .collect();
+                    rows.sort();
+                    let _ = c.close();
+                    rows
+                })
+            })
+            .collect();
+        for c in clients {
+            assert_eq!(
+                c.join().unwrap(),
+                expected,
+                "concurrent served answers must match in-process evaluation"
+            );
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_via_protocol_request() {
+        let handle = Server::spawn(ServerConfig { workers: 2, ..ServerConfig::default() }).unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let r = c.shutdown().unwrap();
+        assert_eq!(r.get("shutting_down").and_then(|v| v.as_bool()), Some(true));
+        // The handle's own shutdown is then a no-op join.
+        handle.shutdown();
+        assert!(handle.is_shutting_down());
+    }
+}

@@ -1,12 +1,16 @@
-//! A minimal hand-rolled JSON writer for the harness's measurement output.
+//! A minimal hand-rolled JSON writer and parser.
 //!
-//! The build environment is fully offline, so instead of `serde` the harness
-//! serializes its [`Measurement`](crate::Measurement) lists with this module.
-//! Only the subset of JSON the perf-trajectory pipeline consumes is
-//! supported: objects, arrays, strings, integers, and finite floats
-//! (non-finite floats serialize as `null`, which JSON requires).
+//! The build environment is fully offline, so instead of `serde` the
+//! workspace serializes with this module: the benchmark harness writes its
+//! [`Measurement`](crate::Measurement) documents with it, and the query
+//! server reads and writes its line-delimited request/response protocol
+//! through [`Value`] and its [`std::fmt::Display`] serializer. Only the
+//! subset of JSON those consumers need is supported: objects, arrays,
+//! strings, booleans, integers, and finite floats (non-finite floats
+//! serialize as `null`, which JSON requires).
 
 use crate::Measurement;
+use std::fmt;
 
 /// Escapes a string for inclusion in a JSON document (without quotes).
 pub fn escape(s: &str) -> String {
@@ -121,6 +125,78 @@ impl Value {
         match self {
             Value::Arr(items) => Some(items),
             _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is an integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds an object value from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (impl Into<String>, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Builds an integral number value.
+    pub fn int(n: u64) -> Value {
+        Value::Num(n as f64)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Serializes the value as compact JSON (no whitespace). Integral
+    /// numbers print without a decimal point; non-finite numbers print as
+    /// `null`. This is the writer the server protocol uses — one `Value`
+    /// per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(x) if !x.is_finite() => f.write_str("null"),
+            Value::Num(x) if x.fract() == 0.0 && x.abs() < 9.0e15 => {
+                write!(f, "{}", *x as i64)
+            }
+            Value::Num(x) => write!(f, "{x:?}"),
+            Value::Str(s) => write!(f, "\"{}\"", escape(s)),
+            Value::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "\"{}\":{v}", escape(k))?;
+                }
+                f.write_str("}")
+            }
         }
     }
 }
@@ -412,6 +488,34 @@ mod tests {
         assert!(parse("{").is_err());
         assert!(parse("[1,]").is_err());
         assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn display_serializes_compact_json_that_reparses() {
+        let v = Value::obj([
+            ("ok", Value::Bool(true)),
+            ("count", Value::int(3)),
+            ("seconds", Value::Num(0.25)),
+            ("name", Value::str("a \"b\"\n")),
+            ("items", Value::Arr(vec![Value::Null, Value::int(1)])),
+        ]);
+        let text = v.to_string();
+        assert_eq!(
+            text,
+            r#"{"ok":true,"count":3,"seconds":0.25,"name":"a \"b\"\n","items":[null,1]}"#
+        );
+        assert_eq!(parse(&text).unwrap(), v);
+        // non-finite numbers degrade to null instead of invalid JSON
+        assert_eq!(Value::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn accessor_helpers() {
+        let v = parse(r#"{"n": 7, "b": true, "x": 1.5}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("x").unwrap().as_u64(), None);
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(1.5));
     }
 
     #[test]

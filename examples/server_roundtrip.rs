@@ -1,0 +1,64 @@
+//! Serving queries over TCP: spawn the query server in-process, load a
+//! generated graph into its catalog, register a prepared statement, and
+//! round-trip runs over loopback — including the prepare-once-run-many
+//! cache behaviour across *separate* client connections.
+//!
+//! Run with `cargo run --example server_roundtrip`.
+
+use ecrpq_server::client::Client;
+use ecrpq_server::server::{Server, ServerConfig};
+use ecrpq_util::json::Value;
+
+fn main() {
+    // An in-process server on an ephemeral loopback port. `ecrpq-serve`
+    // wraps exactly this call as a standalone binary.
+    let handle = Server::spawn(ServerConfig::default()).expect("spawn server");
+    println!("server listening on {}", handle.addr());
+
+    // Connection 1: load a graph and register a statement.
+    let mut c1 = Client::connect(handle.addr()).expect("connect");
+    let loaded = c1.load_generator("ring", "cycle:8:a").expect("load");
+    println!(
+        "loaded graph `ring`: {} nodes, {} edges",
+        loaded.get("nodes").unwrap(),
+        loaded.get("edges").unwrap()
+    );
+    // "Pairs two a-steps apart" — parsed and compiled once, server-side.
+    c1.prepare_for_graph("two_hops", "Ans(x, y) <- (x, p, y), L(p) = a a", "ring")
+        .expect("prepare");
+    let first = c1.run("two_hops", "ring").expect("run");
+    println!(
+        "first run:  registry {} | {} answers | sim-table compilations: {}",
+        first.get("registry").unwrap(),
+        first.get("count").unwrap(),
+        first.get("stats").unwrap().get("sim_cache_misses").unwrap()
+    );
+    c1.close().expect("close");
+
+    // Connection 2: a different client reuses the same prepared statement
+    // and cached bound plan — a registry hit, zero compilation.
+    let mut c2 = Client::connect(handle.addr()).expect("connect again");
+    let second = c2.run("two_hops", "ring").expect("run again");
+    let registry = second.get("registry").and_then(Value::as_str).unwrap();
+    let misses =
+        second.get("stats").unwrap().get("sim_cache_misses").and_then(Value::as_u64).unwrap();
+    println!(
+        "second run: registry {registry} | {} answers | sim-table compilations: {misses}",
+        second.get("count").unwrap()
+    );
+    assert_eq!(registry, "hit", "second run must reuse the cached bound plan");
+    assert_eq!(misses, 0, "second run must not compile anything");
+    assert_eq!(first.get("answers"), second.get("answers"));
+
+    let stats = c2.stats().expect("stats");
+    println!(
+        "server stats: graphs={} statements={} registry={}",
+        stats.get("graphs").unwrap(),
+        stats.get("statements").unwrap(),
+        stats.get("registry").unwrap()
+    );
+    c2.close().expect("close");
+
+    handle.shutdown();
+    println!("server drained and stopped");
+}

@@ -1,18 +1,30 @@
 #!/usr/bin/env bash
-# Offline-safe CI check: build, tests, formatting, lints.
-# Usage: scripts/check.sh [--bench-smoke]  (from anywhere inside the repo)
+# Offline-safe CI check: build, tests, formatting, lints, server smoke.
+# Usage: scripts/check.sh [--bench-smoke] [--server-smoke]  (from anywhere inside the repo)
 #
-# --bench-smoke additionally runs the benchmark harness on the smallest size
-# point of each experiment family (in a scratch directory), so bench bit-rot
-# fails fast without paying for a full sweep.
+# The default sequence is build + tests + fmt + clippy + the parser and
+# examples gates + the concurrency gate + the server smoke (an
+# ephemeral-port ecrpq-serve driven through load/prepare/run/stats/shutdown
+# by ecrpq-cli, asserting that the second run of a prepared statement is a
+# registry hit with zero sim-table compilations).
+#
+# --bench-smoke   additionally runs the benchmark harness on the smallest
+#                 size point of each experiment family (in a scratch
+#                 directory), so bench bit-rot fails fast without paying for
+#                 a full sweep.
+# --server-smoke  runs ONLY the release build and the server smoke gate —
+#                 the fast iteration loop while working on the server crate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+repo_root=$(pwd)
 
 bench_smoke=0
+server_smoke_only=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) bench_smoke=1 ;;
+        --server-smoke) server_smoke_only=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -22,6 +34,70 @@ run() {
     echo "==> $*"
     "$@"
 }
+
+# Single EXIT trap for everything that needs cleanup (scratch dirs, a still
+# running smoke server).
+scratch=""
+server_pid=""
+cleanup() {
+    if [[ -n "$server_pid" ]]; then kill "$server_pid" 2>/dev/null || true; fi
+    if [[ -n "$scratch" ]]; then rm -rf "$scratch"; fi
+}
+trap cleanup EXIT
+
+# Starts an ephemeral-port server, walks it through the whole statement
+# lifecycle with the CLI, and asserts the warm-cache invariants.
+server_smoke() {
+    echo
+    echo "==> server smoke (load/prepare/run/stats/shutdown over loopback TCP)"
+    local serve="$repo_root/target/release/ecrpq-serve"
+    local cli="$repo_root/target/release/ecrpq-cli"
+    local log
+    log=$(mktemp)
+    "$serve" --addr 127.0.0.1:0 --workers 4 > "$log" &
+    server_pid=$!
+
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on //p' "$log")
+        if [[ -n "$addr" ]]; then break; fi
+        sleep 0.05
+    done
+    if [[ -z "$addr" ]]; then
+        echo "server smoke FAILED: ecrpq-serve never reported its address" >&2
+        exit 1
+    fi
+    echo "    server at $addr"
+
+    "$cli" --addr "$addr" load g cycle:8:a
+    "$cli" --addr "$addr" prepare q 'Ans(x, y) <- (x, p, y), L(p) = a a' g
+    "$cli" --addr "$addr" run q g > /dev/null   # cold run: binds + compiles
+    local second
+    second=$("$cli" --addr "$addr" run q g)
+    echo "$second"
+    if ! grep -q '"registry":"hit"' <<< "$second"; then
+        echo "server smoke FAILED: second run must be a registry cache hit" >&2
+        exit 1
+    fi
+    if ! grep -q '"sim_cache_misses":0' <<< "$second"; then
+        echo "server smoke FAILED: second run must not compile sim tables" >&2
+        exit 1
+    fi
+    "$cli" --addr "$addr" stats
+    "$cli" --addr "$addr" shutdown
+    wait "$server_pid"
+    server_pid=""
+    rm -f "$log"
+    echo "    server smoke OK (second run: registry hit, sim_cache_misses=0)"
+}
+
+if [[ "$server_smoke_only" == 1 ]]; then
+    run cargo build --release --offline -p ecrpq-server
+    server_smoke
+    echo
+    echo "Server smoke passed."
+    exit 0
+fi
 
 # --offline everywhere: the workspace has no external dependencies and the
 # build environment has no network.
@@ -36,10 +112,16 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo test -q --offline -p ecrpq-integration --test parser_roundtrip
 run cargo test -q --offline -p ecrpq-integration --test examples_smoke
 
+# Concurrency gate: the threaded corpus must match the single-threaded
+# reference engine (answers, verified counts, cache counters).
+run cargo test -q --offline -p ecrpq-integration --test concurrency
+
+# Server smoke is part of the default sequence: the binaries must round-trip
+# the full statement lifecycle over real TCP, not just in unit tests.
+server_smoke
+
 if [[ "$bench_smoke" == 1 ]]; then
-    repo_root=$(pwd)
     scratch=$(mktemp -d)
-    trap 'rm -rf "$scratch"' EXIT
     echo
     echo "==> harness smoke run (smallest point of every experiment family)"
     (cd "$scratch" && "$repo_root/target/release/harness" smoke)

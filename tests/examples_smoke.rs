@@ -10,8 +10,14 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] =
-    ["quickstart", "pattern_matching", "route_planning", "semantic_web", "sequence_alignment"];
+const EXAMPLES: [&str; 6] = [
+    "quickstart",
+    "pattern_matching",
+    "route_planning",
+    "semantic_web",
+    "sequence_alignment",
+    "server_roundtrip",
+];
 
 /// The `examples/` directory of the active build profile.
 fn examples_dir() -> PathBuf {

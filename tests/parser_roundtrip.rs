@@ -7,82 +7,14 @@
 //! identical (same head, atoms, relation names, constraints, constants).
 
 use ecrpq::prelude::*;
-use ecrpq_integration::prop::{self, Gen};
+use ecrpq_integration::prop;
 
 const CASES: usize = 120;
 
-fn alphabet() -> Alphabet {
-    Alphabet::from_labels(["a", "b", "c"])
-}
-
-const LANGS: [&str; 6] = ["a*", "(a|b)*", "a (a|b)*", "(a|b|c)* c", "a+ b*", ". .*"];
-const REL_NAMES: [&str; 7] = ["eq", "el", "prefix", "len_lt", "len_le", "hamming_le_1", "true"];
-const REL_REGEXES: [&str; 3] = ["(<a,a>|<b,b>)*", "<a,b>+", "<.,.>* <_,c>*"];
-
-/// Generates a random textual query: 1–3 atoms in a chain, a random mix of
-/// language atoms, relation atoms (named and regex), linear constraints, and
-/// node-constant bindings, with a random head.
-fn random_query_text(g: &mut Gen) -> String {
-    let num_atoms = g.range(1, 3);
-    let mut clauses: Vec<String> = Vec::new();
-    let mut path_vars: Vec<String> = Vec::new();
-    for i in 0..num_atoms {
-        let p = format!("p{i}");
-        clauses.push(format!("(x{i}, {p}, x{})", i + 1));
-        path_vars.push(p);
-    }
-    // language atoms
-    for p in &path_vars {
-        if g.index(2) == 0 {
-            clauses.push(format!("L({p}) = {}", LANGS[g.index(LANGS.len())]));
-        }
-    }
-    // a relation atom over two paths (repeat the path var when only one)
-    if g.index(2) == 0 {
-        let p1 = &path_vars[g.index(path_vars.len())];
-        let p2 = &path_vars[g.index(path_vars.len())];
-        if g.index(2) == 0 {
-            clauses.push(format!("R({p1}, {p2}) = {}", REL_NAMES[g.index(REL_NAMES.len())]));
-        } else {
-            clauses.push(format!("R({p1}, {p2}) = {}", REL_REGEXES[g.index(REL_REGEXES.len())]));
-        }
-    }
-    // linear constraints
-    if g.index(2) == 0 {
-        let p = &path_vars[g.index(path_vars.len())];
-        let ops = [">=", "<=", "="];
-        match g.index(3) {
-            0 => clauses.push(format!("len({p}) {} {}", ops[g.index(3)], g.range(0, 5))),
-            1 => clauses.push(format!(
-                "{}*count(a, {p}) {} {}",
-                g.range(2, 4),
-                ops[g.index(3)],
-                g.range(0, 5)
-            )),
-            _ => {
-                let q = &path_vars[g.index(path_vars.len())];
-                clauses.push(format!("len({p}) - len({q}) >= {}", g.range(0, 3)));
-            }
-        }
-    }
-    // a binding
-    if g.index(3) == 0 {
-        clauses.push(format!("x0 = :node{}", g.index(4)));
-    }
-    // head: random subset of node vars and path vars
-    let mut head: Vec<String> = Vec::new();
-    for i in 0..=num_atoms {
-        if g.index(3) == 0 {
-            head.push(format!("x{i}"));
-        }
-    }
-    for p in &path_vars {
-        if g.index(4) == 0 {
-            head.push(p.clone());
-        }
-    }
-    format!("Ans({}) <- {}", head.join(", "), clauses.join(", "))
-}
+// The query generator itself lives in `ecrpq_integration::corpus` so the
+// concurrency differential suite (`tests/concurrency.rs`) runs the exact
+// same seeded corpus through the multi-threaded engine.
+use ecrpq_integration::corpus::{alphabet, random_query_text};
 
 /// Structural equality of two parsed queries (the pieces `Display` prints).
 fn assert_structurally_equal(a: &Ecrpq, b: &Ecrpq, context: &str) {
