@@ -19,6 +19,8 @@
 //!             columns + the `prepared_reuse` micro-family), at full size
 //!   serve     only the query-service experiment (loopback TCP throughput
 //!             and p50/p95 latency per client-thread count), at full size
+//!   parallel  only the intra-query parallel-scaling experiment (warm run
+//!             time vs thread count), at full size
 //!
 //! OPTIONS:
 //!   --baseline <path>   additionally write all experiments as one combined
@@ -38,6 +40,8 @@ struct Args {
     only_prepared: bool,
     /// `serve` mode: run only the query-service experiment.
     only_serve: bool,
+    /// `parallel` mode: run only the parallel-scaling experiment.
+    only_parallel: bool,
     baseline_out: Option<String>,
     compare: Option<String>,
     threshold: f64,
@@ -65,6 +69,7 @@ fn parse_args() -> Args {
         mode: Mode::Full,
         only_prepared: false,
         only_serve: false,
+        only_parallel: false,
         baseline_out: None,
         compare: None,
         threshold: 1.3,
@@ -82,6 +87,10 @@ fn parse_args() -> Args {
             "serve" => {
                 args.mode = Mode::Full;
                 args.only_serve = true;
+            }
+            "parallel" => {
+                args.mode = Mode::Full;
+                args.only_parallel = true;
             }
             "--baseline" => args.baseline_out = Some(flag_value(&mut it, "--baseline")),
             "--compare" => args.compare = Some(flag_value(&mut it, "--compare")),
@@ -148,6 +157,8 @@ fn main() {
         "prepared"
     } else if args.only_serve {
         "serve"
+    } else if args.only_parallel {
+        "parallel"
     } else {
         mode.name()
     };
@@ -161,6 +172,11 @@ fn main() {
     }
     if args.only_serve {
         run_serve(mode, &mut rep);
+        finish(&args, rep);
+        return;
+    }
+    if args.only_parallel {
+        run_parallel_family(mode, &mut rep);
         finish(&args, rep);
         return;
     }
@@ -300,6 +316,9 @@ fn main() {
         false,
     );
 
+    // PAR-1: intra-query parallel scaling.
+    run_parallel_family(mode, &mut rep);
+
     // PREP: the prepared-query pipeline (compile vs run, reuse family).
     run_prepared(mode, &mut rep);
 
@@ -322,6 +341,26 @@ fn run_serve(mode: Mode, rep: &mut Report) {
     rep.report(
         "serve",
         "SERVE query service: loopback TCP latency (p50/p95/mean) per client-thread count",
+        &m,
+        false,
+    );
+}
+
+/// Runs the intra-query parallel-scaling experiment: warm run time of the
+/// heavyweight fig1a/app instances as the thread count sweeps 1/2/4/8. The
+/// instances are sized up past the other families' largest points so the
+/// 1-thread warm runs are tens of milliseconds — otherwise the sweep would
+/// only measure thread-handoff overhead.
+fn run_parallel_family(mode: Mode, rep: &mut Report) {
+    let (threads, data_n, rei_m, rho_n): (&[usize], usize, usize, usize) = match mode {
+        Mode::Full => (&[1, 2, 4, 8], 12000, 6, 40),
+        Mode::Quick => (&[1, 2, 4], 1000, 4, 30),
+        Mode::Smoke => (&[1, 2], 100, 2, 10),
+    };
+    let m = workloads::parallel_scaling(threads, data_n, rei_m, rho_n);
+    rep.report(
+        "parallel",
+        "PAR-1 intra-query parallel scaling: warm run time vs thread count (largest fig1a/app instances)",
         &m,
         false,
     );

@@ -14,7 +14,7 @@
 //! fixed query (Theorem 6.1), and exponential only in the query.
 
 use crate::error::QueryError;
-use crate::eval::dense::{odometer_next, Arena, Layout};
+use crate::eval::dense::{odometer_next, Layout, ShardedArena};
 use crate::eval::plan;
 use crate::eval::prepared::{BoundPlan, PreparedQuery, RelSim};
 use crate::eval::EvalConfig;
@@ -162,9 +162,148 @@ impl BoundPlan<'_> {
 // search, using the same dense encoding: a state is one flat row of `u64`
 // words — one position word per path variable (`node << 1 | done`) followed
 // by the bitset blocks of every relation automaton's state set — interned
-// into the arena of [`super::dense`]. Each interned state owns a pair of
-// automaton states ("before nodes" / "after nodes"); the queue and the
-// pair table are indexed by the `u32` arena ids.
+// into the sharded arena of [`super::dense`]. Each interned state owns a
+// pair of automaton states ("before nodes" / "after nodes"); the frontier
+// and the pair table are indexed by the `u32` arena ids.
+//
+// Like the convolution search, the construction is level-synchronous when
+// the plan's `EvalOptions` ask for threads: a level's states are expanded by
+// scoped workers against the frozen arena (lock-free reads), and the
+// coordinator merges the discovered transitions in chunk order between
+// levels — so the constructed automaton (state numbering, transitions,
+// accepting flags) is bit-identical at every thread count.
+
+/// Per-variable expansion options plus the scratch of [`apply_move`]: the
+/// answer-automaton counterpart of the search's expander, shared by the
+/// inline path and every parallel worker. Successors are always emitted in
+/// odometer order.
+struct AnswersExpander<'a, 'p> {
+    plan: &'a BoundPlan<'p>,
+    sigma: &'a [NodeId],
+    layout: &'a Layout,
+    sims: &'a [&'a RelSim],
+    options: Vec<Vec<Option<(Symbol, NodeId)>>>,
+    choice: Vec<usize>,
+    letters: Vec<Option<Symbol>>,
+    head_letters: Vec<Option<Symbol>>,
+    next: Vec<u64>,
+    rel_scratch: Vec<StateSet>,
+}
+
+impl<'a, 'p> AnswersExpander<'a, 'p> {
+    fn new(
+        plan: &'a BoundPlan<'p>,
+        sigma: &'a [NodeId],
+        layout: &'a Layout,
+        sims: &'a [&'a RelSim],
+    ) -> Self {
+        let num_paths = layout.num_paths;
+        AnswersExpander {
+            plan,
+            sigma,
+            layout,
+            sims,
+            options: vec![Vec::new(); num_paths],
+            choice: vec![0usize; num_paths],
+            letters: vec![None; num_paths],
+            head_letters: vec![None; plan.pq.head_path_idx.len()],
+            next: vec![0u64; layout.words],
+            rel_scratch: sims.iter().map(|rs| StateSet::empty(rs.sim.blocks())).collect(),
+        }
+    }
+
+    /// Emits every admissible global successor of `cur` in odometer order:
+    /// `emit(next_key, head_letters)` receives the successor key and the
+    /// convolution letter projected onto the head path variables.
+    fn expand(&mut self, cur: &[u64], mut emit: impl FnMut(&[u64], &[Option<Symbol>])) {
+        let plan = self.plan;
+        let pq = plan.pq;
+        let graph = plan.graph;
+        let num_paths = self.layout.num_paths;
+
+        for (p, &w) in cur.iter().enumerate().take(num_paths) {
+            let opts = &mut self.options[p];
+            opts.clear();
+            let node = NodeId((w >> 1) as u32);
+            let done = w & 1 == 1;
+            if done {
+                opts.push(None);
+            } else {
+                for &(label, to) in graph.out_edges(node) {
+                    opts.push(Some((label, to)));
+                }
+                if node == self.sigma[pq.path_to[p]] {
+                    opts.push(None); // finish here
+                }
+            }
+            if opts.is_empty() {
+                return; // dead: this variable can neither move nor finish
+            }
+        }
+        self.choice.fill(0);
+        loop {
+            let any_real = (0..num_paths).any(|p| self.options[p][self.choice[p]].is_some());
+            if any_real
+                && apply_move(
+                    plan,
+                    self.sims,
+                    &self.layout.rel_off,
+                    &self.layout.rel_blocks,
+                    cur,
+                    &self.options,
+                    &self.choice,
+                    &mut self.letters,
+                    &mut self.rel_scratch,
+                    &mut self.next,
+                )
+            {
+                for (h, &p) in self.head_letters.iter_mut().zip(&pq.head_path_idx) {
+                    *h = self.options[p][self.choice[p]].map(|(l, _)| plan.translate(l));
+                }
+                emit(&self.next, &self.head_letters);
+            }
+            if !odometer_next(&mut self.choice, |i| self.options[i].len()) {
+                return;
+            }
+        }
+    }
+}
+
+/// One worker's transitions from its chunk of a level, in expansion order:
+/// per source state a group of `(successor key, head letter)` candidates.
+/// Unlike the search, *every* admissible move is recorded — transitions to
+/// already-known states matter here.
+struct TransBuf {
+    words: usize,
+    arity: usize,
+    keys: Vec<u64>,
+    letters: Vec<Option<Symbol>>,
+    groups: Vec<(u32, u32)>,
+}
+
+impl TransBuf {
+    fn new(words: usize, arity: usize) -> TransBuf {
+        TransBuf { words, arity, keys: Vec::new(), letters: Vec::new(), groups: Vec::new() }
+    }
+
+    fn begin_group(&mut self, src: u32) {
+        self.groups.push((src, 0));
+    }
+
+    fn push(&mut self, key: &[u64], head_letters: &[Option<Symbol>]) {
+        self.keys.extend_from_slice(key);
+        self.letters.extend_from_slice(head_letters);
+        self.groups.last_mut().expect("push after begin_group").1 += 1;
+    }
+
+    fn key(&self, idx: usize) -> &[u64] {
+        &self.keys[idx * self.words..(idx + 1) * self.words]
+    }
+
+    fn letter(&self, idx: usize) -> &[Option<Symbol>] {
+        &self.letters[idx * self.arity..(idx + 1) * self.arity]
+    }
+}
 
 fn add_candidate_automaton(
     nfa: &mut Nfa<EncLetter>,
@@ -174,11 +313,10 @@ fn add_candidate_automaton(
     config: &EvalConfig,
 ) -> Result<(), QueryError> {
     let pq = plan.pq;
-    let graph = plan.graph;
     if !pq.dense_search {
         // Oversized relation automata: fall back to the classical
         // cloned-state construction (see the note on
-        // `PreparedQuery::dense_search`).
+        // `PreparedQuery::dense_search`). Always sequential.
         return add_candidate_automaton_classic(nfa, plan, sigma, arity, config);
     }
     // Check repeated-atom endpoint consistency.
@@ -193,28 +331,34 @@ fn add_candidate_automaton(
 
     // Same word layout as the convolution search, without counters.
     let layout = Layout::new(num_paths, &sims, 0);
-    let (rel_off, rel_blocks, words) = (&layout.rel_off, &layout.rel_blocks, layout.words);
+    let words = layout.words;
+    let threads = plan.options().effective_threads();
+    let min_level = plan.options().min_parallel_level.max(1);
 
     let accepts_key = |key: &[u64]| -> bool {
         (0..num_paths)
             .all(|p| key[p] & 1 == 1 || NodeId((key[p] >> 1) as u32) == sigma[pq.path_to[p]])
             && sims.iter().enumerate().all(|(j, rs)| {
-                rs.sim.any_accepting_blocks(&key[rel_off[j]..rel_off[j] + rel_blocks[j]])
+                rs.sim.any_accepting_blocks(
+                    &key[layout.rel_off[j]..layout.rel_off[j] + layout.rel_blocks[j]],
+                )
             })
     };
 
-    let mut arena = Arena::new(words);
+    let mut arena = ShardedArena::new(words);
     // Per arena id: the (before-nodes, after-nodes) automaton state pair.
     let mut pairs: Vec<(StateId, StateId)> = Vec::new();
-    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut next_level: Vec<u32> = Vec::new();
 
     // Intern helper: creates the before/after pair for a fresh state, linked
-    // by the Nodes letter of the head path variables.
+    // by the Nodes letter of the head path variables, and enqueues it on the
+    // next level. Only ever called by the coordinator (inline expansion or
+    // the between-level merge), so ids stay in canonical discovery order.
     let intern = |key: &[u64],
                   nfa: &mut Nfa<EncLetter>,
-                  arena: &mut Arena,
+                  arena: &mut ShardedArena,
                   pairs: &mut Vec<(StateId, StateId)>,
-                  queue: &mut VecDeque<u32>|
+                  next_level: &mut Vec<u32>|
      -> (StateId, StateId) {
         let (id, fresh) = arena.intern(key);
         if !fresh {
@@ -227,7 +371,7 @@ fn add_candidate_automaton(
         nfa.add_transition(b, node_letter, a);
         nfa.set_accepting(a, accepts_key(key));
         pairs.push((b, a));
-        queue.push_back(id);
+        next_level.push(id);
         (b, a)
     };
 
@@ -237,86 +381,91 @@ fn add_candidate_automaton(
         initial[p] = (sigma[pq.path_from[p]].0 as u64) << 1;
     }
     for (j, rs) in sims.iter().enumerate() {
-        initial[rel_off[j]..rel_off[j] + rel_blocks[j]]
+        initial[layout.rel_off[j]..layout.rel_off[j] + layout.rel_blocks[j]]
             .copy_from_slice(rs.sim.initial_set().as_blocks());
     }
-    let (b0, _a0) = intern(&initial, nfa, &mut arena, &mut pairs, &mut queue);
+    let (b0, _a0) = intern(&initial, nfa, &mut arena, &mut pairs, &mut next_level);
     nfa.add_initial(b0);
 
-    // Scratch buffers reused across all expansions.
-    let mut options: Vec<Vec<Option<(Symbol, NodeId)>>> = vec![Vec::new(); num_paths];
-    let mut choice = vec![0usize; num_paths];
-    let mut letters: Vec<Option<Symbol>> = vec![None; num_paths];
+    let mut level: Vec<u32> = Vec::new();
+    std::mem::swap(&mut level, &mut next_level);
+    let mut inline_expander = AnswersExpander::new(plan, sigma, &layout, &sims);
     let mut cur = vec![0u64; words];
-    let mut next = vec![0u64; words];
-    let mut rel_scratch: Vec<StateSet> =
-        sims.iter().map(|rs| StateSet::empty(rs.sim.blocks())).collect();
-
     let mut visited_budget = config.max_search_states;
-    while let Some(id) = queue.pop_front() {
-        if visited_budget == 0 {
-            return Err(QueryError::BudgetExceeded {
-                what: "answer-automaton construction exceeded the state budget".to_string(),
-            });
-        }
-        visited_budget -= 1;
-        let from_after = pairs[id as usize].1;
-        cur.copy_from_slice(arena.get(id));
+    let budget_error = || QueryError::BudgetExceeded {
+        what: "answer-automaton construction exceeded the state budget".to_string(),
+    };
 
-        // Expand global moves (same move structure as the convolution search).
-        let mut dead = false;
-        for p in 0..num_paths {
-            let opts = &mut options[p];
-            opts.clear();
-            let node = NodeId((cur[p] >> 1) as u32);
-            let done = cur[p] & 1 == 1;
-            if done {
-                opts.push(None);
-            } else {
-                for &(label, to) in graph.out_edges(node) {
-                    opts.push(Some((label, to)));
+    while !level.is_empty() {
+        next_level.clear();
+        if threads <= 1 || level.len() < min_level {
+            // Small frontier: expand inline, adding transitions as they are
+            // discovered — the sequential construction restricted to this
+            // level.
+            for &id in &level {
+                if visited_budget == 0 {
+                    return Err(budget_error());
                 }
-                if node == sigma[pq.path_to[p]] {
-                    opts.push(None); // finish here
+                visited_budget -= 1;
+                let from_after = pairs[id as usize].1;
+                cur.copy_from_slice(arena.get(id));
+                inline_expander.expand(&cur, |next, head_letters| {
+                    let letter = EncLetter::Letter(TupleSym::new(head_letters.to_vec()));
+                    let (nb, _na) = intern(next, nfa, &mut arena, &mut pairs, &mut next_level);
+                    nfa.add_transition(from_after, letter, nb);
+                });
+            }
+        } else {
+            // The whole level counts against the budget up front: the
+            // sequential construction would have run out mid-level anyway,
+            // and an error discards the automaton either way.
+            if visited_budget < level.len() {
+                return Err(budget_error());
+            }
+            visited_budget -= level.len();
+            // Shared fan-out with the convolution search (same chunking
+            // heuristic, coordinator takes the first chunk), in bounded
+            // rounds so the buffered transitions stay proportional to one
+            // round's fan-out, not the whole level's.
+            for round in level.chunks(crate::eval::dense::PARALLEL_ROUND_CAP) {
+                let bufs = {
+                    let arena = &arena;
+                    let layout = &layout;
+                    let sims = &sims;
+                    crate::eval::dense::expand_level_chunks(
+                        round,
+                        threads,
+                        min_level.div_ceil(2),
+                        || TransBuf::new(words, arity),
+                        |ids, buf| {
+                            let mut expander = AnswersExpander::new(plan, sigma, layout, sims);
+                            for &id in ids {
+                                buf.begin_group(id);
+                                expander.expand(arena.get(id), |next, head_letters| {
+                                    buf.push(next, head_letters);
+                                });
+                            }
+                        },
+                    )
+                };
+                // Deterministic merge: chunks in level order, groups in
+                // state order, transitions in odometer order.
+                for buf in &bufs {
+                    let mut idx = 0;
+                    for &(src, count) in &buf.groups {
+                        let from_after = pairs[src as usize].1;
+                        for _ in 0..count {
+                            let letter = EncLetter::Letter(TupleSym::new(buf.letter(idx).to_vec()));
+                            let (nb, _na) =
+                                intern(buf.key(idx), nfa, &mut arena, &mut pairs, &mut next_level);
+                            nfa.add_transition(from_after, letter, nb);
+                            idx += 1;
+                        }
+                    }
                 }
             }
-            if opts.is_empty() {
-                dead = true;
-                break;
-            }
         }
-        if dead {
-            continue;
-        }
-        choice.fill(0);
-        'outer: loop {
-            let any_real = (0..num_paths).any(|p| options[p][choice[p]].is_some());
-            if any_real
-                && apply_move(
-                    plan,
-                    &sims,
-                    rel_off,
-                    rel_blocks,
-                    &cur,
-                    &options,
-                    &choice,
-                    &mut letters,
-                    &mut rel_scratch,
-                    &mut next,
-                )
-            {
-                let letter = EncLetter::Letter(TupleSym::new(
-                    head.iter()
-                        .map(|&p| options[p][choice[p]].map(|(l, _)| plan.translate(l)))
-                        .collect(),
-                ));
-                let (nb, _na) = intern(&next, nfa, &mut arena, &mut pairs, &mut queue);
-                nfa.add_transition(from_after, letter, nb);
-            }
-            if !odometer_next(&mut choice, |i| options[i].len()) {
-                break 'outer;
-            }
-        }
+        std::mem::swap(&mut level, &mut next_level);
     }
     Ok(())
 }

@@ -107,47 +107,105 @@ impl ReachRel {
     }
 }
 
+/// Floor on BFS sources per worker chunk. A source costs a whole product
+/// BFS (orders of magnitude more than one search-state expansion), so the
+/// floor is far below the search engines' half-`min_parallel_level` — just
+/// enough that a chunk's work clearly covers its thread spawn.
+const MIN_SOURCES_PER_CHUNK: usize = 4;
+
+/// Runs one independent per-source computation for every graph node,
+/// collecting `fwd[u] = solve(scratch, u)`. With `options.threads > 1` (and
+/// at least `options.min_parallel_level` sources) the sources are
+/// partitioned into contiguous chunks across scoped worker threads through
+/// the shared fan-out of [`dense::expand_level_chunks`] — the bind-time CSR
+/// and compiled constraint tables are shared read-only, each worker builds
+/// its own scratch, and every source's result is independent of every
+/// other's, so the output is identical at any thread count.
+///
+/// [`dense::expand_level_chunks`]: crate::eval::dense::expand_level_chunks
+fn for_each_source<Sc, MS, F>(
+    n: usize,
+    options: crate::eval::EvalOptions,
+    make_scratch: MS,
+    solve: F,
+) -> Vec<Vec<NodeId>>
+where
+    MS: Fn() -> Sc + Sync,
+    F: Fn(&mut Sc, NodeId) -> Vec<NodeId> + Sync,
+{
+    let threads = options.effective_threads().min(n.max(1));
+    if threads <= 1 || n < options.min_parallel_level.max(1) {
+        let mut scratch = make_scratch();
+        return (0..n).map(|u| solve(&mut scratch, NodeId(u as u32))).collect();
+    }
+    let sources: Vec<u32> = (0..n as u32).collect();
+    let chunks = crate::eval::dense::expand_level_chunks(
+        &sources,
+        threads,
+        MIN_SOURCES_PER_CHUNK,
+        Vec::new,
+        |ids, out: &mut Vec<Vec<NodeId>>| {
+            let mut scratch = make_scratch();
+            out.reserve(ids.len());
+            for &u in ids {
+                out.push(solve(&mut scratch, NodeId(u)));
+            }
+        },
+    );
+    // Chunks are contiguous and in source order, so concatenation restores
+    // `fwd[u]` indexing exactly.
+    chunks.concat()
+}
+
 /// Computes the reachability relation of path variable `p` over the bound
 /// plan's graph.
 ///
 /// All cases run one BFS per start node over the plan's pre-translated CSR
-/// adjacency with dense `bool`/bitset visited arrays. The constrained case
-/// steps the unary constraint through its compiled simulation tables, which
-/// come from the prepared query's (and, for single-projection constraints,
-/// the relation's) cache — recorded in `stats` as a cache hit or miss.
+/// adjacency with dense `bool`/bitset visited arrays; the start nodes
+/// partition across worker threads when the plan's [`EvalOptions`] ask for
+/// them (see [`for_each_source`]). The constrained case steps the unary
+/// constraint through its compiled simulation tables, which come from the
+/// prepared query's (and, for single-projection constraints, the
+/// relation's) cache — recorded in `stats` as a cache hit or miss, fetched
+/// once before any worker starts.
+///
+/// [`EvalOptions`]: crate::eval::EvalOptions
 pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStats) -> ReachRel {
     let graph = bound.graph;
     let pq = bound.pq;
     let n = graph.num_nodes();
-    let mut fwd: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let options = bound.options();
     let unary = pq.unary[p].as_ref();
-    match unary {
+    let fwd: Vec<Vec<NodeId>> = match unary {
         None => {
             // Label-oblivious reachability: plain BFS with reused buffers.
             // `seen` is cleared by walking the hits, not the whole array, so
             // a sparse reach set costs O(|reach| log |reach|), not O(n).
-            let mut seen = vec![false; n];
-            let mut stack: Vec<u32> = Vec::new();
-            for u in graph.nodes() {
-                let mut hits: Vec<NodeId> = vec![u];
-                seen[u.index()] = true;
-                stack.push(u.0);
-                while let Some(v) = stack.pop() {
-                    let (tos, _) = bound.csr_out(v as usize);
-                    for &to in tos {
-                        if !seen[to as usize] {
-                            seen[to as usize] = true;
-                            hits.push(NodeId(to));
-                            stack.push(to);
+            for_each_source(
+                n,
+                options,
+                || (vec![false; n], Vec::<u32>::new()),
+                |(seen, stack), u| {
+                    let mut hits: Vec<NodeId> = vec![u];
+                    seen[u.index()] = true;
+                    stack.push(u.0);
+                    while let Some(v) = stack.pop() {
+                        let (tos, _) = bound.csr_out(v as usize);
+                        for &to in tos {
+                            if !seen[to as usize] {
+                                seen[to as usize] = true;
+                                hits.push(NodeId(to));
+                                stack.push(to);
+                            }
                         }
                     }
-                }
-                for h in &hits {
-                    seen[h.index()] = false;
-                }
-                hits.sort_unstable();
-                fwd[u.index()] = hits;
-            }
+                    for h in &hits {
+                        seen[h.index()] = false;
+                    }
+                    hits.sort_unstable();
+                    hits
+                },
+            )
         }
         Some(u_plan) if !u_plan.dense => {
             // The constraint NFA is too big for table compilation (e.g. the
@@ -160,62 +218,73 @@ pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStat
             let closures: Vec<Vec<u32>> =
                 (0..s as u32).map(|q| nfa.epsilon_closure(&[q])).collect();
             let init = nfa.epsilon_closure(nfa.initial());
-            // `visited` is allocated once and cleared per start by replaying
-            // the touched words, so a sparse BFS costs O(|visited pairs|),
-            // not O(n*s/64), per start node.
-            let mut visited = vec![0u64; (n * s).div_ceil(64).max(1)];
-            let mut touched: Vec<usize> = Vec::new();
-            let mut result = vec![false; n];
-            let mut stack: Vec<(u32, u32)> = Vec::new();
-            for u in graph.nodes() {
-                let mut hits: Vec<NodeId> = Vec::new();
-                for &q in &init {
-                    let bit = u.index() * s + q as usize;
-                    visited[bit / 64] |= 1 << (bit % 64);
-                    touched.push(bit / 64);
-                    stack.push((u.0, q));
-                    if nfa.is_accepting(q) && !result[u.index()] {
-                        result[u.index()] = true;
-                        hits.push(u);
+            // `visited` is allocated once per worker and cleared per start by
+            // replaying the touched words, so a sparse BFS costs
+            // O(|visited pairs|), not O(n*s/64), per start node.
+            let words = (n * s).div_ceil(64).max(1);
+            for_each_source(
+                n,
+                options,
+                || {
+                    (
+                        vec![0u64; words],
+                        Vec::<usize>::new(),
+                        vec![false; n],
+                        Vec::<(u32, u32)>::new(),
+                    )
+                },
+                |(visited, touched, result, stack), u| {
+                    let mut hits: Vec<NodeId> = Vec::new();
+                    for &q in &init {
+                        let bit = u.index() * s + q as usize;
+                        visited[bit / 64] |= 1 << (bit % 64);
+                        touched.push(bit / 64);
+                        stack.push((u.0, q));
+                        if nfa.is_accepting(q) && !result[u.index()] {
+                            result[u.index()] = true;
+                            hits.push(u);
+                        }
                     }
-                }
-                while let Some((v, q)) = stack.pop() {
-                    let (tos, labels) = bound.csr_out(v as usize);
-                    for (e, &to) in tos.iter().enumerate() {
-                        let sym = labels[e];
-                        for (t, nq) in nfa.transitions_from(q) {
-                            if *t != sym {
-                                continue;
-                            }
-                            for &cq in &closures[*nq as usize] {
-                                let bit = to as usize * s + cq as usize;
-                                if visited[bit / 64] >> (bit % 64) & 1 == 0 {
-                                    visited[bit / 64] |= 1 << (bit % 64);
-                                    touched.push(bit / 64);
-                                    if nfa.is_accepting(cq) && !result[to as usize] {
-                                        result[to as usize] = true;
-                                        hits.push(NodeId(to));
+                    while let Some((v, q)) = stack.pop() {
+                        let (tos, labels) = bound.csr_out(v as usize);
+                        for (e, &to) in tos.iter().enumerate() {
+                            let sym = labels[e];
+                            for (t, nq) in nfa.transitions_from(q) {
+                                if *t != sym {
+                                    continue;
+                                }
+                                for &cq in &closures[*nq as usize] {
+                                    let bit = to as usize * s + cq as usize;
+                                    if visited[bit / 64] >> (bit % 64) & 1 == 0 {
+                                        visited[bit / 64] |= 1 << (bit % 64);
+                                        touched.push(bit / 64);
+                                        if nfa.is_accepting(cq) && !result[to as usize] {
+                                            result[to as usize] = true;
+                                            hits.push(NodeId(to));
+                                        }
+                                        stack.push((to, cq));
                                     }
-                                    stack.push((to, cq));
                                 }
                             }
                         }
                     }
-                }
-                for &w in &touched {
-                    visited[w] = 0;
-                }
-                touched.clear();
-                for h in &hits {
-                    result[h.index()] = false;
-                }
-                hits.sort_unstable();
-                fwd[u.index()] = hits;
-            }
+                    for &w in touched.iter() {
+                        visited[w] = 0;
+                    }
+                    touched.clear();
+                    for h in &hits {
+                        result[h.index()] = false;
+                    }
+                    hits.sort_unstable();
+                    hits
+                },
+            )
         }
         Some(_) => {
             // Product of the graph with the compiled constraint tables
-            // (fetched from the prepared query's cache).
+            // (fetched from the prepared query's cache — once, before any
+            // worker starts, so the cache counters are thread-count
+            // independent).
             let sim = pq.unary_sim(p, stats);
             let s = sim.num_states().max(1);
             // Merged symbol → dense sim symbol id (`None`: the constraint
@@ -226,62 +295,69 @@ pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStat
             // One BFS per start node over (node, NFA state) pairs, tracked
             // in a dense bitset of n·s bits.
             let init = sim.initial_set();
-            // Cleared per start by replaying the touched words (see the
-            // sparse branch above).
-            let mut visited = vec![0u64; (n * s).div_ceil(64).max(1)];
-            let mut touched: Vec<usize> = Vec::new();
-            let mut result = vec![false; n];
-            let mut stack: Vec<(u32, u32)> = Vec::new();
-            for u in graph.nodes() {
-                let mut hits: Vec<NodeId> = Vec::new();
-                for q in init.iter() {
-                    let bit = u.index() * s + q as usize;
-                    visited[bit / 64] |= 1 << (bit % 64);
-                    touched.push(bit / 64);
-                    stack.push((u.0, q));
-                    if sim.is_accepting(q) && !result[u.index()] {
-                        result[u.index()] = true;
-                        hits.push(u);
+            let words = (n * s).div_ceil(64).max(1);
+            for_each_source(
+                n,
+                options,
+                || {
+                    (
+                        vec![0u64; words],
+                        Vec::<usize>::new(),
+                        vec![false; n],
+                        Vec::<(u32, u32)>::new(),
+                    )
+                },
+                |(visited, touched, result, stack), u| {
+                    let mut hits: Vec<NodeId> = Vec::new();
+                    for q in init.iter() {
+                        let bit = u.index() * s + q as usize;
+                        visited[bit / 64] |= 1 << (bit % 64);
+                        touched.push(bit / 64);
+                        stack.push((u.0, q));
+                        if sim.is_accepting(q) && !result[u.index()] {
+                            result[u.index()] = true;
+                            hits.push(u);
+                        }
                     }
-                }
-                while let Some((v, q)) = stack.pop() {
-                    let (tos, labels) = bound.csr_out(v as usize);
-                    for (e, &to) in tos.iter().enumerate() {
-                        let Some(sid) = label_map[labels[e].index()] else {
-                            continue;
-                        };
-                        let row = sim.row(q, sid);
-                        for (bi, &block) in row.iter().enumerate() {
-                            let mut b = block;
-                            while b != 0 {
-                                let nq = bi as u32 * 64 + b.trailing_zeros();
-                                b &= b - 1;
-                                let bit = to as usize * s + nq as usize;
-                                if visited[bit / 64] >> (bit % 64) & 1 == 0 {
-                                    visited[bit / 64] |= 1 << (bit % 64);
-                                    touched.push(bit / 64);
-                                    if sim.is_accepting(nq) && !result[to as usize] {
-                                        result[to as usize] = true;
-                                        hits.push(NodeId(to));
+                    while let Some((v, q)) = stack.pop() {
+                        let (tos, labels) = bound.csr_out(v as usize);
+                        for (e, &to) in tos.iter().enumerate() {
+                            let Some(sid) = label_map[labels[e].index()] else {
+                                continue;
+                            };
+                            let row = sim.row(q, sid);
+                            for (bi, &block) in row.iter().enumerate() {
+                                let mut b = block;
+                                while b != 0 {
+                                    let nq = bi as u32 * 64 + b.trailing_zeros();
+                                    b &= b - 1;
+                                    let bit = to as usize * s + nq as usize;
+                                    if visited[bit / 64] >> (bit % 64) & 1 == 0 {
+                                        visited[bit / 64] |= 1 << (bit % 64);
+                                        touched.push(bit / 64);
+                                        if sim.is_accepting(nq) && !result[to as usize] {
+                                            result[to as usize] = true;
+                                            hits.push(NodeId(to));
+                                        }
+                                        stack.push((to, nq));
                                     }
-                                    stack.push((to, nq));
                                 }
                             }
                         }
                     }
-                }
-                for &w in &touched {
-                    visited[w] = 0;
-                }
-                touched.clear();
-                for h in &hits {
-                    result[h.index()] = false;
-                }
-                hits.sort_unstable();
-                fwd[u.index()] = hits;
-            }
+                    for &w in touched.iter() {
+                        visited[w] = 0;
+                    }
+                    touched.clear();
+                    for h in &hits {
+                        result[h.index()] = false;
+                    }
+                    hits.sort_unstable();
+                    hits
+                },
+            )
         }
-    }
+    };
     let mut bwd: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     for u in graph.nodes() {
         for &v in &fwd[u.index()] {

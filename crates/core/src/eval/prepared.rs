@@ -24,7 +24,7 @@
 use crate::error::QueryError;
 use crate::eval::plan::{self, Engine, EvalStats, Mode, ReachRel};
 use crate::eval::search::SearchProblem;
-use crate::eval::{Answer, EvalConfig};
+use crate::eval::{Answer, EvalConfig, EvalOptions};
 use crate::query::{CountTarget, Ecrpq, QLinearConstraint};
 use ecrpq_automata::alphabet::{Alphabet, Symbol, TupleSym};
 use ecrpq_automata::nfa::Nfa;
@@ -477,7 +477,18 @@ impl PreparedQuery {
     /// and resolves deferred label-count coefficients. No automaton is
     /// compiled here — binding is cheap and linear in the graph size.
     pub fn bind<'a>(&'a self, graph: &'a GraphDb) -> Result<BoundPlan<'a>, QueryError> {
-        Ok(BoundPlan { pq: self, graph, art: Cow::Owned(self.bind_artifacts(graph)?) })
+        self.bind_with(graph, EvalOptions::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit execution options (intra-query
+    /// thread count). The options travel with the bound plan: every `run*`,
+    /// `check`, and `answer_automaton` call on it uses them.
+    pub fn bind_with<'a>(
+        &'a self,
+        graph: &'a GraphDb,
+        options: EvalOptions,
+    ) -> Result<BoundPlan<'a>, QueryError> {
+        Ok(BoundPlan { pq: self, graph, art: Cow::Owned(self.bind_artifacts(graph)?), options })
     }
 
     /// Computes everything [`bind`](Self::bind) resolves against one concrete
@@ -691,12 +702,26 @@ pub struct BoundPlan<'a> {
     /// The bind-time data: owned for a fresh [`PreparedQuery::bind`],
     /// borrowed (no copy) when viewed through a [`BoundStatement`].
     art: Cow<'a, BindArtifacts>,
+    /// Execution options (intra-query thread count).
+    options: EvalOptions,
 }
 
 impl<'a> BoundPlan<'a> {
     /// The prepared query this plan binds.
     pub fn prepared(&self) -> &'a PreparedQuery {
         self.pq
+    }
+
+    /// The execution options this plan runs with.
+    pub fn options(&self) -> EvalOptions {
+        self.options
+    }
+
+    /// This plan with different execution options (e.g. a per-request thread
+    /// count override).
+    pub fn with_options(mut self, options: EvalOptions) -> BoundPlan<'a> {
+        self.options = options;
+        self
     }
 
     /// The graph this plan is bound to.
@@ -987,6 +1012,9 @@ pub struct BoundStatement {
     pq: Arc<PreparedQuery>,
     graph: Arc<GraphDb>,
     art: BindArtifacts,
+    /// Default execution options; [`plan_with`](Self::plan_with) overrides
+    /// them per run.
+    options: EvalOptions,
 }
 
 impl BoundStatement {
@@ -994,8 +1022,17 @@ impl BoundStatement {
     /// [`PreparedQuery::bind`] otherwise: no automaton compilation, cost
     /// linear in the graph size.
     pub fn bind(pq: Arc<PreparedQuery>, graph: Arc<GraphDb>) -> Result<BoundStatement, QueryError> {
+        Self::bind_with(pq, graph, EvalOptions::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit default execution options.
+    pub fn bind_with(
+        pq: Arc<PreparedQuery>,
+        graph: Arc<GraphDb>,
+        options: EvalOptions,
+    ) -> Result<BoundStatement, QueryError> {
         let art = pq.bind_artifacts(&graph)?;
-        Ok(BoundStatement { pq, graph, art })
+        Ok(BoundStatement { pq, graph, art, options })
     }
 
     /// The prepared query this statement binds.
@@ -1011,7 +1048,14 @@ impl BoundStatement {
     /// A borrowed [`BoundPlan`] over the cached bind artifacts (no copying;
     /// all `run*`/`check` entry points hang off the returned plan).
     pub fn plan(&self) -> BoundPlan<'_> {
-        BoundPlan { pq: &self.pq, graph: &self.graph, art: Cow::Borrowed(&self.art) }
+        self.plan_with(self.options)
+    }
+
+    /// A borrowed [`BoundPlan`] running with `options` instead of the
+    /// statement's defaults — how a server applies a per-request thread
+    /// count to a cached statement without rebinding it.
+    pub fn plan_with(&self, options: EvalOptions) -> BoundPlan<'_> {
+        BoundPlan { pq: &self.pq, graph: &self.graph, art: Cow::Borrowed(&self.art), options }
     }
 
     /// Convenience for [`BoundPlan::run`].
@@ -1042,6 +1086,27 @@ impl BoundStatement {
         self.plan().check(nodes, paths, config)
     }
 }
+
+/// Compile-time guarantee behind the frontier-parallel engine: everything a
+/// search worker reads — the compiled simulation tables, the per-query code
+/// indexes, and the bound plan itself — is shareable across the scoped
+/// threads by reference. The tables are written once (behind
+/// `Arc`/`OnceLock`) and only ever read afterwards; if mutable or
+/// thread-local state sneaks into any of these types, this stops compiling
+/// before a data race can exist.
+const _: fn() = || {
+    fn assert_sync_send<T: Sync + Send>() {}
+    #[allow(clippy::extra_unused_lifetimes)] // 'a is used, but only in the body
+    fn assert_for_any_lifetime<'a>() {
+        assert_sync_send::<BoundPlan<'a>>();
+        assert_sync_send::<&'a RelSim>();
+    }
+    let _ = assert_for_any_lifetime;
+    assert_sync_send::<RelSim>();
+    assert_sync_send::<CompactNfa<TupleSym>>();
+    assert_sync_send::<CompactNfa<Symbol>>();
+    assert_sync_send::<CodeMap>();
+};
 
 #[cfg(test)]
 mod tests {

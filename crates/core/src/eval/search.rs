@@ -16,13 +16,30 @@
 //! one position word per path variable, the bitset blocks of every relation
 //! automaton's current state set (stepped through the precompiled tables of
 //! [`CompactNfa`](ecrpq_automata::sim::CompactNfa)), and one word per counter
-//! — interned into the arena of [`super::dense`]. The BFS queue and parent
+//! — interned into an arena of [`super::dense`]. The BFS queue and parent
 //! pointers hold `u32` state indices, and expansion reuses scratch buffers,
 //! so the hot loop performs no allocation. The classical cloned-state
 //! formulation is retained in [`super::reference`] for differential testing.
+//!
+//! # Frontier parallelism
+//!
+//! With [`EvalOptions::threads`](crate::eval::EvalOptions) > 1 the BFS runs
+//! level-synchronously: the states of one level are partitioned into
+//! contiguous chunks and expanded by scoped worker threads
+//! ([`std::thread::scope`]) that share the frozen
+//! [`ShardedArena`](super::dense::ShardedArena) lock-free (reads only; the
+//! compiled sim tables are likewise read-only shared, asserted `Sync` in
+//! [`super::prepared`]). Each worker records its discoveries in expansion
+//! order; between levels the coordinator merges the per-worker buffers *in
+//! chunk order*, which is exactly the order the sequential frontier would
+//! have produced — so state ids, parent pointers, the first accepting state,
+//! the reconstructed witness, and even the visited-state counts are
+//! bit-identical to the sequential engine. Levels smaller than
+//! `EvalOptions::min_parallel_level` expand inline on the calling thread;
+//! tiny searches never pay a thread handoff.
 
 use crate::error::QueryError;
-use crate::eval::dense::{odometer_next, Arena, Layout};
+use crate::eval::dense::{self, odometer_next, Arena, Layout, ShardedArena};
 use crate::eval::plan;
 use crate::eval::prepared::{BoundPlan, RelSim};
 use ecrpq_automata::alphabet::Symbol;
@@ -86,86 +103,50 @@ enum Option1 {
     Pad,
 }
 
-/// Runs the search.
-pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryError> {
-    let plan = problem.plan;
-    let pq = plan.pq;
-    let num_paths = pq.path_vars.len();
+/// The per-thread expansion engine: per-variable option lists, the odometer,
+/// and the scratch buffers of [`apply_key`], bundled so the sequential loop
+/// and every parallel worker expand states through the *same* code. The
+/// successors of one state are always emitted in odometer order — the
+/// ordering contract the deterministic merge relies on.
+struct Expander<'a, 'p> {
+    problem: &'a SearchProblem<'p>,
+    layout: &'a Layout,
+    sims: &'a [&'a RelSim],
+    options: Vec<Vec<Option1>>,
+    choice: Vec<usize>,
+    letters: Vec<Option<Symbol>>,
+    next: Vec<u64>,
+    rel_scratch: Vec<StateSet>,
+}
 
-    // Consistency prechecks for pinned paths and repeated relational atoms.
-    for p in 0..num_paths {
-        if let Some(path) = problem.pinned[p] {
-            if path.start() != problem.sigma[pq.path_from[p]]
-                || path.end() != problem.sigma[pq.path_to[p]]
-            {
-                return Ok(SearchOutcome { accepted: false, states_visited: 0, witness: None });
-            }
+impl<'a, 'p> Expander<'a, 'p> {
+    fn new(problem: &'a SearchProblem<'p>, layout: &'a Layout, sims: &'a [&'a RelSim]) -> Self {
+        let num_paths = layout.num_paths;
+        Expander {
+            problem,
+            layout,
+            sims,
+            options: vec![Vec::new(); num_paths],
+            choice: vec![0usize; num_paths],
+            letters: vec![None; num_paths],
+            next: vec![0u64; layout.words],
+            rel_scratch: sims.iter().map(|rs| StateSet::empty(rs.sim.blocks())).collect(),
         }
     }
-    for &(p, f, t) in &pq.extra_endpoints {
-        if problem.sigma[f] != problem.sigma[pq.path_from[p]]
-            || problem.sigma[t] != problem.sigma[pq.path_to[p]]
-        {
-            return Ok(SearchOutcome { accepted: false, states_visited: 0, witness: None });
-        }
-    }
 
-    let sims: Vec<&RelSim> = pq.relations.iter().map(|r| r.sim(pq.code_base)).collect();
-    let layout = Layout::new(num_paths, &sims, plan.counters().len());
-    let mut arena = Arena::new(layout.words);
-
-    // Encode the initial state.
-    let mut initial = vec![0u64; layout.words];
-    for (p, w) in initial.iter_mut().enumerate().take(num_paths) {
-        *w = active_word(problem.sigma[pq.path_from[p]], 0);
-    }
-    for (j, rs) in sims.iter().enumerate() {
-        let off = layout.rel_off[j];
-        initial[off..off + layout.rel_blocks[j]].copy_from_slice(rs.sim.initial_set().as_blocks());
-    }
-    // counters start at zero (already 0)
-
-    if accepts_key(problem, &layout, &sims, &initial) {
-        let witness =
-            if problem.want_witness { Some(reconstruct(problem, &[], &[], 0)) } else { None };
-        return Ok(SearchOutcome { accepted: true, states_visited: 1, witness });
-    }
-    let (init_id, _) = arena.intern(&initial);
-
-    // Parent pointers and per-state incoming moves, only kept when a witness
-    // must be reconstructed. Indexed by arena id.
-    let mut parents: Vec<u32> = Vec::new();
-    let mut moves: Vec<MoveVec> = Vec::new();
-    if problem.want_witness {
-        parents.push(u32::MAX);
-        moves.push(Vec::new());
-    }
-    let mut queue: VecDeque<(u32, u32)> = VecDeque::new();
-    queue.push_back((init_id, 0));
-
-    // Scratch buffers reused across all expansions.
-    let mut options: Vec<Vec<Option1>> = vec![Vec::new(); num_paths];
-    let mut choice = vec![0usize; num_paths];
-    let mut letters: Vec<Option<Symbol>> = vec![None; num_paths];
-    let mut cur = vec![0u64; layout.words];
-    let mut next = vec![0u64; layout.words];
-    let mut rel_scratch: Vec<StateSet> =
-        sims.iter().map(|rs| StateSet::empty(rs.sim.blocks())).collect();
-
-    while let Some((id, depth)) = queue.pop_front() {
-        if let Some(bound) = problem.step_bound {
-            if depth as usize >= bound {
-                continue;
-            }
-        }
-        cur.copy_from_slice(arena.get(id));
+    /// Emits every admissible global successor of the encoded state `cur` in
+    /// odometer order: `emit(next_key, move)` (the move only materialized
+    /// when a witness is wanted) returns `false` to stop early. States with
+    /// a variable that can neither move nor finish emit nothing.
+    fn expand(&mut self, cur: &[u64], mut emit: impl FnMut(&[u64], Option<MoveVec>) -> bool) {
+        let problem = self.problem;
+        let plan = problem.plan;
+        let num_paths = self.layout.num_paths;
 
         // Per-variable options.
-        let mut dead = false;
-        for p in 0..num_paths {
-            let opts = &mut options[p];
+        for (p, &w) in cur.iter().enumerate().take(num_paths) {
+            let opts = &mut self.options[p];
             opts.clear();
-            let w = cur[p];
             if w == 0 {
                 opts.push(Option1::Pad);
             } else {
@@ -192,58 +173,173 @@ pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryErr
                 }
             }
             if opts.is_empty() {
-                dead = true; // this variable can neither move nor finish
-                break;
+                return; // this variable can neither move nor finish
             }
-        }
-        if dead {
-            continue;
         }
 
         // Cartesian product of the options (odometer), requiring at least
         // one real move.
-        let mut found: Option<u32> = None;
-        choice.fill(0);
-        'outer: loop {
-            let any_real =
-                (0..num_paths).any(|p| matches!(options[p][choice[p]], Option1::Real { .. }));
+        self.choice.fill(0);
+        loop {
+            let any_real = (0..num_paths)
+                .any(|p| matches!(self.options[p][self.choice[p]], Option1::Real { .. }));
             if any_real
                 && apply_key(
                     problem,
-                    &layout,
-                    &sims,
-                    &cur,
-                    &options,
-                    &choice,
-                    &mut letters,
-                    &mut rel_scratch,
-                    &mut next,
+                    self.layout,
+                    self.sims,
+                    cur,
+                    &self.options,
+                    &self.choice,
+                    &mut self.letters,
+                    &mut self.rel_scratch,
+                    &mut self.next,
                 )
             {
-                let (nid, fresh) = arena.intern(&next);
-                if fresh {
-                    if problem.want_witness {
-                        parents.push(id);
-                        moves.push(
-                            (0..num_paths)
-                                .map(|p| match options[p][choice[p]] {
-                                    Option1::Real { label, to, .. } => Some((label, to)),
-                                    Option1::Finish | Option1::Pad => None,
-                                })
-                                .collect(),
-                        );
-                    }
-                    if accepts_key(problem, &layout, &sims, &next) {
-                        found = Some(nid);
-                        break 'outer;
-                    }
-                    queue.push_back((nid, depth + 1));
+                let mv = problem.want_witness.then(|| {
+                    (0..num_paths)
+                        .map(|p| match self.options[p][self.choice[p]] {
+                            Option1::Real { label, to, .. } => Some((label, to)),
+                            Option1::Finish | Option1::Pad => None,
+                        })
+                        .collect()
+                });
+                if !emit(&self.next, mv) {
+                    return;
                 }
             }
-            if !odometer_next(&mut choice, |i| options[i].len()) {
-                break 'outer;
+            if !odometer_next(&mut self.choice, |i| self.options[i].len()) {
+                return;
             }
         }
+    }
+}
+
+/// Consistency prechecks shared by both engines: pinned paths must connect
+/// the candidate endpoints, and repeated relational atoms must agree.
+/// `Some(outcome)` short-circuits the search with a rejection.
+fn precheck(problem: &SearchProblem<'_>) -> Option<SearchOutcome> {
+    let pq = problem.plan.pq;
+    for p in 0..pq.path_vars.len() {
+        if let Some(path) = problem.pinned[p] {
+            if path.start() != problem.sigma[pq.path_from[p]]
+                || path.end() != problem.sigma[pq.path_to[p]]
+            {
+                return Some(SearchOutcome { accepted: false, states_visited: 0, witness: None });
+            }
+        }
+    }
+    for &(p, f, t) in &pq.extra_endpoints {
+        if problem.sigma[f] != problem.sigma[pq.path_from[p]]
+            || problem.sigma[t] != problem.sigma[pq.path_to[p]]
+        {
+            return Some(SearchOutcome { accepted: false, states_visited: 0, witness: None });
+        }
+    }
+    None
+}
+
+/// Encodes the initial search state.
+fn initial_key(problem: &SearchProblem<'_>, layout: &Layout, sims: &[&RelSim]) -> Vec<u64> {
+    let pq = problem.plan.pq;
+    let mut initial = vec![0u64; layout.words];
+    for (p, w) in initial.iter_mut().enumerate().take(layout.num_paths) {
+        *w = active_word(problem.sigma[pq.path_from[p]], 0);
+    }
+    for (j, rs) in sims.iter().enumerate() {
+        let off = layout.rel_off[j];
+        initial[off..off + layout.rel_blocks[j]].copy_from_slice(rs.sim.initial_set().as_blocks());
+    }
+    // counters start at zero (already 0)
+    initial
+}
+
+/// The shared engine preamble: compiled sims, the word layout, and the
+/// encoded initial state, with the two short-circuits both engines must
+/// take identically — the precheck rejection and the trivial depth-0
+/// accept (`states_visited: 1`, empty-parents witness). Hoisted so the
+/// sequential and parallel engines cannot drift on these paths.
+#[allow(clippy::type_complexity)]
+fn search_setup<'p>(
+    problem: &SearchProblem<'p>,
+) -> Result<(Vec<&'p RelSim>, Layout, Vec<u64>), SearchOutcome> {
+    if let Some(outcome) = precheck(problem) {
+        return Err(outcome);
+    }
+    let pq = problem.plan.pq;
+    let sims: Vec<&RelSim> = pq.relations.iter().map(|r| r.sim(pq.code_base)).collect();
+    let layout = Layout::new(pq.path_vars.len(), &sims, problem.plan.counters().len());
+    let initial = initial_key(problem, &layout, &sims);
+    if accepts_key(problem, &layout, &sims, &initial) {
+        let witness =
+            if problem.want_witness { Some(reconstruct(problem, &[], &[], 0)) } else { None };
+        return Err(SearchOutcome { accepted: true, states_visited: 1, witness });
+    }
+    Ok((sims, layout, initial))
+}
+
+/// Seed of the parent-pointer / incoming-move tables (kept only when a
+/// witness must be reconstructed; indexed by arena id, with the sentinel
+/// entry for the initial state).
+fn witness_seed(problem: &SearchProblem<'_>) -> (Vec<u32>, Vec<MoveVec>) {
+    if problem.want_witness {
+        (vec![u32::MAX], vec![Vec::new()])
+    } else {
+        (Vec::new(), Vec::new())
+    }
+}
+
+/// Runs the search, dispatching on the bound plan's execution options:
+/// `threads > 1` selects the level-synchronous frontier-parallel engine,
+/// which produces bit-identical results (see the module docs).
+pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryError> {
+    let threads = problem.plan.options().effective_threads();
+    if threads > 1 {
+        run_parallel(problem, threads)
+    } else {
+        run_sequential(problem)
+    }
+}
+
+/// The sequential engine: one FIFO queue, intern-as-you-expand.
+fn run_sequential(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryError> {
+    let (sims, layout, initial) = match search_setup(problem) {
+        Ok(setup) => setup,
+        Err(outcome) => return Ok(outcome),
+    };
+    let mut arena = Arena::new(layout.words);
+    let (init_id, _) = arena.intern(&initial);
+    let (mut parents, mut moves) = witness_seed(problem);
+    let mut queue: VecDeque<(u32, u32)> = VecDeque::new();
+    queue.push_back((init_id, 0));
+
+    let mut expander = Expander::new(problem, &layout, &sims);
+    let mut cur = vec![0u64; layout.words];
+
+    while let Some((id, depth)) = queue.pop_front() {
+        if let Some(bound) = problem.step_bound {
+            if depth as usize >= bound {
+                continue;
+            }
+        }
+        cur.copy_from_slice(arena.get(id));
+
+        let mut found: Option<u32> = None;
+        expander.expand(&cur, |next, mv| {
+            let (nid, fresh) = arena.intern(next);
+            if fresh {
+                if problem.want_witness {
+                    parents.push(id);
+                    moves.push(mv.expect("witness mode emits moves"));
+                }
+                if accepts_key(problem, &layout, &sims, next) {
+                    found = Some(nid);
+                    return false;
+                }
+                queue.push_back((nid, depth + 1));
+            }
+            true
+        });
         if let Some(accepting) = found {
             let witness = if problem.want_witness {
                 Some(reconstruct(problem, &parents, &moves, accepting))
@@ -263,6 +359,196 @@ pub(crate) fn run(problem: &SearchProblem<'_>) -> Result<SearchOutcome, QueryErr
         }
     }
     Ok(SearchOutcome { accepted: false, states_visited: arena.len() as u64, witness: None })
+}
+
+/// One worker's discoveries from its chunk of a level, in expansion order.
+/// `groups` records, per source state (whether or not it emitted anything),
+/// how many candidates follow — the merge uses the group boundaries to
+/// replay the sequential engine's per-state budget checkpoints.
+struct CandBuf {
+    words: usize,
+    keys: Vec<u64>,
+    moves: Vec<MoveVec>,
+    groups: Vec<(u32, u32)>,
+}
+
+impl CandBuf {
+    fn new(words: usize) -> CandBuf {
+        CandBuf { words, keys: Vec::new(), moves: Vec::new(), groups: Vec::new() }
+    }
+
+    fn begin_group(&mut self, src: u32) {
+        self.groups.push((src, 0));
+    }
+
+    fn push(&mut self, key: &[u64], mv: Option<MoveVec>) {
+        self.keys.extend_from_slice(key);
+        if let Some(mv) = mv {
+            self.moves.push(mv);
+        }
+        self.groups.last_mut().expect("push after begin_group").1 += 1;
+    }
+
+    fn key(&self, idx: usize) -> &[u64] {
+        &self.keys[idx * self.words..(idx + 1) * self.words]
+    }
+}
+
+/// The frontier-parallel engine: level-synchronous BFS with parallel
+/// expansion and a deterministic sequential merge (see the module docs for
+/// why the merge order makes it bit-identical to [`run_sequential`]).
+fn run_parallel(problem: &SearchProblem<'_>, threads: usize) -> Result<SearchOutcome, QueryError> {
+    let (sims, layout, initial) = match search_setup(problem) {
+        Ok(setup) => setup,
+        Err(outcome) => return Ok(outcome),
+    };
+    let min_level = problem.plan.options().min_parallel_level.max(1);
+    let mut arena = ShardedArena::new(layout.words);
+    let (init_id, _) = arena.intern(&initial);
+    let (mut parents, mut moves) = witness_seed(problem);
+
+    let mut level: Vec<u32> = vec![init_id];
+    let mut next_level: Vec<u32> = Vec::new();
+    let mut inline_expander = Expander::new(problem, &layout, &sims);
+    let mut cur = vec![0u64; layout.words];
+    let mut depth: usize = 0;
+
+    loop {
+        if let Some(bound) = problem.step_bound {
+            if depth >= bound {
+                break;
+            }
+        }
+        next_level.clear();
+        let mut found: Option<u32> = None;
+
+        if level.len() < min_level {
+            // Small frontier: expand inline, intern-as-you-go — exactly the
+            // sequential engine restricted to this level.
+            'states: for &id in &level {
+                cur.copy_from_slice(arena.get(id));
+                inline_expander.expand(&cur, |next, mv| {
+                    let (nid, fresh) = arena.intern(next);
+                    if fresh {
+                        if problem.want_witness {
+                            parents.push(id);
+                            moves.push(mv.expect("witness mode emits moves"));
+                        }
+                        if accepts_key(problem, &layout, &sims, next) {
+                            found = Some(nid);
+                            return false;
+                        }
+                        next_level.push(nid);
+                    }
+                    true
+                });
+                if found.is_some() {
+                    break 'states;
+                }
+                if arena.len() > problem.max_states {
+                    return Err(budget_error(problem));
+                }
+            }
+        } else {
+            // Parallel expansion in bounded rounds via the shared fan-out
+            // of `dense`: each round freezes the arena, so every chunk's
+            // expander only reads it (lock-free `get`/`lookup`) to skip
+            // already-interned successors, and each round's discoveries
+            // merge before the next round starts — bounding the buffered
+            // candidates to one round's fan-out and keeping the budget
+            // checkpoints close behind the expansion.
+            'rounds: for round in level.chunks(dense::PARALLEL_ROUND_CAP) {
+                let mut bufs = {
+                    let arena = &arena;
+                    let layout = &layout;
+                    let sims = &sims;
+                    dense::expand_level_chunks(
+                        round,
+                        threads,
+                        min_level.div_ceil(2),
+                        || CandBuf::new(layout.words),
+                        |ids, buf| {
+                            let mut expander = Expander::new(problem, layout, sims);
+                            for &id in ids {
+                                buf.begin_group(id);
+                                expander.expand(arena.get(id), |next, mv| {
+                                    // Known states would be no-op interns;
+                                    // only genuinely new keys travel to the
+                                    // merge. (A state first discovered in
+                                    // this same round is not yet published,
+                                    // so several workers may emit it — the
+                                    // merge dedups, first in order wins.)
+                                    if arena.lookup(next).is_none() {
+                                        buf.push(next, mv);
+                                    }
+                                    true
+                                });
+                            }
+                        },
+                    )
+                };
+
+                // Deterministic merge: chunks in level order, groups in
+                // state order, candidates in odometer order — the exact
+                // sequence the sequential engine would have interned.
+                for buf in &mut bufs {
+                    let mut idx = 0;
+                    for g in 0..buf.groups.len() {
+                        let (src, count) = buf.groups[g];
+                        for _ in 0..count {
+                            let (nid, fresh, accepting) = {
+                                let key = buf.key(idx);
+                                let (nid, fresh) = arena.intern(key);
+                                let accepting =
+                                    fresh && accepts_key(problem, &layout, &sims, arena.get(nid));
+                                (nid, fresh, accepting)
+                            };
+                            if fresh {
+                                if problem.want_witness {
+                                    parents.push(src);
+                                    moves.push(std::mem::take(&mut buf.moves[idx]));
+                                }
+                                if accepting {
+                                    found = Some(nid);
+                                    break 'rounds;
+                                }
+                                next_level.push(nid);
+                            }
+                            idx += 1;
+                        }
+                        if arena.len() > problem.max_states {
+                            return Err(budget_error(problem));
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(accepting) = found {
+            let witness = if problem.want_witness {
+                Some(reconstruct(problem, &parents, &moves, accepting))
+            } else {
+                None
+            };
+            return Ok(SearchOutcome {
+                accepted: true,
+                states_visited: arena.len() as u64,
+                witness,
+            });
+        }
+        if next_level.is_empty() {
+            break;
+        }
+        std::mem::swap(&mut level, &mut next_level);
+        depth += 1;
+    }
+    Ok(SearchOutcome { accepted: false, states_visited: arena.len() as u64, witness: None })
+}
+
+fn budget_error(problem: &SearchProblem<'_>) -> QueryError {
+    QueryError::BudgetExceeded {
+        what: format!("convolution search visited more than {} states", problem.max_states),
+    }
 }
 
 /// True if the encoded state is accepting: every path variable is finished or

@@ -1,7 +1,7 @@
 //! `ecrpq-serve` — the standalone query server binary.
 //!
 //! ```text
-//! ecrpq-serve [--addr HOST:PORT] [--workers N] [--bound-capacity N]
+//! ecrpq-serve [--addr HOST:PORT] [--workers N] [--bound-capacity N] [--threads-cap N]
 //! ```
 //!
 //! Binds (port 0 = ephemeral), prints one line `listening on <addr>` to
@@ -21,9 +21,13 @@ fn main() {
                 config.bound_capacity =
                     parse(&value(&mut it, "--bound-capacity"), "--bound-capacity")
             }
+            "--threads-cap" => {
+                config.threads_cap = parse(&value(&mut it, "--threads-cap"), "--threads-cap")
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: ecrpq-serve [--addr HOST:PORT] [--workers N] [--bound-capacity N]"
+                    "usage: ecrpq-serve [--addr HOST:PORT] [--workers N] [--bound-capacity N] \
+                     [--threads-cap N]"
                 );
                 return;
             }

@@ -9,17 +9,22 @@
 //! |----|----------------|--------------|
 //! | `load` | `graph`, plus one of `edges` (inline edge-list text), `path` (edge-list file), `json` (inline `{"edges": …}`), `json_path`, `generator` (e.g. `cycle:8:a`) | `graph`, `nodes`, `edges` |
 //! | `prepare` | `name`, `query`, plus `alphabet` (label array) or `graph` (use its alphabet) | `name`, `node_vars`, `path_vars` |
-//! | `run` | `name`, `graph`, optional `mode` (`nodes`\|`boolean`\|`paths`), `limit` | `registry` (`hit`\|`miss`), `answers`/`answer`, `count`, `stats` |
+//! | `run` | `name`, `graph`, optional `mode` (`nodes`\|`boolean`\|`paths`), `limit`, `threads` (intra-query workers, 1..=the service's cap) | `registry` (`hit`\|`miss`), `answers`/`answer`, `count`, `stats` |
 //! | `check` | `name`, `graph`, `nodes` (names), `paths` (alternating `[node, label, node, …]`) | `member` |
-//! | `stats` | — | catalog/registry/server counters |
+//! | `stats` | — | catalog/registry/server counters incl. `threads_cap` |
 //! | `close` | — | `closing: true`, then the connection ends |
 //! | `shutdown` | — | `shutting_down: true`, then the whole server stops |
+//!
+//! The parallel engine is deterministic, so a `threads` override can only
+//! change a run's latency, never its reply payload. Requests over the cap
+//! (or `threads: 0`) get a structured `ok: false` reply, like every other
+//! protocol error — never a dropped connection.
 
 use crate::catalog::{GraphCatalog, GraphSource};
 use crate::registry::StatementRegistry;
 use crate::ServerError;
 use ecrpq::eval::EvalStats;
-use ecrpq::EvalConfig;
+use ecrpq::{EvalConfig, EvalOptions};
 use ecrpq_automata::Alphabet;
 use ecrpq_graph::{GraphDb, NodeId, Path};
 use ecrpq_util::json::{self, Value};
@@ -48,10 +53,16 @@ pub struct ServiceStats {
     pub errors: AtomicU64,
 }
 
+/// Default per-pool cap on the intra-query worker threads one `run` request
+/// may ask for. Generous relative to typical core counts; the point of the
+/// cap is that no single request can claim an unbounded slice of the
+/// machine a worker pool shares.
+pub const DEFAULT_THREADS_CAP: usize = 8;
+
 /// The transport-independent query service: a graph catalog, a statement
 /// registry, and the request dispatcher. The TCP server, tests, and any
 /// future transport all drive this one type.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Service {
     /// Named graphs.
     pub catalog: GraphCatalog,
@@ -59,12 +70,32 @@ pub struct Service {
     pub registry: StatementRegistry,
     /// Request/connection counters.
     pub stats: ServiceStats,
+    /// Upper bound on the `threads` field of `run` requests.
+    pub threads_cap: usize,
+}
+
+impl Default for Service {
+    fn default() -> Service {
+        Service {
+            catalog: GraphCatalog::default(),
+            registry: StatementRegistry::default(),
+            stats: ServiceStats::default(),
+            threads_cap: DEFAULT_THREADS_CAP,
+        }
+    }
 }
 
 impl Service {
     /// A service with the given bound-plan cache capacity.
     pub fn new(bound_capacity: usize) -> Service {
         Service { registry: StatementRegistry::new(bound_capacity), ..Service::default() }
+    }
+
+    /// This service with a different cap on per-request intra-query threads
+    /// (at least 1).
+    pub fn with_threads_cap(mut self, cap: usize) -> Service {
+        self.threads_cap = cap.max(1);
+        self
     }
 
     /// Dispatches one request line, returning the reply line (no trailing
@@ -156,11 +187,30 @@ impl Service {
         ]))
     }
 
+    /// Resolves the optional `threads` field of a `run` request against the
+    /// service's cap. Absent → the sequential default (1 thread).
+    fn run_options(&self, req: &Value) -> Result<EvalOptions, ServerError> {
+        let Some(t) = req.get("threads") else {
+            return Ok(EvalOptions::default());
+        };
+        let t =
+            t.as_u64().ok_or_else(|| ServerError("`threads` must be a positive integer".into()))?;
+        if t == 0 || t as usize > self.threads_cap {
+            return Err(ServerError(format!(
+                "`threads` must be between 1 and this server's cap of {} (got {t})",
+                self.threads_cap
+            )));
+        }
+        Ok(EvalOptions::with_threads(t as usize))
+    }
+
     fn op_run(&self, req: &Value) -> Result<Value, ServerError> {
         let name = str_field(req, "name")?;
         let gname = str_field(req, "graph")?;
+        let options = self.run_options(req)?;
         let graph = self.graph(gname)?;
-        let (plan, hit) = self.registry.bound(name, gname, &graph)?;
+        let (stmt, hit) = self.registry.bound(name, gname, &graph)?;
+        let plan = stmt.plan_with(options);
         let mut config = EvalConfig::default();
         if let Some(limit) = req.get("limit").and_then(Value::as_u64) {
             config.answer_limit = limit as usize;
@@ -192,8 +242,7 @@ impl Service {
                 ]))
             }
             "paths" => {
-                let (answers, stats) =
-                    plan.plan().run_with_paths(&config).map_err(ServerError::msg)?;
+                let (answers, stats) = plan.run_with_paths(&config).map_err(ServerError::msg)?;
                 let rows: Vec<Value> = answers
                     .iter()
                     .map(|a| {
@@ -263,6 +312,7 @@ impl Service {
             ("graphs", Value::int(self.catalog.len() as u64)),
             ("statements", Value::int(self.registry.len() as u64)),
             ("bound_cached", Value::int(self.registry.bound_len() as u64)),
+            ("threads_cap", Value::int(self.threads_cap as u64)),
             (
                 "registry",
                 Value::obj([
@@ -463,5 +513,87 @@ mod tests {
         let (_, c) = s.dispatch(r#"{"op":"shutdown"}"#);
         assert_eq!(c, Control::Shutdown);
         assert!(s.stats.errors.load(Ordering::Relaxed) >= 2);
+    }
+
+    /// Asserts one request produces a structured `ok:false` reply whose
+    /// `error` contains `needle` — and, crucially, that the connection stays
+    /// open (`Control::Continue`, never a drop).
+    fn assert_error_reply(service: &Service, line: &str, needle: &str) {
+        let (text, control) = service.dispatch(line);
+        assert_eq!(control, Control::Continue, "error replies must not close: {line}");
+        let r = json::parse(&text).unwrap_or_else(|e| panic!("reply must be JSON ({e}): {text}"));
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(false), "{line} -> {text}");
+        let msg = r
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("error reply must carry a string `error` field: {text}"));
+        assert!(msg.contains(needle), "error for {line} should mention {needle:?}, got {msg:?}");
+    }
+
+    /// Golden error paths: every malformed or unsatisfiable request gets a
+    /// structured `ok:false` reply on a connection that keeps serving.
+    #[test]
+    fn error_paths_reply_structurally_and_keep_the_connection() {
+        let s = loaded_service();
+        reply(&s, r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y)","graph":"g"}"#);
+
+        // Malformed JSON (truncated object, bare garbage, wrong root type).
+        assert_error_reply(&s, r#"{"op":"run","name":"q""#, "bad request JSON");
+        assert_error_reply(&s, "##garbage##", "bad request JSON");
+        assert_error_reply(&s, r#"[1, 2, 3]"#, "op");
+        // Unknown / missing op.
+        assert_error_reply(&s, r#"{"op":"frobnicate"}"#, "unknown op");
+        assert_error_reply(&s, r#"{"graph":"g"}"#, "op");
+        // Run against a graph that was never loaded.
+        assert_error_reply(&s, r#"{"op":"run","name":"q","graph":"missing"}"#, "unknown graph");
+        // Run an unregistered statement.
+        assert_error_reply(&s, r#"{"op":"run","name":"nope","graph":"g"}"#, "unknown statement");
+        // Over-cap / zero / non-numeric intra-query thread requests.
+        let over = Service::default().threads_cap + 1;
+        assert_error_reply(
+            &s,
+            &format!(r#"{{"op":"run","name":"q","graph":"g","threads":{over}}}"#),
+            "cap",
+        );
+        assert_error_reply(&s, r#"{"op":"run","name":"q","graph":"g","threads":0}"#, "between");
+        assert_error_reply(
+            &s,
+            r#"{"op":"run","name":"q","graph":"g","threads":"many"}"#,
+            "positive integer",
+        );
+
+        // The connection state is intact: the same service still answers.
+        let r = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert!(s.stats.errors.load(Ordering::Relaxed) >= 9);
+    }
+
+    /// A `threads` override within the cap changes nothing about the reply
+    /// payload — the parallel engine is deterministic — and the cap is
+    /// surfaced by `stats`.
+    #[test]
+    fn run_with_threads_is_deterministic_and_capped() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        let sequential = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        for t in [1, 2, 4] {
+            let parallel =
+                reply(&s, &format!(r#"{{"op":"run","name":"q","graph":"g","threads":{t}}}"#));
+            assert_eq!(
+                parallel.get("answers").unwrap(),
+                sequential.get("answers").unwrap(),
+                "threads={t} changed the answers"
+            );
+            assert_eq!(parallel.get("count").unwrap(), sequential.get("count").unwrap());
+        }
+        let st = reply(&s, r#"{"op":"stats"}"#);
+        assert_eq!(
+            st.get("threads_cap").unwrap().as_u64(),
+            Some(DEFAULT_THREADS_CAP as u64),
+            "stats must surface the per-pool thread cap"
+        );
     }
 }

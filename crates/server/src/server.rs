@@ -27,6 +27,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bound on the registry's cached `(statement, graph)` plans.
     pub bound_capacity: usize,
+    /// Per-pool cap on the intra-query `threads` a single `run` request may
+    /// ask for; over-cap requests get a structured error reply.
+    pub threads_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -36,6 +39,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers,
             bound_capacity: crate::registry::DEFAULT_BOUND_CAPACITY,
+            threads_cap: crate::protocol::DEFAULT_THREADS_CAP,
         }
     }
 }
@@ -58,7 +62,8 @@ impl Server {
     pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let service = Arc::new(Service::new(config.bound_capacity));
+        let service =
+            Arc::new(Service::new(config.bound_capacity).with_threads_cap(config.threads_cap));
         let stop = Arc::new(AtomicBool::new(false));
 
         let accept_service = Arc::clone(&service);

@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
 # Offline-safe CI check: build, tests, formatting, lints, server smoke.
-# Usage: scripts/check.sh [--bench-smoke] [--server-smoke]  (from anywhere inside the repo)
+# Usage: scripts/check.sh [--bench-smoke] [--server-smoke] [--parallel-smoke]
+# (from anywhere inside the repo)
 #
 # The default sequence is build + tests + fmt + clippy + the parser and
-# examples gates + the concurrency gate + the server smoke (an
-# ephemeral-port ecrpq-serve driven through load/prepare/run/stats/shutdown
-# by ecrpq-cli, asserting that the second run of a prepared statement is a
-# registry hit with zero sim-table compilations).
+# examples gates + the concurrency gate + the parallel differential gate
+# (the frontier-parallel engine must be bit-identical to the sequential
+# reference at 1/2/4/8 threads) + the server smoke (an ephemeral-port
+# ecrpq-serve driven through load/prepare/run/stats/shutdown by ecrpq-cli,
+# asserting that the second run of a prepared statement is a registry hit
+# with zero sim-table compilations).
 #
-# --bench-smoke   additionally runs the benchmark harness on the smallest
-#                 size point of each experiment family (in a scratch
-#                 directory), so bench bit-rot fails fast without paying for
-#                 a full sweep.
-# --server-smoke  runs ONLY the release build and the server smoke gate —
-#                 the fast iteration loop while working on the server crate.
+# --bench-smoke    additionally runs the benchmark harness on the smallest
+#                  size point of each experiment family (in a scratch
+#                  directory), so bench bit-rot fails fast without paying for
+#                  a full sweep.
+# --server-smoke   runs ONLY the release build and the server smoke gate —
+#                  the fast iteration loop while working on the server crate.
+# --parallel-smoke runs ONLY the tiny parallel differential gate (a handful
+#                  of corpus queries at 4 threads vs the reference engine) —
+#                  cheap enough for every PR, the fast loop while working on
+#                  the parallel engine.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,10 +28,12 @@ repo_root=$(pwd)
 
 bench_smoke=0
 server_smoke_only=0
+parallel_smoke_only=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) bench_smoke=1 ;;
         --server-smoke) server_smoke_only=1 ;;
+        --parallel-smoke) parallel_smoke_only=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -99,6 +108,14 @@ if [[ "$server_smoke_only" == 1 ]]; then
     exit 0
 fi
 
+if [[ "$parallel_smoke_only" == 1 ]]; then
+    run cargo test -q --offline -p ecrpq-integration --test parallel_differential \
+        parallel_smoke_tiny_corpus
+    echo
+    echo "Parallel smoke passed."
+    exit 0
+fi
+
 # --offline everywhere: the workspace has no external dependencies and the
 # build environment has no network.
 run cargo build --release --offline --workspace --all-targets
@@ -115,6 +132,12 @@ run cargo test -q --offline -p ecrpq-integration --test examples_smoke
 # Concurrency gate: the threaded corpus must match the single-threaded
 # reference engine (answers, verified counts, cache counters).
 run cargo test -q --offline -p ecrpq-integration --test concurrency
+
+# Parallel differential gate: the frontier-parallel engine must be
+# bit-identical to the sequential engines at every thread count — answers
+# (witnesses included), verified counts, membership verdicts, and answer
+# automata.
+run cargo test -q --offline -p ecrpq-integration --test parallel_differential
 
 # Server smoke is part of the default sequence: the binaries must round-trip
 # the full statement lifecycle over real TCP, not just in unit tests.

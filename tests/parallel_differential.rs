@@ -1,0 +1,241 @@
+//! Cross-engine differential fuzz harness for the frontier-parallel
+//! product engine.
+//!
+//! The parallel engine promises to be *bit-identical* to the sequential one
+//! — not just "same answers modulo order", but the same `Vec<Answer>`
+//! (including witness paths and their order), the same `verified` counts,
+//! the same membership verdicts, and the same answer automaton. This suite
+//! enforces that promise with a seeded corpus of random textual queries run
+//! at every thread count in {1, 2, 4, 8} against three graph families
+//! (random multi-label, string, and the REI gadget graph), always comparing
+//! against two independent ground truths: the sequential dense engine
+//! (`threads = 1`) and the retained classical reference engine
+//! (`ecrpq::eval::reference`).
+//!
+//! `min_parallel_level` is forced to 1 throughout so even the tiny frontiers
+//! of these test graphs exercise the parallel expansion + deterministic
+//! merge code paths rather than the inline fallback.
+
+use ecrpq::eval::{reference, EvalOptions, PreparedQuery};
+use ecrpq::prelude::*;
+use ecrpq_graph::path::enumerate_paths;
+use ecrpq_integration::corpus::{alphabet, random_constant_free_query_text};
+use ecrpq_integration::prop::Gen;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SEED: u64 = 0x9A7A_11E1;
+
+fn opts(threads: usize) -> EvalOptions {
+    EvalOptions { threads, min_parallel_level: 1 }
+}
+
+fn config() -> EvalConfig {
+    EvalConfig { max_search_states: 100_000, answer_limit: 20, ..EvalConfig::default() }
+}
+
+/// A small seeded random graph over the corpus alphabet `{a, b, c}`.
+fn random_graph(gen: &mut Gen, nodes: usize, edges: usize) -> GraphDb {
+    let mut db = GraphDb::new(alphabet());
+    let ids = db.add_nodes(nodes);
+    for _ in 0..edges {
+        let from = ids[gen.index(nodes)];
+        let label = Symbol(gen.index(3) as u32);
+        let to = ids[gen.index(nodes)];
+        db.add_edge(from, label, to);
+    }
+    db
+}
+
+/// The three graph families the corpus runs against: a seeded random
+/// multi-label graph, a string (line) graph, and the REI gadget graph of
+/// the paper's PSPACE reduction.
+fn graph_families(gen: &mut Gen) -> Vec<(&'static str, GraphDb)> {
+    let word: Vec<&str> = vec!["a", "b", "a", "b", "a", "b", "a"];
+    vec![
+        ("random", random_graph(gen, 5, 10)),
+        ("string", generators::string_graph(&word).0),
+        ("rei", generators::rei_gadget_graph(&["a", "b"])),
+    ]
+}
+
+fn sorted(mut rows: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+    rows.sort();
+    rows
+}
+
+#[test]
+fn corpus_is_bit_identical_across_thread_counts_and_matches_reference() {
+    let al = alphabet();
+    let cfg = config();
+    let mut gen = Gen::new(SEED);
+    let graphs = graph_families(&mut gen);
+
+    for qi in 0..7 {
+        let text = random_constant_free_query_text(&mut gen);
+        let query = parse_query(&text, &al)
+            .unwrap_or_else(|e| panic!("corpus query must parse: {text:?}: {e}"));
+        let pq = PreparedQuery::prepare(&query).unwrap();
+        for (family, g) in &graphs {
+            let what = format!("query {qi} {text:?} on {family}");
+            // Ground truth 1: the classical reference engine (answer set).
+            let (ref_nodes, ref_stats) = reference::eval_nodes_with_stats(&query, g, &cfg)
+                .unwrap_or_else(|e| panic!("{what}: reference engine failed: {e}"));
+            let ref_nodes = sorted(ref_nodes);
+            // Ground truth 2: the sequential dense engine — the full-answer
+            // run (witnesses included, order included; may stop at
+            // `answer_limit`) and the node run, whose `verified` count is
+            // mode-compatible with the reference engine's.
+            let seq = pq.bind(g).unwrap();
+            let (seq_answers, _) = seq.run(&cfg).unwrap();
+            let (_, seq_nodes_stats) = seq.run_nodes(&cfg).unwrap();
+            assert_eq!(
+                seq_nodes_stats.verified, ref_stats.verified,
+                "{what}: sequential dense verified count diverged from reference"
+            );
+
+            for &t in &THREAD_COUNTS {
+                let plan = pq.bind_with(g, opts(t)).unwrap();
+                let (answers, _) = plan.run(&cfg).unwrap();
+                assert_eq!(
+                    answers, seq_answers,
+                    "{what}: answers (incl. witnesses and order) diverged at {t} threads"
+                );
+                let (nodes, stats) = plan.run_nodes(&cfg).unwrap();
+                assert_eq!(
+                    sorted(nodes),
+                    ref_nodes,
+                    "{what}: node answer set diverged from the reference engine at {t} threads"
+                );
+                assert_eq!(
+                    stats.verified, ref_stats.verified,
+                    "{what}: verified count diverged at {t} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn membership_verdicts_match_reference_at_all_thread_counts() {
+    let al = alphabet();
+    let cfg = config();
+    let mut gen = Gen::new(SEED ^ 0x51);
+    const LANGS: [&str; 4] = ["a*", "(a|b)*", "a (a|b)*", "(a|b|c)* c"];
+
+    for case in 0..12 {
+        let edges = gen.range(4, 11);
+        let db = random_graph(&mut gen, 5, edges);
+        let lang = LANGS[gen.index(LANGS.len())];
+        let text =
+            format!("Ans(x, p1, p2) <- (x, p1, z), (z, p2, y), L(p1) = {lang}, R(p1, p2) = el");
+        let query = parse_query(&text, &al).unwrap();
+        let pq = PreparedQuery::prepare(&query).unwrap();
+
+        let start = NodeId(gen.index(5) as u32);
+        let paths1 = enumerate_paths(&db, start, 3, 8);
+        let p1 = paths1[gen.index(paths1.len())].clone();
+        let paths2 = enumerate_paths(&db, p1.end(), 3, 8);
+        let p2 = paths2[gen.index(paths2.len())].clone();
+        let nodes = [start];
+        let tuple = [p1, p2];
+
+        let expected = reference::check(&query, &db, &nodes, &tuple, &cfg).unwrap();
+        for &t in &THREAD_COUNTS {
+            let got = pq.bind_with(&db, opts(t)).unwrap().check(&nodes, &tuple, &cfg).unwrap();
+            assert_eq!(
+                got, expected,
+                "case {case}: membership verdict diverged at {t} threads for {tuple:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn answer_automata_are_identical_across_thread_counts() {
+    let al = alphabet();
+    let cfg = config();
+    let mut gen = Gen::new(SEED ^ 0xA7);
+
+    for case in 0..6 {
+        let edges = gen.range(5, 11);
+        let db = random_graph(&mut gen, 5, edges);
+        let query = parse_query("Ans(x, y, p1, p2) <- (x, p1, z), (z, p2, y), R(p1, p2) = el", &al)
+            .unwrap();
+        let pq = PreparedQuery::prepare(&query).unwrap();
+        let (ref_nodes, _) = reference::eval_nodes_with_stats(&query, &db, &cfg).unwrap();
+        for x in 0..5u32 {
+            for y in 0..5u32 {
+                let nodes = [NodeId(x), NodeId(y)];
+                let baseline = pq.bind(&db).unwrap().answer_automaton(&nodes, &cfg).unwrap();
+                assert_eq!(
+                    !baseline.is_empty(),
+                    ref_nodes.contains(&vec![NodeId(x), NodeId(y)]),
+                    "case {case}: sequential emptiness at ({x},{y}) disagrees with reference"
+                );
+                for &t in &THREAD_COUNTS[1..] {
+                    let aut =
+                        pq.bind_with(&db, opts(t)).unwrap().answer_automaton(&nodes, &cfg).unwrap();
+                    assert_eq!(
+                        aut.is_empty(),
+                        baseline.is_empty(),
+                        "case {case}: emptiness at ({x},{y}) diverged at {t} threads"
+                    );
+                    assert_eq!(
+                        aut.num_states(),
+                        baseline.num_states(),
+                        "case {case}: automaton shape at ({x},{y}) diverged at {t} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Many-iteration nondeterminism smoke: the same heavy query, run 50 times
+/// at 4 threads, must return the *identical* answer vector every time
+/// (nodes, witness paths, order). An interning race — a state published
+/// before its words are complete, a merge order depending on thread
+/// scheduling — shows up here as a flaky diff long before it corrupts a
+/// verdict.
+#[test]
+fn repeated_parallel_runs_are_deterministic() {
+    let al = alphabet();
+    let cfg = config();
+    let mut gen = Gen::new(SEED ^ 0xF1);
+    let db = random_graph(&mut gen, 8, 20);
+    let text = "Ans(x0, x2, p0) <- (x0, p0, x1), (x1, p1, x2), \
+                L(p0) = a (a|b)*, L(p1) = (a|b)* a, R(p0, p1) = eq";
+    let query = parse_query(text, &al).unwrap();
+    let pq = PreparedQuery::prepare(&query).unwrap();
+    let plan = pq.bind_with(&db, opts(4)).unwrap();
+
+    let (baseline, base_stats) = plan.run(&cfg).unwrap();
+    let (seq_answers, seq_stats) = pq.bind(&db).unwrap().run(&cfg).unwrap();
+    assert_eq!(baseline, seq_answers, "4-thread answers must match sequential");
+    assert_eq!(base_stats.verified, seq_stats.verified);
+    for run in 0..50 {
+        let (answers, stats) = plan.run(&cfg).unwrap();
+        assert_eq!(answers, baseline, "run {run}: answers changed between identical runs");
+        assert_eq!(stats.verified, base_stats.verified, "run {run}: verified count changed");
+    }
+}
+
+/// The tiny gate `scripts/check.sh --parallel-smoke` runs on every PR: a
+/// handful of corpus queries on one graph, 4 threads vs the reference
+/// engine. Fast enough to never be skipped.
+#[test]
+fn parallel_smoke_tiny_corpus() {
+    let al = alphabet();
+    let cfg = config();
+    let mut gen = Gen::new(SEED ^ 0x5E);
+    let db = random_graph(&mut gen, 4, 8);
+    for _ in 0..5 {
+        let text = random_constant_free_query_text(&mut gen);
+        let query = parse_query(&text, &al).unwrap();
+        let pq = PreparedQuery::prepare(&query).unwrap();
+        let (ref_nodes, ref_stats) = reference::eval_nodes_with_stats(&query, &db, &cfg).unwrap();
+        let (nodes, stats) = pq.bind_with(&db, opts(4)).unwrap().run_nodes(&cfg).unwrap();
+        assert_eq!(sorted(nodes), sorted(ref_nodes), "smoke: answers diverged for {text:?}");
+        assert_eq!(stats.verified, ref_stats.verified, "smoke: verified diverged for {text:?}");
+    }
+}

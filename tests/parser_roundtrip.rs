@@ -92,7 +92,7 @@ fn fuzz_smoke_mutated_inputs_never_panic() {
     let al = alphabet();
     const SPLICES: [&str; 14] =
         [",", "(", ")", "<-", "=", ":", "*", "|", "<", ">", "L(", "R(p", "len(", "Ans"];
-    prop::check(400, 0x9A25_0003, |g| {
+    prop::check(1000, 0x9A25_0003, |g| {
         let mut text = random_query_text(g);
         for _ in 0..g.range(0, 4) {
             match g.index(3) {
@@ -120,4 +120,81 @@ fn fuzz_smoke_mutated_inputs_never_panic() {
         // Must not panic; the verdict itself is irrelevant.
         let _ = parse_query(&text, &al);
     });
+}
+
+/// Truncation fuzz: every prefix of a valid query must parse or fail
+/// cleanly — a cut-off input is the most common real-world parse error
+/// (an interrupted pipe, a half-typed REPL line), and each one must carry a
+/// span inside (or one past) the input it was given.
+#[test]
+fn every_prefix_of_a_valid_query_errors_with_an_in_bounds_span() {
+    let al = alphabet();
+    prop::check(40, 0x9A25_0004, |g| {
+        let text = random_query_text(g);
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            if let Err(e) = parse_query(&text[..cut], &al) {
+                assert!(
+                    e.span.start <= cut && e.span.end <= cut + 1,
+                    "span {}..{} escapes the {cut}-byte input {:?}",
+                    e.span.start,
+                    e.span.end,
+                    &text[..cut]
+                );
+            }
+        }
+    });
+}
+
+/// Golden byte-span error messages for truncated inputs: the exact spans
+/// and wording users see for a cut-off regex, a dangling `len(`, a dangling
+/// relation atom, and friends. Pinned so error-reporting regressions show
+/// up as a diff here, not as a support question.
+#[test]
+fn truncated_inputs_report_pinned_byte_span_errors() {
+    let al = alphabet();
+    let cases: [(&str, &str); 7] = [
+        (
+            // Cut-off regex: the error points one past the unclosed group.
+            "Ans(x) <- (x, p, y), L(p) = (a|",
+            "parse error at 30..31: in regular expression: expected `)`",
+        ),
+        (
+            // Dangling `len(` constraint.
+            "Ans(x) <- (x, p, y), len(",
+            "parse error at 25..26: expected a path variable, found end of input",
+        ),
+        (
+            // Constraint cut after an operator.
+            "Ans(x) <- (x, p, y), len(p) - ",
+            "parse error at 30..31: expected `len` or `count`, found end of input",
+        ),
+        (
+            // Language atom with no regex at all: a zero-width span at EOF.
+            "Ans(x) <- (x, p, y), L(p) = ",
+            "parse error at 28..28: expected a regular expression",
+        ),
+        (
+            // Relation atom cut inside its tape list.
+            "Ans(x) <- (x, p, y), R(p",
+            "parse error at 24..25: expected `)`, found end of input",
+        ),
+        (
+            // Binding cut after the `:`.
+            "Ans(x, y) <- (x, p, y), L(p) = a*, x = :",
+            "parse error at 40..41: expected a node name, found end of input",
+        ),
+        (
+            // Relational atom cut mid-tuple.
+            "Ans(x) <- (x, p,",
+            "parse error at 16..17: expected a node variable, found end of input",
+        ),
+    ];
+    for (input, expected) in cases {
+        let err = parse_query(input, &al)
+            .expect_err(&format!("truncated input must not parse: {input:?}"));
+        assert_eq!(err.to_string(), expected, "error text changed for {input:?}");
+    }
 }
