@@ -684,7 +684,16 @@ impl<S: Clone + Eq + Hash + Ord> Nfa<S> {
         // The ε-closure double loop above inserts one arc per closure pair,
         // so the same (symbol, target) arc can appear many times.
         out.compact();
-        out
+        // The lazy construction only ever creates forward-reachable product
+        // states, but many of them cannot reach an accepting pair (one side
+        // dies); co-trim so downstream consumers (and the table-building
+        // minimizer) see a fully trimmed product. When every product state
+        // is already alive (intersections of total automata, e.g. counting
+        // languages) skip the renumbering rebuild — prepare-time hot path.
+        if out.coreachable_flags().iter().all(|&c| c) {
+            return out;
+        }
+        out.trim()
     }
 }
 

@@ -11,7 +11,7 @@
 //! normalization.
 
 use crate::alphabet::{convolution, product_alphabet, Alphabet, Symbol, TupleSym};
-use crate::dfa::complement_nfa;
+use crate::dfa::{self, complement_nfa};
 use crate::nfa::{Nfa, StateId};
 use crate::regex::{Regex, RegexError};
 use crate::sim::CompactNfa;
@@ -137,7 +137,12 @@ impl RegularRelation {
     /// is prepared into, every graph a prepared query is bound to) reuses one
     /// compilation.
     pub fn compiled_sim(&self) -> Arc<CompactNfa<TupleSym>> {
-        Arc::clone(self.sim.get_or_init(|| Arc::new(CompactNfa::compile(&self.nfa))))
+        // Minimize before building tables: the state count sets the bitset
+        // row width of every downstream product search.
+        Arc::clone(
+            self.sim
+                .get_or_init(|| Arc::new(CompactNfa::compile(&dfa::reduce_for_tables(&self.nfa)))),
+        )
     }
 
     /// True if [`compiled_sim`](Self::compiled_sim) has already been built
@@ -152,8 +157,9 @@ impl RegularRelation {
     /// compiled unary constraint across every evaluation of the relation.
     pub fn projection_sim(&self, tape: usize) -> Arc<CompactNfa<Symbol>> {
         assert!(tape < self.arity);
-        let cached = self.projection_sims[tape]
-            .get_or_init(|| Arc::new(CompactNfa::compile(&self.project(tape))));
+        let cached = self.projection_sims[tape].get_or_init(|| {
+            Arc::new(CompactNfa::compile(&dfa::reduce_for_tables(&self.project(tape))))
+        });
         Arc::clone(cached)
     }
 

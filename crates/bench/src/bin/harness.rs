@@ -21,6 +21,9 @@
 //!             and p50/p95 latency per client-thread count), at full size
 //!   parallel  only the intra-query parallel-scaling experiment (warm run
 //!             time vs thread count), at full size
+//!   plan      only the query-planner experiment (warm run time of
+//!             plan-sensitive workloads, static vs cost-based plans), at
+//!             full size
 //!
 //! OPTIONS:
 //!   --baseline <path>   additionally write all experiments as one combined
@@ -42,6 +45,8 @@ struct Args {
     only_serve: bool,
     /// `parallel` mode: run only the parallel-scaling experiment.
     only_parallel: bool,
+    /// `plan` mode: run only the query-planner experiment.
+    only_plan: bool,
     baseline_out: Option<String>,
     compare: Option<String>,
     threshold: f64,
@@ -70,6 +75,7 @@ fn parse_args() -> Args {
         only_prepared: false,
         only_serve: false,
         only_parallel: false,
+        only_plan: false,
         baseline_out: None,
         compare: None,
         threshold: 1.3,
@@ -91,6 +97,10 @@ fn parse_args() -> Args {
             "parallel" => {
                 args.mode = Mode::Full;
                 args.only_parallel = true;
+            }
+            "plan" => {
+                args.mode = Mode::Full;
+                args.only_plan = true;
             }
             "--baseline" => args.baseline_out = Some(flag_value(&mut it, "--baseline")),
             "--compare" => args.compare = Some(flag_value(&mut it, "--compare")),
@@ -159,6 +169,8 @@ fn main() {
         "serve"
     } else if args.only_parallel {
         "parallel"
+    } else if args.only_plan {
+        "plan"
     } else {
         mode.name()
     };
@@ -177,6 +189,11 @@ fn main() {
     }
     if args.only_parallel {
         run_parallel_family(mode, &mut rep);
+        finish(&args, rep);
+        return;
+    }
+    if args.only_plan {
+        run_plan_family(mode, &mut rep);
         finish(&args, rep);
         return;
     }
@@ -319,6 +336,9 @@ fn main() {
     // PAR-1: intra-query parallel scaling.
     run_parallel_family(mode, &mut rep);
 
+    // PLAN-1: the cost-based query planner.
+    run_plan_family(mode, &mut rep);
+
     // PREP: the prepared-query pipeline (compile vs run, reuse family).
     run_prepared(mode, &mut rep);
 
@@ -361,6 +381,26 @@ fn run_parallel_family(mode: Mode, rep: &mut Report) {
     rep.report(
         "parallel",
         "PAR-1 intra-query parallel scaling: warm run time vs thread count (largest fig1a/app instances)",
+        &m,
+        false,
+    );
+}
+
+/// Runs the query-planner experiment: warm run time of the plan-sensitive
+/// workloads (a pinnable bound constant; a reverse-favored language) under
+/// the static plan vs the cost-based plan, per graph size. The two series of
+/// each workload differ only in `EvalOptions::planner`, so the ratio is the
+/// planner's speedup.
+fn run_plan_family(mode: Mode, rep: &mut Report) {
+    let sizes: &[usize] = match mode {
+        Mode::Full => &[1000, 2000, 4000],
+        Mode::Quick => &[500, 1000],
+        Mode::Smoke => &[200],
+    };
+    let m = workloads::plan_speedup(sizes);
+    rep.report(
+        "plan",
+        "PLAN-1 cost-based planner: warm run time, static vs cost-based plans (pinned constant; reverse-favored language)",
         &m,
         false,
     );

@@ -787,6 +787,84 @@ pub mod workloads {
         }
         out
     }
+
+    // ------------------------------------------------------------------
+    // PLAN-1: cost-based planner (static vs cost-based plans, warm runs)
+    // ------------------------------------------------------------------
+
+    /// A seeded random graph with named nodes `v0…v{n-1}` over `{a, b}`:
+    /// roughly 3n edges, `b` carrying `b_edges` of them (the rest `a`).
+    fn planner_graph(n: usize, b_edges: usize, seed: u64) -> GraphDb {
+        use ecrpq_graph::prng::SplitMix64;
+        let mut g = GraphDb::new(ecrpq_automata::Alphabet::from_labels(["a", "b"]));
+        let nodes: Vec<_> = (0..n).map(|i| g.add_named_node(&format!("v{i}"))).collect();
+        let a = g.alphabet().sym("a");
+        let b = g.alphabet().sym("b");
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        for _ in 0..n * 3 {
+            g.add_edge(nodes[rng.gen_index(n)], a, nodes[rng.gen_index(n)]);
+        }
+        for _ in 0..b_edges.max(1) {
+            g.add_edge(nodes[rng.gen_index(n)], b, nodes[rng.gen_index(n)]);
+        }
+        g
+    }
+
+    /// PLAN-1: warm run time of two plan-sensitive workloads under the
+    /// static planner vs the cost-based planner, per graph size `n`.
+    ///
+    /// * `const_seed_*` — `Ans(y) <- (x, p, y), L(p) = a (a|b)*, x = :v0`
+    ///   on a seeded random graph: the cost planner pins the BFS to the
+    ///   bound constant `v0` (one source), the static plan scans all `n`
+    ///   sources.
+    /// * `rev_favored_*` — `Ans(x, y) <- (x, p, y), L(p) = a* b` on a graph
+    ///   with dense `a` edges and rare `b` edges: the cost planner runs the
+    ///   BFS backwards from the few `b` targets, the static plan walks the
+    ///   huge forward `a*` closure from every node.
+    ///
+    /// Each query is prepared and warmed once; each measured point rebinds
+    /// with the planner mode under test and times the warm run only, so the
+    /// series differ *only* in the chosen plan. The differential suite
+    /// (`tests/planner_differential.rs`) proves the answers are identical.
+    pub fn plan_speedup(sizes: &[usize]) -> Vec<Measurement> {
+        use ecrpq::eval::{EvalOptions, PlannerMode};
+        use ecrpq::parse_query;
+        let cfg = config();
+        let modes = [("static", PlannerMode::Static), ("cost", PlannerMode::CostBased)];
+        let mut out = Vec::new();
+
+        for &n in sizes {
+            // Selective bound constant: pinning beats the all-sources scan.
+            let g = planner_graph(n, n / 4, 0xC057_0001 ^ n as u64);
+            let q =
+                parse_query("Ans(y) <- (x, p, y), L(p) = a (a|b)*, x = :v0", g.alphabet()).unwrap();
+            let pq = eval::prepare(&q).unwrap();
+            pq.warm();
+            for (name, planner) in modes {
+                let bound =
+                    pq.bind_with(&g, EvalOptions { planner, ..EvalOptions::default() }).unwrap();
+                out.push(measure(&format!("const_seed_{name}"), n as u64, || {
+                    let (ans, _) = bound.run_nodes(&cfg).unwrap();
+                    format!("answers={} n={n}", ans.len())
+                }));
+            }
+
+            // Reverse-favored language: rare last symbol, dense first symbol.
+            let g = planner_graph(n, (n / 50).max(1), 0xC057_0002 ^ n as u64);
+            let q = parse_query("Ans(x, y) <- (x, p, y), L(p) = a* b", g.alphabet()).unwrap();
+            let pq = eval::prepare(&q).unwrap();
+            pq.warm();
+            for (name, planner) in modes {
+                let bound =
+                    pq.bind_with(&g, EvalOptions { planner, ..EvalOptions::default() }).unwrap();
+                out.push(measure(&format!("rev_favored_{name}"), n as u64, || {
+                    let (ans, _) = bound.run_nodes(&cfg).unwrap();
+                    format!("answers={} n={n}", ans.len())
+                }));
+            }
+        }
+        out
+    }
 }
 
 /// Pretty-prints the prepared-pipeline measurements: one row per

@@ -104,29 +104,37 @@ pub fn eval_qlen(
     let mut answers: HashSet<Vec<NodeId>> = HashSet::new();
     let mut error: Option<QueryError> = None;
 
-    plan::enumerate_candidates(&bound, bound.constants(), &reach, config, &mut stats, |sigma| {
-        let head: Vec<NodeId> = pq.head_node_idx.iter().map(|&i| sigma[i]).collect();
-        if answers.contains(&head) {
-            return true;
-        }
-        // Repeated-atom endpoint consistency.
-        for &(p, f, t) in &pq.extra_endpoints {
-            if sigma[f] != sigma[pq.path_from[p]] || sigma[t] != sigma[pq.path_to[p]] {
+    plan::enumerate_candidates(
+        &bound,
+        bound.constants(),
+        &reach,
+        None,
+        config,
+        &mut stats,
+        |sigma| {
+            let head: Vec<NodeId> = pq.head_node_idx.iter().map(|&i| sigma[i]).collect();
+            if answers.contains(&head) {
                 return true;
             }
-        }
-        match candidate_feasible(&bound, sigma, &constraints, config) {
-            Ok(true) => {
-                answers.insert(head);
-                true
+            // Repeated-atom endpoint consistency.
+            for &(p, f, t) in &pq.extra_endpoints {
+                if sigma[f] != sigma[pq.path_from[p]] || sigma[t] != sigma[pq.path_to[p]] {
+                    return true;
+                }
             }
-            Ok(false) => true,
-            Err(e) => {
-                error = Some(e);
-                false
+            match candidate_feasible(&bound, sigma, &constraints, config) {
+                Ok(true) => {
+                    answers.insert(head);
+                    true
+                }
+                Ok(false) => true,
+                Err(e) => {
+                    error = Some(e);
+                    false
+                }
             }
-        }
-    })?;
+        },
+    )?;
     if let Some(e) = error {
         return Err(e);
     }

@@ -40,8 +40,29 @@ use crate::query::Ecrpq;
 use ecrpq_automata::semilinear::SolverConfig;
 use ecrpq_graph::{GraphDb, NodeId, Path};
 
+pub use plan::cost::{Direction, ExplainAtom, ExplainReport};
 pub use plan::EvalStats;
 pub use prepared::{BoundPlan, BoundStatement, PreparedQuery};
+
+/// How a bound plan picks its join order, BFS directions, and constant
+/// pushdown.
+///
+/// Both modes produce identical answers — the planner only reorders the
+/// work (`tests/planner_differential.rs` enforces this). `Static` is kept as
+/// an explicit mode so benchmarks and the differential suite can compare
+/// against the pre-planner behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PlannerMode {
+    /// Cost-based planning (the default): graph statistics
+    /// ([`ecrpq_graph::GraphStats`]) and automaton language shape drive the
+    /// join order, per-atom forward/reverse BFS direction, and single-source
+    /// pushdown of bound constants.
+    #[default]
+    CostBased,
+    /// The legacy static heuristic: join order from automaton-size weights
+    /// only, always-forward all-sources BFS.
+    Static,
+}
 
 /// Execution options resolved at bind time: how a bound plan is *run*, as
 /// opposed to the budgets of [`EvalConfig`] (which bound what it may
@@ -69,6 +90,10 @@ pub struct EvalOptions {
     /// (e.g. to 1) to force the parallel code paths on tiny inputs, as the
     /// differential tests do.
     pub min_parallel_level: usize,
+    /// Join-order / BFS-direction planning mode (see [`PlannerMode`]).
+    /// Cost-based by default; switch to [`PlannerMode::Static`] to reproduce
+    /// the pre-planner execution order exactly.
+    pub planner: PlannerMode,
 }
 
 /// Default frontier size below which parallel expansion is not worth the
@@ -80,7 +105,11 @@ pub(crate) const DEFAULT_MIN_PARALLEL_LEVEL: usize = 128;
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { threads: 1, min_parallel_level: DEFAULT_MIN_PARALLEL_LEVEL }
+        EvalOptions {
+            threads: 1,
+            min_parallel_level: DEFAULT_MIN_PARALLEL_LEVEL,
+            planner: PlannerMode::default(),
+        }
     }
 }
 

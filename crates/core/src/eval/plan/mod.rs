@@ -10,7 +10,10 @@
 //! is verified by the convolution search of [`super::search`] (skipped for
 //! plain CRPQs, for which the relaxation is exact).
 
+pub(crate) mod cost;
+
 use crate::error::QueryError;
+use crate::eval::plan::cost::{AtomPlan, Direction};
 use crate::eval::prepared::{tuple_code, BoundPlan, PreparedQuery, RelSim};
 use crate::eval::search::{SearchOutcome, SearchProblem};
 use crate::eval::{reference, search, Answer, EvalConfig};
@@ -113,18 +116,19 @@ impl ReachRel {
 /// enough that a chunk's work clearly covers its thread spawn.
 const MIN_SOURCES_PER_CHUNK: usize = 4;
 
-/// Runs one independent per-source computation for every graph node,
-/// collecting `fwd[u] = solve(scratch, u)`. With `options.threads > 1` (and
-/// at least `options.min_parallel_level` sources) the sources are
-/// partitioned into contiguous chunks across scoped worker threads through
-/// the shared fan-out of [`dense::expand_level_chunks`] — the bind-time CSR
-/// and compiled constraint tables are shared read-only, each worker builds
-/// its own scratch, and every source's result is independent of every
-/// other's, so the output is identical at any thread count.
+/// Runs one independent per-source computation for every node in `sources`,
+/// collecting one result row per source, in `sources` order. With
+/// `options.threads > 1` (and at least `options.min_parallel_level` sources)
+/// the sources are partitioned into contiguous chunks across scoped worker
+/// threads through the shared fan-out of [`dense::expand_level_chunks`] —
+/// the bind-time CSR and compiled constraint tables are shared read-only,
+/// each worker builds its own scratch, and every source's result is
+/// independent of every other's, so the output is identical at any thread
+/// count.
 ///
 /// [`dense::expand_level_chunks`]: crate::eval::dense::expand_level_chunks
 fn for_each_source<Sc, MS, F>(
-    n: usize,
+    sources: &[u32],
     options: crate::eval::EvalOptions,
     make_scratch: MS,
     solve: F,
@@ -133,14 +137,14 @@ where
     MS: Fn() -> Sc + Sync,
     F: Fn(&mut Sc, NodeId) -> Vec<NodeId> + Sync,
 {
+    let n = sources.len();
     let threads = options.effective_threads().min(n.max(1));
     if threads <= 1 || n < options.min_parallel_level.max(1) {
         let mut scratch = make_scratch();
-        return (0..n).map(|u| solve(&mut scratch, NodeId(u as u32))).collect();
+        return sources.iter().map(|&u| solve(&mut scratch, NodeId(u))).collect();
     }
-    let sources: Vec<u32> = (0..n as u32).collect();
     let chunks = crate::eval::dense::expand_level_chunks(
-        &sources,
+        sources,
         threads,
         MIN_SOURCES_PER_CHUNK,
         Vec::new,
@@ -153,12 +157,19 @@ where
         },
     );
     // Chunks are contiguous and in source order, so concatenation restores
-    // `fwd[u]` indexing exactly.
+    // the per-source row indexing exactly.
     chunks.concat()
 }
 
 /// Computes the reachability relation of path variable `p` over the bound
-/// plan's graph.
+/// plan's graph, with the default plan: all-sources forward BFS. Callers on
+/// the planned path use [`reachability_planned`] instead.
+pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStats) -> ReachRel {
+    reachability_planned(bound, p, &AtomPlan::forward_full(), stats)
+}
+
+/// Computes the reachability relation of path variable `p` over the bound
+/// plan's graph, following the planned strategy of `atom`.
 ///
 /// All cases run one BFS per start node over the plan's pre-translated CSR
 /// adjacency with dense `bool`/bitset visited arrays; the start nodes
@@ -169,20 +180,49 @@ where
 /// relation's) cache — recorded in `stats` as a cache hit or miss, fetched
 /// once before any worker starts.
 ///
+/// Under [`Direction::Reverse`] the BFS walks the reverse CSR with the
+/// reversed constraint automaton: a reverse walk from `t` reading the
+/// reversed word visits exactly the nodes `u` with a satisfying `u → t`
+/// path, so each start computes one `bwd` row and `fwd` follows by
+/// transposition — the same relation, built from the side the planner
+/// estimates to have the smaller frontier. A pinned atom (`atom.pin`)
+/// restricts the BFS to that single start node: the planner only pins a
+/// variable that is a constant in every probe of this relation, so the
+/// missing rows are never read.
+///
 /// [`EvalOptions`]: crate::eval::EvalOptions
-pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStats) -> ReachRel {
+pub(crate) fn reachability_planned(
+    bound: &BoundPlan<'_>,
+    p: usize,
+    atom: &AtomPlan,
+    stats: &mut EvalStats,
+) -> ReachRel {
     let graph = bound.graph;
     let pq = bound.pq;
     let n = graph.num_nodes();
     let options = bound.options();
+    let rev = atom.dir == Direction::Reverse;
+    let pinned_source: [u32; 1];
+    let all_sources: Vec<u32>;
+    let sources: &[u32] = match atom.pin {
+        Some(c) => {
+            pinned_source = [c.0];
+            &pinned_source
+        }
+        None => {
+            all_sources = (0..n as u32).collect();
+            &all_sources
+        }
+    };
+    let adj = |v: usize| if rev { bound.csr_in(v) } else { bound.csr_out(v) };
     let unary = pq.unary[p].as_ref();
-    let fwd: Vec<Vec<NodeId>> = match unary {
+    let rows: Vec<Vec<NodeId>> = match unary {
         None => {
             // Label-oblivious reachability: plain BFS with reused buffers.
             // `seen` is cleared by walking the hits, not the whole array, so
             // a sparse reach set costs O(|reach| log |reach|), not O(n).
             for_each_source(
-                n,
+                sources,
                 options,
                 || (vec![false; n], Vec::<u32>::new()),
                 |(seen, stack), u| {
@@ -190,7 +230,7 @@ pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStat
                     seen[u.index()] = true;
                     stack.push(u.0);
                     while let Some(v) = stack.pop() {
-                        let (tos, _) = bound.csr_out(v as usize);
+                        let (tos, _) = adj(v as usize);
                         for &to in tos {
                             if !seen[to as usize] {
                                 seen[to as usize] = true;
@@ -212,8 +252,16 @@ pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStat
             // 30k-state intersection of several counting languages): run the
             // classical per-start product BFS, but with precomputed sparse
             // ε-closures and a dense `(node, state)` visited bitset instead
-            // of per-pair hashing.
-            let nfa = &u_plan.nfa;
+            // of per-pair hashing. A reverse plan walks the reversed
+            // automaton (built per call — this arm is rare and the reversal
+            // is linear in the automaton, dwarfed by the n BFS passes).
+            let reversed;
+            let nfa = if rev {
+                reversed = u_plan.nfa.reverse();
+                &reversed
+            } else {
+                &*u_plan.nfa
+            };
             let s = nfa.num_states().max(1);
             let closures: Vec<Vec<u32>> =
                 (0..s as u32).map(|q| nfa.epsilon_closure(&[q])).collect();
@@ -223,7 +271,7 @@ pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStat
             // O(|visited pairs|), not O(n*s/64), per start node.
             let words = (n * s).div_ceil(64).max(1);
             for_each_source(
-                n,
+                sources,
                 options,
                 || {
                     (
@@ -246,7 +294,7 @@ pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStat
                         }
                     }
                     while let Some((v, q)) = stack.pop() {
-                        let (tos, labels) = bound.csr_out(v as usize);
+                        let (tos, labels) = adj(v as usize);
                         for (e, &to) in tos.iter().enumerate() {
                             let sym = labels[e];
                             for (t, nq) in nfa.transitions_from(q) {
@@ -284,8 +332,9 @@ pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStat
             // Product of the graph with the compiled constraint tables
             // (fetched from the prepared query's cache — once, before any
             // worker starts, so the cache counters are thread-count
-            // independent).
-            let sim = pq.unary_sim(p, stats);
+            // independent). A reverse plan uses the cached tables of the
+            // reversed automaton.
+            let sim = if rev { pq.unary_rev_sim(p, stats) } else { pq.unary_sim(p, stats) };
             let s = sim.num_states().max(1);
             // Merged symbol → dense sim symbol id (`None`: the constraint
             // never reads this label, so the edge is dead for this variable).
@@ -297,7 +346,7 @@ pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStat
             let init = sim.initial_set();
             let words = (n * s).div_ceil(64).max(1);
             for_each_source(
-                n,
+                sources,
                 options,
                 || {
                     (
@@ -320,7 +369,7 @@ pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStat
                         }
                     }
                     while let Some((v, q)) = stack.pop() {
-                        let (tos, labels) = bound.csr_out(v as usize);
+                        let (tos, labels) = adj(v as usize);
                         for (e, &to) in tos.iter().enumerate() {
                             let Some(sid) = label_map[labels[e].index()] else {
                                 continue;
@@ -358,42 +407,39 @@ pub(crate) fn reachability(bound: &BoundPlan<'_>, p: usize, stats: &mut EvalStat
             )
         }
     };
-    let mut bwd: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    // Scatter per-source rows into a full primary table (a pinned BFS leaves
+    // every other row empty), then derive the other side by transposition.
+    let mut primary: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (row, &src) in rows.into_iter().zip(sources.iter()) {
+        primary[src as usize] = row;
+    }
+    let mut secondary: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     for u in graph.nodes() {
-        for &v in &fwd[u.index()] {
-            bwd[v.index()].push(u);
+        for &v in &primary[u.index()] {
+            secondary[v.index()].push(u);
         }
     }
-    for b in &mut bwd {
+    for b in &mut secondary {
         b.sort_unstable();
     }
-    ReachRel { fwd, bwd }
+    if rev {
+        ReachRel { fwd: secondary, bwd: primary }
+    } else {
+        ReachRel { fwd: primary, bwd: secondary }
+    }
 }
 
-/// Constraint edge used during candidate enumeration: path variable `p`
-/// requires `(σ(from), σ(to)) ∈ reach[p]`.
-struct JoinEdge {
-    path: usize,
-    from: usize,
-    to: usize,
+/// Constraint edge used during candidate enumeration: path variable `path`
+/// requires `(σ(from), σ(to)) ∈ reach[path]`.
+pub(crate) struct JoinEdge {
+    pub(crate) path: usize,
+    pub(crate) from: usize,
+    pub(crate) to: usize,
 }
 
-/// Enumerates candidate node assignments consistent with the reachability
-/// relations, invoking `visit` on each; `visit` returns `false` to stop.
-/// `constants` are the node variables with forced values (the plan's
-/// resolved constants, or the values forced by a membership check).
-/// Returns an error if the candidate budget is exceeded.
-pub(crate) fn enumerate_candidates<F: FnMut(&[NodeId]) -> bool>(
-    bound: &BoundPlan<'_>,
-    constants: &[(usize, NodeId)],
-    reach: &[ReachRel],
-    config: &EvalConfig,
-    stats: &mut EvalStats,
-    mut visit: F,
-) -> Result<(), QueryError> {
-    let pq = bound.pq;
-    let graph = bound.graph;
-    let num_vars = pq.node_vars.len();
+/// All join edges of a prepared query: one per path atom, plus one per
+/// repeated endpoint pair of a shared path variable.
+pub(crate) fn join_edges(pq: &PreparedQuery) -> Vec<JoinEdge> {
     let mut edges: Vec<JoinEdge> = Vec::new();
     for p in 0..pq.path_vars.len() {
         edges.push(JoinEdge { path: p, from: pq.path_from[p], to: pq.path_to[p] });
@@ -401,34 +447,38 @@ pub(crate) fn enumerate_candidates<F: FnMut(&[NodeId]) -> bool>(
     for &(p, f, t) in &pq.extra_endpoints {
         edges.push(JoinEdge { path: p, from: f, to: t });
     }
+    edges
+}
 
-    // Variable ordering: constants first, then a connectivity-greedy order
-    // tie-broken by the prepared query's automaton-size weights (a variable
-    // whose incident unary automata are smaller tends to have a sparser
-    // reachability relation, so placing it early prunes more).
-    let mut order: Vec<usize> = Vec::new();
-    let mut placed = vec![false; num_vars];
-    for &(v, _) in constants {
-        if !placed[v] {
-            placed[v] = true;
-            order.push(v);
+/// Enumerates candidate node assignments consistent with the reachability
+/// relations, invoking `visit` on each; `visit` returns `false` to stop.
+/// `constants` are the node variables with forced values (the plan's
+/// resolved constants, or the values forced by a membership check).
+/// `order` is the variable enumeration order from the planner; `None` falls
+/// back to the static order (used by the answer-automaton and
+/// length-abstraction paths, which do not plan). Returns an error if the
+/// candidate budget is exceeded.
+pub(crate) fn enumerate_candidates<F: FnMut(&[NodeId]) -> bool>(
+    bound: &BoundPlan<'_>,
+    constants: &[(usize, NodeId)],
+    reach: &[ReachRel],
+    order: Option<&[usize]>,
+    config: &EvalConfig,
+    stats: &mut EvalStats,
+    mut visit: F,
+) -> Result<(), QueryError> {
+    let pq = bound.pq;
+    let graph = bound.graph;
+    let num_vars = pq.node_vars.len();
+    let edges = join_edges(pq);
+    let static_fallback;
+    let order: &[usize] = match order {
+        Some(o) => o,
+        None => {
+            static_fallback = cost::static_order(pq, constants, &edges);
+            &static_fallback
         }
-    }
-    while order.len() < num_vars {
-        // prefer a variable adjacent to an already-placed one
-        let next = (0..num_vars)
-            .filter(|&v| !placed[v])
-            .max_by_key(|&v| {
-                let connectivity = edges
-                    .iter()
-                    .filter(|e| (e.from == v && placed[e.to]) || (e.to == v && placed[e.from]))
-                    .count();
-                (connectivity, std::cmp::Reverse(pq.var_weight[v]))
-            })
-            .unwrap();
-        placed[next] = true;
-        order.push(next);
-    }
+    };
 
     let constants: HashMap<usize, NodeId> = constants.iter().copied().collect();
     let all_nodes: Vec<NodeId> = graph.nodes().collect();
@@ -530,7 +580,7 @@ pub(crate) fn enumerate_candidates<F: FnMut(&[NodeId]) -> bool>(
 
     recurse(
         0,
-        &order,
+        order,
         &edges,
         reach,
         &constants,

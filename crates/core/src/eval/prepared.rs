@@ -27,6 +27,7 @@ use crate::eval::search::SearchProblem;
 use crate::eval::{Answer, EvalConfig, EvalOptions};
 use crate::query::{CountTarget, Ecrpq, QLinearConstraint};
 use ecrpq_automata::alphabet::{Alphabet, Symbol, TupleSym};
+use ecrpq_automata::dfa;
 use ecrpq_automata::nfa::Nfa;
 use ecrpq_automata::relation::RegularRelation;
 use ecrpq_automata::semilinear::CmpOp;
@@ -208,6 +209,10 @@ pub(crate) struct UnaryPlan {
     source: Option<(usize, usize)>,
     /// Compiled tables for intersected constraints (owned by this query).
     sim_cell: OnceLock<Arc<CompactNfa<Symbol>>>,
+    /// Compiled tables of the *reversed* constraint automaton, for
+    /// planner-chosen reverse BFS (owned by this query — the relation cache
+    /// only stores forward projections).
+    rev_sim_cell: OnceLock<Arc<CompactNfa<Symbol>>>,
     /// Precomputed [`dense_eligible`] verdict.
     pub dense: bool,
 }
@@ -393,6 +398,7 @@ impl PreparedQuery {
                         nfa,
                         source: Some((j, tape)),
                         sim_cell: OnceLock::new(),
+                        rev_sim_cell: OnceLock::new(),
                         dense,
                     })
                 }
@@ -407,7 +413,13 @@ impl PreparedQuery {
                     }
                     let nfa = acc.expect("non-empty source list");
                     let dense = dense_eligible(&nfa);
-                    Some(UnaryPlan { nfa, source: None, sim_cell: OnceLock::new(), dense })
+                    Some(UnaryPlan {
+                        nfa,
+                        source: None,
+                        sim_cell: OnceLock::new(),
+                        rev_sim_cell: OnceLock::new(),
+                        dense,
+                    })
                 }
             })
             .collect();
@@ -548,6 +560,24 @@ impl PreparedQuery {
             }
         }
 
+        // The reverse view of the same adjacency, for planner-chosen reverse
+        // BFS. Built from the graph's cached in-degrees in one pass.
+        let mut rev_off = vec![0u32; n + 1];
+        for (v, &d) in graph.in_degrees().iter().enumerate() {
+            rev_off[v + 1] = rev_off[v] + d;
+        }
+        let mut rev_to = vec![0u32; total];
+        let mut rev_label = vec![Symbol(0); total];
+        let mut rev_cursor = rev_off.clone();
+        for v in graph.nodes() {
+            for &(l, to) in graph.out_edges(v) {
+                let c = rev_cursor[to.index()] as usize;
+                rev_to[c] = v.0;
+                rev_label[c] = graph_symbol_map[l.index()];
+                rev_cursor[to.index()] += 1;
+            }
+        }
+
         Ok(BindArtifacts {
             merged_len: merged_alphabet.len(),
             graph_symbol_map,
@@ -556,6 +586,9 @@ impl PreparedQuery {
             csr_off,
             csr_to,
             csr_label,
+            rev_off,
+            rev_to,
+            rev_label,
         })
     }
 
@@ -623,9 +656,29 @@ impl PreparedQuery {
                 } else {
                     stats.sim_cache_misses += 1;
                 }
-                Arc::clone(u.sim_cell.get_or_init(|| Arc::new(CompactNfa::compile(&u.nfa))))
+                Arc::clone(
+                    u.sim_cell.get_or_init(|| {
+                        Arc::new(CompactNfa::compile(&dfa::reduce_for_tables(&u.nfa)))
+                    }),
+                )
             }
         }
+    }
+
+    /// The compiled tables of the *reversed* unary constraint of path
+    /// variable `p`, for planner-chosen reverse BFS, recording a cache hit
+    /// or miss. Always cached inside this prepared query (the relation cache
+    /// only holds forward projections).
+    pub(crate) fn unary_rev_sim(&self, p: usize, stats: &mut EvalStats) -> Arc<CompactNfa<Symbol>> {
+        let u = self.unary[p].as_ref().expect("unary_rev_sim on an unconstrained path variable");
+        if u.rev_sim_cell.get().is_some() {
+            stats.sim_cache_hits += 1;
+        } else {
+            stats.sim_cache_misses += 1;
+        }
+        Arc::clone(u.rev_sim_cell.get_or_init(|| {
+            Arc::new(CompactNfa::compile(&dfa::reduce_for_tables(&u.nfa.reverse())))
+        }))
     }
 }
 
@@ -688,6 +741,12 @@ pub(crate) struct BindArtifacts {
     pub(crate) csr_to: Vec<u32>,
     /// CSR edge labels, pre-translated into the merged alphabet.
     pub(crate) csr_label: Vec<Symbol>,
+    /// Reverse CSR offsets (per node), for planner-chosen reverse BFS.
+    pub(crate) rev_off: Vec<u32>,
+    /// Reverse CSR sources (the edge's origin node).
+    pub(crate) rev_to: Vec<u32>,
+    /// Reverse CSR edge labels, pre-translated into the merged alphabet.
+    pub(crate) rev_label: Vec<Symbol>,
 }
 
 /// A prepared query bound to one concrete graph: symbol translation, resolved
@@ -757,6 +816,13 @@ impl<'a> BoundPlan<'a> {
         (&self.art.csr_to[lo..hi], &self.art.csr_label[lo..hi])
     }
 
+    /// The reverse-CSR in-edge range of `node` as `(sources, merged labels)`.
+    #[inline]
+    pub(crate) fn csr_in(&self, node: usize) -> (&[u32], &[Symbol]) {
+        let (lo, hi) = (self.art.rev_off[node] as usize, self.art.rev_off[node + 1] as usize);
+        (&self.art.rev_to[lo..hi], &self.art.rev_label[lo..hi])
+    }
+
     /// Derives the step bound used when counters are present.
     pub(crate) fn step_bound(&self, config: &EvalConfig) -> usize {
         if let Some(b) = config.max_convolution_steps {
@@ -818,9 +884,12 @@ impl<'a> BoundPlan<'a> {
         let pq = self.pq;
         let mut stats = EvalStats::default();
 
-        // Reachability relation per path variable.
-        let reach: Vec<ReachRel> =
-            (0..pq.path_vars.len()).map(|p| plan::reachability(self, p, &mut stats)).collect();
+        // Plan, then compute the reachability relation of every path
+        // variable with its planned direction and pin.
+        let qplan = plan::cost::plan_query(self, self.constants(), self.options.planner);
+        let reach: Vec<ReachRel> = (0..pq.path_vars.len())
+            .map(|p| plan::reachability_planned(self, p, &qplan.atoms[p], &mut stats))
+            .collect();
 
         let needs_search = !pq.relaxation_is_exact || mode == Mode::Paths;
         if needs_search && engine == Engine::Dense && pq.dense_search {
@@ -836,55 +905,64 @@ impl<'a> BoundPlan<'a> {
         let mut verified: u64 = 0;
         let mut search_states: u64 = 0;
 
-        plan::enumerate_candidates(self, self.constants(), &reach, config, &mut stats, |sigma| {
-            let head: Vec<NodeId> = pq.head_node_idx.iter().map(|&i| sigma[i]).collect();
-            if mode == Mode::Nodes && seen_heads.contains(&head) {
-                return true;
-            }
-            if !needs_search {
-                verified += 1;
-                seen_heads.insert(head.clone());
-                answers.push(Answer { nodes: head, paths: Vec::new() });
-                return mode != Mode::Boolean;
-            }
-            // Verify the candidate with the convolution search.
-            let problem = SearchProblem {
-                plan: self,
-                sigma: sigma.to_vec(),
-                pinned: vec![None; pq.path_vars.len()],
-                want_witness: mode == Mode::Paths,
-                step_bound,
-                max_states: config.max_search_states,
-            };
-            match engine.run(&problem) {
-                Ok(out) if !out.accepted => {
-                    search_states += out.states_visited;
-                    true
+        let order = Some(qplan.order.as_slice());
+        plan::enumerate_candidates(
+            self,
+            self.constants(),
+            &reach,
+            order,
+            config,
+            &mut stats,
+            |sigma| {
+                let head: Vec<NodeId> = pq.head_node_idx.iter().map(|&i| sigma[i]).collect();
+                if mode == Mode::Nodes && seen_heads.contains(&head) {
+                    return true;
                 }
-                Ok(out) => {
-                    search_states += out.states_visited;
+                if !needs_search {
                     verified += 1;
                     seen_heads.insert(head.clone());
-                    let paths = match out.witness {
-                        Some(w) => pq.head_path_idx.iter().map(|&p| w[p].clone()).collect(),
-                        None => Vec::new(),
-                    };
-                    if mode == Mode::Paths {
-                        if seen_answers.insert((head.clone(), paths.clone())) {
+                    answers.push(Answer { nodes: head, paths: Vec::new() });
+                    return mode != Mode::Boolean;
+                }
+                // Verify the candidate with the convolution search.
+                let problem = SearchProblem {
+                    plan: self,
+                    sigma: sigma.to_vec(),
+                    pinned: vec![None; pq.path_vars.len()],
+                    want_witness: mode == Mode::Paths,
+                    step_bound,
+                    max_states: config.max_search_states,
+                };
+                match engine.run(&problem) {
+                    Ok(out) if !out.accepted => {
+                        search_states += out.states_visited;
+                        true
+                    }
+                    Ok(out) => {
+                        search_states += out.states_visited;
+                        verified += 1;
+                        seen_heads.insert(head.clone());
+                        let paths = match out.witness {
+                            Some(w) => pq.head_path_idx.iter().map(|&p| w[p].clone()).collect(),
+                            None => Vec::new(),
+                        };
+                        if mode == Mode::Paths {
+                            if seen_answers.insert((head.clone(), paths.clone())) {
+                                answers.push(Answer { nodes: head, paths });
+                            }
+                            answers.len() < config.answer_limit
+                        } else {
                             answers.push(Answer { nodes: head, paths });
+                            mode != Mode::Boolean
                         }
-                        answers.len() < config.answer_limit
-                    } else {
-                        answers.push(Answer { nodes: head, paths });
-                        mode != Mode::Boolean
+                    }
+                    Err(e) => {
+                        error = Some(e);
+                        false
                     }
                 }
-                Err(e) => {
-                    error = Some(e);
-                    false
-                }
-            }
-        })?;
+            },
+        )?;
 
         if let Some(e) = error {
             return Err(e);
@@ -957,17 +1035,23 @@ impl<'a> BoundPlan<'a> {
         }
 
         // Reachability for the remaining join, with forced values taking the
-        // place of the plan's constants.
+        // place of the plan's constants. The forced list is sorted by
+        // variable index so the planner (and thus the plan) is deterministic
+        // regardless of `HashMap` iteration order.
         let mut stats = EvalStats::default();
-        let reach: Vec<ReachRel> =
-            (0..pq.path_vars.len()).map(|p| plan::reachability(self, p, &mut stats)).collect();
-        let forced: Vec<(usize, NodeId)> = forced.into_iter().collect();
+        let mut forced: Vec<(usize, NodeId)> = forced.into_iter().collect();
+        forced.sort_unstable();
+        let qplan = plan::cost::plan_query(self, &forced, self.options.planner);
+        let reach: Vec<ReachRel> = (0..pq.path_vars.len())
+            .map(|p| plan::reachability_planned(self, p, &qplan.atoms[p], &mut stats))
+            .collect();
 
         let step_bound =
             if self.counters().is_empty() { None } else { Some(self.step_bound(config)) };
         let mut found = false;
         let mut error: Option<QueryError> = None;
-        plan::enumerate_candidates(self, &forced, &reach, config, &mut stats, |sigma| {
+        let order = Some(qplan.order.as_slice());
+        plan::enumerate_candidates(self, &forced, &reach, order, config, &mut stats, |sigma| {
             let problem = SearchProblem {
                 plan: self,
                 sigma: sigma.to_vec(),
@@ -995,6 +1079,48 @@ impl<'a> BoundPlan<'a> {
             return Err(e);
         }
         Ok(found)
+    }
+
+    /// Runs the query in node mode and reports the plan next to what it
+    /// actually cost: the chosen join order, per-atom BFS direction and pin,
+    /// estimated *and* measured reachability cardinalities, and the run's
+    /// evaluation statistics. The extra reachability pass is the price of
+    /// the `actual_pairs` column; `explain` is a diagnostic surface, not a
+    /// fast path.
+    pub fn explain(&self, config: &EvalConfig) -> Result<crate::eval::ExplainReport, QueryError> {
+        let pq = self.pq;
+        let mut stats = EvalStats::default();
+        let qplan = plan::cost::plan_query(self, self.constants(), self.options.planner);
+        let reach: Vec<ReachRel> = (0..pq.path_vars.len())
+            .map(|p| plan::reachability_planned(self, p, &qplan.atoms[p], &mut stats))
+            .collect();
+        let actual_pairs: Vec<u64> =
+            reach.iter().map(|r| r.fwd.iter().map(|row| row.len() as u64).sum()).collect();
+        let (answers, run_stats) = self.run_mode(config, Mode::Nodes, Engine::Dense)?;
+        let atoms = (0..pq.path_vars.len())
+            .map(|p| crate::eval::ExplainAtom {
+                path_var: pq.path_vars[p].clone(),
+                from_var: pq.node_vars[pq.path_from[p]].clone(),
+                to_var: pq.node_vars[pq.path_to[p]].clone(),
+                direction: qplan.atoms[p].dir,
+                pinned: qplan.atoms[p].pin.map(|c| match self.graph.node_name(c) {
+                    Some(name) => name.to_string(),
+                    None => format!("#{}", c.0),
+                }),
+                automaton_states: pq.unary[p].as_ref().map_or(0, |u| u.nfa.num_states()),
+                est_pairs: qplan.atoms[p].est_pairs,
+                est_fwd_frontier: qplan.atoms[p].est_fwd_frontier,
+                est_rev_frontier: qplan.atoms[p].est_rev_frontier,
+                actual_pairs: actual_pairs[p],
+            })
+            .collect();
+        Ok(crate::eval::ExplainReport {
+            planner: self.options.planner,
+            join_order: qplan.order.iter().map(|&v| pq.node_vars[v].clone()).collect(),
+            atoms,
+            stats: run_stats,
+            answers: answers.len() as u64,
+        })
     }
 }
 

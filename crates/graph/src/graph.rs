@@ -5,10 +5,12 @@
 //! readability in examples and tests. The graph doubles as an NFA over Σ
 //! without initial and final states; [`GraphDb::as_nfa`] fixes those.
 
+use crate::stats::GraphStats;
 use ecrpq_automata::alphabet::{Alphabet, Symbol};
 use ecrpq_automata::nfa::Nfa;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a graph node (dense index).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -47,7 +49,14 @@ pub struct GraphDb {
     name_index: HashMap<String, NodeId>,
     out_edges: Vec<Vec<(Symbol, NodeId)>>,
     in_edges: Vec<Vec<(Symbol, NodeId)>>,
+    /// Cached per-node degrees (always in sync with the edge lists), so
+    /// `has_edge`'s shorter-endpoint choice and the planner's frontier
+    /// estimates read an array instead of touching both edge `Vec` headers.
+    out_degree: Vec<u32>,
+    in_degree: Vec<u32>,
     num_edges: usize,
+    /// Lazily computed planner statistics; cleared by every mutation.
+    stats_cache: OnceLock<Arc<GraphStats>>,
 }
 
 impl GraphDb {
@@ -59,7 +68,10 @@ impl GraphDb {
             name_index: HashMap::new(),
             out_edges: Vec::new(),
             in_edges: Vec::new(),
+            out_degree: Vec::new(),
+            in_degree: Vec::new(),
             num_edges: 0,
+            stats_cache: OnceLock::new(),
         }
     }
 
@@ -85,6 +97,9 @@ impl GraphDb {
         self.node_names.push(None);
         self.out_edges.push(Vec::new());
         self.in_edges.push(Vec::new());
+        self.out_degree.push(0);
+        self.in_degree.push(0);
+        self.stats_cache.take();
         id
     }
 
@@ -101,6 +116,9 @@ impl GraphDb {
         self.name_index.insert(owned, id);
         self.out_edges.push(Vec::new());
         self.in_edges.push(Vec::new());
+        self.out_degree.push(0);
+        self.in_degree.push(0);
+        self.stats_cache.take();
         id
     }
 
@@ -147,7 +165,10 @@ impl GraphDb {
         assert!(label.index() < self.alphabet.len(), "label not in alphabet");
         self.out_edges[from.index()].push((label, to));
         self.in_edges[to.index()].push((label, from));
+        self.out_degree[from.index()] += 1;
+        self.in_degree[to.index()] += 1;
         self.num_edges += 1;
+        self.stats_cache.take();
     }
 
     /// Adds an edge, interning the label into the alphabet if necessary.
@@ -166,6 +187,36 @@ impl GraphDb {
         &self.in_edges[node.index()]
     }
 
+    /// Out-degree of a node (cached; no edge-list access).
+    #[inline]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out_degree[node.index()] as usize
+    }
+
+    /// In-degree of a node (cached; no edge-list access).
+    #[inline]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.in_degree[node.index()] as usize
+    }
+
+    /// The full out-degree array, indexed by node id (planner frontier
+    /// estimates scan this instead of walking edge lists).
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degree
+    }
+
+    /// The full in-degree array, indexed by node id.
+    pub fn in_degrees(&self) -> &[u32] {
+        &self.in_degree
+    }
+
+    /// Planner statistics for this graph, computed on first use and cached
+    /// (mutations invalidate the cache). Cheap to clone and share: the cache
+    /// holds an `Arc`.
+    pub fn stats(&self) -> Arc<GraphStats> {
+        Arc::clone(self.stats_cache.get_or_init(|| Arc::new(GraphStats::compute(self))))
+    }
+
     /// True if the graph contains the edge `(from, label, to)`.
     ///
     /// Edge lists are unsorted, so this is a linear scan — O(min(out-degree,
@@ -173,12 +224,10 @@ impl GraphDb {
     /// list. Callers that probe many edges of the same node (e.g. validation
     /// loops) should iterate [`GraphDb::out_edges`] directly instead.
     pub fn has_edge(&self, from: NodeId, label: Symbol, to: NodeId) -> bool {
-        let out = &self.out_edges[from.index()];
-        let inn = &self.in_edges[to.index()];
-        if out.len() <= inn.len() {
-            out.iter().any(|&(l, t)| l == label && t == to)
+        if self.out_degree[from.index()] <= self.in_degree[to.index()] {
+            self.out_edges[from.index()].iter().any(|&(l, t)| l == label && t == to)
         } else {
-            inn.iter().any(|&(l, f)| l == label && f == from)
+            self.in_edges[to.index()].iter().any(|&(l, f)| l == label && f == from)
         }
     }
 

@@ -27,9 +27,11 @@ pub mod graph;
 pub mod path;
 pub mod prng;
 pub mod product;
+pub mod stats;
 
 pub use graph::{Edge, GraphDb, NodeId};
 pub use path::Path;
+pub use stats::GraphStats;
 
 /// Compile-time guarantee that the data model can be shared across threads
 /// (`Arc<GraphDb>` in a server's graph catalog, paths in worker responses).

@@ -13,7 +13,11 @@
 //!                                      server's --threads-cap)
 //!   check <name> <graph> <json>        membership check; <json> supplies
 //!                                      {"nodes": […], "paths": […]}
-//!   stats                              server counters
+//!   explain <name> <graph> [planner]   show the query plan (join order, BFS
+//!                                      directions, estimated vs actual atom
+//!                                      cardinalities; planner: cost|static)
+//!   stats [graph]                      server counters (+ per-label graph
+//!                                      statistics when a graph is named)
 //!   shutdown                           stop the server
 //!   raw <json-line>…                   send raw request lines verbatim
 //!   script                             read raw request lines from stdin
@@ -94,7 +98,29 @@ fn main() {
             }
             ok &= print_reply(client.request(&Value::Obj(req)));
         }
-        Some("stats") => ok &= print_reply(client.stats()),
+        Some("explain") => {
+            let usage = "explain <name> <graph> [planner]";
+            let name = rest.get(1).unwrap_or_else(|| die(usage));
+            let graph = rest.get(2).unwrap_or_else(|| die(usage));
+            let reply = match rest.get(3) {
+                Some(planner) => client.explain_planner(name, graph, planner),
+                None => client.explain(name, graph),
+            };
+            // Render the plan for humans on stderr; stdout keeps the
+            // one-JSON-line contract that scripts rely on.
+            if let Ok(v) = &reply {
+                if let Some(text) = v.get("text").and_then(Value::as_str) {
+                    eprintln!("{text}");
+                }
+            }
+            ok &= print_reply(reply);
+        }
+        Some("stats") => {
+            ok &= match rest.get(1) {
+                Some(graph) => print_reply(client.stats_graph(graph)),
+                None => print_reply(client.stats()),
+            };
+        }
         Some("shutdown") => ok &= print_reply(client.shutdown()),
         Some("raw") => {
             for line in &rest[1..] {

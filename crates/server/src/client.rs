@@ -152,9 +152,41 @@ impl Client {
         ]))
     }
 
+    /// `explain` a prepared statement against a cataloged graph: plans the
+    /// query without enumerating answers and returns the planner's join
+    /// order, per-atom BFS directions/pins, and estimated vs actual atom
+    /// cardinalities (plus a rendered `text` field).
+    pub fn explain(&mut self, name: &str, graph: &str) -> Result<Value, ServerError> {
+        self.request(&Value::obj([
+            ("op", Value::str("explain")),
+            ("name", Value::str(name)),
+            ("graph", Value::str(graph)),
+        ]))
+    }
+
+    /// `explain` with an explicit planner (`cost` or `static`).
+    pub fn explain_planner(
+        &mut self,
+        name: &str,
+        graph: &str,
+        planner: &str,
+    ) -> Result<Value, ServerError> {
+        self.request(&Value::obj([
+            ("op", Value::str("explain")),
+            ("name", Value::str(name)),
+            ("graph", Value::str(graph)),
+            ("planner", Value::str(planner)),
+        ]))
+    }
+
     /// `stats`.
     pub fn stats(&mut self) -> Result<Value, ServerError> {
         self.request(&Value::obj([("op", Value::str("stats"))]))
+    }
+
+    /// `stats` including per-label statistics of one cataloged graph.
+    pub fn stats_graph(&mut self, graph: &str) -> Result<Value, ServerError> {
+        self.request(&Value::obj([("op", Value::str("stats")), ("graph", Value::str(graph))]))
     }
 
     /// `close` this connection (the server acknowledges, then hangs up).

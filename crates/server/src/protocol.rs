@@ -9,9 +9,10 @@
 //! |----|----------------|--------------|
 //! | `load` | `graph`, plus one of `edges` (inline edge-list text), `path` (edge-list file), `json` (inline `{"edges": …}`), `json_path`, `generator` (e.g. `cycle:8:a`) | `graph`, `nodes`, `edges` |
 //! | `prepare` | `name`, `query`, plus `alphabet` (label array) or `graph` (use its alphabet) | `name`, `node_vars`, `path_vars` |
-//! | `run` | `name`, `graph`, optional `mode` (`nodes`\|`boolean`\|`paths`), `limit`, `threads` (intra-query workers, 1..=the service's cap) | `registry` (`hit`\|`miss`), `answers`/`answer`, `count`, `stats` |
+//! | `run` | `name`, `graph`, optional `mode` (`nodes`\|`boolean`\|`paths`), `limit`, `threads` (intra-query workers, 1..=the service's cap), `planner` (`cost`\|`static`) | `registry` (`hit`\|`miss`), `answers`/`answer`, `count`, `stats` |
 //! | `check` | `name`, `graph`, `nodes` (names), `paths` (alternating `[node, label, node, …]`) | `member` |
-//! | `stats` | — | catalog/registry/server counters incl. `threads_cap` |
+//! | `explain` | `name`, `graph`, optional `threads`, `planner` | `planner`, `join_order`, `atoms` (per-atom direction/pin/estimated vs actual cardinalities), `stats`, `answers`, `text` (rendered plan) |
+//! | `stats` | optional `graph` | catalog/registry/server counters incl. `threads_cap`; with `graph`, its `graph_stats` (per-label edge/endpoint counts, degree maxima, sampled reach fraction) |
 //! | `close` | — | `closing: true`, then the connection ends |
 //! | `shutdown` | — | `shutting_down: true`, then the whole server stops |
 //!
@@ -23,7 +24,7 @@
 use crate::catalog::{GraphCatalog, GraphSource};
 use crate::registry::StatementRegistry;
 use crate::ServerError;
-use ecrpq::eval::EvalStats;
+use ecrpq::eval::{EvalStats, PlannerMode};
 use ecrpq::{EvalConfig, EvalOptions};
 use ecrpq_automata::Alphabet;
 use ecrpq_graph::{GraphDb, NodeId, Path};
@@ -127,7 +128,8 @@ impl Service {
             "prepare" => self.op_prepare(&req)?,
             "run" => self.op_run(&req)?,
             "check" => self.op_check(&req)?,
-            "stats" => self.op_stats(),
+            "explain" => self.op_explain(&req)?,
+            "stats" => self.op_stats(&req)?,
             "close" => return Ok((ok_obj([("closing", Value::Bool(true))]), Control::Close)),
             "shutdown" => {
                 return Ok((ok_obj([("shutting_down", Value::Bool(true))]), Control::Shutdown))
@@ -155,6 +157,9 @@ impl Service {
             ));
         };
         let graph = self.catalog.load(name, &source)?;
+        // Warm the per-graph statistics cache at load time, off the query
+        // path: every later bind/plan (and the `stats` op) reads it for free.
+        let _ = graph.stats();
         Ok(ok_obj([
             ("graph", Value::str(name)),
             ("nodes", Value::int(graph.num_nodes() as u64)),
@@ -187,21 +192,32 @@ impl Service {
         ]))
     }
 
-    /// Resolves the optional `threads` field of a `run` request against the
-    /// service's cap. Absent → the sequential default (1 thread).
+    /// Resolves the optional `threads` and `planner` fields of a `run` or
+    /// `explain` request. `threads` is checked against the service's cap;
+    /// absent → the sequential default (1 thread). `planner` is `cost` (the
+    /// default) or `static`.
     fn run_options(&self, req: &Value) -> Result<EvalOptions, ServerError> {
-        let Some(t) = req.get("threads") else {
-            return Ok(EvalOptions::default());
-        };
-        let t =
-            t.as_u64().ok_or_else(|| ServerError("`threads` must be a positive integer".into()))?;
-        if t == 0 || t as usize > self.threads_cap {
-            return Err(ServerError(format!(
-                "`threads` must be between 1 and this server's cap of {} (got {t})",
-                self.threads_cap
-            )));
+        let mut options = EvalOptions::default();
+        if let Some(t) = req.get("threads") {
+            let t = t
+                .as_u64()
+                .ok_or_else(|| ServerError("`threads` must be a positive integer".into()))?;
+            if t == 0 || t as usize > self.threads_cap {
+                return Err(ServerError(format!(
+                    "`threads` must be between 1 and this server's cap of {} (got {t})",
+                    self.threads_cap
+                )));
+            }
+            options.threads = t as usize;
         }
-        Ok(EvalOptions::with_threads(t as usize))
+        if let Some(p) = req.get("planner") {
+            options.planner = match p.as_str() {
+                Some("cost") | Some("cost-based") => PlannerMode::CostBased,
+                Some("static") => PlannerMode::Static,
+                _ => return Err(ServerError("`planner` must be `cost` or `static`".into())),
+            };
+        }
+        Ok(options)
     }
 
     fn op_run(&self, req: &Value) -> Result<Value, ServerError> {
@@ -306,9 +322,60 @@ impl Service {
         ]))
     }
 
-    fn op_stats(&self) -> Value {
+    /// Reports the planner's view of a run: join order, per-atom BFS
+    /// direction and pinned source, estimated *and* actual cardinalities,
+    /// plus a human-readable rendering under `text`.
+    fn op_explain(&self, req: &Value) -> Result<Value, ServerError> {
+        let name = str_field(req, "name")?;
+        let gname = str_field(req, "graph")?;
+        let options = self.run_options(req)?;
+        let graph = self.graph(gname)?;
+        let (stmt, hit) = self.registry.bound(name, gname, &graph)?;
+        let plan = stmt.plan_with(options);
+        let report = plan.explain(&EvalConfig::default()).map_err(ServerError::msg)?;
+        let atoms: Vec<Value> = report
+            .atoms
+            .iter()
+            .map(|a| {
+                Value::obj([
+                    ("path_var", Value::str(&a.path_var)),
+                    ("from", Value::str(&a.from_var)),
+                    ("to", Value::str(&a.to_var)),
+                    ("direction", Value::str(a.direction.to_string())),
+                    (
+                        "pinned",
+                        match &a.pinned {
+                            Some(p) => Value::str(p),
+                            None => Value::Null,
+                        },
+                    ),
+                    ("automaton_states", Value::int(a.automaton_states as u64)),
+                    // Infinite estimates (the static planner's "don't know")
+                    // serialize as null.
+                    ("est_pairs", Value::Num(a.est_pairs)),
+                    ("est_fwd_frontier", Value::Num(a.est_fwd_frontier)),
+                    ("est_rev_frontier", Value::Num(a.est_rev_frontier)),
+                    ("actual_pairs", Value::int(a.actual_pairs)),
+                ])
+            })
+            .collect();
+        Ok(ok_obj([
+            ("registry", Value::str(if hit { "hit" } else { "miss" })),
+            ("planner", Value::str(report.planner_name())),
+            (
+                "join_order",
+                Value::Arr(report.join_order.iter().map(|v| Value::str(v.as_str())).collect()),
+            ),
+            ("atoms", Value::Arr(atoms)),
+            ("stats", stats_value(&report.stats)),
+            ("answers", Value::int(report.answers)),
+            ("text", Value::str(report.to_string())),
+        ]))
+    }
+
+    fn op_stats(&self, req: &Value) -> Result<Value, ServerError> {
         let reg = self.registry.stats();
-        ok_obj([
+        let mut pairs = vec![
             ("graphs", Value::int(self.catalog.len() as u64)),
             ("statements", Value::int(self.registry.len() as u64)),
             ("bound_cached", Value::int(self.registry.bound_len() as u64)),
@@ -325,7 +392,40 @@ impl Service {
             ("connections", Value::int(self.stats.connections.load(Ordering::Relaxed))),
             ("requests", Value::int(self.stats.requests.load(Ordering::Relaxed))),
             ("errors", Value::int(self.stats.errors.load(Ordering::Relaxed))),
-        ])
+        ];
+        // With a `graph` field, include the planner's statistics of that
+        // graph (cached on the graph since load time).
+        if let Some(gname) = req.get("graph").and_then(Value::as_str) {
+            let graph = self.graph(gname)?;
+            let gs = graph.stats();
+            let labels: Vec<Value> = graph
+                .alphabet()
+                .iter()
+                .zip(gs.labels.iter())
+                .map(|((_, label), ls)| {
+                    Value::obj([
+                        ("label", Value::str(label)),
+                        ("edges", Value::int(ls.edges)),
+                        ("sources", Value::int(ls.sources)),
+                        ("targets", Value::int(ls.targets)),
+                    ])
+                })
+                .collect();
+            pairs.push(("graph", Value::str(gname)));
+            pairs.push((
+                "graph_stats",
+                Value::obj([
+                    ("nodes", Value::int(gs.nodes)),
+                    ("edges", Value::int(gs.edges)),
+                    ("labels", Value::Arr(labels)),
+                    ("max_out_degree", Value::int(gs.max_out_degree)),
+                    ("max_in_degree", Value::int(gs.max_in_degree)),
+                    ("avg_degree", Value::Num(gs.avg_degree())),
+                    ("reach_fraction", Value::Num(gs.reach_fraction)),
+                ]),
+            ));
+        }
+        Ok(ok_obj(pairs))
     }
 
     fn graph(&self, name: &str) -> Result<Arc<GraphDb>, ServerError> {
@@ -566,6 +666,85 @@ mod tests {
         let r = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
         assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
         assert!(s.stats.errors.load(Ordering::Relaxed) >= 9);
+    }
+
+    /// The `explain` op reports the chosen plan (direction, join order,
+    /// estimated vs actual cardinalities) for both planner modes, and the
+    /// `stats` op surfaces the graph statistics the planner consumes.
+    #[test]
+    fn explain_reports_plan_and_stats_exposes_graph_statistics() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+
+        let r = reply(&s, r#"{"op":"explain","name":"q","graph":"g"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("planner").unwrap().as_str(), Some("cost-based"));
+        assert_eq!(r.get("join_order").unwrap().as_arr().unwrap().len(), 2);
+        let atoms = r.get("atoms").unwrap().as_arr().unwrap();
+        assert_eq!(atoms.len(), 1);
+        let atom = &atoms[0];
+        assert!(matches!(atom.get("direction").unwrap().as_str(), Some("forward" | "reverse")));
+        assert!(atom.get("est_pairs").unwrap().as_f64().is_some(), "estimate must be numeric");
+        // On cycle:6:a each node reaches exactly one node by `a a`: 6 pairs.
+        assert_eq!(atom.get("actual_pairs").unwrap().as_u64(), Some(6));
+        assert_eq!(r.get("answers").unwrap().as_u64(), Some(6));
+        let text = r.get("text").unwrap().as_str().unwrap();
+        assert!(text.contains("plan (cost-based)"), "rendered plan: {text}");
+        assert!(text.contains("join order:"), "rendered plan: {text}");
+
+        // The static planner reports infinite (null) estimates but the same
+        // measured cardinalities.
+        let r = reply(&s, r#"{"op":"explain","name":"q","graph":"g","planner":"static"}"#);
+        assert_eq!(r.get("planner").unwrap().as_str(), Some("static"));
+        let atom = &r.get("atoms").unwrap().as_arr().unwrap()[0];
+        assert!(atom.get("est_pairs").unwrap().as_f64().is_none(), "static estimate is null");
+        assert_eq!(atom.get("actual_pairs").unwrap().as_u64(), Some(6));
+
+        // `stats` with a graph name includes the cached graph statistics.
+        let st = reply(&s, r#"{"op":"stats","graph":"g"}"#);
+        let gs = st.get("graph_stats").unwrap();
+        assert_eq!(gs.get("nodes").unwrap().as_u64(), Some(6));
+        assert_eq!(gs.get("edges").unwrap().as_u64(), Some(6));
+        let labels = gs.get("labels").unwrap().as_arr().unwrap();
+        assert_eq!(labels[0].get("label").unwrap().as_str(), Some("a"));
+        assert_eq!(labels[0].get("sources").unwrap().as_u64(), Some(6));
+        assert_eq!(gs.get("reach_fraction").unwrap().as_f64(), Some(1.0));
+    }
+
+    /// Golden `explain` error paths: every malformed or unsatisfiable
+    /// request gets a structured `ok:false` reply on a connection that keeps
+    /// serving.
+    #[test]
+    fn explain_error_paths_reply_structurally_and_keep_the_connection() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+
+        // Unloaded graph, unknown statement, malformed planner/threads, and
+        // a request missing its required fields.
+        assert_error_reply(&s, r#"{"op":"explain","name":"q","graph":"missing"}"#, "unknown graph");
+        assert_error_reply(
+            &s,
+            r#"{"op":"explain","name":"nope","graph":"g"}"#,
+            "unknown statement",
+        );
+        assert_error_reply(
+            &s,
+            r#"{"op":"explain","name":"q","graph":"g","planner":"oracle"}"#,
+            "planner",
+        );
+        assert_error_reply(&s, r#"{"op":"explain","name":"q","graph":"g","threads":0}"#, "between");
+        assert_error_reply(&s, r#"{"op":"explain","name":"q"}"#, "graph");
+        assert_error_reply(&s, r#"{"op":"explain","graph":"g"}"#, "name");
+
+        // The connection state is intact: the same service still explains.
+        let r = reply(&s, r#"{"op":"explain","name":"q","graph":"g"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
     }
 
     /// A `threads` override within the cap changes nothing about the reply

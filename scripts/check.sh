@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Offline-safe CI check: build, tests, formatting, lints, server smoke.
-# Usage: scripts/check.sh [--bench-smoke] [--server-smoke] [--parallel-smoke]
+# Usage: scripts/check.sh [--bench-smoke] [--bench-compare] [--server-smoke]
+#                         [--parallel-smoke]
 # (from anywhere inside the repo)
 #
 # The default sequence is build + tests + fmt + clippy + the parser and
@@ -15,6 +16,11 @@
 #                  size point of each experiment family (in a scratch
 #                  directory), so bench bit-rot fails fast without paying for
 #                  a full sweep.
+# --bench-compare  additionally runs the harness in quick mode with the
+#                  --compare regression gate against the committed baseline
+#                  (benchmarks/baseline/baseline.json): any shared
+#                  (experiment, series, param) point that got >1.3x slower
+#                  fails the check.
 # --server-smoke   runs ONLY the release build and the server smoke gate —
 #                  the fast iteration loop while working on the server crate.
 # --parallel-smoke runs ONLY the tiny parallel differential gate (a handful
@@ -27,11 +33,13 @@ cd "$(dirname "$0")/.."
 repo_root=$(pwd)
 
 bench_smoke=0
+bench_compare=0
 server_smoke_only=0
 parallel_smoke_only=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) bench_smoke=1 ;;
+        --bench-compare) bench_compare=1 ;;
         --server-smoke) server_smoke_only=1 ;;
         --parallel-smoke) parallel_smoke_only=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
@@ -139,6 +147,12 @@ run cargo test -q --offline -p ecrpq-integration --test concurrency
 # automata.
 run cargo test -q --offline -p ecrpq-integration --test parallel_differential
 
+# Planner differential gate: the cost-based planner may reorder joins, flip
+# BFS directions, and pin constants, but answers and verified counts must
+# match the static plan and the reference engine everywhere — and the
+# EXPLAIN goldens must not drift.
+run cargo test -q --offline -p ecrpq-integration --test planner_differential
+
 # Server smoke is part of the default sequence: the binaries must round-trip
 # the full statement lifecycle over real TCP, not just in unit tests.
 server_smoke
@@ -148,6 +162,14 @@ if [[ "$bench_smoke" == 1 ]]; then
     echo
     echo "==> harness smoke run (smallest point of every experiment family)"
     (cd "$scratch" && "$repo_root/target/release/harness" smoke)
+fi
+
+if [[ "$bench_compare" == 1 ]]; then
+    if [[ -z "$scratch" ]]; then scratch=$(mktemp -d); fi
+    echo
+    echo "==> harness regression gate (quick mode vs committed baseline)"
+    (cd "$scratch" && "$repo_root/target/release/harness" quick \
+        --compare "$repo_root/benchmarks/baseline/baseline.json")
 fi
 
 echo

@@ -133,7 +133,7 @@ fn threaded_corpus_matches_single_threaded_reference() {
 fn threaded_corpus_with_intra_query_parallelism() {
     let al = alphabet();
     let cfg = EvalConfig { max_search_states: 100_000, ..EvalConfig::default() };
-    let intra = EvalOptions { threads: 2, min_parallel_level: 1 };
+    let intra = EvalOptions { threads: 2, min_parallel_level: 1, ..EvalOptions::default() };
     let mut gen = Gen::new(SEED ^ 0xBEEF);
 
     let graphs: Vec<Arc<GraphDb>> =

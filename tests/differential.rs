@@ -258,7 +258,18 @@ fn prepared_then_bound_matches_one_shot_and_reference() {
         let prepared = eval::prepare(&q).unwrap();
         for graph_idx in 0..3 {
             let db = graph(g);
-            let bound = prepared.bind(&db).unwrap();
+            // The cache contract below is about the prepared pipeline, so pin
+            // the planner to the static mode: the cost-based planner adapts
+            // BFS directions to each graph's statistics and may lazily
+            // compile reverse tables on a later graph — a legitimate
+            // first-compile, not a recompilation. (The one-shot and reference
+            // runs still plan cost-based, so this doubles as a cross-planner
+            // differential check.)
+            let static_opts = eval::EvalOptions {
+                planner: eval::PlannerMode::Static,
+                ..eval::EvalOptions::default()
+            };
+            let bound = prepared.bind_with(&db, static_opts).unwrap();
             let (mut prep_ans, prep_stats) = bound.run_nodes(&cfg).unwrap();
             let mut oneshot = eval::eval_nodes(&q, &db, &cfg).unwrap();
             let (mut refr, _) = reference::eval_nodes_with_stats(&q, &db, &cfg).unwrap();

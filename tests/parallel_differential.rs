@@ -26,7 +26,7 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const SEED: u64 = 0x9A7A_11E1;
 
 fn opts(threads: usize) -> EvalOptions {
-    EvalOptions { threads, min_parallel_level: 1 }
+    EvalOptions { threads, min_parallel_level: 1, ..EvalOptions::default() }
 }
 
 fn config() -> EvalConfig {
