@@ -1,0 +1,199 @@
+//! Binary codec for compiled simulation tables.
+//!
+//! Serializes [`CompactNfa`] values — the dense bitset transition tables the
+//! evaluator spends its time in — so a compiled-artifact sidecar can bring a
+//! reopened process back to a fully warmed state without recompiling.
+//! Encodings exist for the two symbol types the evaluator compiles:
+//! unary [`Symbol`] automata and convolution [`TupleSym`] automata.
+//!
+//! The payload layout per automaton is:
+//!
+//! ```text
+//! [num_states: u64][num_symbols: u64][symbols...]
+//! [table: u64 slice][closures: u64 slice][initial: u64 slice][accepting: u64 slice]
+//! ```
+//!
+//! A [`Symbol`] is one `u32`; a [`TupleSym`] is a `u32` arity followed by one
+//! `u32` per component with `u32::MAX` standing in for the padding symbol.
+//! Decoding validates every array shape through
+//! [`CompactNfa::from_raw_parts`], so a corrupted table is an `Err`, never an
+//! out-of-bounds row access later.
+
+use crate::alphabet::{Symbol, TupleSym};
+use crate::sim::{CompactNfa, StateSet};
+use ecrpq_storage::{Decoder, Encoder, StorageError};
+use std::hash::Hash;
+
+/// Component value that stands in for the padding symbol `⊥`.
+const PAD: u32 = u32::MAX;
+
+/// One interned symbol's wire format.
+trait SymCodec: Sized {
+    fn put(&self, enc: &mut Encoder);
+    fn get(dec: &mut Decoder<'_>) -> Result<Self, StorageError>;
+}
+
+impl SymCodec for Symbol {
+    fn put(&self, enc: &mut Encoder) {
+        enc.u32(self.0);
+    }
+
+    fn get(dec: &mut Decoder<'_>) -> Result<Symbol, StorageError> {
+        Ok(Symbol(dec.u32("symbol")?))
+    }
+}
+
+impl SymCodec for TupleSym {
+    fn put(&self, enc: &mut Encoder) {
+        enc.u32(self.arity() as u32);
+        for i in 0..self.arity() {
+            enc.u32(match self.get(i) {
+                Some(s) => s.0,
+                None => PAD,
+            });
+        }
+    }
+
+    fn get(dec: &mut Decoder<'_>) -> Result<TupleSym, StorageError> {
+        let arity = dec.u32("tuple arity")? as usize;
+        if arity > 64 {
+            return Err(StorageError::Corrupt(format!("tuple arity {arity} is implausible")));
+        }
+        let mut comps = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let c = dec.u32("tuple component")?;
+            comps.push(if c == PAD { None } else { Some(Symbol(c)) });
+        }
+        Ok(TupleSym::new(comps))
+    }
+}
+
+fn encode_generic<S: SymCodec + Clone + Eq + Hash + Ord>(sim: &CompactNfa<S>, enc: &mut Encoder) {
+    enc.u64(sim.num_states() as u64);
+    enc.u64(sim.num_symbols() as u64);
+    for s in sim.symbols() {
+        s.put(enc);
+    }
+    enc.slice_u64(sim.table_raw());
+    enc.slice_u64(sim.closures_raw());
+    enc.slice_u64(sim.initial_set().as_blocks());
+    enc.slice_u64(sim.accepting_row());
+}
+
+fn decode_generic<S: SymCodec + Clone + Eq + Hash + Ord>(
+    dec: &mut Decoder<'_>,
+) -> Result<CompactNfa<S>, StorageError> {
+    let num_states = dec.u64("sim num_states")? as usize;
+    let num_symbols = dec.u64("sim num_symbols")? as usize;
+    // Each interned symbol costs at least 4 bytes on the wire, so the count
+    // is bounded by the bytes present before any allocation happens.
+    if num_symbols * 4 > dec.remaining() {
+        return Err(StorageError::Truncated(format!(
+            "sim symbols: {num_symbols} symbols exceed the {} bytes present",
+            dec.remaining()
+        )));
+    }
+    let mut symbols = Vec::with_capacity(num_symbols);
+    for _ in 0..num_symbols {
+        symbols.push(S::get(dec)?);
+    }
+    let table = dec.vec_u64("sim table")?;
+    let closures = dec.vec_u64("sim closures")?;
+    let initial = StateSet::from_blocks(dec.vec_u64("sim initial")?);
+    let accepting = dec.vec_u64("sim accepting")?;
+    CompactNfa::from_raw_parts(num_states, symbols, table, closures, initial, accepting)
+        .map_err(|e| StorageError::Corrupt(format!("sim table: {e}")))
+}
+
+/// Encodes a compiled unary-symbol automaton.
+pub fn encode_sym_sim(sim: &CompactNfa<Symbol>, enc: &mut Encoder) {
+    encode_generic(sim, enc);
+}
+
+/// Decodes a compiled unary-symbol automaton (shape-validated).
+pub fn decode_sym_sim(dec: &mut Decoder<'_>) -> Result<CompactNfa<Symbol>, StorageError> {
+    decode_generic(dec)
+}
+
+/// Encodes a compiled tuple-symbol (convolution) automaton.
+pub fn encode_tuple_sim(sim: &CompactNfa<TupleSym>, enc: &mut Encoder) {
+    encode_generic(sim, enc);
+}
+
+/// Decodes a compiled tuple-symbol (convolution) automaton (shape-validated).
+pub fn decode_tuple_sim(dec: &mut Decoder<'_>) -> Result<CompactNfa<TupleSym>, StorageError> {
+    decode_generic(dec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::dfa;
+    use crate::relation::RegularRelation;
+
+    fn sims_equal<S: Clone + Eq + Hash + Ord + std::fmt::Debug>(
+        a: &CompactNfa<S>,
+        b: &CompactNfa<S>,
+    ) {
+        assert_eq!(a.num_states(), b.num_states());
+        assert_eq!(a.symbols(), b.symbols());
+        assert_eq!(a.table_raw(), b.table_raw());
+        assert_eq!(a.closures_raw(), b.closures_raw());
+        assert_eq!(a.initial_set(), b.initial_set());
+        assert_eq!(a.accepting_row(), b.accepting_row());
+    }
+
+    #[test]
+    fn tuple_sim_roundtrip() {
+        let mut alphabet = Alphabet::new();
+        alphabet.intern("a");
+        alphabet.intern("b");
+        let rel = RegularRelation::from_regex("<a, a> (<a, b> | <b, a>)*", &alphabet, 2).unwrap();
+        let sim = rel.compiled_sim();
+        let mut enc = Encoder::new();
+        encode_tuple_sim(&sim, &mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = decode_tuple_sim(&mut dec).unwrap();
+        dec.finish("tuple sim").unwrap();
+        sims_equal(&sim, &back);
+    }
+
+    #[test]
+    fn sym_sim_roundtrip() {
+        let mut alphabet = Alphabet::new();
+        alphabet.intern("a");
+        alphabet.intern("b");
+        let regex = crate::regex::Regex::parse("a (a | b)* b").unwrap();
+        let nfa = regex.compile(&alphabet).unwrap();
+        let sim = CompactNfa::compile(&dfa::reduce_for_tables(&nfa));
+        let mut enc = Encoder::new();
+        encode_sym_sim(&sim, &mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = decode_sym_sim(&mut dec).unwrap();
+        dec.finish("sym sim").unwrap();
+        sims_equal(&sim, &back);
+        for word in [vec![], vec![alphabet.sym("a"), alphabet.sym("b")]] {
+            assert_eq!(sim.accepts(&word), back.accepts(&word));
+        }
+    }
+
+    #[test]
+    fn corrupted_table_shape_is_an_error() {
+        let mut alphabet = Alphabet::new();
+        alphabet.intern("a");
+        let regex = crate::regex::Regex::parse("a*").unwrap();
+        let nfa = regex.compile(&alphabet).unwrap();
+        let sim = CompactNfa::compile(&dfa::reduce_for_tables(&nfa));
+        let mut enc = Encoder::new();
+        encode_sym_sim(&sim, &mut enc);
+        let mut bytes = enc.into_bytes();
+        // Inflate the declared state count: every downstream shape check must
+        // reject the now-too-small arrays.
+        bytes[0] = bytes[0].wrapping_add(1);
+        let mut dec = Decoder::new(&bytes);
+        assert!(decode_sym_sim(&mut dec).is_err());
+    }
+}

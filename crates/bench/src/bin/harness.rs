@@ -24,6 +24,10 @@
 //!   plan      only the query-planner experiment (warm run time of
 //!             plan-sensitive workloads, static vs cost-based plans), at
 //!             full size
+//!   storage   only the persistence experiment (cold edge-list load +
+//!             compile vs warm binary-snapshot reopen, answers checked
+//!             bit-for-bit), at full size — the largest point is a
+//!             million-edge graph
 //!
 //! OPTIONS:
 //!   --baseline <path>   additionally write all experiments as one combined
@@ -47,6 +51,8 @@ struct Args {
     only_parallel: bool,
     /// `plan` mode: run only the query-planner experiment.
     only_plan: bool,
+    /// `storage` mode: run only the persistence experiment.
+    only_storage: bool,
     baseline_out: Option<String>,
     compare: Option<String>,
     threshold: f64,
@@ -76,6 +82,7 @@ fn parse_args() -> Args {
         only_serve: false,
         only_parallel: false,
         only_plan: false,
+        only_storage: false,
         baseline_out: None,
         compare: None,
         threshold: 1.3,
@@ -101,6 +108,10 @@ fn parse_args() -> Args {
             "plan" => {
                 args.mode = Mode::Full;
                 args.only_plan = true;
+            }
+            "storage" => {
+                args.mode = Mode::Full;
+                args.only_storage = true;
             }
             "--baseline" => args.baseline_out = Some(flag_value(&mut it, "--baseline")),
             "--compare" => args.compare = Some(flag_value(&mut it, "--compare")),
@@ -171,6 +182,8 @@ fn main() {
         "parallel"
     } else if args.only_plan {
         "plan"
+    } else if args.only_storage {
+        "storage"
     } else {
         mode.name()
     };
@@ -194,6 +207,11 @@ fn main() {
     }
     if args.only_plan {
         run_plan_family(mode, &mut rep);
+        finish(&args, rep);
+        return;
+    }
+    if args.only_storage {
+        run_storage_family(mode, &mut rep);
         finish(&args, rep);
         return;
     }
@@ -339,6 +357,9 @@ fn main() {
     // PLAN-1: the cost-based query planner.
     run_plan_family(mode, &mut rep);
 
+    // STOR-1: persistent binary snapshots (cold load vs warm reopen).
+    run_storage_family(mode, &mut rep);
+
     // PREP: the prepared-query pipeline (compile vs run, reuse family).
     run_prepared(mode, &mut rep);
 
@@ -401,6 +422,28 @@ fn run_plan_family(mode: Mode, rep: &mut Report) {
     rep.report(
         "plan",
         "PLAN-1 cost-based planner: warm run time, static vs cost-based plans (pinned constant; reverse-favored language)",
+        &m,
+        false,
+    );
+}
+
+/// Runs the persistence experiment: cold edge-list load + statement compile
+/// vs warm binary-snapshot + sidecar reopen, per graph size (param = edge
+/// count; average degree is fixed at 4). The family asserts in-bench that
+/// the reopened state answers bit-for-bit identically with zero sim-table
+/// compilations; the `cold_load_compile / warm_open` ratio is the headline
+/// speedup of the persistence layer. The full sweep tops out at a
+/// million-edge graph.
+fn run_storage_family(mode: Mode, rep: &mut Report) {
+    let sizes: &[usize] = match mode {
+        Mode::Full => &[10_000, 62_500, 250_000],
+        Mode::Quick => &[2_000, 10_000],
+        Mode::Smoke => &[1_000],
+    };
+    let m = ecrpq_bench::storage::storage_family(sizes);
+    rep.report(
+        "storage",
+        "STOR-1 persistence: cold edge-list load + compile vs warm snapshot reopen (answers checked)",
         &m,
         false,
     );

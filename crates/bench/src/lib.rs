@@ -10,6 +10,7 @@
 
 pub mod microbench;
 pub mod serve;
+pub mod storage;
 
 /// The shared JSON writer/parser (promoted to `ecrpq-util`; re-exported so
 /// existing `ecrpq_bench::json` callers compile unchanged).

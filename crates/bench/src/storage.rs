@@ -1,0 +1,136 @@
+//! STOR-1: persistent binary snapshots — cold edge-list load + compile vs
+//! warm snapshot + sidecar reopen.
+//!
+//! Per graph size three series are recorded (param = edge count):
+//!
+//! * `cold_load_compile` — the classic cold start: parse the edge-list
+//!   text, compute graph statistics, parse + prepare the statement, compile
+//!   every simulation table ([`PreparedQuery::warm_full`]), and bind;
+//! * `warm_open` — reopen the same state from disk: [`snapshot::open`] the
+//!   binary graph file (statistics ride along pre-computed) and
+//!   [`persist::read_sidecar`] the compiled-statement sidecar, yielding a
+//!   ready-to-run bound statement with every sim table seeded;
+//! * `save` — the one-time cost of writing both files.
+//!
+//! Before anything is timed the two paths are checked against each other:
+//! the warm statement's first run must report **zero** sim-table
+//! compilations and produce bit-for-bit the answers of the cold pipeline.
+//! The ratio `cold_load_compile / warm_open` is the headline number of the
+//! persistence layer.
+//!
+//! [`PreparedQuery::warm_full`]: ecrpq::eval::PreparedQuery::warm_full
+//! [`snapshot::open`]: ecrpq_graph::snapshot::open
+//! [`persist::read_sidecar`]: ecrpq::persist::read_sidecar
+
+use crate::{measure, Measurement};
+use ecrpq::eval::{BoundStatement, PreparedQuery};
+use ecrpq::{parse_query, persist, EvalConfig};
+use ecrpq_graph::{generators, snapshot, GraphDb};
+use std::sync::Arc;
+
+/// The persisted statement: a fixed-length path shape with a length
+/// constraint (so the sidecar carries counter rows alongside the unary sim
+/// tables), pinned at a node constant so the differential gate's answer set
+/// stays small even on million-edge graphs. `from_edge_list` names every
+/// node after its edge-list token, and the generator's round-trip spells
+/// node 0 as `n0`.
+const QUERY: &str = "Ans(x, y) <- (x, p, y), L(p) = a b a b, len(p) <= 4, x = :n0";
+
+/// Cold-builds the full pipeline from edge-list text: graph + statistics +
+/// parsed/prepared/fully-compiled statement, bound and ready to run.
+fn cold_pipeline(text: &str) -> (Arc<GraphDb>, Arc<BoundStatement>, u64) {
+    let g = Arc::new(GraphDb::from_edge_list(text).expect("benchmark edge list must parse"));
+    let _ = g.stats();
+    let q = parse_query(QUERY, g.alphabet()).expect("benchmark query must parse");
+    let pq = Arc::new(PreparedQuery::prepare(&q).expect("benchmark query must prepare"));
+    let (_, compiled) = pq.warm_full();
+    let bound =
+        Arc::new(BoundStatement::bind(Arc::clone(&pq), Arc::clone(&g)).expect("bind must succeed"));
+    (g, bound, compiled)
+}
+
+/// The STOR-1 family over `sizes` node counts (average degree 4, so the
+/// edge count — the recorded param — is 4× the node count).
+pub fn storage_family(sizes: &[usize]) -> Vec<Measurement> {
+    let dir = std::env::temp_dir().join(format!("ecrpq-bench-storage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("cannot create benchmark scratch dir");
+    let cfg = EvalConfig::default();
+    let mut out = Vec::new();
+
+    for &n in sizes {
+        // Canonical graph: round-trip the generator output through the
+        // edge-list text so the cold path and the snapshot describe the
+        // *same* GraphDb (same node ids, same interned names).
+        let text = generators::random_graph(n, 4.0, &["a", "b"], 0x5704 ^ n as u64).to_edge_list();
+        let (g, cold_stmt, compiled) = cold_pipeline(&text);
+        let edges = g.num_edges() as u64;
+
+        // Persist once (also the subject of the `save` series below).
+        let snap = dir.join(format!("g{n}.snap"));
+        let art_path = persist::sidecar_path(&snap);
+        let save = |g: &GraphDb, stmt: &BoundStatement| {
+            let bytes = snapshot::write_snapshot(g).expect("snapshot must serialize");
+            std::fs::write(&snap, &bytes).expect("cannot write snapshot");
+            let id = snapshot::snapshot_id(&bytes);
+            let art = persist::write_sidecar(
+                id,
+                &[persist::SidecarStatement { name: "q", text: QUERY, stmt }],
+            );
+            std::fs::write(&art_path, &art).expect("cannot write sidecar");
+            bytes.len()
+        };
+        save(&g, &cold_stmt);
+
+        // Differential gate before anything is timed: the reopened state
+        // must answer identically, without compiling a single sim table.
+        let (wg, id) = snapshot::open(&snap).expect("snapshot must reopen");
+        let wg = Arc::new(wg);
+        let art = std::fs::read(&art_path).expect("sidecar must be readable");
+        let warm = persist::read_sidecar(&art, id, &wg).expect("sidecar must reopen");
+        assert_eq!(warm.len(), 1, "sidecar must carry the persisted statement");
+        let (warm_answers, warm_stats) =
+            warm[0].statement.run_nodes(&cfg).expect("warm run must succeed");
+        assert_eq!(warm_stats.sim_cache_misses, 0, "warm reopen must not recompile any sim table");
+        let (cold_answers, _) = cold_stmt.run_nodes(&cfg).expect("cold run must succeed");
+        assert_eq!(cold_answers, warm_answers, "reopened snapshot changed the answers");
+        let answers = cold_answers.len();
+
+        out.push(measure("cold_load_compile", edges, || {
+            let (_, _, compiled) = cold_pipeline(&text);
+            format!("edges={edges} compiled={compiled}")
+        }));
+        out.push(measure("warm_open", edges, || {
+            let (g, id) = snapshot::open(&snap).expect("snapshot must reopen");
+            let g = Arc::new(g);
+            let art = std::fs::read(&art_path).expect("sidecar must be readable");
+            let warm = persist::read_sidecar(&art, id, &g).expect("sidecar must reopen");
+            format!("edges={edges} statements={} answers_checked={answers}", warm.len())
+        }));
+        out.push(measure("save", edges, || {
+            let bytes = save(&g, &cold_stmt);
+            format!("edges={edges} snapshot_bytes={bytes}")
+        }));
+        let _ = compiled;
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_family_smoke() {
+        let m = storage_family(&[200]);
+        assert_eq!(m.len(), 3);
+        let cold = m.iter().find(|x| x.series == "cold_load_compile").unwrap();
+        let warm = m.iter().find(|x| x.series == "warm_open").unwrap();
+        assert_eq!(cold.param, warm.param);
+        assert_eq!(cold.param, 800, "degree-4 graph of 200 nodes has 800 edges");
+        assert!(cold.note.contains("compiled="));
+        assert!(warm.note.contains("statements=1"));
+    }
+}

@@ -206,13 +206,13 @@ pub(crate) struct UnaryPlan {
     /// `Some((relation index, tape))` when the constraint is exactly one
     /// relation-tape projection: the compiled tables then come from (and are
     /// cached in) the relation itself, shared across queries.
-    source: Option<(usize, usize)>,
+    pub(crate) source: Option<(usize, usize)>,
     /// Compiled tables for intersected constraints (owned by this query).
-    sim_cell: OnceLock<Arc<CompactNfa<Symbol>>>,
+    pub(crate) sim_cell: OnceLock<Arc<CompactNfa<Symbol>>>,
     /// Compiled tables of the *reversed* constraint automaton, for
     /// planner-chosen reverse BFS (owned by this query — the relation cache
     /// only stores forward projections).
-    rev_sim_cell: OnceLock<Arc<CompactNfa<Symbol>>>,
+    pub(crate) rev_sim_cell: OnceLock<Arc<CompactNfa<Symbol>>>,
     /// Precomputed [`dense_eligible`] verdict.
     pub dense: bool,
 }
@@ -617,6 +617,23 @@ impl PreparedQuery {
             }
         }
         (stats.sim_cache_hits, stats.sim_cache_misses)
+    }
+
+    /// [`warm`](Self::warm) plus the *reversed* unary tables: forces every
+    /// compiled artifact any run of this query could ever touch, including
+    /// the reverse-BFS tables the planner may pick at evaluation time. The
+    /// snapshot sidecar writer calls this before serializing, so a warm
+    /// reopen reports zero `sim_cache_misses` no matter which direction the
+    /// planner chooses.
+    pub fn warm_full(&self) -> (u64, u64) {
+        let (hits, misses) = self.warm();
+        let mut stats = EvalStats::default();
+        for p in 0..self.path_vars.len() {
+            if self.unary[p].as_ref().is_some_and(|u| u.dense) {
+                let _ = self.unary_rev_sim(p, &mut stats);
+            }
+        }
+        (hits + stats.sim_cache_hits, misses + stats.sim_cache_misses)
     }
 
     /// Compiles (or fetches) the dense tables of every relation automaton,
@@ -1159,6 +1176,24 @@ impl BoundStatement {
     ) -> Result<BoundStatement, QueryError> {
         let art = pq.bind_artifacts(&graph)?;
         Ok(BoundStatement { pq, graph, art, options })
+    }
+
+    /// Reassembles a statement from artifacts decoded out of a snapshot
+    /// sidecar — the persistence layer's constructor. The caller
+    /// (`crate::persist`) has already validated the artifacts against the
+    /// graph, so no rebind happens here.
+    pub(crate) fn from_parts(
+        pq: Arc<PreparedQuery>,
+        graph: Arc<GraphDb>,
+        art: BindArtifacts,
+        options: EvalOptions,
+    ) -> BoundStatement {
+        BoundStatement { pq, graph, art, options }
+    }
+
+    /// The cached bind artifacts (read by the persistence layer).
+    pub(crate) fn artifacts(&self) -> &BindArtifacts {
+        &self.art
     }
 
     /// The prepared query this statement binds.

@@ -64,6 +64,7 @@ pub mod error;
 pub mod eval;
 pub mod expressiveness;
 pub mod parse;
+pub mod persist;
 pub mod query;
 
 pub use error::QueryError;

@@ -41,22 +41,151 @@ pub struct Edge {
     pub to: NodeId,
 }
 
+/// Adjacency lists in one of two representations.
+///
+/// `Rows` is the mutable build form every `add_*` call works on. `Csr` is
+/// the sealed form a snapshot open constructs directly from the on-disk
+/// compressed-sparse-row arrays: two flat allocations instead of one `Vec`
+/// per node, which is what makes a million-edge reopen a memcpy-bound
+/// operation. Reads are representation-blind ([`Adjacency::row`]); the first
+/// mutation of a sealed graph transparently explodes the CSR back into rows.
+#[derive(Clone, Debug)]
+pub(crate) enum Adjacency {
+    /// One growable edge list per node.
+    Rows(Vec<Vec<(Symbol, NodeId)>>),
+    /// Sealed CSR: `edges[off[v] as usize..off[v + 1] as usize]` is node
+    /// `v`'s list. `off` always has `num_nodes + 1` entries and is monotone.
+    Csr {
+        /// Row offsets into `edges`.
+        off: Vec<u32>,
+        /// All edges, concatenated in node order.
+        edges: Vec<(Symbol, NodeId)>,
+    },
+}
+
+impl Default for Adjacency {
+    fn default() -> Adjacency {
+        Adjacency::Rows(Vec::new())
+    }
+}
+
+impl Adjacency {
+    /// Node `v`'s edge list, in either representation.
+    #[inline]
+    pub(crate) fn row(&self, v: usize) -> &[(Symbol, NodeId)] {
+        match self {
+            Adjacency::Rows(rows) => &rows[v],
+            Adjacency::Csr { off, edges } => &edges[off[v] as usize..off[v + 1] as usize],
+        }
+    }
+
+    /// The mutable row form, exploding a sealed CSR on first use.
+    fn rows_mut(&mut self) -> &mut Vec<Vec<(Symbol, NodeId)>> {
+        if let Adjacency::Csr { off, edges } = self {
+            let rows = (0..off.len().saturating_sub(1))
+                .map(|v| edges[off[v] as usize..off[v + 1] as usize].to_vec())
+                .collect();
+            *self = Adjacency::Rows(rows);
+        }
+        match self {
+            Adjacency::Rows(rows) => rows,
+            Adjacency::Csr { .. } => unreachable!("unsealed above"),
+        }
+    }
+}
+
+/// Per-node optional names in one of two representations: growable
+/// `Rows`, or a sealed `Arena` (one contiguous string plus `(offset, len)`
+/// spans) as constructed by a snapshot open — zero per-name allocations.
+/// The first name-mutating call on a sealed table rebuilds the rows.
+#[derive(Clone, Debug)]
+pub(crate) enum NodeNames {
+    /// One optional owned name per node.
+    Rows(Vec<Option<String>>),
+    /// Sealed arena; anonymous nodes carry the span `(u32::MAX, 0)`.
+    Arena {
+        /// All names, concatenated in node order.
+        text: String,
+        /// Per-node `(byte offset, byte length)` into `text`.
+        spans: Vec<(u32, u32)>,
+    },
+}
+
+/// Span marker for an anonymous node in [`NodeNames::Arena`].
+const ANON_SPAN: (u32, u32) = (u32::MAX, 0);
+
+impl Default for NodeNames {
+    fn default() -> NodeNames {
+        NodeNames::Rows(Vec::new())
+    }
+}
+
+impl NodeNames {
+    /// Number of nodes.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            NodeNames::Rows(rows) => rows.len(),
+            NodeNames::Arena { spans, .. } => spans.len(),
+        }
+    }
+
+    /// Node `v`'s name, if it has one.
+    #[inline]
+    pub(crate) fn get(&self, v: usize) -> Option<&str> {
+        match self {
+            NodeNames::Rows(rows) => rows[v].as_deref(),
+            NodeNames::Arena { text, spans } => {
+                let (off, len) = spans[v];
+                if (off, len) == ANON_SPAN {
+                    None
+                } else {
+                    Some(&text[off as usize..(off + len) as usize])
+                }
+            }
+        }
+    }
+
+    /// Iterates the per-node optional names in id order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = Option<&str>> + '_ {
+        (0..self.len()).map(move |v| self.get(v))
+    }
+
+    /// The mutable row form, rebuilding it from a sealed arena on first use.
+    fn rows_mut(&mut self) -> &mut Vec<Option<String>> {
+        if let NodeNames::Arena { .. } = self {
+            let rows = self.iter().map(|name| name.map(str::to_string)).collect();
+            *self = NodeNames::Rows(rows);
+        }
+        match self {
+            NodeNames::Rows(rows) => rows,
+            NodeNames::Arena { .. } => unreachable!("unsealed above"),
+        }
+    }
+}
+
 /// A Σ-labeled graph database.
 #[derive(Clone, Debug, Default)]
 pub struct GraphDb {
-    alphabet: Alphabet,
-    node_names: Vec<Option<String>>,
-    name_index: HashMap<String, NodeId>,
-    out_edges: Vec<Vec<(Symbol, NodeId)>>,
-    in_edges: Vec<Vec<(Symbol, NodeId)>>,
+    // Fields are `pub(crate)` so the sibling `snapshot` module can serialize
+    // and reassemble a graph without going through the mutating API (which
+    // would re-intern and re-count work the snapshot already recorded).
+    pub(crate) alphabet: Alphabet,
+    pub(crate) node_names: NodeNames,
+    /// Name → id lookup, built lazily from `node_names` on first use. A
+    /// snapshot open skips building it entirely (names are validated there
+    /// without a string map), so a warm reopen only pays for the index if a
+    /// query actually resolves a node constant by name.
+    pub(crate) name_index: OnceLock<HashMap<String, NodeId>>,
+    pub(crate) out_edges: Adjacency,
+    pub(crate) in_edges: Adjacency,
     /// Cached per-node degrees (always in sync with the edge lists), so
     /// `has_edge`'s shorter-endpoint choice and the planner's frontier
     /// estimates read an array instead of touching both edge `Vec` headers.
-    out_degree: Vec<u32>,
-    in_degree: Vec<u32>,
-    num_edges: usize,
+    pub(crate) out_degree: Vec<u32>,
+    pub(crate) in_degree: Vec<u32>,
+    pub(crate) num_edges: usize,
     /// Lazily computed planner statistics; cleared by every mutation.
-    stats_cache: OnceLock<Arc<GraphStats>>,
+    pub(crate) stats_cache: OnceLock<Arc<GraphStats>>,
 }
 
 impl GraphDb {
@@ -64,10 +193,10 @@ impl GraphDb {
     pub fn new(alphabet: Alphabet) -> Self {
         GraphDb {
             alphabet,
-            node_names: Vec::new(),
-            name_index: HashMap::new(),
-            out_edges: Vec::new(),
-            in_edges: Vec::new(),
+            node_names: NodeNames::default(),
+            name_index: OnceLock::new(),
+            out_edges: Adjacency::default(),
+            in_edges: Adjacency::default(),
             out_degree: Vec::new(),
             in_degree: Vec::new(),
             num_edges: 0,
@@ -94,9 +223,9 @@ impl GraphDb {
     /// Adds an anonymous node.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId(self.node_names.len() as u32);
-        self.node_names.push(None);
-        self.out_edges.push(Vec::new());
-        self.in_edges.push(Vec::new());
+        self.node_names.rows_mut().push(None);
+        self.out_edges.rows_mut().push(Vec::new());
+        self.in_edges.rows_mut().push(Vec::new());
         self.out_degree.push(0);
         self.in_degree.push(0);
         self.stats_cache.take();
@@ -107,15 +236,18 @@ impl GraphDb {
     /// The hit path is a single probe with no allocation; the name is only
     /// copied when the node is actually new.
     pub fn add_named_node(&mut self, name: &str) -> NodeId {
-        if let Some(&id) = self.name_index.get(name) {
+        if self.name_index.get().is_none() {
+            let _ = self.name_index.set(Self::build_name_index(&self.node_names));
+        }
+        if let Some(&id) = self.name_index.get_mut().expect("built above").get(name) {
             return id;
         }
         let id = NodeId(self.node_names.len() as u32);
         let owned = name.to_string();
-        self.node_names.push(Some(owned.clone()));
-        self.name_index.insert(owned, id);
-        self.out_edges.push(Vec::new());
-        self.in_edges.push(Vec::new());
+        self.node_names.rows_mut().push(Some(owned.clone()));
+        self.name_index.get_mut().expect("built above").insert(owned, id);
+        self.out_edges.rows_mut().push(Vec::new());
+        self.in_edges.rows_mut().push(Vec::new());
         self.out_degree.push(0);
         self.in_degree.push(0);
         self.stats_cache.take();
@@ -127,14 +259,27 @@ impl GraphDb {
         (0..n).map(|_| self.add_node()).collect()
     }
 
-    /// Looks up a node by name.
+    /// Looks up a node by name (building the lazy name index on first use).
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.name_index.get(name).copied()
+        self.name_index.get_or_init(|| Self::build_name_index(&self.node_names)).get(name).copied()
+    }
+
+    /// Builds the name → id map from the node table. Last write wins on a
+    /// duplicate, but duplicates cannot arise through the mutating API and
+    /// snapshot opens reject them before constructing a graph.
+    fn build_name_index(node_names: &NodeNames) -> HashMap<String, NodeId> {
+        let mut index = HashMap::with_capacity(node_names.len());
+        for (v, name) in node_names.iter().enumerate() {
+            if let Some(name) = name {
+                index.insert(name.to_string(), NodeId(v as u32));
+            }
+        }
+        index
     }
 
     /// The name of a node, if it has one.
     pub fn node_name(&self, node: NodeId) -> Option<&str> {
-        self.node_names[node.index()].as_deref()
+        self.node_names.get(node.index())
     }
 
     /// A printable identifier for a node (its name, or `n<i>`).
@@ -163,8 +308,8 @@ impl GraphDb {
     /// Adds an edge with an already-interned label.
     pub fn add_edge(&mut self, from: NodeId, label: Symbol, to: NodeId) {
         assert!(label.index() < self.alphabet.len(), "label not in alphabet");
-        self.out_edges[from.index()].push((label, to));
-        self.in_edges[to.index()].push((label, from));
+        self.out_edges.rows_mut()[from.index()].push((label, to));
+        self.in_edges.rows_mut()[to.index()].push((label, from));
         self.out_degree[from.index()] += 1;
         self.in_degree[to.index()] += 1;
         self.num_edges += 1;
@@ -178,13 +323,15 @@ impl GraphDb {
     }
 
     /// Outgoing edges of a node as `(label, target)` pairs.
+    #[inline]
     pub fn out_edges(&self, node: NodeId) -> &[(Symbol, NodeId)] {
-        &self.out_edges[node.index()]
+        self.out_edges.row(node.index())
     }
 
     /// Incoming edges of a node as `(label, source)` pairs.
+    #[inline]
     pub fn in_edges(&self, node: NodeId) -> &[(Symbol, NodeId)] {
-        &self.in_edges[node.index()]
+        self.in_edges.row(node.index())
     }
 
     /// Out-degree of a node (cached; no edge-list access).
@@ -225,9 +372,9 @@ impl GraphDb {
     /// loops) should iterate [`GraphDb::out_edges`] directly instead.
     pub fn has_edge(&self, from: NodeId, label: Symbol, to: NodeId) -> bool {
         if self.out_degree[from.index()] <= self.in_degree[to.index()] {
-            self.out_edges[from.index()].iter().any(|&(l, t)| l == label && t == to)
+            self.out_edges.row(from.index()).iter().any(|&(l, t)| l == label && t == to)
         } else {
-            self.in_edges[to.index()].iter().any(|&(l, f)| l == label && f == from)
+            self.in_edges.row(to.index()).iter().any(|&(l, f)| l == label && f == from)
         }
     }
 

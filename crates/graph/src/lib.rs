@@ -27,6 +27,7 @@ pub mod graph;
 pub mod path;
 pub mod prng;
 pub mod product;
+pub mod snapshot;
 pub mod stats;
 
 pub use graph::{Edge, GraphDb, NodeId};

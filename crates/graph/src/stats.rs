@@ -34,7 +34,7 @@ pub struct LabelStats {
 }
 
 /// One-pass summary of a [`GraphDb`], the planner's input.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct GraphStats {
     /// Number of nodes.
     pub nodes: u64,

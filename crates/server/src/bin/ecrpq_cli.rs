@@ -16,6 +16,11 @@
 //!   explain <name> <graph> [planner]   show the query plan (join order, BFS
 //!                                      directions, estimated vs actual atom
 //!                                      cardinalities; planner: cost|static)
+//!   save <graph> <path>                persist a binary snapshot (+ a
+//!                                      <path>.art compiled-statement
+//!                                      sidecar) on the server's filesystem
+//!   open <name> <path>                 open a snapshot under a fresh name,
+//!                                      warm-installing sidecar statements
 //!   stats [graph]                      server counters (+ per-label graph
 //!                                      statistics when a graph is named)
 //!   shutdown                           stop the server
@@ -114,6 +119,14 @@ fn main() {
                 }
             }
             ok &= print_reply(reply);
+        }
+        Some("save") => {
+            let (g, path) = two(&rest, "save <graph> <path>");
+            ok &= print_reply(client.save(g, path));
+        }
+        Some("open") => {
+            let (name, path) = two(&rest, "open <name> <path>");
+            ok &= print_reply(client.open(name, path));
         }
         Some("stats") => {
             ok &= match rest.get(1) {

@@ -2,16 +2,24 @@
 //!
 //! ```text
 //! ecrpq-serve [--addr HOST:PORT] [--workers N] [--bound-capacity N] [--threads-cap N]
+//!             [--open NAME=PATH]…
 //! ```
 //!
 //! Binds (port 0 = ephemeral), prints one line `listening on <addr>` to
 //! stdout — scripts parse this to discover the port — and serves until a
 //! client sends `{"op":"shutdown"}` (or the process is killed).
+//!
+//! Each `--open NAME=PATH` (repeatable) opens a binary snapshot into the
+//! catalog before the listening line is printed, warm-installing its
+//! compiled-statement sidecar if present — so the server answers its first
+//! request with a fully warm registry.
 
 use ecrpq_server::server::{Server, ServerConfig};
+use ecrpq_util::json::Value;
 
 fn main() {
     let mut config = ServerConfig::default();
+    let mut opens: Vec<(String, String)> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -24,10 +32,17 @@ fn main() {
             "--threads-cap" => {
                 config.threads_cap = parse(&value(&mut it, "--threads-cap"), "--threads-cap")
             }
+            "--open" => {
+                let spec = value(&mut it, "--open");
+                match spec.split_once('=') {
+                    Some((name, path)) => opens.push((name.to_string(), path.to_string())),
+                    None => die("--open expects NAME=PATH"),
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: ecrpq-serve [--addr HOST:PORT] [--workers N] [--bound-capacity N] \
-                     [--threads-cap N]"
+                     [--threads-cap N] [--open NAME=PATH]…"
                 );
                 return;
             }
@@ -39,6 +54,20 @@ fn main() {
         Ok(h) => h,
         Err(e) => die(&format!("failed to start: {e}")),
     };
+    // Open requested snapshots before announcing the port, so no client can
+    // observe a partially-populated catalog.
+    for (name, path) in &opens {
+        let req = Value::obj([
+            ("op", Value::str("open")),
+            ("name", Value::str(name.as_str())),
+            ("path", Value::str(path.as_str())),
+        ]);
+        let (reply, _) = handle.service().dispatch(&req.to_string());
+        if !reply.contains("\"ok\":true") {
+            die(&format!("--open {name}={path} failed: {reply}"));
+        }
+        eprintln!("opened `{name}` from {path}");
+    }
     println!("listening on {}", handle.addr());
     // Stdout is parsed by scripts; flush so the port is visible immediately.
     use std::io::Write;

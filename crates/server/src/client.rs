@@ -179,6 +179,26 @@ impl Client {
         ]))
     }
 
+    /// `save` a cataloged graph as a binary snapshot at `path` (plus its
+    /// `path.art` compiled-statement sidecar).
+    pub fn save(&mut self, graph: &str, path: &str) -> Result<Value, ServerError> {
+        self.request(&Value::obj([
+            ("op", Value::str("save")),
+            ("graph", Value::str(graph)),
+            ("path", Value::str(path)),
+        ]))
+    }
+
+    /// `open` a snapshot file under a fresh catalog name, warm-installing
+    /// any sidecar statements.
+    pub fn open(&mut self, name: &str, path: &str) -> Result<Value, ServerError> {
+        self.request(&Value::obj([
+            ("op", Value::str("open")),
+            ("name", Value::str(name)),
+            ("path", Value::str(path)),
+        ]))
+    }
+
     /// `stats`.
     pub fn stats(&mut self) -> Result<Value, ServerError> {
         self.request(&Value::obj([("op", Value::str("stats"))]))

@@ -13,6 +13,8 @@
 //! | `check` | `name`, `graph`, `nodes` (names), `paths` (alternating `[node, label, node, …]`) | `member` |
 //! | `explain` | `name`, `graph`, optional `threads`, `planner` | `planner`, `join_order`, `atoms` (per-atom direction/pin/estimated vs actual cardinalities), `stats`, `answers`, `text` (rendered plan) |
 //! | `stats` | optional `graph` | catalog/registry/server counters incl. `threads_cap`; with `graph`, its `graph_stats` (per-label edge/endpoint counts, degree maxima, sampled reach fraction) |
+//! | `save` | `graph`, `path` | writes the binary snapshot to `path` and the compiled-statement sidecar to `path.art`; `graph`, `path`, `bytes`, `statements` (persisted) |
+//! | `open` | `name`, `path` | opens a snapshot under a *fresh* catalog name, warm-installing every sidecar statement; `graph`, `nodes`, `edges`, `statements` (warmed) |
 //! | `close` | — | `closing: true`, then the connection ends |
 //! | `shutdown` | — | `shutting_down: true`, then the whole server stops |
 //!
@@ -25,9 +27,9 @@ use crate::catalog::{GraphCatalog, GraphSource};
 use crate::registry::StatementRegistry;
 use crate::ServerError;
 use ecrpq::eval::{EvalStats, PlannerMode};
-use ecrpq::{EvalConfig, EvalOptions};
+use ecrpq::{persist, EvalConfig, EvalOptions};
 use ecrpq_automata::Alphabet;
-use ecrpq_graph::{GraphDb, NodeId, Path};
+use ecrpq_graph::{snapshot, GraphDb, NodeId, Path};
 use ecrpq_util::json::{self, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -130,6 +132,8 @@ impl Service {
             "check" => self.op_check(&req)?,
             "explain" => self.op_explain(&req)?,
             "stats" => self.op_stats(&req)?,
+            "save" => self.op_save(&req)?,
+            "open" => self.op_open(&req)?,
             "close" => return Ok((ok_obj([("closing", Value::Bool(true))]), Control::Close)),
             "shutdown" => {
                 return Ok((ok_obj([("shutting_down", Value::Bool(true))]), Control::Shutdown))
@@ -426,6 +430,84 @@ impl Service {
             ));
         }
         Ok(ok_obj(pairs))
+    }
+
+    /// Persists a cataloged graph as a binary snapshot at `path`, plus a
+    /// `path.art` sidecar holding the compiled sim tables and bind artifacts
+    /// of every registered statement that binds against this graph.
+    /// Statements that cannot bind (say, a constant node the graph lacks)
+    /// are skipped rather than failing the save.
+    fn op_save(&self, req: &Value) -> Result<Value, ServerError> {
+        let gname = str_field(req, "graph")?;
+        let path = str_field(req, "path")?;
+        let graph = self.graph(gname)?;
+        let bytes = snapshot::write_snapshot(&graph).map_err(ServerError::msg)?;
+        std::fs::write(path, &bytes)
+            .map_err(|e| ServerError(format!("cannot write `{path}`: {e}")))?;
+        let id = snapshot::snapshot_id(&bytes);
+
+        // Every statement that binds to this graph rides along in the
+        // sidecar. Binding here also seeds this server's own cache.
+        let mut bound: Vec<(String, String, Arc<ecrpq::BoundStatement>)> = Vec::new();
+        for (sname, stext) in self.registry.summaries() {
+            if let Ok((plan, _)) = self.registry.bound(&sname, gname, &graph) {
+                bound.push((sname, stext, plan));
+            }
+        }
+        let entries: Vec<persist::SidecarStatement<'_>> = bound
+            .iter()
+            .map(|(name, text, plan)| persist::SidecarStatement { name, text, stmt: plan })
+            .collect();
+        let art = persist::write_sidecar(id, &entries);
+        let art_path = persist::sidecar_path(std::path::Path::new(path));
+        std::fs::write(&art_path, &art)
+            .map_err(|e| ServerError(format!("cannot write `{}`: {e}", art_path.display())))?;
+        Ok(ok_obj([
+            ("graph", Value::str(gname)),
+            ("path", Value::str(path)),
+            ("bytes", Value::int(bytes.len() as u64)),
+            ("statements", Value::int(entries.len() as u64)),
+        ]))
+    }
+
+    /// Opens a snapshot file under a fresh catalog name. If the `path.art`
+    /// sidecar is present its statements are warm-installed into the
+    /// registry — bound, with every sim table seeded — before the graph
+    /// becomes visible, so the first `run` is a registry hit with zero
+    /// sim-table compilations.
+    fn op_open(&self, req: &Value) -> Result<Value, ServerError> {
+        let name = str_field(req, "name")?;
+        let path = str_field(req, "path")?;
+        if self.catalog.get(name).is_some() {
+            return Err(ServerError(format!(
+                "graph `{name}` is already cataloged; `open` needs a fresh name (use `load` to replace)"
+            )));
+        }
+        let bytes =
+            std::fs::read(path).map_err(|e| ServerError(format!("cannot read `{path}`: {e}")))?;
+        let graph = Arc::new(snapshot::read_snapshot(&bytes).map_err(ServerError::msg)?);
+        let id = snapshot::snapshot_id(&bytes);
+
+        let art_path = persist::sidecar_path(std::path::Path::new(path));
+        let mut warmed = 0u64;
+        if art_path.exists() {
+            let art = std::fs::read(&art_path)
+                .map_err(|e| ServerError(format!("cannot read `{}`: {e}", art_path.display())))?;
+            let statements = persist::read_sidecar(&art, id, &graph).map_err(ServerError::msg)?;
+            warmed = statements.len() as u64;
+            for w in statements {
+                self.registry.install_warm(&w.name, &w.text, name, w.statement);
+            }
+        }
+        // Publish the graph only after the sidecar validated cleanly: a
+        // corrupt sidecar must not leave a half-opened snapshot behind.
+        self.catalog.insert(name, Arc::clone(&graph));
+        Ok(ok_obj([
+            ("graph", Value::str(name)),
+            ("nodes", Value::int(graph.num_nodes() as u64)),
+            ("edges", Value::int(graph.num_edges() as u64)),
+            ("statements", Value::int(warmed)),
+        ]))
     }
 
     fn graph(&self, name: &str) -> Result<Arc<GraphDb>, ServerError> {
@@ -745,6 +827,146 @@ mod tests {
         // The connection state is intact: the same service still explains.
         let r = reply(&s, r#"{"op":"explain","name":"q","graph":"g"}"#);
         assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    /// A scratch directory for persistence tests, unique per test name and
+    /// process, recreated empty on entry.
+    fn scratch_dir(test: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ecrpq-proto-{}-{test}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// `save` then `open` on a fresh service: the reopened graph answers
+    /// identically, and the sidecar makes the *first* run a registry hit
+    /// with zero sim-table compilations.
+    #[test]
+    fn save_open_roundtrip_warms_the_registry() {
+        let dir = scratch_dir("roundtrip");
+        let snap = dir.join("g.snap");
+        let snap = snap.to_str().unwrap();
+
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p1, z), (z, p2, y), L(p1) = a*, L(p2) = a*, R(p1, p2) = el","graph":"g"}"#,
+        );
+        let original = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        let r = reply(&s, &format!(r#"{{"op":"save","graph":"g","path":"{snap}"}}"#));
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("statements").unwrap().as_u64(), Some(1));
+        assert!(std::path::Path::new(&format!("{snap}.art")).exists(), "sidecar must be written");
+
+        // A brand-new service: nothing loaded, nothing prepared.
+        let fresh = Service::new(8);
+        let r = reply(&fresh, &format!(r#"{{"op":"open","name":"g2","path":"{snap}"}}"#));
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "open failed: {r:?}");
+        assert_eq!(r.get("nodes").unwrap().as_u64(), Some(6));
+        assert_eq!(r.get("statements").unwrap().as_u64(), Some(1));
+
+        let warm = reply(&fresh, r#"{"op":"run","name":"q","graph":"g2"}"#);
+        assert_eq!(
+            warm.get("registry").unwrap().as_str(),
+            Some("hit"),
+            "first run after open must hit the warm-installed plan"
+        );
+        assert_eq!(
+            warm.get("stats").unwrap().get("sim_cache_misses").unwrap().as_u64(),
+            Some(0),
+            "warm reopen must not recompile any sim table"
+        );
+        assert_eq!(warm.get("answers").unwrap(), original.get("answers").unwrap());
+        assert_eq!(fresh.registry.stats().prepared, 0, "open never compiles");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Golden `save`/`open` error paths: missing file, version mismatch,
+    /// checksum failure, and a duplicate catalog name all produce structured
+    /// `ok:false` replies on a connection that keeps serving.
+    #[test]
+    fn save_open_error_paths_reply_structurally_and_keep_the_connection() {
+        let dir = scratch_dir("errors");
+        let snap = dir.join("g.snap");
+        let snap_str = snap.to_str().unwrap();
+
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+
+        // Save needs a cataloged graph and writable path.
+        assert_error_reply(
+            &s,
+            &format!(r#"{{"op":"save","graph":"missing","path":"{snap_str}"}}"#),
+            "unknown graph",
+        );
+        let bad_dir = dir.join("no-such-dir/g.snap");
+        assert_error_reply(
+            &s,
+            &format!(r#"{{"op":"save","graph":"g","path":"{}"}}"#, bad_dir.to_str().unwrap()),
+            "cannot write",
+        );
+
+        let r = reply(&s, &format!(r#"{{"op":"save","graph":"g","path":"{snap_str}"}}"#));
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+
+        // Open: missing file.
+        let gone = dir.join("gone.snap");
+        assert_error_reply(
+            &s,
+            &format!(r#"{{"op":"open","name":"h","path":"{}"}}"#, gone.to_str().unwrap()),
+            "cannot read",
+        );
+        // Open: duplicate catalog name.
+        assert_error_reply(
+            &s,
+            &format!(r#"{{"op":"open","name":"g","path":"{snap_str}"}}"#),
+            "already cataloged",
+        );
+        // Open: future format version.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let versioned = dir.join("future.snap");
+        bytes[8] = 99;
+        std::fs::write(&versioned, &bytes).unwrap();
+        assert_error_reply(
+            &s,
+            &format!(r#"{{"op":"open","name":"h","path":"{}"}}"#, versioned.to_str().unwrap()),
+            "format version mismatch",
+        );
+        // Open: flipped payload bit. The byte just before the trailing
+        // 8-byte checksum is always inside the last section's payload.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let corrupt = dir.join("corrupt.snap");
+        let mid = bytes.len() - 9;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&corrupt, &bytes).unwrap();
+        assert_error_reply(
+            &s,
+            &format!(r#"{{"op":"open","name":"h","path":"{}"}}"#, corrupt.to_str().unwrap()),
+            "checksum mismatch",
+        );
+        // A corrupt *sidecar* must fail the open without publishing the graph.
+        let good2 = dir.join("good2.snap");
+        std::fs::copy(&snap, &good2).unwrap();
+        let mut art = std::fs::read(format!("{snap_str}.art")).unwrap();
+        let mid = art.len() - 9;
+        art[mid] ^= 0x01;
+        std::fs::write(format!("{}.art", good2.to_str().unwrap()), &art).unwrap();
+        assert_error_reply(
+            &s,
+            &format!(r#"{{"op":"open","name":"h","path":"{}"}}"#, good2.to_str().unwrap()),
+            "checksum mismatch",
+        );
+        assert!(s.catalog.get("h").is_none(), "failed opens must not catalog the graph");
+
+        // The connection is intact: the same service still saves and runs.
+        let r = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// A `threads` override within the cap changes nothing about the reply

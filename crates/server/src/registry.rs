@@ -143,6 +143,42 @@ impl StatementRegistry {
         self.inner.lock().unwrap().stats
     }
 
+    /// Installs a statement reassembled from a snapshot sidecar: registers
+    /// it (replacing any previous statement with the name) *and* seeds the
+    /// bound-plan cache with its already-bound plan, in one atomic step. The
+    /// cached entry shares the registered statement's `Arc<PreparedQuery>`
+    /// handle, so the next [`bound`](Self::bound) call is a **hit** — the
+    /// warm path never parses, compiles, or binds. Does not bump the
+    /// `prepared` counter: nothing was compiled.
+    pub fn install_warm(
+        &self,
+        name: &str,
+        text: &str,
+        graph_name: &str,
+        plan: Arc<BoundStatement>,
+    ) {
+        let stmt = Arc::new(Statement {
+            name: name.to_string(),
+            text: text.to_string(),
+            prepared: Arc::clone(plan.prepared()),
+        });
+        let mut inner = self.inner.lock().unwrap();
+        inner.bound.retain(|(s, _), _| s != name);
+        inner.statements.insert(name.to_string(), stmt);
+        inner.tick += 1;
+        let tick = inner.tick;
+        let key = (name.to_string(), graph_name.to_string());
+        if inner.bound.len() >= self.capacity {
+            if let Some(victim) =
+                inner.bound.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                inner.bound.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.bound.insert(key, BoundEntry { plan, last_used: tick });
+    }
+
     /// The bound plan of statement `name` against `graph` (cataloged as
     /// `graph_name`), binding and caching on a miss. Returns the plan and
     /// whether it was a cache **hit**.
@@ -271,6 +307,31 @@ mod tests {
         assert_eq!(reg.stats().evictions, 1);
         assert!(reg.bound("q", "a", &ga).unwrap().1, "recently used entry must survive");
         assert!(!reg.bound("q", "b", &gb).unwrap().1, "evicted entry must rebind");
+    }
+
+    #[test]
+    fn install_warm_seeds_a_hit_without_compiling() {
+        let (reg, _) = registry_with_statement();
+        let g = graph(4);
+        let stmt = reg.statement("q").unwrap();
+        let plan =
+            Arc::new(BoundStatement::bind(Arc::clone(&stmt.prepared), Arc::clone(&g)).unwrap());
+        reg.install_warm("warm", &stmt.text, "g", Arc::clone(&plan));
+
+        // The very first `bound` call must hit the seeded plan.
+        let (p, hit) = reg.bound("warm", "g", &g).unwrap();
+        assert!(hit, "warm-installed plan must hit on first use");
+        assert!(Arc::ptr_eq(&p, &plan));
+        assert_eq!(reg.stats().prepared, 1, "install_warm compiles nothing");
+        assert_eq!(reg.stats().misses, 0);
+
+        // Installing respects the LRU bound (capacity 2 here).
+        let (ga, gb) = (graph(3), graph(5));
+        reg.bound("q", "a", &ga).unwrap();
+        let plan_b =
+            Arc::new(BoundStatement::bind(Arc::clone(&stmt.prepared), Arc::clone(&gb)).unwrap());
+        reg.install_warm("warm2", &stmt.text, "b", plan_b);
+        assert_eq!(reg.bound_len(), 2, "install_warm must evict at capacity");
     }
 
     #[test]

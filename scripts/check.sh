@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Offline-safe CI check: build, tests, formatting, lints, server smoke.
 # Usage: scripts/check.sh [--bench-smoke] [--bench-compare] [--server-smoke]
-#                         [--parallel-smoke]
+#                         [--parallel-smoke] [--storage-smoke]
 # (from anywhere inside the repo)
 #
 # The default sequence is build + tests + fmt + clippy + the parser and
@@ -10,7 +10,8 @@
 # reference at 1/2/4/8 threads) + the server smoke (an ephemeral-port
 # ecrpq-serve driven through load/prepare/run/stats/shutdown by ecrpq-cli,
 # asserting that the second run of a prepared statement is a registry hit
-# with zero sim-table compilations).
+# with zero sim-table compilations) + the storage smoke (save on one server,
+# reopen on a fresh one, first run must be warm).
 #
 # --bench-smoke    additionally runs the benchmark harness on the smallest
 #                  size point of each experiment family (in a scratch
@@ -27,6 +28,12 @@
 #                  of corpus queries at 4 threads vs the reference engine) —
 #                  cheap enough for every PR, the fast loop while working on
 #                  the parallel engine.
+# --storage-smoke  runs ONLY the release build and the persistence smoke gate
+#                  (one server saves a graph + prepared statement, a fresh
+#                  server reopens the snapshot and its FIRST run must be a
+#                  registry hit with zero sim-table compilations) — the fast
+#                  loop while working on the storage layer. The same gate is
+#                  part of the default sequence.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,12 +43,14 @@ bench_smoke=0
 bench_compare=0
 server_smoke_only=0
 parallel_smoke_only=0
+storage_smoke_only=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) bench_smoke=1 ;;
         --bench-compare) bench_compare=1 ;;
         --server-smoke) server_smoke_only=1 ;;
         --parallel-smoke) parallel_smoke_only=1 ;;
+        --storage-smoke) storage_smoke_only=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -62,29 +71,39 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Starts target/release/ecrpq-serve on an ephemeral port logging to $1,
+# leaving the pid in $server_pid and the bound address in $server_addr.
+# (Deliberately not a command substitution: $server_pid must reach the
+# parent shell so the EXIT trap can kill a half-started server.)
+server_addr=""
+start_server() {
+    local log=$1
+    shift
+    "$repo_root/target/release/ecrpq-serve" --addr 127.0.0.1:0 --workers 4 "$@" > "$log" &
+    server_pid=$!
+    server_addr=""
+    for _ in $(seq 1 100); do
+        server_addr=$(sed -n 's/^listening on //p' "$log")
+        if [[ -n "$server_addr" ]]; then break; fi
+        sleep 0.05
+    done
+    if [[ -z "$server_addr" ]]; then
+        echo "smoke FAILED: ecrpq-serve never reported its address" >&2
+        exit 1
+    fi
+    echo "    server at $server_addr"
+}
+
 # Starts an ephemeral-port server, walks it through the whole statement
 # lifecycle with the CLI, and asserts the warm-cache invariants.
 server_smoke() {
     echo
     echo "==> server smoke (load/prepare/run/stats/shutdown over loopback TCP)"
-    local serve="$repo_root/target/release/ecrpq-serve"
     local cli="$repo_root/target/release/ecrpq-cli"
-    local log
+    local log addr
     log=$(mktemp)
-    "$serve" --addr 127.0.0.1:0 --workers 4 > "$log" &
-    server_pid=$!
-
-    local addr=""
-    for _ in $(seq 1 100); do
-        addr=$(sed -n 's/^listening on //p' "$log")
-        if [[ -n "$addr" ]]; then break; fi
-        sleep 0.05
-    done
-    if [[ -z "$addr" ]]; then
-        echo "server smoke FAILED: ecrpq-serve never reported its address" >&2
-        exit 1
-    fi
-    echo "    server at $addr"
+    start_server "$log"
+    addr=$server_addr
 
     "$cli" --addr "$addr" load g cycle:8:a
     "$cli" --addr "$addr" prepare q 'Ans(x, y) <- (x, p, y), L(p) = a a' g
@@ -108,11 +127,63 @@ server_smoke() {
     echo "    server smoke OK (second run: registry hit, sim_cache_misses=0)"
 }
 
+# Persistence gate: one server saves a graph plus a prepared statement; a
+# brand-new server reopens the snapshot and its FIRST run must already be a
+# registry hit that compiles nothing — proving the snapshot and the
+# compiled-artifact sidecar actually carry the warm state across processes.
+storage_smoke() {
+    echo
+    echo "==> storage smoke (save -> fresh server reopen -> warm first run)"
+    local cli="$repo_root/target/release/ecrpq-cli"
+    local dir log1 log2 snap
+    dir=$(mktemp -d)
+    snap="$dir/g.snap"
+
+    log1=$(mktemp)
+    start_server "$log1"
+    "$cli" --addr "$server_addr" load g cycle:12:a
+    "$cli" --addr "$server_addr" prepare q 'Ans(x, y) <- (x, p, y), L(p) = a a' g
+    "$cli" --addr "$server_addr" run q g > /dev/null   # bind + compile, so save persists warm state
+    "$cli" --addr "$server_addr" save g "$snap"
+    "$cli" --addr "$server_addr" shutdown
+    wait "$server_pid"
+    server_pid=""
+
+    log2=$(mktemp)
+    start_server "$log2"
+    "$cli" --addr "$server_addr" open g2 "$snap"
+    local first
+    first=$("$cli" --addr "$server_addr" run q g2)
+    echo "$first"
+    if ! grep -q '"registry":"hit"' <<< "$first"; then
+        echo "storage smoke FAILED: first run after open must be a registry hit" >&2
+        exit 1
+    fi
+    if ! grep -q '"sim_cache_misses":0' <<< "$first"; then
+        echo "storage smoke FAILED: first run after open must not compile sim tables" >&2
+        exit 1
+    fi
+    "$cli" --addr "$server_addr" shutdown
+    wait "$server_pid"
+    server_pid=""
+    rm -rf "$dir"
+    rm -f "$log1" "$log2"
+    echo "    storage smoke OK (first run after reopen: registry hit, sim_cache_misses=0)"
+}
+
 if [[ "$server_smoke_only" == 1 ]]; then
     run cargo build --release --offline -p ecrpq-server
     server_smoke
     echo
     echo "Server smoke passed."
+    exit 0
+fi
+
+if [[ "$storage_smoke_only" == 1 ]]; then
+    run cargo build --release --offline -p ecrpq-server
+    storage_smoke
+    echo
+    echo "Storage smoke passed."
     exit 0
 fi
 
@@ -156,6 +227,10 @@ run cargo test -q --offline -p ecrpq-integration --test planner_differential
 # Server smoke is part of the default sequence: the binaries must round-trip
 # the full statement lifecycle over real TCP, not just in unit tests.
 server_smoke
+
+# Storage smoke is part of the default sequence too: persistence must carry
+# warm compiled state across server processes, not just within one.
+storage_smoke
 
 if [[ "$bench_smoke" == 1 ]]; then
     scratch=$(mktemp -d)
