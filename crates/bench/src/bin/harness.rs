@@ -18,7 +18,13 @@
 //!   prepared  only the prepared-query pipeline experiment (compile vs run
 //!             columns + the `prepared_reuse` micro-family), at full size
 //!   serve     only the query-service experiment (loopback TCP throughput
-//!             and p50/p95 latency per client-thread count), at full size
+//!             and p50/p95 latency per client-thread count, plus the
+//!             high-concurrency load sweep: legacy vs pipelined vs batch
+//!             protocol shapes at 64/256/1024 connections), at full size
+//!   serve-smoke
+//!             the serve family at smoke sizes — a seconds-scale gate whose
+//!             load sweep self-checks zero reply loss and admission
+//!             accounting (used by scripts/check.sh)
 //!   parallel  only the intra-query parallel-scaling experiment (warm run
 //!             time vs thread count), at full size
 //!   plan      only the query-planner experiment (warm run time of
@@ -101,6 +107,13 @@ fn parse_args() -> Args {
                 args.mode = Mode::Full;
                 args.only_serve = true;
             }
+            // A seconds-scale serve gate for scripts/check.sh: only the
+            // serve family, at smoke sizes — the load sweep's internal
+            // asserts (zero reply loss, rejection accounting) are the check.
+            "serve-smoke" => {
+                args.mode = Mode::Smoke;
+                args.only_serve = true;
+            }
             "parallel" => {
                 args.mode = Mode::Full;
                 args.only_parallel = true;
@@ -177,7 +190,10 @@ fn main() {
     let mode_name = if args.only_prepared {
         "prepared"
     } else if args.only_serve {
-        "serve"
+        match mode {
+            Mode::Smoke => "serve-smoke",
+            _ => "serve",
+        }
     } else if args.only_parallel {
         "parallel"
     } else if args.only_plan {
@@ -378,10 +394,41 @@ fn run_serve(mode: Mode, rep: &mut Report) {
         Mode::Quick => (&[1, 4], 50, 100),
         Mode::Smoke => (&[1], 8, 50),
     };
-    let m = ecrpq_bench::serve::serve_family(threads, requests, n);
+    let mut m = ecrpq_bench::serve::serve_family(threads, requests, n);
+
+    // The high-concurrency load sweep: legacy closed-loop vs pipelined
+    // open-loop vs batched, per connection count, with the connection count
+    // deliberately driven past the server's admission capacity so rejection
+    // accounting is exercised. Quick-mode points use connection counts the
+    // full baseline never records, so the regression gate skips them.
+    let load_cfg = match mode {
+        Mode::Full => ecrpq_bench::load::LoadConfig {
+            conns: vec![64, 256, 1024],
+            workers: 64,
+            requests: 100,
+            n: 60,
+            batch: 16,
+        },
+        Mode::Quick => ecrpq_bench::load::LoadConfig {
+            conns: vec![16, 48],
+            workers: 16,
+            requests: 40,
+            n: 60,
+            batch: 16,
+        },
+        Mode::Smoke => ecrpq_bench::load::LoadConfig {
+            conns: vec![4],
+            workers: 2,
+            requests: 20,
+            n: 40,
+            batch: 8,
+        },
+    };
+    m.extend(ecrpq_bench::load::load_family(&load_cfg));
     rep.report(
         "serve",
-        "SERVE query service: loopback TCP latency (p50/p95/mean) per client-thread count",
+        "SERVE query service: loopback latency per client-thread count + \
+         load sweep (legacy vs pipelined vs batch) per connection count",
         &m,
         false,
     );

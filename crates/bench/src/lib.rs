@@ -8,6 +8,7 @@
 //! evaluation, and a short annotation (answer counts, state counts) so the
 //! harness output can be sanity-checked against expectations.
 
+pub mod load;
 pub mod microbench;
 pub mod serve;
 pub mod storage;

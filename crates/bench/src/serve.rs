@@ -21,7 +21,7 @@ const GRAPH: &str = "bench";
 const STMT: &str = "q";
 
 /// The `seconds` of the sorted latency list at percentile `p` (0–100).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
     }

@@ -22,7 +22,9 @@
 //!   open <name> <path>                 open a snapshot under a fresh name,
 //!                                      warm-installing sidecar statements
 //!   stats [graph]                      server counters (+ per-label graph
-//!                                      statistics when a graph is named)
+//!                                      statistics when a graph is named);
+//!                                      prints an admission/backpressure
+//!                                      summary on stderr
 //!   shutdown                           stop the server
 //!   raw <json-line>…                   send raw request lines verbatim
 //!   script                             read raw request lines from stdin
@@ -129,10 +131,28 @@ fn main() {
             ok &= print_reply(client.open(name, path));
         }
         Some("stats") => {
-            ok &= match rest.get(1) {
-                Some(graph) => print_reply(client.stats_graph(graph)),
-                None => print_reply(client.stats()),
+            let reply = match rest.get(1) {
+                Some(graph) => client.stats_graph(graph),
+                None => client.stats(),
             };
+            // A human-readable admission/backpressure summary on stderr;
+            // stdout keeps the one-JSON-line contract that scripts rely on.
+            if let Ok(v) = &reply {
+                if let Some(adm) = v.get("admission") {
+                    let n = |k: &str| adm.get(k).and_then(Value::as_u64).unwrap_or(0);
+                    eprintln!(
+                        "admission: accepted {} rejected {} | in-flight {} queued {} | \
+                         pipelined {} batched {}",
+                        n("accepted"),
+                        n("rejected"),
+                        n("in_flight"),
+                        n("queue_depth"),
+                        n("pipelined"),
+                        n("batched"),
+                    );
+                }
+            }
+            ok &= print_reply(reply);
         }
         Some("shutdown") => ok &= print_reply(client.shutdown()),
         Some("raw") => {

@@ -1,9 +1,13 @@
 //! `ecrpq-serve` — the standalone query server binary.
 //!
 //! ```text
-//! ecrpq-serve [--addr HOST:PORT] [--workers N] [--bound-capacity N] [--threads-cap N]
-//!             [--open NAME=PATH]…
+//! ecrpq-serve [--addr HOST:PORT] [--workers N] [--exec-workers N]
+//!             [--bound-capacity N] [--threads-cap N] [--open NAME=PATH]…
 //! ```
+//!
+//! `--workers` bounds concurrently served connections; `--exec-workers`
+//! sizes the shared pipeline pool that executes tagged (pipelined)
+//! requests from all connections (defaults to `--workers`).
 //!
 //! Binds (port 0 = ephemeral), prints one line `listening on <addr>` to
 //! stdout — scripts parse this to discover the port — and serves until a
@@ -20,11 +24,15 @@ use ecrpq_util::json::Value;
 fn main() {
     let mut config = ServerConfig::default();
     let mut opens: Vec<(String, String)> = Vec::new();
+    let mut exec_workers: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => config.addr = value(&mut it, "--addr"),
             "--workers" => config.workers = parse(&value(&mut it, "--workers"), "--workers"),
+            "--exec-workers" => {
+                exec_workers = Some(parse(&value(&mut it, "--exec-workers"), "--exec-workers"))
+            }
             "--bound-capacity" => {
                 config.bound_capacity =
                     parse(&value(&mut it, "--bound-capacity"), "--bound-capacity")
@@ -41,14 +49,16 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: ecrpq-serve [--addr HOST:PORT] [--workers N] [--bound-capacity N] \
-                     [--threads-cap N] [--open NAME=PATH]…"
+                    "usage: ecrpq-serve [--addr HOST:PORT] [--workers N] [--exec-workers N] \
+                     [--bound-capacity N] [--threads-cap N] [--open NAME=PATH]…"
                 );
                 return;
             }
             other => die(&format!("unknown argument `{other}` (try --help)")),
         }
     }
+    // The pipeline pool follows the connection pool unless sized explicitly.
+    config.exec_workers = exec_workers.unwrap_or(config.workers);
 
     let handle = match Server::spawn(config) {
         Ok(h) => h,

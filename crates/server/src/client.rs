@@ -5,6 +5,14 @@
 //! the protocol ops and turn `ok: false` replies into [`ServerError`]s. The
 //! `ecrpq-cli` binary, the `server_roundtrip` example, and the benchmark
 //! harness's `serve` workload all drive this type.
+//!
+//! **Pipelining.** [`Client::send`] writes a request without waiting for
+//! its reply (tag it via [`Client::tagged`] to allow out-of-order
+//! completion); [`Client::flush`] pushes the burst out in one syscall and
+//! [`Client::recv`] reads the next reply off the wire. The caller matches
+//! tagged replies to requests by their echoed `id`. **Batching.**
+//! [`Client::batch_runs`] wraps N runs of one statement into a single
+//! `batch` request.
 
 use crate::ServerError;
 use ecrpq_util::json::{self, Value};
@@ -22,6 +30,13 @@ impl Client {
     /// Connects to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServerError> {
         let stream = TcpStream::connect(addr).map_err(ServerError::msg)?;
+        Client::from_stream(stream)
+    }
+
+    /// Wraps an already-connected stream — for callers that resolve
+    /// admission (or tunnel the connection) themselves before handing the
+    /// socket to the protocol client. No bytes may be in flight.
+    pub fn from_stream(stream: TcpStream) -> Result<Client, ServerError> {
         let read_half = stream.try_clone().map_err(ServerError::msg)?;
         Ok(Client { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
     }
@@ -58,12 +73,60 @@ impl Client {
         self.writer.write_all(line.trim_end().as_bytes()).map_err(ServerError::msg)?;
         self.writer.write_all(b"\n").map_err(ServerError::msg)?;
         self.writer.flush().map_err(ServerError::msg)?;
+        self.recv()
+    }
+
+    /// Writes one request without flushing or waiting for its reply — the
+    /// pipelined send half. Pair with [`flush`](Self::flush) to end the
+    /// burst and [`recv`](Self::recv) to collect replies (tag requests with
+    /// [`tagged`](Self::tagged) so out-of-order completions stay
+    /// matchable).
+    pub fn send(&mut self, req: &Value) -> Result<(), ServerError> {
+        self.writer.write_all(req.to_string().as_bytes()).map_err(ServerError::msg)?;
+        self.writer.write_all(b"\n").map_err(ServerError::msg)
+    }
+
+    /// Flushes buffered pipelined requests to the server in one syscall.
+    pub fn flush(&mut self) -> Result<(), ServerError> {
+        self.writer.flush().map_err(ServerError::msg)
+    }
+
+    /// Reads the next reply line off the wire (whatever request it answers)
+    /// without interpreting `ok`.
+    pub fn recv(&mut self) -> Result<Value, ServerError> {
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply).map_err(ServerError::msg)?;
         if n == 0 {
             return Err(ServerError("server closed the connection".into()));
         }
         json::parse(reply.trim()).map_err(|e| ServerError(format!("bad reply JSON: {e}")))
+    }
+
+    /// A copy of `req` carrying the pipelining `id` tag — the server may
+    /// answer tagged requests out of order, echoing the tag in the reply.
+    pub fn tagged(req: &Value, id: &Value) -> Value {
+        match req {
+            Value::Obj(pairs) => {
+                let mut pairs = pairs.clone();
+                pairs.retain(|(k, _)| k != "id");
+                pairs.insert(0, ("id".to_string(), id.clone()));
+                Value::Obj(pairs)
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// A `batch` request running statement `name` against `graph` `n`
+    /// times in the given mode — the throughput shape the `batch` op
+    /// amortizes (one catalog and one registry lookup for all `n` runs).
+    pub fn batch_runs(name: &str, graph: &str, mode: &str, n: usize) -> Value {
+        Value::obj([
+            ("op", Value::str("batch")),
+            ("name", Value::str(name)),
+            ("graph", Value::str(graph)),
+            ("mode", Value::str(mode)),
+            ("requests", Value::Arr(vec![Value::Obj(Vec::new()); n])),
+        ])
     }
 
     /// `load` from a built-in generator spec (e.g. `cycle:8:a`).

@@ -1,12 +1,19 @@
 //! A hand-rolled worker pool over `std::thread` and `std::sync::mpsc`.
 //!
-//! The server hands each accepted connection to the pool; a worker owns the
-//! connection for its lifetime (the protocol is line-oriented and
-//! conversational, so a connection is one job, not one job per request).
+//! The server runs two pools. The *connection* pool owns accepted
+//! connections — a worker drives one connection for its lifetime (the
+//! protocol is line-oriented and conversational, so a connection is one
+//! job). The *pipeline* pool executes tagged (pipelined) requests submitted
+//! by connection workers; those jobs are short (one dispatch + one reply
+//! write), so the pool is shared across every connection through an `Arc` —
+//! which is why [`ThreadPool::execute`] and [`ThreadPool::shutdown`] take
+//! `&self`.
+//!
 //! Shutdown is graceful: dropping the sender lets every worker finish its
-//! current job and drain the queue before the `join` in [`ThreadPool::shutdown`]
-//! returns.
+//! current job and drain the queue before the `join` in
+//! [`ThreadPool::shutdown`] returns.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -15,48 +22,76 @@ use std::thread::JoinHandle;
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A fixed-size pool of worker threads consuming jobs from one queue.
+/// Shareable: submission and shutdown both work through `&self`, so the
+/// server hands connections an `Arc<ThreadPool>` for pipelined dispatch.
 #[derive(Debug)]
 pub struct ThreadPool {
-    tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    tx: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    size: usize,
+    /// Jobs submitted but not yet picked up by a worker — the queue-depth
+    /// gauge surfaced by the server's `stats` op.
+    queued: Arc<AtomicU64>,
 }
 
 impl ThreadPool {
     /// Spawns `size` workers (at least 1).
     pub fn new(size: usize) -> ThreadPool {
+        ThreadPool::with_queue_gauge(size, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Spawns `size` workers sharing an externally owned queue-depth gauge
+    /// (incremented at submit, decremented when a worker dequeues the job).
+    pub fn with_queue_gauge(size: usize, queued: Arc<AtomicU64>) -> ThreadPool {
         let size = size.max(1);
         let (tx, rx) = std::sync::mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..size)
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let queued = Arc::clone(&queued);
                 std::thread::Builder::new()
                     .name(format!("ecrpq-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&rx, &queued))
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        ThreadPool { tx: Some(tx), workers }
+        ThreadPool { tx: Mutex::new(Some(tx)), workers: Mutex::new(workers), size, queued }
     }
 
     /// Number of worker threads.
     pub fn size(&self) -> usize {
-        self.workers.len()
+        self.size
+    }
+
+    /// Jobs submitted but not yet started by a worker.
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
     }
 
     /// Enqueues a job. Returns `false` if the pool is already shut down.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
-        match &self.tx {
-            Some(tx) => tx.send(Box::new(job)).is_ok(),
-            None => false,
+        // Clone the sender out of the lock so a slow channel send never
+        // serializes other submitters.
+        let tx = match self.tx.lock().unwrap().as_ref() {
+            Some(tx) => tx.clone(),
+            None => return false,
+        };
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        if tx.send(Box::new(job)).is_ok() {
+            true
+        } else {
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+            false
         }
     }
 
     /// Closes the queue and joins every worker. Queued jobs still run;
     /// idempotent (also invoked by `Drop`).
-    pub fn shutdown(&mut self) {
-        self.tx.take(); // closing the channel stops the worker loops
-        for w in self.workers.drain(..) {
+    pub fn shutdown(&self) {
+        self.tx.lock().unwrap().take(); // closing the channel stops the worker loops
+        let workers: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for w in workers {
             let _ = w.join();
         }
     }
@@ -68,13 +103,14 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, queued: &AtomicU64) {
     loop {
         // Hold the lock only to receive; never while running a job.
         let job = match rx.lock().unwrap().recv() {
             Ok(job) => job,
             Err(_) => return, // all senders dropped: drain complete
         };
+        queued.fetch_sub(1, Ordering::Relaxed);
         job();
     }
 }
@@ -82,11 +118,11 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn runs_jobs_concurrently_and_drains_on_shutdown() {
-        let mut pool = ThreadPool::new(4);
+        let pool = ThreadPool::new(4);
         assert_eq!(pool.size(), 4);
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..100 {
@@ -97,6 +133,7 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 100, "shutdown must drain the queue");
+        assert_eq!(pool.queued(), 0, "drained pool reports an empty queue");
         // after shutdown, jobs are rejected instead of silently dropped
         assert!(!pool.execute(|| {}));
     }
@@ -105,5 +142,52 @@ mod tests {
     fn zero_size_is_clamped() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn shared_submission_through_an_arc() {
+        // The pipeline pool is shared by every connection: submissions from
+        // several threads through one `Arc<ThreadPool>` must all run.
+        let pool = Arc::new(ThreadPool::new(2));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let submitters: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        let counter = Arc::clone(&counter);
+                        assert!(pool.execute(move || {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        }));
+                    }
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn queue_gauge_tracks_submitted_jobs() {
+        let gauge = Arc::new(AtomicU64::new(0));
+        let pool = ThreadPool::with_queue_gauge(1, Arc::clone(&gauge));
+        let (block_tx, block_rx) = std::sync::mpsc::channel::<()>();
+        // Occupy the single worker, then stack jobs behind it.
+        pool.execute(move || {
+            let _ = block_rx.recv();
+        });
+        for _ in 0..3 {
+            pool.execute(|| {});
+        }
+        // The three stacked jobs (and possibly the blocked one, if the
+        // worker has not dequeued it yet) are visible in the gauge.
+        assert!(gauge.load(Ordering::Relaxed) >= 3, "gauge: {}", gauge.load(Ordering::Relaxed));
+        block_tx.send(()).unwrap();
+        pool.shutdown();
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
     }
 }

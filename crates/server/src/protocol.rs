@@ -15,8 +15,21 @@
 //! | `stats` | optional `graph` | catalog/registry/server counters incl. `threads_cap`; with `graph`, its `graph_stats` (per-label edge/endpoint counts, degree maxima, sampled reach fraction) |
 //! | `save` | `graph`, `path` | writes the binary snapshot to `path` and the compiled-statement sidecar to `path.art`; `graph`, `path`, `bytes`, `statements` (persisted) |
 //! | `open` | `name`, `path` | opens a snapshot under a *fresh* catalog name, warm-installing every sidecar statement; `graph`, `nodes`, `edges`, `statements` (warmed) |
+//! | `batch` | `requests` (array of sub-requests, each a `run`/`check`/`explain`/`stats` object; `op` defaults to `run`), plus batch-level defaults `name`, `graph`, `mode`, `threads`, `planner`, `limit` merged into every sub-request that omits them | `count`, `results` (one reply object per sub-request, in order; a failing sub yields `ok: false` *inside* `results`, never a batch-level error) |
 //! | `close` | — | `closing: true`, then the connection ends |
 //! | `shutdown` | — | `shutting_down: true`, then the whole server stops |
+//!
+//! **Pipelining.** Every request may carry an optional `"id"` tag (string
+//! or integer). The reply echoes the tag, and a tagged request may be
+//! answered *out of order* relative to other tagged requests on the same
+//! connection — the transport dispatches tagged requests concurrently.
+//! Untagged requests keep the original strict one-in/one-out ordering.
+//! `close` and `shutdown` must be untagged (they are connection-ordered by
+//! nature); tagging them is a protocol error.
+//!
+//! **Batching.** The `batch` op resolves each distinct graph handle and
+//! bound statement once for the whole batch, so N runs of one statement
+//! pay one catalog lookup and one registry lookup instead of N.
 //!
 //! The parallel engine is deterministic, so a `threads` override can only
 //! change a run's latency, never its reply payload. Requests over the cap
@@ -26,11 +39,12 @@
 use crate::catalog::{GraphCatalog, GraphSource};
 use crate::registry::StatementRegistry;
 use crate::ServerError;
-use ecrpq::eval::{EvalStats, PlannerMode};
+use ecrpq::eval::{BoundStatement, EvalStats, PlannerMode};
 use ecrpq::{persist, EvalConfig, EvalOptions};
 use ecrpq_automata::Alphabet;
 use ecrpq_graph::{snapshot, GraphDb, NodeId, Path};
 use ecrpq_util::json::{self, Value};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -45,15 +59,33 @@ pub enum Control {
     Shutdown,
 }
 
-/// Transport-level counters.
+/// Transport-level counters, including the backpressure/admission gauges
+/// surfaced under `admission` in the `stats` reply.
 #[derive(Debug, Default)]
 pub struct ServiceStats {
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Connections rejected at admission (over the worker-pool capacity).
+    pub rejected: AtomicU64,
+    /// Connections currently holding an admission slot (gauge: incremented
+    /// at accept, decremented when the connection's serve loop returns).
+    pub active: AtomicU64,
     /// Requests dispatched.
     pub requests: AtomicU64,
     /// Requests answered with `ok: false`.
     pub errors: AtomicU64,
+    /// Requests currently executing (gauge: incremented at dispatch entry,
+    /// decremented when the reply is built).
+    pub in_flight: AtomicU64,
+    /// Tagged requests handed to the pipeline pool for concurrent
+    /// execution.
+    pub pipelined: AtomicU64,
+    /// Sub-requests executed through the `batch` op.
+    pub batched: AtomicU64,
+    /// Pipeline-pool jobs submitted but not yet started (gauge). Behind an
+    /// `Arc` so the transport can hand the same counter to its
+    /// [`ThreadPool`](crate::pool::ThreadPool) as the queue gauge.
+    pub queue_depth: Arc<AtomicU64>,
 }
 
 /// Default per-pool cap on the intra-query worker threads one `run` request
@@ -61,6 +93,25 @@ pub struct ServiceStats {
 /// cap is that no single request can claim an unbounded slice of the
 /// machine a worker pool shares.
 pub const DEFAULT_THREADS_CAP: usize = 8;
+
+/// Upper bound on sub-requests in one `batch` op — a framing sanity limit,
+/// not a throughput knob (a million-entry batch is almost certainly a bug
+/// or an attack, and it would pin a worker for its whole duration).
+pub const MAX_BATCH: usize = 1024;
+
+/// Request fields that act as batch-level defaults, merged into every
+/// sub-request that omits them.
+const BATCH_DEFAULT_FIELDS: &[&str] = &["name", "graph", "mode", "threads", "planner", "limit"];
+
+/// Per-request memo of resolved graph handles and bound statements. A
+/// `batch` shares one across all its sub-requests — the amortization that
+/// makes batching cheaper than N single requests; single requests get a
+/// fresh (empty, allocation-free) one.
+#[derive(Default)]
+struct BatchCache {
+    graphs: HashMap<String, Arc<GraphDb>>,
+    bound: HashMap<(String, String), Arc<BoundStatement>>,
+}
 
 /// The transport-independent query service: a graph catalog, a statement
 /// registry, and the request dispatcher. The TCP server, tests, and any
@@ -104,43 +155,132 @@ impl Service {
     /// Dispatches one request line, returning the reply line (no trailing
     /// newline) and what the transport should do next.
     pub fn dispatch(&self, line: &str) -> (String, Control) {
+        match json::parse(line.trim()) {
+            Ok(req) => self.dispatch_req(&req),
+            Err(e) => {
+                self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                (error_obj(&format!("bad request JSON: {e}"), None).to_string(), Control::Continue)
+            }
+        }
+    }
+
+    /// Dispatches an already-parsed request (the pipelined transport parses
+    /// each line once, to read the `id` tag, before handing it here). Any
+    /// valid `id` is echoed into the reply — including error replies.
+    pub fn dispatch_req(&self, req: &Value) -> (String, Control) {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let (reply, control) = match self.dispatch_value(line) {
-            Ok(ok) => ok,
+        self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let (reply, control) = match request_id(req) {
             Err(e) => {
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
-                (
-                    Value::obj([("ok", Value::Bool(false)), ("error", Value::str(e.0))]),
-                    Control::Continue,
-                )
+                (error_obj(&e.0, None), Control::Continue)
             }
+            Ok(id) => match self.dispatch_value(req) {
+                Ok((reply, control)) => (with_id(reply, id), control),
+                Err(e) => {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    (error_obj(&e.0, id), Control::Continue)
+                }
+            },
         };
+        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
         (reply.to_string(), control)
     }
 
-    fn dispatch_value(&self, line: &str) -> Result<(Value, Control), ServerError> {
-        let req =
-            json::parse(line.trim()).map_err(|e| ServerError(format!("bad request JSON: {e}")))?;
+    fn dispatch_value(&self, req: &Value) -> Result<(Value, Control), ServerError> {
         let op = req
             .get("op")
             .and_then(Value::as_str)
             .ok_or_else(|| ServerError("request needs a string `op` field".into()))?;
+        let mut cache = BatchCache::default();
         let reply = match op {
-            "load" => self.op_load(&req)?,
-            "prepare" => self.op_prepare(&req)?,
-            "run" => self.op_run(&req)?,
-            "check" => self.op_check(&req)?,
-            "explain" => self.op_explain(&req)?,
-            "stats" => self.op_stats(&req)?,
-            "save" => self.op_save(&req)?,
-            "open" => self.op_open(&req)?,
-            "close" => return Ok((ok_obj([("closing", Value::Bool(true))]), Control::Close)),
+            "load" => self.op_load(req)?,
+            "prepare" => self.op_prepare(req)?,
+            "run" => self.op_run(req, &mut cache)?,
+            "check" => self.op_check(req, &mut cache)?,
+            "explain" => self.op_explain(req, &mut cache)?,
+            "stats" => self.op_stats(req)?,
+            "batch" => self.op_batch(req)?,
+            "save" => self.op_save(req)?,
+            "open" => self.op_open(req)?,
+            "close" => {
+                ensure_untagged(req, "close")?;
+                return Ok((ok_obj([("closing", Value::Bool(true))]), Control::Close));
+            }
             "shutdown" => {
-                return Ok((ok_obj([("shutting_down", Value::Bool(true))]), Control::Shutdown))
+                ensure_untagged(req, "shutdown")?;
+                return Ok((ok_obj([("shutting_down", Value::Bool(true))]), Control::Shutdown));
             }
             other => return Err(ServerError(format!("unknown op `{other}`"))),
         };
         Ok((reply, Control::Continue))
+    }
+
+    /// Runs a `batch` request: N read-only sub-requests sharing one
+    /// resolution of every graph handle and bound statement they touch.
+    /// Batch-level `name`/`graph`/`mode`/`threads`/`planner`/`limit` fields
+    /// are defaults for sub-requests that omit them. Each sub-request gets
+    /// its own entry in `results` (errors included), so one bad entry never
+    /// loses the others' replies.
+    fn op_batch(&self, req: &Value) -> Result<Value, ServerError> {
+        let subs = req
+            .get("requests")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| ServerError("batch needs a `requests` array".into()))?;
+        if subs.is_empty() {
+            return Err(ServerError("batch `requests` must not be empty".into()));
+        }
+        if subs.len() > MAX_BATCH {
+            return Err(ServerError(format!(
+                "batch too large: {} requests (cap {MAX_BATCH})",
+                subs.len()
+            )));
+        }
+        let defaults: Vec<(&str, &Value)> =
+            BATCH_DEFAULT_FIELDS.iter().filter_map(|&k| req.get(k).map(|v| (k, v))).collect();
+        let mut cache = BatchCache::default();
+        self.stats.batched.fetch_add(subs.len() as u64, Ordering::Relaxed);
+        let results: Vec<Value> = subs
+            .iter()
+            .map(|sub| match self.run_batch_sub(sub, &defaults, &mut cache) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    error_obj(&e.0, None)
+                }
+            })
+            .collect();
+        Ok(ok_obj([("count", Value::int(results.len() as u64)), ("results", Value::Arr(results))]))
+    }
+
+    /// One sub-request of a batch: merge the batch-level defaults, restrict
+    /// to the read-only ops, and execute against the shared cache.
+    fn run_batch_sub(
+        &self,
+        sub: &Value,
+        defaults: &[(&str, &Value)],
+        cache: &mut BatchCache,
+    ) -> Result<Value, ServerError> {
+        let Value::Obj(pairs) = sub else {
+            return Err(ServerError("each batch entry must be a request object".into()));
+        };
+        let mut merged = pairs.clone();
+        for &(k, v) in defaults {
+            if sub.get(k).is_none() {
+                merged.push((k.to_string(), v.clone()));
+            }
+        }
+        let merged = Value::Obj(merged);
+        match merged.get("op").and_then(Value::as_str).unwrap_or("run") {
+            "run" => self.op_run(&merged, cache),
+            "check" => self.op_check(&merged, cache),
+            "explain" => self.op_explain(&merged, cache),
+            "stats" => self.op_stats(&merged),
+            other => Err(ServerError(format!(
+                "batch entries may only be run/check/explain/stats, got `{other}`"
+            ))),
+        }
     }
 
     fn op_load(&self, req: &Value) -> Result<Value, ServerError> {
@@ -224,12 +364,47 @@ impl Service {
         Ok(options)
     }
 
-    fn op_run(&self, req: &Value) -> Result<Value, ServerError> {
+    /// Resolves a graph handle through the per-request cache (one catalog
+    /// lookup per distinct graph per request, however many sub-requests).
+    fn graph_cached(
+        &self,
+        cache: &mut BatchCache,
+        name: &str,
+    ) -> Result<Arc<GraphDb>, ServerError> {
+        if let Some(g) = cache.graphs.get(name) {
+            return Ok(Arc::clone(g));
+        }
+        let g = self.graph(name)?;
+        cache.graphs.insert(name.to_string(), Arc::clone(&g));
+        Ok(g)
+    }
+
+    /// Resolves a bound statement through the per-request cache. The first
+    /// resolution reports the registry's own hit/miss verdict; later
+    /// sub-requests reuse the memoized `Arc` and report a hit (they paid no
+    /// lookup at all).
+    fn bound_cached(
+        &self,
+        cache: &mut BatchCache,
+        name: &str,
+        gname: &str,
+        graph: &Arc<GraphDb>,
+    ) -> Result<(Arc<BoundStatement>, bool), ServerError> {
+        let key = (name.to_string(), gname.to_string());
+        if let Some(plan) = cache.bound.get(&key) {
+            return Ok((Arc::clone(plan), true));
+        }
+        let (plan, hit) = self.registry.bound(name, gname, graph)?;
+        cache.bound.insert(key, Arc::clone(&plan));
+        Ok((plan, hit))
+    }
+
+    fn op_run(&self, req: &Value, cache: &mut BatchCache) -> Result<Value, ServerError> {
         let name = str_field(req, "name")?;
         let gname = str_field(req, "graph")?;
         let options = self.run_options(req)?;
-        let graph = self.graph(gname)?;
-        let (stmt, hit) = self.registry.bound(name, gname, &graph)?;
+        let graph = self.graph_cached(cache, gname)?;
+        let (stmt, hit) = self.bound_cached(cache, name, gname, &graph)?;
         let plan = stmt.plan_with(options);
         let mut config = EvalConfig::default();
         if let Some(limit) = req.get("limit").and_then(Value::as_u64) {
@@ -294,11 +469,11 @@ impl Service {
         }
     }
 
-    fn op_check(&self, req: &Value) -> Result<Value, ServerError> {
+    fn op_check(&self, req: &Value, cache: &mut BatchCache) -> Result<Value, ServerError> {
         let name = str_field(req, "name")?;
         let gname = str_field(req, "graph")?;
-        let graph = self.graph(gname)?;
-        let (plan, hit) = self.registry.bound(name, gname, &graph)?;
+        let graph = self.graph_cached(cache, gname)?;
+        let (plan, hit) = self.bound_cached(cache, name, gname, &graph)?;
         let nodes: Vec<NodeId> = req
             .get("nodes")
             .and_then(Value::as_arr)
@@ -329,12 +504,12 @@ impl Service {
     /// Reports the planner's view of a run: join order, per-atom BFS
     /// direction and pinned source, estimated *and* actual cardinalities,
     /// plus a human-readable rendering under `text`.
-    fn op_explain(&self, req: &Value) -> Result<Value, ServerError> {
+    fn op_explain(&self, req: &Value, cache: &mut BatchCache) -> Result<Value, ServerError> {
         let name = str_field(req, "name")?;
         let gname = str_field(req, "graph")?;
         let options = self.run_options(req)?;
-        let graph = self.graph(gname)?;
-        let (stmt, hit) = self.registry.bound(name, gname, &graph)?;
+        let graph = self.graph_cached(cache, gname)?;
+        let (stmt, hit) = self.bound_cached(cache, name, gname, &graph)?;
         let plan = stmt.plan_with(options);
         let report = plan.explain(&EvalConfig::default()).map_err(ServerError::msg)?;
         let atoms: Vec<Value> = report
@@ -379,6 +554,16 @@ impl Service {
 
     fn op_stats(&self, req: &Value) -> Result<Value, ServerError> {
         let reg = self.registry.stats();
+        let shard_obj = |c: &crate::registry::ShardCounters| {
+            Value::obj([
+                ("hits", Value::int(c.hits)),
+                ("misses", Value::int(c.misses)),
+                ("evictions", Value::int(c.evictions)),
+            ])
+        };
+        let reg_shards: Vec<Value> = self.registry.shard_counters().iter().map(shard_obj).collect();
+        let cat_shards: Vec<Value> = self.catalog.shard_counters().iter().map(shard_obj).collect();
+        let (cat_hits, cat_misses) = self.catalog.lookup_counters();
         let mut pairs = vec![
             ("graphs", Value::int(self.catalog.len() as u64)),
             ("statements", Value::int(self.registry.len() as u64)),
@@ -391,6 +576,27 @@ impl Service {
                     ("misses", Value::int(reg.misses)),
                     ("evictions", Value::int(reg.evictions)),
                     ("prepared", Value::int(reg.prepared)),
+                    ("shards", Value::Arr(reg_shards)),
+                ]),
+            ),
+            (
+                "catalog",
+                Value::obj([
+                    ("hits", Value::int(cat_hits)),
+                    ("misses", Value::int(cat_misses)),
+                    ("shards", Value::Arr(cat_shards)),
+                ]),
+            ),
+            (
+                "admission",
+                Value::obj([
+                    ("accepted", Value::int(self.stats.connections.load(Ordering::Relaxed))),
+                    ("rejected", Value::int(self.stats.rejected.load(Ordering::Relaxed))),
+                    ("active", Value::int(self.stats.active.load(Ordering::Relaxed))),
+                    ("in_flight", Value::int(self.stats.in_flight.load(Ordering::Relaxed))),
+                    ("queue_depth", Value::int(self.stats.queue_depth.load(Ordering::Relaxed))),
+                    ("pipelined", Value::int(self.stats.pipelined.load(Ordering::Relaxed))),
+                    ("batched", Value::int(self.stats.batched.load(Ordering::Relaxed))),
                 ]),
             ),
             ("connections", Value::int(self.stats.connections.load(Ordering::Relaxed))),
@@ -520,6 +726,51 @@ fn ok_obj(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
     let mut all = vec![("ok".to_string(), Value::Bool(true))];
     all.extend(pairs.into_iter().map(|(k, v)| (k.to_string(), v)));
     Value::Obj(all)
+}
+
+/// An `{"ok": false, "error": …}` reply object, tagged when the request
+/// carried a valid id.
+fn error_obj(message: &str, id: Option<&Value>) -> Value {
+    with_id(Value::obj([("ok", Value::Bool(false)), ("error", Value::str(message))]), id)
+}
+
+/// Echoes a request's `id` tag into its reply object.
+fn with_id(reply: Value, id: Option<&Value>) -> Value {
+    match (reply, id) {
+        (Value::Obj(mut pairs), Some(id)) => {
+            pairs.insert(0, ("id".to_string(), id.clone()));
+            Value::Obj(pairs)
+        }
+        (reply, _) => reply,
+    }
+}
+
+/// Rejects an `id` tag on a connection-lifecycle op: `close` and
+/// `shutdown` end the request stream, so they are ordered by nature — a
+/// tagged (concurrently dispatched) one could race past requests it was
+/// meant to follow.
+fn ensure_untagged(req: &Value, op: &str) -> Result<(), ServerError> {
+    if request_id(req)?.is_some() {
+        return Err(ServerError(format!(
+            "`{op}` must not carry an `id` tag: lifecycle ops are connection-ordered"
+        )));
+    }
+    Ok(())
+}
+
+/// Extracts and validates a request's optional `id` tag: a string or a
+/// non-negative integer. Anything else (float, bool, object, array, null)
+/// is a protocol error — a tag the client cannot reliably match replies by
+/// must be rejected loudly, not echoed approximately.
+pub fn request_id(req: &Value) -> Result<Option<&Value>, ServerError> {
+    match req.get("id") {
+        None => Ok(None),
+        Some(id @ Value::Str(_)) => Ok(Some(id)),
+        Some(id @ Value::Num(_)) if id.as_u64().is_some() => Ok(Some(id)),
+        Some(other) => {
+            Err(ServerError(format!("`id` must be a string or non-negative integer, got {other}")))
+        }
+    }
 }
 
 fn str_field<'a>(req: &'a Value, key: &str) -> Result<&'a str, ServerError> {
@@ -967,6 +1218,135 @@ mod tests {
         assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Every request may carry an `id` tag (string or integer), echoed in
+    /// the reply — including error replies — so pipelined clients can match
+    /// out-of-order completions. Malformed tags are rejected loudly.
+    #[test]
+    fn id_tags_echo_in_replies_and_reject_malformed() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+
+        let r = reply(&s, r#"{"op":"run","name":"q","graph":"g","id":"req-7"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("id").unwrap().as_str(), Some("req-7"));
+
+        let r = reply(&s, r#"{"op":"run","name":"q","graph":"g","id":42}"#);
+        assert_eq!(r.get("id").unwrap().as_u64(), Some(42));
+
+        // Error replies echo the id too — that's what makes them matchable.
+        let r = reply(&s, r#"{"op":"run","name":"nope","graph":"g","id":"e1"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(r.get("id").unwrap().as_str(), Some("e1"));
+
+        // Malformed tags: float, bool, null, array.
+        for bad in [r#"1.5"#, "true", "null", "[1]"] {
+            let r = reply(&s, &format!(r#"{{"op":"stats","id":{bad}}}"#));
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(false), "id {bad} must be rejected");
+            assert!(r.get("error").unwrap().as_str().unwrap().contains("id"));
+            assert!(r.get("id").is_none(), "an invalid id must not be echoed");
+        }
+    }
+
+    /// The `batch` op runs N sub-requests under batch-level defaults,
+    /// returning per-entry results (errors inline, never batch-fatal) in
+    /// request order.
+    #[test]
+    fn batch_runs_sub_requests_with_defaults_and_inline_errors() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        let single = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+
+        // Defaults fill in name/graph; entries override per-field; a bad
+        // entry errors inline without failing its neighbors.
+        let r = reply(
+            &s,
+            r#"{"op":"batch","name":"q","graph":"g","requests":[
+                {},
+                {"mode":"boolean"},
+                {"op":"stats"},
+                {"name":"missing"},
+                {"op":"prepare"}
+            ]}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "batch reply: {r:?}");
+        assert_eq!(r.get("count").unwrap().as_u64(), Some(5));
+        let results = r.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results[0].get("answers").unwrap(), single.get("answers").unwrap());
+        assert_eq!(results[1].get("answer").unwrap().as_bool(), Some(true));
+        assert!(results[2].get("registry").is_some(), "stats sub-op runs: {:?}", results[2]);
+        assert_eq!(results[3].get("ok").unwrap().as_bool(), Some(false));
+        assert!(results[3].get("error").unwrap().as_str().unwrap().contains("unknown statement"));
+        assert_eq!(results[4].get("ok").unwrap().as_bool(), Some(false));
+        assert!(results[4].get("error").unwrap().as_str().unwrap().contains("run/check/explain"));
+
+        // Amortization is observable: the whole batch did ONE registry
+        // lookup for (q, g) — the two successful runs shared it.
+        let st = reply(&s, r#"{"op":"stats"}"#);
+        assert_eq!(st.get("admission").unwrap().get("batched").unwrap().as_u64(), Some(5));
+        let hits = st.get("registry").unwrap().get("hits").unwrap().as_u64().unwrap();
+        assert_eq!(hits, 1, "batch must amortize registry lookups (1 hit from the single run)");
+    }
+
+    /// Golden batch error paths: missing/empty/oversized `requests`, and
+    /// non-object entries.
+    #[test]
+    fn batch_error_paths_reply_structurally() {
+        let s = loaded_service();
+        assert_error_reply(&s, r#"{"op":"batch"}"#, "requests");
+        assert_error_reply(&s, r#"{"op":"batch","requests":[]}"#, "must not be empty");
+        assert_error_reply(&s, r#"{"op":"batch","requests":"run"}"#, "requests");
+        let oversized =
+            format!(r#"{{"op":"batch","requests":[{}]}}"#, vec!["{}"; MAX_BATCH + 1].join(","));
+        assert_error_reply(&s, &oversized, "batch too large");
+        // A non-object entry errors inline, not batch-fatally.
+        let r = reply(&s, r#"{"op":"batch","requests":[[1,2]]}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        let results = r.get("results").unwrap().as_arr().unwrap();
+        assert!(results[0].get("error").unwrap().as_str().unwrap().contains("request object"));
+    }
+
+    /// The `stats` reply surfaces admission gauges and per-shard cache
+    /// counters that aggregate to the registry totals.
+    #[test]
+    fn stats_surfaces_admission_and_shard_counters() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        let st = reply(&s, r#"{"op":"stats"}"#);
+
+        let adm = st.get("admission").unwrap();
+        for key in
+            ["accepted", "rejected", "active", "in_flight", "queue_depth", "pipelined", "batched"]
+        {
+            assert!(adm.get(key).and_then(Value::as_u64).is_some(), "admission.{key} missing");
+        }
+        // The gauge counts the stats request itself — the one in flight now.
+        assert_eq!(adm.get("in_flight").unwrap().as_u64(), Some(1));
+
+        let reg = st.get("registry").unwrap();
+        let shards = reg.get("shards").unwrap().as_arr().unwrap();
+        assert_eq!(shards.len(), crate::registry::SHARD_COUNT);
+        let hit_sum: u64 = shards.iter().map(|s| s.get("hits").unwrap().as_u64().unwrap()).sum();
+        assert_eq!(Some(hit_sum), reg.get("hits").unwrap().as_u64());
+
+        let cat = st.get("catalog").unwrap();
+        assert!(cat.get("hits").unwrap().as_u64().unwrap() >= 2, "runs looked the graph up");
+        assert_eq!(
+            cat.get("shards").unwrap().as_arr().unwrap().len(),
+            crate::registry::SHARD_COUNT
+        );
     }
 
     /// A `threads` override within the cap changes nothing about the reply

@@ -1,18 +1,26 @@
 //! The thread-pooled TCP transport: accept loop, per-connection protocol
-//! driver, and graceful shutdown.
+//! driver with pipelining, and graceful shutdown.
 //!
-//! One listener thread accepts connections and hands each to the worker
-//! pool; the owning worker reads request lines and writes reply lines until
-//! the client disconnects, sends `close`, or sends `shutdown`. Shutdown
-//! (from a request or from [`ServerHandle::shutdown`]) flips a flag and
-//! pokes the listener with a loopback connection so `accept` wakes up, then
-//! joins the listener and drains the pool.
+//! One listener thread accepts connections and hands each to the
+//! *connection* pool; the owning worker reads request lines until the
+//! client disconnects, sends `close`, or sends `shutdown`. Untagged
+//! requests are dispatched inline (strict in-order replies, as ever);
+//! requests carrying an `id` tag are handed to the shared *pipeline* pool
+//! and their replies are written as they complete — out of order when the
+//! work finishes out of order. Replies are coalesced: the writer flushes
+//! once per burst (when no tagged work is pending and no further complete
+//! request line is already buffered), not once per reply.
+//!
+//! Shutdown (from a request or from [`ServerHandle::shutdown`]) flips a
+//! flag and pokes the listener with a loopback connection so `accept`
+//! wakes up, then joins the listener and drains both pools.
 
 use crate::pool::ThreadPool;
-use crate::protocol::{Control, Service};
+use crate::protocol::{self, Control, Service};
+use ecrpq_util::json;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -25,6 +33,9 @@ pub struct ServerConfig {
     /// Worker threads (each owns one live connection at a time). Defaults to
     /// the machine's available parallelism, at least 4.
     pub workers: usize,
+    /// Threads in the shared pipeline pool executing tagged (pipelined)
+    /// requests from every connection. Defaults to `workers`.
+    pub exec_workers: usize,
     /// Bound on the registry's cached `(statement, graph)` plans.
     pub bound_capacity: usize,
     /// Per-pool cap on the intra-query `threads` a single `run` request may
@@ -38,11 +49,18 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers,
+            exec_workers: workers,
             bound_capacity: crate::registry::DEFAULT_BOUND_CAPACITY,
             threads_cap: crate::protocol::DEFAULT_THREADS_CAP,
         }
     }
 }
+
+/// The `retry_after_hint` (milliseconds) carried by admission-rejection
+/// replies: how long a rejected client should wait before reconnecting.
+/// Connection slots free up when a conversation ends, so the hint is a
+/// coarse backoff, not a reservation.
+pub const RETRY_AFTER_HINT_MS: u64 = 100;
 
 /// The running server. Construct with [`Server::spawn`].
 pub struct Server;
@@ -69,36 +87,46 @@ impl Server {
         let accept_service = Arc::clone(&service);
         let accept_stop = Arc::clone(&stop);
         let workers = config.workers.max(1);
+        let exec_workers = config.exec_workers.max(1);
         let listener_thread =
             std::thread::Builder::new().name("ecrpq-accept".to_string()).spawn(move || {
-                let mut pool = ThreadPool::new(workers);
-                // Live connections. Each occupies one worker for its whole
-                // lifetime, so admission is bounded by the pool size: an
-                // over-capacity connection gets an explicit error reply and
-                // is closed instead of queueing behind a worker that may
-                // never free up.
-                let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+                let pool = ThreadPool::new(workers);
+                // The shared pipeline pool runs tagged requests from every
+                // connection; its queue depth is the service's backpressure
+                // gauge.
+                let exec = Arc::new(ThreadPool::with_queue_gauge(
+                    exec_workers,
+                    Arc::clone(&accept_service.stats.queue_depth),
+                ));
+                // Live connections (the `stats.active` gauge). Each occupies
+                // one worker for its whole lifetime, so admission is bounded
+                // by the pool size: an over-capacity connection gets an
+                // explicit error reply and is closed instead of queueing
+                // behind a worker that may never free up.
                 for conn in listener.incoming() {
                     if accept_stop.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(mut stream) = conn else { continue };
-                    accept_service.stats.connections.fetch_add(1, Ordering::Relaxed);
-                    if active.fetch_add(1, Ordering::SeqCst) >= workers {
+                    let active = &accept_service.stats.active;
+                    if active.fetch_add(1, Ordering::SeqCst) >= workers as u64 {
                         active.fetch_sub(1, Ordering::SeqCst);
+                        accept_service.stats.rejected.fetch_add(1, Ordering::Relaxed);
                         let reply = format!(
                             "{{\"ok\":false,\"error\":\"server at capacity \
-                             ({workers} workers busy); retry later\"}}\n"
+                             ({workers} workers busy); retry later\",\
+                             \"retry_after_hint\":{RETRY_AFTER_HINT_MS}}}\n"
                         );
                         let _ = stream.write_all(reply.as_bytes());
                         continue; // dropping the stream closes it
                     }
+                    accept_service.stats.connections.fetch_add(1, Ordering::Relaxed);
                     let service = Arc::clone(&accept_service);
                     let stop = Arc::clone(&accept_stop);
-                    let active = Arc::clone(&active);
+                    let exec = Arc::clone(&exec);
                     let served = pool.execute(move || {
-                        let control = serve_connection(&service, stream, &stop);
-                        active.fetch_sub(1, Ordering::SeqCst);
+                        let control = serve_connection(&service, stream, &stop, &exec);
+                        service.stats.active.fetch_sub(1, Ordering::SeqCst);
                         if let Control::Shutdown = control {
                             request_stop(&stop, addr);
                         }
@@ -107,10 +135,11 @@ impl Server {
                         break;
                     }
                 }
-                // Joining the pool here lets in-flight connections finish
+                // Joining the pools here lets in-flight connections finish
                 // their current requests before shutdown completes (idle
                 // connections notice the stop flag within one read timeout).
                 pool.shutdown();
+                exec.shutdown();
             })?;
 
         Ok(ServerHandle { addr, service, stop, listener_thread: Mutex::new(Some(listener_thread)) })
@@ -173,22 +202,93 @@ fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
 /// waiting for every client to hang up.
 const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(200);
 
-/// Drives one connection: read a request line, dispatch, write the reply
-/// line, until EOF, a `close`/`shutdown` request, or server shutdown.
+/// Per-connection state shared between the owning connection worker and
+/// the pipeline-pool jobs completing its tagged requests. The writer is the
+/// single reply channel; `pending` counts dispatched-but-unwritten tagged
+/// replies (the flush-coalescing trigger); `failed` latches any write error
+/// so the connection worker stops reading.
+struct ConnShared {
+    writer: Mutex<BufWriter<TcpStream>>,
+    pending: AtomicUsize,
+    failed: AtomicBool,
+}
+
+impl ConnShared {
+    /// Writes one tagged reply and decrements `pending` — both under the
+    /// writer lock, so the pending==0 check and the flush it triggers are
+    /// atomic against concurrent completions. The flush-on-last-pending rule
+    /// is what coalesces a burst of pipelined replies into one syscall.
+    fn finish_tagged(&self, reply: &str) {
+        let mut w = self.writer.lock().unwrap();
+        let mut ok = w.write_all(reply.as_bytes()).and_then(|()| w.write_all(b"\n")).is_ok();
+        let remaining = self.pending.fetch_sub(1, Ordering::SeqCst) - 1;
+        if ok && remaining == 0 {
+            ok = w.flush().is_ok();
+        }
+        if !ok {
+            self.failed.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Writes one in-order reply, flushing only when `flush` says the burst
+    /// is over. Returns false on write failure.
+    fn write_ordered(&self, reply: &str, flush: bool) -> bool {
+        let mut w = self.writer.lock().unwrap();
+        let ok = w.write_all(reply.as_bytes()).and_then(|()| w.write_all(b"\n")).is_ok()
+            && (!flush || w.flush().is_ok());
+        if !ok {
+            self.failed.store(true, Ordering::SeqCst);
+        }
+        ok
+    }
+
+    /// Waits until every dispatched tagged reply has been written — the
+    /// ordering barrier an untagged request (or connection teardown) needs
+    /// before proceeding. Tagged jobs always finish (evaluation is finite
+    /// and `finish_tagged` decrements unconditionally), so this terminates.
+    fn drain(&self) {
+        while self.pending.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+}
+
+/// Drives one connection until EOF, a `close`/`shutdown` request, or server
+/// shutdown. Each line is parsed once; tagged requests go to the pipeline
+/// pool (replies written as they complete), untagged requests run inline
+/// after a barrier on all in-flight tagged work — preserving the strict
+/// in-order semantics untagged traffic always had, and making an untagged
+/// request an explicit synchronization point in a pipelined stream.
 /// Returns the final control decision.
-fn serve_connection(service: &Service, stream: TcpStream, stop: &AtomicBool) -> Control {
+fn serve_connection(
+    service: &Arc<Service>,
+    stream: TcpStream,
+    stop: &AtomicBool,
+    exec: &Arc<ThreadPool>,
+) -> Control {
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let Ok(read_half) = stream.try_clone() else { return Control::Close };
     let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    let shared = Arc::new(ConnShared {
+        writer: Mutex::new(BufWriter::new(stream)),
+        pending: AtomicUsize::new(0),
+        failed: AtomicBool::new(false),
+    });
     let mut line = String::new();
     loop {
         line.clear();
         // Read one full line; timeouts keep any partial data in `line` and
-        // just give the stop flag a chance to end the connection.
+        // just give the stop flag (and the write-failure latch) a chance to
+        // end the connection.
         loop {
             match reader.read_line(&mut line) {
-                Ok(0) => return Control::Close, // EOF
+                Ok(0) => {
+                    // EOF: finish in-flight tagged work so every accepted
+                    // request still gets its reply flushed (the client may
+                    // only have closed its write half).
+                    shared.drain();
+                    return Control::Close;
+                }
                 Ok(_) => break,
                 Err(e)
                     if matches!(
@@ -196,26 +296,71 @@ fn serve_connection(service: &Service, stream: TcpStream, stop: &AtomicBool) -> 
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
                 {
-                    if stop.load(Ordering::SeqCst) {
+                    if stop.load(Ordering::SeqCst) || shared.failed.load(Ordering::SeqCst) {
+                        shared.drain();
                         return Control::Close;
                     }
                 }
-                Err(_) => return Control::Close, // broken pipe
+                Err(_) => {
+                    shared.drain();
+                    return Control::Close; // broken pipe
+                }
             }
         }
         if line.trim().is_empty() {
             continue;
         }
-        let (reply, control) = service.dispatch(&line);
-        let write_ok = writer
-            .write_all(reply.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_ok();
-        if !write_ok || control != Control::Continue {
-            return control;
+        // Parse once: the id tag decides the dispatch path, and
+        // `dispatch_req` reuses the parsed request.
+        let Ok(req) = json::parse(line.trim()) else {
+            // Malformed JSON: the plain dispatcher builds the error reply.
+            let (reply, _) = service.dispatch(&line);
+            if !shared.write_ordered(&reply, !has_buffered_line(&reader)) {
+                return Control::Close;
+            }
+            continue;
+        };
+        if matches!(protocol::request_id(&req), Ok(Some(_))) {
+            // Tagged: dispatch concurrently, reply written on completion.
+            service.stats.pipelined.fetch_add(1, Ordering::Relaxed);
+            shared.pending.fetch_add(1, Ordering::SeqCst);
+            let req = Arc::new(req);
+            let job_service = Arc::clone(service);
+            let job_shared = Arc::clone(&shared);
+            let job_req = Arc::clone(&req);
+            let submitted = exec.execute(move || {
+                let (reply, _) = job_service.dispatch_req(&job_req);
+                job_shared.finish_tagged(&reply);
+            });
+            if !submitted {
+                // Pool already shut down (server stopping): the request was
+                // admitted, so answer it inline rather than dropping it.
+                let (reply, _) = service.dispatch_req(&req);
+                shared.finish_tagged(&reply);
+            }
+        } else {
+            // Untagged (or invalid tag, which dispatch_req rejects with a
+            // structured error): barrier, then strict in-order inline
+            // execution. Flush only when the input buffer holds no further
+            // complete request — a burst of untagged requests coalesces
+            // into one flush too.
+            shared.drain();
+            let (reply, control) = service.dispatch_req(&req);
+            let flush = control != Control::Continue || !has_buffered_line(&reader);
+            if !shared.write_ordered(&reply, flush) {
+                return Control::Close;
+            }
+            if control != Control::Continue {
+                return control;
+            }
         }
     }
+}
+
+/// True if the reader's buffer already holds at least one complete request
+/// line — the "burst continues" signal that defers flushing.
+fn has_buffered_line(reader: &BufReader<TcpStream>) -> bool {
+    reader.buffer().contains(&b'\n')
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 # Offline-safe CI check: build, tests, formatting, lints, server smoke.
 # Usage: scripts/check.sh [--bench-smoke] [--bench-compare] [--server-smoke]
 #                         [--parallel-smoke] [--storage-smoke]
+#                         [--serve-load-smoke]
 # (from anywhere inside the repo)
 #
 # The default sequence is build + tests + fmt + clippy + the parser and
@@ -11,7 +12,11 @@
 # ecrpq-serve driven through load/prepare/run/stats/shutdown by ecrpq-cli,
 # asserting that the second run of a prepared statement is a registry hit
 # with zero sim-table compilations) + the storage smoke (save on one server,
-# reopen on a fresh one, first run must be warm).
+# reopen on a fresh one, first run must be warm) + the serve-load smoke (a
+# short open-loop burst through the legacy/pipelined/batch protocol shapes
+# past the server's admission capacity; the harness asserts zero dropped
+# replies and that client-observed rejections equal the server's admission
+# counter).
 #
 # --bench-smoke    additionally runs the benchmark harness on the smallest
 #                  size point of each experiment family (in a scratch
@@ -34,6 +39,11 @@
 #                  registry hit with zero sim-table compilations) — the fast
 #                  loop while working on the storage layer. The same gate is
 #                  part of the default sequence.
+# --serve-load-smoke
+#                  runs ONLY the release build and the serve-load smoke gate
+#                  (harness serve-smoke in a scratch directory) — the fast
+#                  loop while working on the pipelined serve path. The same
+#                  gate is part of the default sequence.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,6 +54,7 @@ bench_compare=0
 server_smoke_only=0
 parallel_smoke_only=0
 storage_smoke_only=0
+serve_load_smoke_only=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) bench_smoke=1 ;;
@@ -51,6 +62,7 @@ for arg in "$@"; do
         --server-smoke) server_smoke_only=1 ;;
         --parallel-smoke) parallel_smoke_only=1 ;;
         --storage-smoke) storage_smoke_only=1 ;;
+        --serve-load-smoke) serve_load_smoke_only=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -187,6 +199,28 @@ if [[ "$storage_smoke_only" == 1 ]]; then
     exit 0
 fi
 
+# Serve-load gate: a short open-loop burst through all three protocol shapes
+# (legacy single-request, pipelined tagged, batch) with more connections than
+# admission slots. The harness itself asserts zero dropped replies, no
+# duplicate reply ids, and rejection-accounting consistency (clients'
+# observed rejections == the server's `rejected` counter delta); any
+# violation panics and fails the gate.
+serve_load_smoke() {
+    if [[ -z "$scratch" ]]; then scratch=$(mktemp -d); fi
+    echo
+    echo "==> serve-load smoke (open-loop burst: legacy vs pipelined vs batch)"
+    (cd "$scratch" && "$repo_root/target/release/harness" serve-smoke > /dev/null)
+    echo "    serve-load smoke OK (zero reply loss, admission accounting consistent)"
+}
+
+if [[ "$serve_load_smoke_only" == 1 ]]; then
+    run cargo build --release --offline -p ecrpq-bench
+    serve_load_smoke
+    echo
+    echo "Serve-load smoke passed."
+    exit 0
+fi
+
 if [[ "$parallel_smoke_only" == 1 ]]; then
     run cargo test -q --offline -p ecrpq-integration --test parallel_differential \
         parallel_smoke_tiny_corpus
@@ -231,6 +265,10 @@ server_smoke
 # Storage smoke is part of the default sequence too: persistence must carry
 # warm compiled state across server processes, not just within one.
 storage_smoke
+
+# Serve-load smoke is part of the default sequence too: the pipelined serve
+# path must deliver every reply exactly once under admission pressure.
+serve_load_smoke
 
 if [[ "$bench_smoke" == 1 ]]; then
     scratch=$(mktemp -d)
