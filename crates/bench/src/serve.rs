@@ -6,12 +6,18 @@
 //! concurrent clients each stream `run` requests over their own connection.
 //! Recorded per thread count: `p50` and `p95` request latency and `mean`
 //! seconds per request (whose note carries the aggregate throughput in
-//! requests/second). Every measured request is a registry cache hit with
-//! zero sim-table compilations — the serving layer is what is measured, not
-//! the compile phase.
+//! requests/second), plus `server_p50`/`server_p99` taken from the server's
+//! own request-latency histogram over the same burst — the note of those
+//! series reconciles them against the client-observed percentiles and flags
+//! a disagreement beyond 20% (+1 bucket width: the histogram quantile is an
+//! upper bound, and client numbers additionally carry the loopback
+//! round-trip). Every measured request is a registry cache hit with zero
+//! sim-table compilations — the serving layer is what is measured, not the
+//! compile phase.
 
 use crate::{workloads, Measurement};
 use ecrpq_server::client::Client;
+use ecrpq_server::protocol::REQUEST_HISTOGRAM;
 use ecrpq_server::server::{Server, ServerConfig};
 use ecrpq_util::json::Value;
 use std::time::Instant;
@@ -62,8 +68,17 @@ pub fn serve_family(client_threads: &[usize], requests: usize, n: usize) -> Vec<
         setup.close().expect("close setup client");
     }
 
+    // The server's own latency record for `run` requests — the same
+    // histogram the `metrics` op and `--metrics-addr` endpoint expose.
+    let run_hist = handle.service().metrics.histogram_with(
+        REQUEST_HISTOGRAM,
+        &[("op", "run")],
+        "Server-side request latency by op, microseconds.",
+    );
+
     let mut out = Vec::new();
     for &threads in client_threads {
+        let before = run_hist.snapshot();
         let wall = Instant::now();
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -107,6 +122,33 @@ pub fn serve_family(client_threads: &[usize], requests: usize, n: usize) -> Vec<
             note: String::new(),
         });
         out.push(Measurement { series: "mean".into(), param: t, seconds: mean, note });
+
+        // Server-side percentiles over exactly this burst (snapshot delta),
+        // reconciled against the client-observed numbers. The client sees
+        // the server latency plus the loopback round-trip, and the bucket
+        // quantile is an upper bound — so the flag allows 20% plus one
+        // bucket width (25% + 1µs at these boundaries) before shouting.
+        let delta = run_hist.snapshot().delta_since(&before);
+        debug_assert_eq!(delta.count, total as u64, "histogram missed requests");
+        for (series, q, client_s) in [
+            ("server_p50", 0.5, percentile(&latencies, 50.0)),
+            ("server_p99", 0.99, percentile(&latencies, 99.0)),
+        ] {
+            let server_us = delta.quantile(q).unwrap_or(0);
+            let server_s = server_us as f64 / 1e6;
+            let client_us = client_s * 1e6;
+            let slack = client_us * 0.20 + server_us as f64 / 4.0 + 1.0;
+            let drift = (client_us - server_us as f64).abs();
+            let mut note = format!("client_us={client_us:.1} server_us={server_us}");
+            if drift > slack {
+                note.push_str(" DISAGREE>20%");
+                eprintln!(
+                    "serve[{threads} threads] {series}: server-side {server_us}µs vs \
+                     client-observed {client_us:.1}µs — disagreement beyond 20%"
+                );
+            }
+            out.push(Measurement { series: series.into(), param: t, seconds: server_s, note });
+        }
     }
 
     handle.shutdown();
@@ -129,9 +171,14 @@ mod tests {
     #[test]
     fn serve_family_smoke() {
         let m = serve_family(&[1, 2], 4, 40);
-        assert_eq!(m.len(), 6, "three series per thread count");
+        assert_eq!(m.len(), 10, "five series per thread count");
         assert!(m.iter().all(|m| m.seconds.is_finite() && m.seconds >= 0.0));
         let mean = m.iter().find(|m| m.series == "mean" && m.param == 2).unwrap();
         assert!(mean.note.contains("requests=8"));
+        // The server-side percentiles carry the reconciliation note.
+        let sp50 = m.iter().find(|m| m.series == "server_p50" && m.param == 1).unwrap();
+        assert!(sp50.note.contains("client_us="), "note: {}", sp50.note);
+        assert!(sp50.seconds > 0.0, "server histogram recorded the burst");
+        assert!(m.iter().any(|m| m.series == "server_p99" && m.param == 2));
     }
 }

@@ -33,6 +33,7 @@ use ecrpq_automata::relation::RegularRelation;
 use ecrpq_automata::semilinear::CmpOp;
 use ecrpq_automata::sim::CompactNfa;
 use ecrpq_graph::{GraphDb, NodeId, Path};
+use ecrpq_util::trace::{self as qtrace, Trace};
 use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
@@ -891,6 +892,51 @@ impl<'a> BoundPlan<'a> {
         self.check_engine(nodes, paths, config, Engine::Dense)
     }
 
+    /// Runs like [`run`](Self::run) while recording per-phase wall-clock
+    /// spans (`plan`, per-atom `reach:<var>` BFS, sim-table `compile`,
+    /// product `search`) into `trace` — the engine half of the server's
+    /// EXPLAIN ANALYZE-style `trace` op. Measured per-atom timings and pair
+    /// counts sit next to the planner's estimates as span attributes.
+    pub fn run_traced(
+        &self,
+        config: &EvalConfig,
+        trace: &mut Trace,
+    ) -> Result<(Vec<Answer>, EvalStats), QueryError> {
+        let mode = if self.pq.head_path_idx.is_empty() { Mode::Nodes } else { Mode::Paths };
+        self.run_mode_traced(config, mode, Engine::Dense, Some(trace))
+    }
+
+    /// [`run_boolean`](Self::run_boolean) with span collection.
+    pub fn run_boolean_traced(
+        &self,
+        config: &EvalConfig,
+        trace: &mut Trace,
+    ) -> Result<(bool, EvalStats), QueryError> {
+        let (answers, stats) =
+            self.run_mode_traced(config, Mode::Boolean, Engine::Dense, Some(trace))?;
+        Ok((!answers.is_empty(), stats))
+    }
+
+    /// [`run_nodes`](Self::run_nodes) with span collection.
+    pub fn run_nodes_traced(
+        &self,
+        config: &EvalConfig,
+        trace: &mut Trace,
+    ) -> Result<(Vec<Vec<NodeId>>, EvalStats), QueryError> {
+        let (answers, stats) =
+            self.run_mode_traced(config, Mode::Nodes, Engine::Dense, Some(trace))?;
+        Ok((answers.into_iter().map(|a| a.nodes).collect(), stats))
+    }
+
+    /// [`run_with_paths`](Self::run_with_paths) with span collection.
+    pub fn run_with_paths_traced(
+        &self,
+        config: &EvalConfig,
+        trace: &mut Trace,
+    ) -> Result<(Vec<Answer>, EvalStats), QueryError> {
+        self.run_mode_traced(config, Mode::Paths, Engine::Dense, Some(trace))
+    }
+
     /// Evaluates the plan in the requested mode with an explicit engine.
     pub(crate) fn run_mode(
         &self,
@@ -898,19 +944,57 @@ impl<'a> BoundPlan<'a> {
         mode: Mode,
         engine: Engine,
     ) -> Result<(Vec<Answer>, EvalStats), QueryError> {
+        self.run_mode_traced(config, mode, engine, None)
+    }
+
+    /// [`run_mode`](Self::run_mode), optionally recording phase spans. The
+    /// untraced path pays one `Option` check per phase and no clock reads.
+    pub(crate) fn run_mode_traced(
+        &self,
+        config: &EvalConfig,
+        mode: Mode,
+        engine: Engine,
+        mut trace: Option<&mut Trace>,
+    ) -> Result<(Vec<Answer>, EvalStats), QueryError> {
         let pq = self.pq;
         let mut stats = EvalStats::default();
 
         // Plan, then compute the reachability relation of every path
         // variable with its planned direction and pin.
+        let sp = qtrace::begin_span(&mut trace, "plan");
         let qplan = plan::cost::plan_query(self, self.constants(), self.options.planner);
+        qtrace::span_attr(&mut trace, sp, "atoms", pq.path_vars.len() as u64);
+        qtrace::end_span(&mut trace, sp);
         let reach: Vec<ReachRel> = (0..pq.path_vars.len())
-            .map(|p| plan::reachability_planned(self, p, &qplan.atoms[p], &mut stats))
+            .map(|p| {
+                let sp = trace.as_mut().map(|t| t.begin(&format!("reach:{}", pq.path_vars[p])));
+                let r = plan::reachability_planned(self, p, &qplan.atoms[p], &mut stats);
+                if trace.is_some() {
+                    let pairs: u64 = r.fwd.iter().map(|row| row.len() as u64).sum();
+                    qtrace::span_attr(&mut trace, sp, "pairs", pairs);
+                    let est = qplan.atoms[p].est_pairs;
+                    if est.is_finite() {
+                        qtrace::span_attr(&mut trace, sp, "est_pairs", est.max(0.0) as u64);
+                    }
+                }
+                qtrace::end_span(&mut trace, sp);
+                r
+            })
             .collect();
 
         let needs_search = !pq.relaxation_is_exact || mode == Mode::Paths;
         if needs_search && engine == Engine::Dense && pq.dense_search {
+            let sp = qtrace::begin_span(&mut trace, "compile");
+            let before = (stats.sim_cache_hits, stats.sim_cache_misses);
             pq.force_rel_sims(&mut stats);
+            qtrace::span_attr(&mut trace, sp, "sim_cache_hits", stats.sim_cache_hits - before.0);
+            qtrace::span_attr(
+                &mut trace,
+                sp,
+                "sim_cache_misses",
+                stats.sim_cache_misses - before.1,
+            );
+            qtrace::end_span(&mut trace, sp);
         }
         let step_bound =
             if self.counters().is_empty() { None } else { Some(self.step_bound(config)) };
@@ -923,6 +1007,7 @@ impl<'a> BoundPlan<'a> {
         let mut search_states: u64 = 0;
 
         let order = Some(qplan.order.as_slice());
+        let search_span = qtrace::begin_span(&mut trace, "search");
         plan::enumerate_candidates(
             self,
             self.constants(),
@@ -981,11 +1066,16 @@ impl<'a> BoundPlan<'a> {
             },
         )?;
 
+        stats.verified = verified;
+        stats.search_states = search_states;
+        qtrace::span_attr(&mut trace, search_span, "candidates", stats.candidates);
+        qtrace::span_attr(&mut trace, search_span, "verified", stats.verified);
+        qtrace::span_attr(&mut trace, search_span, "search_states", stats.search_states);
+        qtrace::span_attr(&mut trace, search_span, "answers", answers.len() as u64);
+        qtrace::end_span(&mut trace, search_span);
         if let Some(e) = error {
             return Err(e);
         }
-        stats.verified = verified;
-        stats.search_states = search_states;
         Ok((answers, stats))
     }
 
@@ -1317,6 +1407,41 @@ mod tests {
         let (h1, m1) = pq.warm();
         assert_eq!(m1, 0, "second warm() must be all hits");
         assert_eq!(h1, h0 + m0);
+    }
+
+    #[test]
+    fn traced_run_records_phase_spans_and_matches_untraced() {
+        let g = generators::cycle_graph(6, "a");
+        let al = g.alphabet().clone();
+        let q = same_length_query(&al);
+        let cfg = EvalConfig::default();
+        let pq = PreparedQuery::prepare(&q).unwrap();
+        let plan = pq.bind(&g).unwrap();
+        let (plain, _) = plan.run_nodes(&cfg).unwrap();
+
+        let mut trace = Trace::new();
+        let (traced, stats) = plan.run_nodes_traced(&cfg, &mut trace).unwrap();
+        let mut plain = plain;
+        let mut traced = traced;
+        plain.sort();
+        traced.sort();
+        assert_eq!(plain, traced, "tracing must not change answers");
+
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"plan"), "spans: {names:?}");
+        assert!(names.contains(&"reach:p1"), "spans: {names:?}");
+        assert!(names.contains(&"reach:p2"), "spans: {names:?}");
+        assert!(names.contains(&"search"), "spans: {names:?}");
+        // Spans are monotonically ordered and all closed.
+        for w in trace.spans.windows(2) {
+            assert!(w[1].start_ns >= w[0].start_ns);
+        }
+        assert!(trace.spans.iter().all(|s| s.dur_ns > 0));
+        // The search span carries the run's counters as attributes.
+        let search = trace.spans.iter().find(|s| s.name == "search").unwrap();
+        let attr = |k: &str| search.attrs.iter().find(|(a, _)| a == k).map(|(_, v)| *v);
+        assert_eq!(attr("candidates"), Some(stats.candidates));
+        assert_eq!(attr("verified"), Some(stats.verified));
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod parse;
 pub mod persist;
 pub mod query;
 
+pub use ecrpq_util::trace::{Trace, TraceSpan};
 pub use error::QueryError;
 pub use eval::{Answer, BoundPlan, BoundStatement, EvalConfig, EvalOptions, PreparedQuery};
 

@@ -21,6 +21,18 @@
 //!                                      sidecar) on the server's filesystem
 //!   open <name> <path>                 open a snapshot under a fresh name,
 //!                                      warm-installing sidecar statements
+//!   trace <name> <graph> [mode]        run with phase tracing: the reply
+//!                                      carries the span tree and the
+//!                                      server-recorded latency; the tree is
+//!                                      rendered on stderr and validated
+//!                                      (spans monotonic, phase durations
+//!                                      sum to within 10% of the recorded
+//!                                      latency — violations exit nonzero)
+//!   metrics [text|json]                dump the server metrics registry;
+//!                                      `text` (default) prints raw
+//!                                      Prometheus exposition format
+//!   slowlog [limit]                    newest-first slow-query entries
+//!                                      (server must run --slow-query-ms)
 //!   stats [graph]                      server counters (+ per-label graph
 //!                                      statistics when a graph is named);
 //!                                      prints an admission/backpressure
@@ -30,9 +42,11 @@
 //!   script                             read raw request lines from stdin
 //! ```
 //!
-//! Every reply is printed as one JSON line on stdout, so scripts can grep
-//! fields (`scripts/check.sh` greps `"sim_cache_misses":0` for its warm-run
-//! gate). Exit status is nonzero if any reply has `ok: false`.
+//! Every reply is printed as one JSON line on stdout — except `metrics`
+//! in text format, which prints the exposition text verbatim (it *is* the
+//! scrape surface) — so scripts can grep fields (`scripts/check.sh` greps
+//! `"sim_cache_misses":0` for its warm-run gate). Exit status is nonzero
+//! if any reply has `ok: false`.
 
 use ecrpq_server::client::Client;
 use ecrpq_util::json::Value;
@@ -46,6 +60,10 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => addr = Some(it.next().unwrap_or_else(|| die("--addr expects a value"))),
+            "--version" | "-V" => {
+                println!("ecrpq-cli {}", env!("CARGO_PKG_VERSION"));
+                return;
+            }
             "--help" | "-h" => {
                 println!("usage: ecrpq-cli --addr HOST:PORT COMMAND [ARGS…] (see the doc comment)");
                 return;
@@ -130,6 +148,59 @@ fn main() {
             let (name, path) = two(&rest, "open <name> <path>");
             ok &= print_reply(client.open(name, path));
         }
+        Some("trace") => {
+            let usage = "trace <name> <graph> [mode]";
+            let name = rest.get(1).unwrap_or_else(|| die(usage));
+            let graph = rest.get(2).unwrap_or_else(|| die(usage));
+            let mode = rest.get(3).map(String::as_str).unwrap_or("nodes");
+            let reply = client.trace(name, graph, mode);
+            if let Ok(v) = &reply {
+                // Render the span tree for humans on stderr and validate it;
+                // stdout keeps the one-JSON-line contract.
+                ok &= validate_trace(v);
+            }
+            ok &= print_reply(reply);
+        }
+        Some("metrics") => {
+            let format = rest.get(1).map(String::as_str).unwrap_or("text");
+            let reply = client.metrics(format);
+            match reply {
+                // Text format prints the exposition text verbatim — this is
+                // the scrape surface, not a JSON reply.
+                Ok(v) if format == "text" => {
+                    print!("{}", v.get("text").and_then(Value::as_str).unwrap_or(""));
+                }
+                other => ok &= print_reply(other),
+            }
+        }
+        Some("slowlog") => {
+            let limit = rest
+                .get(1)
+                .map(|t| t.parse().unwrap_or_else(|_| die("slowlog: limit must be a number")));
+            let reply = client.slowlog(limit);
+            if let Ok(v) = &reply {
+                // One line per entry on stderr, newest first.
+                for e in v.get("entries").and_then(Value::as_arr).unwrap_or(&[]) {
+                    let s = |k: &str| e.get(k).and_then(Value::as_str).unwrap_or("-").to_string();
+                    let n = |k: &str| e.get(k).and_then(Value::as_u64).unwrap_or(0);
+                    let flag = if e.get("error").and_then(Value::as_bool) == Some(true) {
+                        " [error]"
+                    } else {
+                        ""
+                    };
+                    eprintln!(
+                        "{}µs {} name={} graph={} at_epoch_ms={}{}",
+                        n("micros"),
+                        s("op"),
+                        s("name"),
+                        s("graph"),
+                        n("at_epoch_ms"),
+                        flag,
+                    );
+                }
+            }
+            ok &= print_reply(reply);
+        }
         Some("stats") => {
             let reply = match rest.get(1) {
                 Some(graph) => client.stats_graph(graph),
@@ -141,7 +212,7 @@ fn main() {
                 if let Some(adm) = v.get("admission") {
                     let n = |k: &str| adm.get(k).and_then(Value::as_u64).unwrap_or(0);
                     eprintln!(
-                        "admission: accepted {} rejected {} | in-flight {} queued {} | \
+                        "admission: accepted {} rejected {} | in-flight {} queue_depth {} | \
                          pipelined {} batched {}",
                         n("accepted"),
                         n("rejected"),
@@ -150,6 +221,21 @@ fn main() {
                         n("pipelined"),
                         n("batched"),
                     );
+                }
+                // Per-shard eviction totals for both caches, so a hot shard
+                // stands out without JSON spelunking.
+                for cache in ["registry", "catalog"] {
+                    if let Some(shards) = v.get(cache).and_then(|c| c.get("shards")) {
+                        let evs: Vec<String> = shards
+                            .as_arr()
+                            .unwrap_or(&[])
+                            .iter()
+                            .map(|s| {
+                                s.get("evictions").and_then(Value::as_u64).unwrap_or(0).to_string()
+                            })
+                            .collect();
+                        eprintln!("{cache} evictions by shard: [{}]", evs.join(","));
+                    }
                 }
             }
             ok &= print_reply(reply);
@@ -174,6 +260,72 @@ fn main() {
     if !ok {
         std::process::exit(1);
     }
+}
+
+/// Renders a `trace` reply's span tree on stderr and validates it: every
+/// span must have positive duration, spans must be monotonic (each child
+/// starts no earlier than its predecessor and stays inside its parent), and
+/// the root's phase durations must sum to within 10% of the latency the
+/// server recorded in its request histogram. Returns false on violation.
+fn validate_trace(reply: &Value) -> bool {
+    let Some(trace) = reply.get("trace") else {
+        eprintln!("trace: reply carries no trace object");
+        return false;
+    };
+    let spans = trace.get("spans").and_then(Value::as_arr).unwrap_or(&[]);
+    let mut ok = true;
+
+    fn walk(span: &Value, depth: usize, bound: &mut (f64, f64), ok: &mut bool) {
+        let name = span.get("name").and_then(Value::as_str).unwrap_or("?");
+        let start = span.get("start_us").and_then(Value::as_f64).unwrap_or(-1.0);
+        let dur = span.get("dur_us").and_then(Value::as_f64).unwrap_or(0.0);
+        let attrs = match span.get("attrs") {
+            Some(Value::Obj(pairs)) => {
+                pairs.iter().map(|(k, v)| format!(" {k}={v}")).collect::<String>()
+            }
+            _ => String::new(),
+        };
+        eprintln!("{:indent$}{name} {dur:.1}µs{attrs}", "", indent = depth * 2);
+        if dur <= 0.0 {
+            eprintln!("trace: span `{name}` has non-positive duration");
+            *ok = false;
+        }
+        // Monotonic within the parent: starts after the previous sibling
+        // started, ends inside the parent (1µs slack for rounding).
+        if start < bound.0 || start + dur > bound.1 + 1.0 {
+            eprintln!("trace: span `{name}` escapes its parent window");
+            *ok = false;
+        }
+        bound.0 = start;
+        let mut inner = (start, start + dur);
+        for kid in span.get("children").and_then(Value::as_arr).unwrap_or(&[]) {
+            walk(kid, depth + 1, &mut inner, ok);
+        }
+    }
+    let mut window = (0.0, f64::INFINITY);
+    for span in spans {
+        walk(span, 0, &mut window, &mut ok);
+    }
+
+    let total = trace.get("server_latency_us").and_then(Value::as_f64).unwrap_or(0.0);
+    let phase_sum: f64 = spans
+        .first()
+        .and_then(|r| r.get("children"))
+        .and_then(Value::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|c| c.get("dur_us").and_then(Value::as_f64))
+        .sum();
+    if total <= 0.0 || (phase_sum - total).abs() > total * 0.10 {
+        eprintln!(
+            "trace: phase durations sum to {phase_sum:.1}µs but the server recorded \
+             {total:.1}µs (>10% apart)"
+        );
+        ok = false;
+    } else {
+        eprintln!("trace: phases {phase_sum:.1}µs of {total:.1}µs recorded — consistent");
+    }
+    ok
 }
 
 /// Prints the reply (or the error reply) as one JSON line; returns success.

@@ -3,14 +3,21 @@
 //! ```text
 //! ecrpq-serve [--addr HOST:PORT] [--workers N] [--exec-workers N]
 //!             [--bound-capacity N] [--threads-cap N] [--open NAME=PATH]…
+//!             [--slow-query-ms MS] [--metrics-addr HOST:PORT] [--version]
 //! ```
 //!
 //! `--workers` bounds concurrently served connections; `--exec-workers`
 //! sizes the shared pipeline pool that executes tagged (pipelined)
 //! requests from all connections (defaults to `--workers`).
 //!
+//! `--slow-query-ms` arms the slow-query ring buffer (read via the
+//! `slowlog` op); `--metrics-addr` opens a plain-TCP endpoint that dumps
+//! the metrics registry in Prometheus exposition format on every
+//! connection — scrape it with `nc HOST PORT`.
+//!
 //! Binds (port 0 = ephemeral), prints one line `listening on <addr>` to
-//! stdout — scripts parse this to discover the port — and serves until a
+//! stdout — scripts parse this to discover the port — followed by
+//! `metrics on <addr>` when `--metrics-addr` is given, and serves until a
 //! client sends `{"op":"shutdown"}` (or the process is killed).
 //!
 //! Each `--open NAME=PATH` (repeatable) opens a binary snapshot into the
@@ -47,10 +54,20 @@ fn main() {
                     None => die("--open expects NAME=PATH"),
                 }
             }
+            "--slow-query-ms" => {
+                config.slow_query_ms =
+                    parse(&value(&mut it, "--slow-query-ms"), "--slow-query-ms") as u64
+            }
+            "--metrics-addr" => config.metrics_addr = Some(value(&mut it, "--metrics-addr")),
+            "--version" | "-V" => {
+                println!("ecrpq-serve {}", env!("CARGO_PKG_VERSION"));
+                return;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: ecrpq-serve [--addr HOST:PORT] [--workers N] [--exec-workers N] \
-                     [--bound-capacity N] [--threads-cap N] [--open NAME=PATH]…"
+                     [--bound-capacity N] [--threads-cap N] [--open NAME=PATH]… \
+                     [--slow-query-ms MS] [--metrics-addr HOST:PORT] [--version]"
                 );
                 return;
             }
@@ -79,7 +96,10 @@ fn main() {
         eprintln!("opened `{name}` from {path}");
     }
     println!("listening on {}", handle.addr());
-    // Stdout is parsed by scripts; flush so the port is visible immediately.
+    if let Some(maddr) = handle.metrics_addr() {
+        println!("metrics on {maddr}");
+    }
+    // Stdout is parsed by scripts; flush so the ports are visible immediately.
     use std::io::Write;
     let _ = std::io::stdout().flush();
 

@@ -262,6 +262,35 @@ impl Client {
         ]))
     }
 
+    /// `trace` a prepared statement: runs it like [`run_mode`](Self::run_mode)
+    /// but the reply additionally carries `trace.spans` (the phase span tree,
+    /// start/duration in microseconds) and `trace.server_latency_us` (the
+    /// latency the server recorded for this request in its own histogram).
+    pub fn trace(&mut self, name: &str, graph: &str, mode: &str) -> Result<Value, ServerError> {
+        self.request(&Value::obj([
+            ("op", Value::str("trace")),
+            ("name", Value::str(name)),
+            ("graph", Value::str(graph)),
+            ("mode", Value::str(mode)),
+        ]))
+    }
+
+    /// `metrics` — `format` is `"text"` (Prometheus exposition under a
+    /// `text` field) or `"json"` (structured families under `metrics`).
+    pub fn metrics(&mut self, format: &str) -> Result<Value, ServerError> {
+        self.request(&Value::obj([("op", Value::str("metrics")), ("format", Value::str(format))]))
+    }
+
+    /// `slowlog` — newest-first entries from the server's slow-query ring
+    /// buffer (empty unless the server runs with `--slow-query-ms`).
+    pub fn slowlog(&mut self, limit: Option<u64>) -> Result<Value, ServerError> {
+        let mut pairs = vec![("op".to_string(), Value::str("slowlog"))];
+        if let Some(n) = limit {
+            pairs.push(("limit".to_string(), Value::int(n)));
+        }
+        self.request(&Value::Obj(pairs))
+    }
+
     /// `stats`.
     pub fn stats(&mut self) -> Result<Value, ServerError> {
         self.request(&Value::obj([("op", Value::str("stats"))]))

@@ -12,7 +12,10 @@
 //! | `run` | `name`, `graph`, optional `mode` (`nodes`\|`boolean`\|`paths`), `limit`, `threads` (intra-query workers, 1..=the service's cap), `planner` (`cost`\|`static`) | `registry` (`hit`\|`miss`), `answers`/`answer`, `count`, `stats` |
 //! | `check` | `name`, `graph`, `nodes` (names), `paths` (alternating `[node, label, node, …]`) | `member` |
 //! | `explain` | `name`, `graph`, optional `threads`, `planner` | `planner`, `join_order`, `atoms` (per-atom direction/pin/estimated vs actual cardinalities), `stats`, `answers`, `text` (rendered plan) |
-//! | `stats` | optional `graph` | catalog/registry/server counters incl. `threads_cap`; with `graph`, its `graph_stats` (per-label edge/endpoint counts, degree maxima, sampled reach fraction) |
+//! | `trace` | like `run` (`name` *or* inline `query` text), `graph`, optional `mode`, `limit`, `threads`, `planner` | `run`'s fields plus `trace`: a wall-clock span tree (`resolve` → `run` with per-phase engine children → `render`; with `query`, also `parse`/`compile`/`bind`) and `server_latency_us`, the root-span duration also recorded into the request histogram |
+//! | `stats` | optional `graph` | `version`, `uptime_s`, catalog/registry/server counters incl. `threads_cap`; with `graph`, its `graph_stats` (per-label edge/endpoint counts, degree maxima, sampled reach fraction) |
+//! | `metrics` | optional `format` (`text`\|`json`) | `text`: the metrics registry in Prometheus exposition format; `json`: structured families with estimated histogram quantiles |
+//! | `slowlog` | optional `limit` | `threshold_ms`, `entries` (ring buffer of requests slower than `--slow-query-ms`, newest first) |
 //! | `save` | `graph`, `path` | writes the binary snapshot to `path` and the compiled-statement sidecar to `path.art`; `graph`, `path`, `bytes`, `statements` (persisted) |
 //! | `open` | `name`, `path` | opens a snapshot under a *fresh* catalog name, warm-installing every sidecar statement; `graph`, `nodes`, `edges`, `statements` (warmed) |
 //! | `batch` | `requests` (array of sub-requests, each a `run`/`check`/`explain`/`stats` object; `op` defaults to `run`), plus batch-level defaults `name`, `graph`, `mode`, `threads`, `planner`, `limit` merged into every sub-request that omits them | `count`, `results` (one reply object per sub-request, in order; a failing sub yields `ok: false` *inside* `results`, never a batch-level error) |
@@ -39,14 +42,16 @@
 use crate::catalog::{GraphCatalog, GraphSource};
 use crate::registry::StatementRegistry;
 use crate::ServerError;
-use ecrpq::eval::{BoundStatement, EvalStats, PlannerMode};
-use ecrpq::{persist, EvalConfig, EvalOptions};
+use ecrpq::eval::{BoundStatement, EvalStats, PlannerMode, PreparedQuery};
+use ecrpq::{persist, EvalConfig, EvalOptions, Trace};
 use ecrpq_automata::Alphabet;
 use ecrpq_graph::{snapshot, GraphDb, NodeId, Path};
 use ecrpq_util::json::{self, Value};
-use std::collections::HashMap;
+use ecrpq_util::metrics::MetricsRegistry;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// What the transport should do after writing a reply.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,6 +108,31 @@ pub const MAX_BATCH: usize = 1024;
 /// sub-request that omits them.
 const BATCH_DEFAULT_FIELDS: &[&str] = &["name", "graph", "mode", "threads", "planner", "limit"];
 
+/// Ring-buffer capacity of the slow-query log: enough recent offenders to
+/// diagnose a latency incident, small enough that the log itself is never a
+/// memory concern.
+pub const SLOWLOG_CAPACITY: usize = 128;
+
+/// Name of the per-op request-latency histogram family.
+pub const REQUEST_HISTOGRAM: &str = "ecrpq_request_us";
+
+/// One entry of the slow-query log ring buffer.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    /// The request's `op`.
+    pub op: String,
+    /// The request's `name` field, when present (statement name).
+    pub name: Option<String>,
+    /// The request's `graph` field, when present.
+    pub graph: Option<String>,
+    /// Wall-clock service time, microseconds.
+    pub micros: u64,
+    /// Milliseconds since the Unix epoch when the request finished.
+    pub at_epoch_ms: u64,
+    /// True when the request was answered with `ok: false`.
+    pub error: bool,
+}
+
 /// Per-request memo of resolved graph handles and bound statements. A
 /// `batch` shares one across all its sub-requests — the amortization that
 /// makes batching cheaper than N single requests; single requests get a
@@ -126,6 +156,16 @@ pub struct Service {
     pub stats: ServiceStats,
     /// Upper bound on the `threads` field of `run` requests.
     pub threads_cap: usize,
+    /// Scrapeable telemetry: per-op latency histograms, cache hit-rate
+    /// gauges, mirrored counters. Rendered by the `metrics` op and the
+    /// `--metrics-addr` exposition endpoint.
+    pub metrics: Arc<MetricsRegistry>,
+    /// When this service was constructed (the `uptime_s` stat).
+    started: Instant,
+    /// Slow-query threshold in microseconds; 0 disables the slow log.
+    slow_query_us: AtomicU64,
+    /// Ring buffer of the most recent slow requests (newest at the back).
+    slowlog: Mutex<VecDeque<SlowEntry>>,
 }
 
 impl Default for Service {
@@ -135,6 +175,10 @@ impl Default for Service {
             registry: StatementRegistry::default(),
             stats: ServiceStats::default(),
             threads_cap: DEFAULT_THREADS_CAP,
+            metrics: Arc::new(MetricsRegistry::new()),
+            started: Instant::now(),
+            slow_query_us: AtomicU64::new(0),
+            slowlog: Mutex::new(VecDeque::new()),
         }
     }
 }
@@ -150,6 +194,18 @@ impl Service {
     pub fn with_threads_cap(mut self, cap: usize) -> Service {
         self.threads_cap = cap.max(1);
         self
+    }
+
+    /// This service logging every request slower than `ms` milliseconds to
+    /// the slow-query ring buffer (`slowlog` op). 0 disables the log.
+    pub fn with_slow_query_ms(self, ms: u64) -> Service {
+        self.slow_query_us.store(ms.saturating_mul(1000), Ordering::Relaxed);
+        self
+    }
+
+    /// Seconds since this service was constructed.
+    pub fn uptime_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
     }
 
     /// Dispatches one request line, returning the reply line (no trailing
@@ -194,27 +250,77 @@ impl Service {
             .and_then(Value::as_str)
             .ok_or_else(|| ServerError("request needs a string `op` field".into()))?;
         let mut cache = BatchCache::default();
-        let reply = match op {
-            "load" => self.op_load(req)?,
-            "prepare" => self.op_prepare(req)?,
-            "run" => self.op_run(req, &mut cache)?,
-            "check" => self.op_check(req, &mut cache)?,
-            "explain" => self.op_explain(req, &mut cache)?,
-            "stats" => self.op_stats(req)?,
-            "batch" => self.op_batch(req)?,
-            "save" => self.op_save(req)?,
-            "open" => self.op_open(req)?,
-            "close" => {
-                ensure_untagged(req, "close")?;
-                return Ok((ok_obj([("closing", Value::Bool(true))]), Control::Close));
-            }
-            "shutdown" => {
-                ensure_untagged(req, "shutdown")?;
-                return Ok((ok_obj([("shutting_down", Value::Bool(true))]), Control::Shutdown));
-            }
-            other => return Err(ServerError(format!("unknown op `{other}`"))),
+        let start = Instant::now();
+        let result = match op {
+            "load" => self.op_load(req).map(|r| (r, Control::Continue)),
+            "prepare" => self.op_prepare(req).map(|r| (r, Control::Continue)),
+            "run" => self.op_run(req, &mut cache).map(|r| (r, Control::Continue)),
+            "check" => self.op_check(req, &mut cache).map(|r| (r, Control::Continue)),
+            "explain" => self.op_explain(req, &mut cache).map(|r| (r, Control::Continue)),
+            "trace" => self.op_trace(req, &mut cache).map(|r| (r, Control::Continue)),
+            "stats" => self.op_stats(req).map(|r| (r, Control::Continue)),
+            "metrics" => self.op_metrics(req).map(|r| (r, Control::Continue)),
+            "slowlog" => self.op_slowlog(req).map(|r| (r, Control::Continue)),
+            "batch" => self.op_batch(req).map(|r| (r, Control::Continue)),
+            "save" => self.op_save(req).map(|r| (r, Control::Continue)),
+            "open" => self.op_open(req).map(|r| (r, Control::Continue)),
+            "close" => ensure_untagged(req, "close")
+                .map(|()| (ok_obj([("closing", Value::Bool(true))]), Control::Close)),
+            "shutdown" => ensure_untagged(req, "shutdown")
+                .map(|()| (ok_obj([("shutting_down", Value::Bool(true))]), Control::Shutdown)),
+            other => Err(ServerError(format!("unknown op `{other}`"))),
         };
-        Ok((reply, Control::Continue))
+        let micros = start.elapsed().as_micros() as u64;
+        // The `trace` op records its *root-span* duration itself, so the
+        // span tree and the histogram sample are the same measurement; every
+        // other op records the full dispatch duration here.
+        if op != "trace" {
+            self.record_request(op, micros);
+        }
+        if result.is_err() {
+            self.metrics
+                .counter_with("ecrpq_op_errors_total", &[("op", op)], "Errors by op.")
+                .inc();
+        }
+        self.note_slow(op, req, micros, result.is_err());
+        result
+    }
+
+    /// Records one request into the per-op latency histogram.
+    fn record_request(&self, op: &str, micros: u64) {
+        self.metrics
+            .histogram_with(
+                REQUEST_HISTOGRAM,
+                &[("op", op)],
+                "Server-side request latency by op, microseconds.",
+            )
+            .record(micros);
+    }
+
+    /// Appends a slow-log entry when the slow-query threshold is enabled
+    /// and exceeded.
+    fn note_slow(&self, op: &str, req: &Value, micros: u64, error: bool) {
+        let threshold = self.slow_query_us.load(Ordering::Relaxed);
+        if threshold == 0 || micros < threshold {
+            return;
+        }
+        let at_epoch_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let entry = SlowEntry {
+            op: op.to_string(),
+            name: req.get("name").and_then(Value::as_str).map(str::to_string),
+            graph: req.get("graph").and_then(Value::as_str).map(str::to_string),
+            micros,
+            at_epoch_ms,
+            error,
+        };
+        let mut log = self.slowlog.lock().unwrap();
+        if log.len() == SLOWLOG_CAPACITY {
+            log.pop_front();
+        }
+        log.push_back(entry);
     }
 
     /// Runs a `batch` request: N read-only sub-requests sharing one
@@ -276,9 +382,10 @@ impl Service {
             "run" => self.op_run(&merged, cache),
             "check" => self.op_check(&merged, cache),
             "explain" => self.op_explain(&merged, cache),
+            "trace" => self.op_trace(&merged, cache),
             "stats" => self.op_stats(&merged),
             other => Err(ServerError(format!(
-                "batch entries may only be run/check/explain/stats, got `{other}`"
+                "batch entries may only be run/check/explain/trace/stats, got `{other}`"
             ))),
         }
     }
@@ -552,6 +659,262 @@ impl Service {
         ]))
     }
 
+    /// EXPLAIN ANALYZE for the serve path: runs like `run` while collecting
+    /// a wall-clock span tree — `resolve` (field parsing + catalog/registry
+    /// lookups), `run` (with the engine's `plan` / per-atom `reach:<var>` /
+    /// `compile` / `search` child spans and their measured-vs-estimated
+    /// cardinality attributes), and `render` (answer serialization). The
+    /// root span's duration is recorded into the per-op request histogram
+    /// and echoed as `server_latency_us`, so the span tree and the
+    /// histogram sample are the same measurement.
+    ///
+    /// With inline `query` text instead of a statement `name`, the cold
+    /// pipeline is traced too: `parse` → `compile` → `bind` spans, bypassing
+    /// the registry (nothing is installed).
+    fn op_trace(&self, req: &Value, cache: &mut BatchCache) -> Result<Value, ServerError> {
+        let mut trace = Trace::new();
+        let root = trace.begin("request");
+        let resolve = trace.begin("resolve");
+        let gname = str_field(req, "graph")?;
+        let options = self.run_options(req)?;
+        let graph = self.graph_cached(cache, gname)?;
+        let (stmt, registry_verdict) = if let Some(text) = req.get("query").and_then(Value::as_str)
+        {
+            let q = trace
+                .scoped("parse", |_| ecrpq::parse_query(text, graph.alphabet()))
+                .map_err(ServerError::msg)?;
+            let pq = trace
+                .scoped("compile", |_| PreparedQuery::prepare(&q))
+                .map_err(ServerError::msg)?;
+            let stmt = trace
+                .scoped("bind", |_| {
+                    BoundStatement::bind_with(Arc::new(pq), Arc::clone(&graph), options)
+                })
+                .map_err(ServerError::msg)?;
+            (Arc::new(stmt), "inline")
+        } else {
+            let name = str_field(req, "name")?;
+            let (stmt, hit) = self.bound_cached(cache, name, gname, &graph)?;
+            (stmt, if hit { "hit" } else { "miss" })
+        };
+        let plan = stmt.plan_with(options);
+        let mut config = EvalConfig::default();
+        if let Some(limit) = req.get("limit").and_then(Value::as_u64) {
+            config.answer_limit = limit as usize;
+        }
+        let mode = req.get("mode").and_then(Value::as_str).unwrap_or("nodes");
+        trace.end(resolve);
+
+        enum Out {
+            Bool(bool),
+            Nodes(Vec<Vec<NodeId>>),
+            Paths(Vec<ecrpq::Answer>),
+        }
+        let run_span = trace.begin("run");
+        let (out, stats) = match mode {
+            "boolean" => {
+                let (b, s) =
+                    plan.run_boolean_traced(&config, &mut trace).map_err(ServerError::msg)?;
+                (Out::Bool(b), s)
+            }
+            "nodes" => {
+                let (a, s) =
+                    plan.run_nodes_traced(&config, &mut trace).map_err(ServerError::msg)?;
+                (Out::Nodes(a), s)
+            }
+            "paths" => {
+                let (a, s) =
+                    plan.run_with_paths_traced(&config, &mut trace).map_err(ServerError::msg)?;
+                (Out::Paths(a), s)
+            }
+            other => return Err(ServerError(format!("unknown run mode `{other}`"))),
+        };
+        trace.end(run_span);
+
+        let render = trace.begin("render");
+        let answer_fields: Vec<(&'static str, Value)> = match out {
+            Out::Bool(b) => vec![("answer", Value::Bool(b))],
+            Out::Nodes(answers) => {
+                let rows: Vec<Value> = answers
+                    .iter()
+                    .map(|row| {
+                        Value::Arr(row.iter().map(|&n| Value::str(graph.node_display(n))).collect())
+                    })
+                    .collect();
+                vec![("count", Value::int(rows.len() as u64)), ("answers", Value::Arr(rows))]
+            }
+            Out::Paths(answers) => {
+                let rows: Vec<Value> = answers
+                    .iter()
+                    .map(|a| {
+                        Value::obj([
+                            (
+                                "nodes",
+                                Value::Arr(
+                                    a.nodes
+                                        .iter()
+                                        .map(|&n| Value::str(graph.node_display(n)))
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "paths",
+                                Value::Arr(a.paths.iter().map(|p| path_value(p, &graph)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect();
+                vec![("count", Value::int(rows.len() as u64)), ("answers", Value::Arr(rows))]
+            }
+        };
+        trace.end(render);
+        trace.end(root);
+
+        let total_ns = trace.spans[root].dur_ns;
+        self.record_request("trace", total_ns / 1000);
+        let mut pairs = vec![("registry", Value::str(registry_verdict))];
+        pairs.extend(answer_fields);
+        pairs.push(("stats", stats_value(&stats)));
+        pairs.push((
+            "trace",
+            Value::obj([
+                ("spans", trace.to_value()),
+                ("server_latency_us", Value::Num(total_ns as f64 / 1000.0)),
+            ]),
+        ));
+        Ok(ok_obj(pairs))
+    }
+
+    /// Dumps the metrics registry: Prometheus exposition text by default,
+    /// or structured JSON (with per-histogram estimated quantiles) under
+    /// `format: "json"`. Point-in-time gauges are refreshed first.
+    fn op_metrics(&self, req: &Value) -> Result<Value, ServerError> {
+        match req.get("format").and_then(Value::as_str).unwrap_or("text") {
+            "text" => Ok(ok_obj([("text", Value::str(self.render_metrics()))])),
+            "json" => {
+                self.refresh_gauges();
+                Ok(ok_obj([("metrics", self.metrics.to_value())]))
+            }
+            other => Err(ServerError(format!("`format` must be `text` or `json`, got `{other}`"))),
+        }
+    }
+
+    /// The slow-query log, newest first (optionally capped by `limit`).
+    fn op_slowlog(&self, req: &Value) -> Result<Value, ServerError> {
+        let limit = req
+            .get("limit")
+            .and_then(Value::as_u64)
+            .unwrap_or(SLOWLOG_CAPACITY as u64)
+            .min(SLOWLOG_CAPACITY as u64) as usize;
+        let log = self.slowlog.lock().unwrap();
+        let entries: Vec<Value> = log
+            .iter()
+            .rev()
+            .take(limit)
+            .map(|e| {
+                Value::obj([
+                    ("op", Value::str(e.op.as_str())),
+                    ("name", e.name.as_deref().map(Value::str).unwrap_or(Value::Null)),
+                    ("graph", e.graph.as_deref().map(Value::str).unwrap_or(Value::Null)),
+                    ("micros", Value::int(e.micros)),
+                    ("at_epoch_ms", Value::int(e.at_epoch_ms)),
+                    ("error", Value::Bool(e.error)),
+                ])
+            })
+            .collect();
+        Ok(ok_obj([
+            ("threshold_ms", Value::int(self.slow_query_us.load(Ordering::Relaxed) / 1000)),
+            ("count", Value::int(entries.len() as u64)),
+            ("entries", Value::Arr(entries)),
+        ]))
+    }
+
+    /// Refreshes gauges and renders the full registry in Prometheus text
+    /// exposition format — the body served by `ecrpq-serve --metrics-addr`
+    /// and the `metrics` op's `text` format.
+    pub fn render_metrics(&self) -> String {
+        self.refresh_gauges();
+        self.metrics.render()
+    }
+
+    /// Computes the point-in-time gauges (uptime, queue depth, cache hit
+    /// rates per cache and per shard) and mirrors the transport counters
+    /// into the registry. Called at scrape/render time, off the query path.
+    fn refresh_gauges(&self) {
+        let m = &self.metrics;
+        m.gauge("ecrpq_uptime_seconds", "Seconds since service start.")
+            .set(self.started.elapsed().as_secs_f64());
+        m.gauge("ecrpq_queue_depth", "Pipeline-pool jobs queued but not yet started.")
+            .set(self.stats.queue_depth.load(Ordering::Relaxed) as f64);
+        m.gauge("ecrpq_in_flight", "Requests currently executing.")
+            .set(self.stats.in_flight.load(Ordering::Relaxed) as f64);
+        m.gauge("ecrpq_active_connections", "Connections holding an admission slot.")
+            .set(self.stats.active.load(Ordering::Relaxed) as f64);
+        for (name, help, v) in [
+            (
+                "ecrpq_connections_total",
+                "Connections accepted.",
+                self.stats.connections.load(Ordering::Relaxed),
+            ),
+            (
+                "ecrpq_rejected_total",
+                "Connections rejected at admission.",
+                self.stats.rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "ecrpq_requests_total",
+                "Requests dispatched.",
+                self.stats.requests.load(Ordering::Relaxed),
+            ),
+            (
+                "ecrpq_errors_total",
+                "Requests answered with ok:false.",
+                self.stats.errors.load(Ordering::Relaxed),
+            ),
+            (
+                "ecrpq_pipelined_total",
+                "Tagged requests run on the pipeline pool.",
+                self.stats.pipelined.load(Ordering::Relaxed),
+            ),
+            (
+                "ecrpq_batched_total",
+                "Sub-requests executed through the batch op.",
+                self.stats.batched.load(Ordering::Relaxed),
+            ),
+        ] {
+            m.counter(name, help).store(v);
+        }
+        let rate = |hits: u64, misses: u64| {
+            if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            }
+        };
+        let reg = self.registry.stats();
+        m.gauge_with("ecrpq_cache_hit_rate", &[("cache", "registry")], "Cache lookup hit rate.")
+            .set(rate(reg.hits, reg.misses));
+        m.counter_with("ecrpq_cache_evictions_total", &[("cache", "registry")], "Cache evictions.")
+            .store(reg.evictions);
+        let (cat_hits, cat_misses) = self.catalog.lookup_counters();
+        m.gauge_with("ecrpq_cache_hit_rate", &[("cache", "catalog")], "Cache lookup hit rate.")
+            .set(rate(cat_hits, cat_misses));
+        for (cache_name, shards) in [
+            ("registry", self.registry.shard_counters()),
+            ("catalog", self.catalog.shard_counters()),
+        ] {
+            for (i, c) in shards.iter().enumerate() {
+                let shard = i.to_string();
+                m.gauge_with(
+                    "ecrpq_shard_hit_rate",
+                    &[("cache", cache_name), ("shard", &shard)],
+                    "Per-shard cache lookup hit rate.",
+                )
+                .set(rate(c.hits, c.misses));
+            }
+        }
+    }
+
     fn op_stats(&self, req: &Value) -> Result<Value, ServerError> {
         let reg = self.registry.stats();
         let shard_obj = |c: &crate::registry::ShardCounters| {
@@ -565,6 +928,8 @@ impl Service {
         let cat_shards: Vec<Value> = self.catalog.shard_counters().iter().map(shard_obj).collect();
         let (cat_hits, cat_misses) = self.catalog.lookup_counters();
         let mut pairs = vec![
+            ("version", Value::str(env!("CARGO_PKG_VERSION"))),
+            ("uptime_s", Value::int(self.uptime_s())),
             ("graphs", Value::int(self.catalog.len() as u64)),
             ("statements", Value::int(self.registry.len() as u64)),
             ("bound_cached", Value::int(self.registry.bound_len() as u64)),
@@ -1376,5 +1741,212 @@ mod tests {
             Some(DEFAULT_THREADS_CAP as u64),
             "stats must surface the per-pool thread cap"
         );
+    }
+
+    #[test]
+    fn stats_reports_version_and_uptime() {
+        let s = Service::new(8);
+        let st = reply(&s, r#"{"op":"stats"}"#);
+        assert_eq!(
+            st.get("version").and_then(Value::as_str),
+            Some(env!("CARGO_PKG_VERSION")),
+            "stats must carry the build version"
+        );
+        assert!(st.get("uptime_s").and_then(Value::as_u64).is_some());
+    }
+
+    /// The names of a trace reply's spans, flattened depth-first — the
+    /// pinned golden for the span-tree shape (durations vary, names don't).
+    fn span_names(spans: &[Value]) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in spans {
+            out.push(s.get("name").and_then(Value::as_str).unwrap().to_string());
+            if let Some(kids) = s.get("children").and_then(Value::as_arr) {
+                out.extend(span_names(kids));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn trace_op_span_tree_golden_and_latency_reconciliation() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        let run = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#); // warm the bound plan
+        let r = reply(&s, r#"{"op":"trace","name":"q","graph":"g"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("registry").unwrap().as_str(), Some("hit"));
+        assert_eq!(
+            r.get("answers").unwrap(),
+            run.get("answers").unwrap(),
+            "tracing must not change answers"
+        );
+
+        let trace = r.get("trace").unwrap();
+        let spans = trace.get("spans").unwrap().as_arr().unwrap();
+        // Pinned golden: the span tree of a warm nodes-mode run of a plain
+        // CRPQ (exact relaxation: no sim-table compile phase).
+        assert_eq!(
+            span_names(spans),
+            ["request", "resolve", "run", "plan", "reach:p", "search", "render"],
+            "span-tree shape changed"
+        );
+
+        // Spans are monotonic: depth-first flattening happens to be
+        // start-time order for this tree, and children nest in parents.
+        fn check_nesting(span: &Value) {
+            let start = span.get("start_us").unwrap().as_f64().unwrap();
+            let dur = span.get("dur_us").unwrap().as_f64().unwrap();
+            assert!(dur > 0.0, "unclosed span");
+            let mut cursor = start;
+            for kid in span.get("children").and_then(Value::as_arr).unwrap_or(&[]) {
+                let ks = kid.get("start_us").unwrap().as_f64().unwrap();
+                let kd = kid.get("dur_us").unwrap().as_f64().unwrap();
+                assert!(ks >= cursor, "child starts before its predecessor ends");
+                assert!(ks + kd <= start + dur + 0.002, "child escapes its parent");
+                cursor = ks;
+                check_nesting(kid);
+            }
+        }
+        check_nesting(&spans[0]);
+
+        // Acceptance criterion: the root's child phase durations sum to
+        // within 10% of the histogram-recorded server-side latency.
+        let total = trace.get("server_latency_us").unwrap().as_f64().unwrap();
+        let phase_sum: f64 = spans[0]
+            .get("children")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|c| c.get("dur_us").unwrap().as_f64().unwrap())
+            .sum();
+        assert!(
+            (phase_sum - total).abs() <= total * 0.10,
+            "phase sum {phase_sum}µs vs recorded latency {total}µs is off by more than 10%"
+        );
+        // And the histogram really recorded that one trace request.
+        let h = s.metrics.histogram_with(REQUEST_HISTOGRAM, &[("op", "trace")], "");
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() <= total.ceil() as u64);
+    }
+
+    #[test]
+    fn trace_op_with_inline_query_traces_cold_pipeline() {
+        let s = loaded_service();
+        let r = reply(
+            &s,
+            r#"{"op":"trace","graph":"g","query":"Ans(x, y) <- (x, p, y), L(p) = a a","mode":"boolean"}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("registry").unwrap().as_str(), Some("inline"));
+        assert_eq!(r.get("answer").unwrap().as_bool(), Some(true));
+        let spans = r.get("trace").unwrap().get("spans").unwrap().as_arr().unwrap();
+        let names = span_names(spans);
+        for expected in ["parse", "compile", "bind", "run", "search"] {
+            assert!(names.iter().any(|n| n == expected), "missing span `{expected}` in {names:?}");
+        }
+        // Nothing was installed in the registry.
+        assert_eq!(s.registry.len(), 0);
+    }
+
+    #[test]
+    fn metrics_op_counts_requests_per_op() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        for _ in 0..3 {
+            reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        }
+        let r = reply(&s, r#"{"op":"metrics"}"#);
+        let text = r.get("text").unwrap().as_str().unwrap();
+        assert!(text.contains("# TYPE ecrpq_request_us histogram"), "missing histogram:\n{text}");
+        assert!(text.contains("ecrpq_request_us_count{op=\"run\"} 3"), "run count wrong:\n{text}");
+        assert!(text.contains("ecrpq_request_us_bucket{op=\"run\",le=\"+Inf\"} 3"));
+        assert!(text.contains("# TYPE ecrpq_cache_hit_rate gauge"));
+        assert!(text.contains("ecrpq_uptime_seconds"));
+        // The shard hit-rate gauges cover both caches.
+        assert!(text.contains("ecrpq_shard_hit_rate{cache=\"registry\",shard=\"0\"}"));
+        assert!(text.contains("ecrpq_shard_hit_rate{cache=\"catalog\",shard=\"0\"}"));
+        // Mirrored transport counters: requests so far = load + prepare +
+        // 3 runs + this metrics request.
+        assert!(text.contains("ecrpq_requests_total 6"), "requests_total wrong:\n{text}");
+
+        let j = reply(&s, r#"{"op":"metrics","format":"json"}"#);
+        let fams = j.get("metrics").unwrap().as_arr().unwrap();
+        let run_hist = fams
+            .iter()
+            .find(|f| {
+                f.get("name").and_then(Value::as_str) == Some(REQUEST_HISTOGRAM)
+                    && f.get("labels").and_then(|l| l.get("op")).and_then(Value::as_str)
+                        == Some("run")
+            })
+            .expect("run histogram family in JSON metrics");
+        assert_eq!(run_hist.get("count").and_then(Value::as_u64), Some(3));
+        assert!(run_hist.get("p50").and_then(Value::as_u64).is_some());
+
+        let bad = reply(&s, r#"{"op":"metrics","format":"xml"}"#);
+        assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn slowlog_records_requests_over_threshold() {
+        let s = loaded_service();
+        // Empty until a threshold is set (0 disables the log).
+        reply(&s, r#"{"op":"stats"}"#);
+        let r = reply(&s, r#"{"op":"slowlog"}"#);
+        assert_eq!(r.get("count").unwrap().as_u64(), Some(0));
+        assert_eq!(r.get("threshold_ms").unwrap().as_u64(), Some(0));
+
+        // A 1µs threshold marks everything slow.
+        s.slow_query_us.store(1, Ordering::Relaxed);
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        let r = reply(&s, r#"{"op":"slowlog","limit":2}"#);
+        let entries = r.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 2);
+        // Newest first: the run precedes this slowlog request's own entry
+        // window (slowlog sees entries recorded *before* it runs).
+        assert_eq!(entries[0].get("op").unwrap().as_str(), Some("run"));
+        assert_eq!(entries[0].get("name").unwrap().as_str(), Some("q"));
+        assert_eq!(entries[0].get("graph").unwrap().as_str(), Some("g"));
+        assert!(entries[0].get("micros").unwrap().as_u64().unwrap() >= 1);
+        assert_eq!(entries[0].get("error").unwrap().as_bool(), Some(false));
+        assert_eq!(entries[1].get("op").unwrap().as_str(), Some("prepare"));
+
+        // Errors are flagged.
+        let bad = reply(&s, r#"{"op":"run","name":"nope","graph":"g"}"#);
+        assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+        let r = reply(&s, r#"{"op":"slowlog","limit":1}"#);
+        let entries = r.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries[0].get("op").unwrap().as_str(), Some("run"));
+        assert_eq!(entries[0].get("error").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn trace_works_as_a_batch_entry() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        let r = reply(
+            &s,
+            r#"{"op":"batch","name":"q","graph":"g","requests":[{"op":"run"},{"op":"trace"}]}"#,
+        );
+        let results = r.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        let traced = &results[1];
+        assert_eq!(traced.get("ok").unwrap().as_bool(), Some(true));
+        assert!(traced.get("trace").is_some());
+        assert_eq!(traced.get("answers").unwrap(), results[0].get("answers").unwrap());
     }
 }

@@ -41,6 +41,15 @@ pub struct ServerConfig {
     /// Per-pool cap on the intra-query `threads` a single `run` request may
     /// ask for; over-cap requests get a structured error reply.
     pub threads_cap: usize,
+    /// Log requests slower than this many milliseconds to the slow-query
+    /// ring buffer (read back via the `slowlog` op). 0 disables the log.
+    pub slow_query_ms: u64,
+    /// When set, bind a plain-TCP exposition endpoint on this address: each
+    /// connection receives the metrics registry in Prometheus text format
+    /// and is closed — scrapeable with `nc`, no HTTP or JSON parsing
+    /// needed. Port 0 picks an ephemeral port (reported by
+    /// [`ServerHandle::metrics_addr`]).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +61,8 @@ impl Default for ServerConfig {
             exec_workers: workers,
             bound_capacity: crate::registry::DEFAULT_BOUND_CAPACITY,
             threads_cap: crate::protocol::DEFAULT_THREADS_CAP,
+            slow_query_ms: 0,
+            metrics_addr: None,
         }
     }
 }
@@ -68,9 +79,11 @@ pub struct Server;
 /// A handle to a running server: its bound address and the shutdown control.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     service: Arc<Service>,
     stop: Arc<AtomicBool>,
     listener_thread: Mutex<Option<JoinHandle<()>>>,
+    metrics_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Server {
@@ -80,9 +93,46 @@ impl Server {
     pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let service =
-            Arc::new(Service::new(config.bound_capacity).with_threads_cap(config.threads_cap));
+        let service = Arc::new(
+            Service::new(config.bound_capacity)
+                .with_threads_cap(config.threads_cap)
+                .with_slow_query_ms(config.slow_query_ms),
+        );
         let stop = Arc::new(AtomicBool::new(false));
+
+        // The optional exposition endpoint: a polling accept loop that
+        // writes the rendered registry and closes, one scrape per
+        // connection. It notices the stop flag within one poll interval.
+        let mut metrics_addr = None;
+        let mut metrics_thread = None;
+        if let Some(maddr) = &config.metrics_addr {
+            let mlistener = TcpListener::bind(maddr)?;
+            metrics_addr = Some(mlistener.local_addr()?);
+            mlistener.set_nonblocking(true)?;
+            let mservice = Arc::clone(&service);
+            let mstop = Arc::clone(&stop);
+            metrics_thread =
+                Some(std::thread::Builder::new().name("ecrpq-metrics".to_string()).spawn(
+                    move || loop {
+                        match mlistener.accept() {
+                            Ok((mut scrape, _)) => {
+                                let body = mservice.render_metrics();
+                                let _ = scrape.write_all(body.as_bytes());
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                if mstop.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                std::thread::sleep(IDLE_POLL);
+                            }
+                            Err(_) => break,
+                        }
+                        if mstop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    },
+                )?);
+        }
 
         let accept_service = Arc::clone(&service);
         let accept_stop = Arc::clone(&stop);
@@ -142,7 +192,14 @@ impl Server {
                 exec.shutdown();
             })?;
 
-        Ok(ServerHandle { addr, service, stop, listener_thread: Mutex::new(Some(listener_thread)) })
+        Ok(ServerHandle {
+            addr,
+            metrics_addr,
+            service,
+            stop,
+            listener_thread: Mutex::new(Some(listener_thread)),
+            metrics_thread: Mutex::new(metrics_thread),
+        })
     }
 }
 
@@ -150,6 +207,12 @@ impl ServerHandle {
     /// The bound socket address (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound exposition-endpoint address, when
+    /// [`ServerConfig::metrics_addr`] was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The shared service (catalog + registry + counters) — useful for
@@ -168,6 +231,9 @@ impl ServerHandle {
     pub fn shutdown(&self) {
         request_stop(&self.stop, self.addr);
         if let Some(t) = self.listener_thread.lock().unwrap().take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.metrics_thread.lock().unwrap().take() {
             let _ = t.join();
         }
     }

@@ -9,6 +9,11 @@
 //!   line-delimited request/response protocol.
 //! * [`Measurement`] — one measured point of a benchmark experiment series,
 //!   the record the harness's JSON documents are built from.
+//! * [`metrics`] — atomic counters, gauges, log-scale latency histograms,
+//!   and a Prometheus-text-format renderer; the server's scrapeable
+//!   telemetry is built on this.
+//! * [`trace`] — a wall-clock span collector for per-query phase timing
+//!   (the engine's `run_traced` path and the server's `trace` op).
 //!
 //! Historically both lived in `ecrpq-bench`; they were promoted here when
 //! the server crate started needing the same serialization code.
@@ -18,6 +23,8 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod metrics;
+pub mod trace;
 
 /// One measured point of an experiment series.
 #[derive(Clone, Debug)]

@@ -2,7 +2,7 @@
 # Offline-safe CI check: build, tests, formatting, lints, server smoke.
 # Usage: scripts/check.sh [--bench-smoke] [--bench-compare] [--server-smoke]
 #                         [--parallel-smoke] [--storage-smoke]
-#                         [--serve-load-smoke]
+#                         [--serve-load-smoke] [--metrics-smoke]
 # (from anywhere inside the repo)
 #
 # The default sequence is build + tests + fmt + clippy + the parser and
@@ -44,6 +44,15 @@
 #                  (harness serve-smoke in a scratch directory) — the fast
 #                  loop while working on the pipelined serve path. The same
 #                  gate is part of the default sequence.
+# --metrics-smoke  runs ONLY the release build and the observability gate
+#                  (server with --metrics-addr, warm query, `ecrpq-cli
+#                  trace` whose client-side validation requires present,
+#                  monotonic spans summing to within 10% of the recorded
+#                  latency, then a /dev/tcp scrape of the exposition
+#                  endpoint asserting the request histogram count equals the
+#                  requests sent) — the fast loop while working on the
+#                  metrics/tracing layer. The same gate is part of the
+#                  default sequence.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -55,6 +64,7 @@ server_smoke_only=0
 parallel_smoke_only=0
 storage_smoke_only=0
 serve_load_smoke_only=0
+metrics_smoke_only=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) bench_smoke=1 ;;
@@ -63,6 +73,7 @@ for arg in "$@"; do
         --parallel-smoke) parallel_smoke_only=1 ;;
         --storage-smoke) storage_smoke_only=1 ;;
         --serve-load-smoke) serve_load_smoke_only=1 ;;
+        --metrics-smoke) metrics_smoke_only=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -183,6 +194,59 @@ storage_smoke() {
     echo "    storage smoke OK (first run after reopen: registry hit, sim_cache_misses=0)"
 }
 
+# Observability gate: trace spans must be present and monotonic with phase
+# durations reconciling against the server-recorded latency (the CLI's
+# `trace` command validates all of that client-side and exits nonzero on
+# violation), and the exposition endpoint's request histogram must
+# reconcile exactly with the requests this gate sent.
+metrics_smoke() {
+    echo
+    echo "==> metrics smoke (trace validation + exposition scrape reconciliation)"
+    local cli="$repo_root/target/release/ecrpq-cli"
+    local log metrics_addr scrape
+    log=$(mktemp)
+    start_server "$log" --metrics-addr 127.0.0.1:0 --slow-query-ms 1000
+    metrics_addr=$(sed -n 's/^metrics on //p' "$log")
+    if [[ -z "$metrics_addr" ]]; then
+        echo "metrics smoke FAILED: server never reported the metrics address" >&2
+        exit 1
+    fi
+    echo "    metrics endpoint at $metrics_addr"
+
+    "$cli" --addr "$server_addr" load g cycle:8:a > /dev/null
+    "$cli" --addr "$server_addr" prepare q 'Ans(x, y) <- (x, p, y), L(p) = a a' g > /dev/null
+    "$cli" --addr "$server_addr" run q g > /dev/null    # cold: bind + compile
+    "$cli" --addr "$server_addr" run q g > /dev/null    # warm
+    # Renders the span tree on stderr; exits nonzero unless spans are
+    # present, monotonic, and sum to within 10% of the recorded latency.
+    "$cli" --addr "$server_addr" trace q g > /dev/null
+    # Scrape the exposition endpoint over plain TCP — bash's /dev/tcp, no
+    # nc dependency; the server dumps the registry and closes.
+    scrape=$(exec 3<>"/dev/tcp/${metrics_addr%:*}/${metrics_addr#*:}" && cat <&3)
+    if ! grep -q '^ecrpq_request_us_count{op="run"} 2$' <<< "$scrape"; then
+        echo "metrics smoke FAILED: run histogram count must equal the 2 runs sent" >&2
+        grep '^ecrpq_request_us_count' <<< "$scrape" >&2 || true
+        exit 1
+    fi
+    if ! grep -q '^ecrpq_request_us_count{op="trace"} 1$' <<< "$scrape"; then
+        echo "metrics smoke FAILED: trace histogram count must equal the 1 trace sent" >&2
+        exit 1
+    fi
+    "$cli" --addr "$server_addr" shutdown > /dev/null
+    wait "$server_pid"
+    server_pid=""
+    rm -f "$log"
+    echo "    metrics smoke OK (trace consistent, scrape reconciles: run=2 trace=1)"
+}
+
+if [[ "$metrics_smoke_only" == 1 ]]; then
+    run cargo build --release --offline -p ecrpq-server
+    metrics_smoke
+    echo
+    echo "Metrics smoke passed."
+    exit 0
+fi
+
 if [[ "$server_smoke_only" == 1 ]]; then
     run cargo build --release --offline -p ecrpq-server
     server_smoke
@@ -269,6 +333,10 @@ storage_smoke
 # Serve-load smoke is part of the default sequence too: the pipelined serve
 # path must deliver every reply exactly once under admission pressure.
 serve_load_smoke
+
+# Metrics smoke is part of the default sequence too: the observability
+# surface must stay scrapeable and its trace/histogram accounting honest.
+metrics_smoke
 
 if [[ "$bench_smoke" == 1 ]]; then
     scratch=$(mktemp -d)
