@@ -34,6 +34,10 @@
 //!             compile vs warm binary-snapshot reopen, answers checked
 //!             bit-for-bit), at full size — the largest point is a
 //!             million-edge graph
+//!   mutation  only the live-graph experiment (incremental delta
+//!             maintenance vs merge + rebind + cold re-run per mutation
+//!             cycle, answers checked bit-for-bit), at full size — the
+//!             largest point is a million-edge graph
 //!
 //! OPTIONS:
 //!   --baseline <path>   additionally write all experiments as one combined
@@ -59,6 +63,8 @@ struct Args {
     only_plan: bool,
     /// `storage` mode: run only the persistence experiment.
     only_storage: bool,
+    /// `mutation` mode: run only the live-graph experiment.
+    only_mutation: bool,
     baseline_out: Option<String>,
     compare: Option<String>,
     threshold: f64,
@@ -89,6 +95,7 @@ fn parse_args() -> Args {
         only_parallel: false,
         only_plan: false,
         only_storage: false,
+        only_mutation: false,
         baseline_out: None,
         compare: None,
         threshold: 1.3,
@@ -125,6 +132,10 @@ fn parse_args() -> Args {
             "storage" => {
                 args.mode = Mode::Full;
                 args.only_storage = true;
+            }
+            "mutation" => {
+                args.mode = Mode::Full;
+                args.only_mutation = true;
             }
             "--baseline" => args.baseline_out = Some(flag_value(&mut it, "--baseline")),
             "--compare" => args.compare = Some(flag_value(&mut it, "--compare")),
@@ -200,6 +211,8 @@ fn main() {
         "plan"
     } else if args.only_storage {
         "storage"
+    } else if args.only_mutation {
+        "mutation"
     } else {
         mode.name()
     };
@@ -228,6 +241,11 @@ fn main() {
     }
     if args.only_storage {
         run_storage_family(mode, &mut rep);
+        finish(&args, rep);
+        return;
+    }
+    if args.only_mutation {
+        run_mutation_family(mode, &mut rep);
         finish(&args, rep);
         return;
     }
@@ -376,6 +394,9 @@ fn main() {
     // STOR-1: persistent binary snapshots (cold load vs warm reopen).
     run_storage_family(mode, &mut rep);
 
+    // MUT-1: live graphs (incremental delta maintenance vs cold re-run).
+    run_mutation_family(mode, &mut rep);
+
     // PREP: the prepared-query pipeline (compile vs run, reuse family).
     run_prepared(mode, &mut rep);
 
@@ -491,6 +512,29 @@ fn run_storage_family(mode: Mode, rep: &mut Report) {
     rep.report(
         "storage",
         "STOR-1 persistence: cold edge-list load + compile vs warm snapshot reopen (answers checked)",
+        &m,
+        false,
+    );
+}
+
+/// Runs the live-graph experiment: one steady-state mutation cycle (add a
+/// batch of edges, then remove them) per sample, incrementally maintained
+/// vs merged + rebound + cold re-run, per graph size (param = edge count;
+/// the background degree is fixed at 4). The family asserts in-bench that
+/// the maintained answers match a cold run on the merged graph
+/// bit-for-bit; the `cold_rerun / delta_apply` ratio is the headline
+/// speedup of the live-graph layer. The full sweep tops out at a
+/// million-edge graph.
+fn run_mutation_family(mode: Mode, rep: &mut Report) {
+    let sizes: &[usize] = match mode {
+        Mode::Full => &[10_000, 62_500, 250_000],
+        Mode::Quick => &[2_000, 10_000],
+        Mode::Smoke => &[1_000],
+    };
+    let m = ecrpq_bench::mutation::mutation_family(sizes);
+    rep.report(
+        "mutation",
+        "MUT-1 live graphs: incremental delta maintenance vs merge + cold re-run (answers checked)",
         &m,
         false,
     );

@@ -10,6 +10,7 @@
 
 pub mod load;
 pub mod microbench;
+pub mod mutation;
 pub mod serve;
 pub mod storage;
 

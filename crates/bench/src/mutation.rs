@@ -1,0 +1,185 @@
+//! MUT-1: live-graph mutation — incremental (delta) maintenance vs cold
+//! re-run.
+//!
+//! Per graph size two series are recorded (param = edge count):
+//!
+//! * `delta_apply` — one steady-state mutation cycle through the live
+//!   overlay: apply a batch of edge adds, incrementally update the
+//!   maintained statement ([`MaintainedStatement::apply`]), then remove the
+//!   same edges and update again. No merge, no rebind, no cold evaluation —
+//!   this is the serve path's maintenance-on-write cost.
+//! * `cold_rerun` — the fallback the maintenance layer replaces: the same
+//!   cycle, but each half merges the overlay into a fresh sealed epoch
+//!   ([`LiveGraph::force_merge`]), rebinds the prepared statement, and
+//!   re-runs it from scratch.
+//!
+//! Before anything is timed the two paths are checked against each other:
+//! after the add batch (and again after the removes) the maintained answer
+//! set must be bit-identical to a cold run on the merged graph. The ratio
+//! `cold_rerun / delta_apply` is the headline number of the live-graph
+//! layer.
+//!
+//! The workload queries a deliberately *sparse* label (`z`, ~2% of nodes
+//! carry one) over a dense `a`/`b` background, and the batches mutate `z`
+//! edges — so every batch actually changes answers, while the full answer
+//! set stays small enough to materialize at the million-edge point.
+//!
+//! [`MaintainedStatement::apply`]: ecrpq::eval::MaintainedStatement::apply
+//! [`LiveGraph::force_merge`]: ecrpq_graph::delta::LiveGraph::force_merge
+
+use crate::{measure, Measurement};
+use ecrpq::eval::{BoundStatement, MaintainedStatement, PreparedQuery};
+use ecrpq::{parse_query, EvalConfig};
+use ecrpq_graph::delta::LiveGraph;
+use ecrpq_graph::{generators, GraphDb};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The maintained statement: a plain CRPQ over the sparse label (exact
+/// relaxation, dense unaries — the maintainable shape).
+const QUERY: &str = "Ans(x, y) <- (x, p, y), L(p) = z z";
+
+/// Edges per mutation batch (the batch is added, then removed, per cycle).
+const BATCH: usize = 32;
+
+/// Builds the base graph: a degree-4 `a`/`b` random graph of `n` nodes with
+/// one sparse `z` edge per 50 nodes laid as a chain through a pseudorandom
+/// node sequence (consecutive `z` edges share an endpoint, so the `z z`
+/// query always has ≈ n/50 answers — never a vacuous run), plus the set of
+/// `z` pairs it contains (so batches never duplicate a base edge — a remove
+/// would tombstone the base instance and the cycle would stop being
+/// steady-state).
+fn base_graph(n: usize) -> (Arc<GraphDb>, HashSet<(usize, usize)>) {
+    let mut text = generators::random_graph(n, 4.0, &["a", "b"], 0x317a ^ n as u64).to_edge_list();
+    let mut z_pairs = HashSet::new();
+    let hop = |k: usize| (k * 7919 + 3) % n;
+    for k in 0..n / 50 {
+        let (from, to) = (hop(k), hop(k + 1));
+        z_pairs.insert((from, to));
+        text.push_str(&format!("n{from} z n{to}\n"));
+    }
+    let g = GraphDb::from_edge_list(&text).expect("benchmark edge list must parse");
+    (Arc::new(g.sealed_copy()), z_pairs)
+}
+
+/// One batch of `z`-edge triples among existing nodes, disjoint from the
+/// base `z` edges (and from each other).
+fn batch_triples(n: usize, z_pairs: &HashSet<(usize, usize)>) -> Vec<(String, String, String)> {
+    let mut out = Vec::with_capacity(BATCH);
+    let mut seen = HashSet::new();
+    let mut k = 0usize;
+    while out.len() < BATCH {
+        let from = (k * 48_271 + 11) % n;
+        let to = (k * 69_621 + 29) % n;
+        k += 1;
+        if from == to || z_pairs.contains(&(from, to)) || !seen.insert((from, to)) {
+            continue;
+        }
+        out.push((format!("n{from}"), "z".to_string(), format!("n{to}")));
+    }
+    out
+}
+
+/// The MUT-1 family over `sizes` node counts (background degree 4, so the
+/// recorded param — the edge count — is slightly above 4× the node count).
+pub fn mutation_family(sizes: &[usize]) -> Vec<Measurement> {
+    // The answer set scales like n/50 (several thousand at the top of the
+    // full sweep); both paths must materialize it exactly for the
+    // differential gate, so the limit sits far above it.
+    let cfg = EvalConfig { answer_limit: 1_000_000, ..EvalConfig::default() };
+    let empty: [(String, String, String); 0] = [];
+    let mut out = Vec::new();
+
+    for &n in sizes {
+        let (g, z_pairs) = base_graph(n);
+        let edges = g.num_edges() as u64;
+        let adds = batch_triples(n, &z_pairs);
+
+        let q = parse_query(QUERY, g.alphabet()).expect("benchmark query must parse");
+        let pq = Arc::new(PreparedQuery::prepare(&q).expect("benchmark query must prepare"));
+        let bind = |epoch: &Arc<GraphDb>| {
+            Arc::new(
+                BoundStatement::bind(Arc::clone(&pq), Arc::clone(epoch))
+                    .expect("bind must succeed"),
+            )
+        };
+
+        // The delta path: one overlay that never merges, one maintained
+        // statement updated in place.
+        let mut live = LiveGraph::new(Arc::clone(&g), usize::MAX / 2);
+        let stmt = bind(&g);
+        let mut m = MaintainedStatement::try_new(Arc::clone(&stmt), live.view(), &cfg)
+            .expect("initial maintenance must fit the budget")
+            .expect("the benchmark query must be maintainable");
+
+        // Differential gate before anything is timed: after the adds (and
+        // again after the removes) the maintained answers must be
+        // bit-identical to a cold run on the merged graph.
+        let oracle = |triples: &[(String, String, String)], removes: bool| {
+            let mut o = LiveGraph::new(Arc::clone(&g), usize::MAX / 2);
+            if removes {
+                o.apply(triples, &empty);
+                let applied: Vec<_> = triples.to_vec();
+                o.apply(&empty, &applied);
+            } else {
+                o.apply(triples, &empty);
+            }
+            let merged = o.force_merge();
+            bind(&merged).run_nodes(&cfg).expect("oracle run must succeed").0
+        };
+        {
+            let outcome = live.apply(&adds, &empty);
+            m.apply(live.view(), &outcome.batch, &cfg).expect("maintenance must apply");
+            let cold = oracle(&adds, false);
+            assert_eq!(m.answers(), &cold[..], "maintained answers diverged after adds (n={n})");
+            assert!(m.answers().len() < cfg.answer_limit, "answer set must stay materializable");
+            let outcome = live.apply(&empty, &adds);
+            m.apply(live.view(), &outcome.batch, &cfg).expect("maintenance must apply");
+            let cold = oracle(&adds, true);
+            assert_eq!(m.answers(), &cold[..], "maintained answers diverged after removes (n={n})");
+        }
+
+        let answers = m.answers().len();
+        out.push(measure("delta_apply", edges, || {
+            for (a, r) in [(&adds[..], &empty[..]), (&empty[..], &adds[..])] {
+                let outcome = live.apply(a, r);
+                m.apply(live.view(), &outcome.batch, &cfg).expect("maintenance must apply");
+            }
+            format!("edges={edges} batch={BATCH} answers={answers}")
+        }));
+
+        // The cold path: merge + rebind + full re-run, twice per cycle.
+        let mut cold_live = LiveGraph::new(Arc::clone(&g), usize::MAX / 2);
+        out.push(measure("cold_rerun", edges, || {
+            let mut count = 0usize;
+            for (a, r) in [(&adds[..], &empty[..]), (&empty[..], &adds[..])] {
+                cold_live.apply(a, r);
+                let merged = cold_live.force_merge();
+                count = bind(&merged).run_nodes(&cfg).expect("cold run must succeed").0.len();
+            }
+            format!("edges={edges} batch={BATCH} answers={count}")
+        }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_family_smoke() {
+        let m = mutation_family(&[400]);
+        assert_eq!(m.len(), 2);
+        let delta = m.iter().find(|x| x.series == "delta_apply").unwrap();
+        let cold = m.iter().find(|x| x.series == "cold_rerun").unwrap();
+        assert_eq!(delta.param, cold.param);
+        assert!(delta.note.contains("batch=32"));
+        // Both cycles end at the base state, so both notes report the same
+        // final answer count — and the chained z layout keeps it nonzero.
+        let tail = |s: &str| s.rsplit("answers=").next().unwrap().to_string();
+        assert_eq!(tail(&delta.note), tail(&cold.note));
+        let answers: usize = tail(&delta.note).parse().unwrap();
+        assert!(answers > 0, "the smoke workload must not be vacuous");
+    }
+}

@@ -1,0 +1,541 @@
+//! Incremental (delta) maintenance of prepared statements over live graphs.
+//!
+//! A [`MaintainedStatement`] keeps a registered statement's node-mode answer
+//! set up to date against a [`GraphView`] overlay (immutable base epoch plus
+//! pending edge delta) without re-running the query from scratch. The update
+//! is semi-naive: an applied batch only invalidates the reachability rows of
+//! sources that can reach a changed edge in the union graph `old ∪ new`, so
+//! only those rows are recomputed before the (cheap, exact-relaxation)
+//! candidate join re-enumerates the answers.
+//!
+//! Maintenance is restricted to the statements where the relaxation is
+//! *exact* (plain CRPQs: no wide relations, no relational repetition, no
+//! counters) running in nodes mode with table-compiled (dense) unary
+//! constraints — precisely the shape where the answer set is fully
+//! determined by the per-path-variable reachability relations. Everything
+//! else falls back to a cold run on the merged graph.
+//!
+//! The correctness contract is differential: a maintained answer set must be
+//! bit-identical (answers, `verified`, `candidates`) to a cold re-run of the
+//! statement on the merged graph. `tests/live_graph.rs` enforces it.
+
+use crate::error::QueryError;
+use crate::eval::plan::{self, cost};
+use crate::eval::prepared::{BindArtifacts, BoundStatement, PreparedQuery};
+use crate::eval::{EvalConfig, EvalStats};
+use ecrpq_graph::delta::{DeltaBatch, GraphView};
+use ecrpq_graph::NodeId;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A prepared statement whose node-mode answer set is maintained
+/// incrementally against a live-graph overlay.
+#[derive(Debug)]
+pub struct MaintainedStatement {
+    stmt: Arc<BoundStatement>,
+    /// Overlay node count the reachability rows cover.
+    num_nodes: usize,
+    /// Per path variable: sorted successor rows over the overlay
+    /// (`reach[p][u]` = nodes v with a constraint-satisfying path u → v).
+    reach: Vec<Vec<Vec<NodeId>>>,
+    /// Sorted distinct head-node tuples — the maintained answer set.
+    answers: Vec<Vec<NodeId>>,
+    /// Stats of the last refresh, shaped like a cold nodes-mode run:
+    /// `candidates`/`verified` from the re-enumeration, `search_states` 0,
+    /// sim-cache counters from the rows recomputed by the last batch.
+    stats: EvalStats,
+}
+
+impl MaintainedStatement {
+    /// Builds the maintained state of `stmt` over the current overlay, or
+    /// `None` if the statement is not maintainable (inexact relaxation, or a
+    /// unary constraint too large for table compilation).
+    pub fn try_new(
+        stmt: Arc<BoundStatement>,
+        view: GraphView<'_>,
+        config: &EvalConfig,
+    ) -> Result<Option<MaintainedStatement>, QueryError> {
+        let pq = stmt.prepared();
+        if !pq.relaxation_is_exact {
+            return Ok(None);
+        }
+        if pq.unary.iter().any(|u| u.as_ref().is_some_and(|u| !u.dense)) {
+            return Ok(None);
+        }
+        let mut stats = EvalStats::default();
+        let n = view.num_nodes();
+        let all: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let reach: Vec<Vec<Vec<NodeId>>> = (0..pq.path_vars.len())
+            .map(|p| reach_rows(&view, pq, stmt.artifacts(), p, &all, &mut stats))
+            .collect();
+        let mut this =
+            MaintainedStatement { stmt, num_nodes: n, reach, answers: Vec::new(), stats };
+        this.reenumerate(config)?;
+        Ok(Some(this))
+    }
+
+    /// The statement being maintained (bound to the base epoch it was built
+    /// or rebased on).
+    pub fn statement(&self) -> &Arc<BoundStatement> {
+        &self.stmt
+    }
+
+    /// Swaps in a rebinding of the same prepared query after an epoch merge.
+    /// The maintained rows and answers already describe the merged graph, so
+    /// only the statement handle changes.
+    pub fn rebase(&mut self, stmt: Arc<BoundStatement>) {
+        debug_assert!(Arc::ptr_eq(stmt.prepared(), self.stmt.prepared()));
+        self.stmt = stmt;
+    }
+
+    /// The maintained answer set: sorted distinct head-node tuples.
+    pub fn answers(&self) -> &[Vec<NodeId>] {
+        &self.answers
+    }
+
+    /// Stats of the last refresh.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Applies one mutation batch: recomputes the reachability rows of the
+    /// affected sources over the new overlay and re-enumerates the answers.
+    pub fn apply(
+        &mut self,
+        view: GraphView<'_>,
+        batch: &DeltaBatch,
+        config: &EvalConfig,
+    ) -> Result<(), QueryError> {
+        let pq = Arc::clone(self.stmt.prepared());
+        let mut stats = EvalStats::default();
+
+        // Grow rows for batch-introduced nodes.
+        let n = batch.num_nodes.max(self.num_nodes);
+        for rows in &mut self.reach {
+            rows.resize(n, Vec::new());
+        }
+
+        // Affected sources: every node that can reach a changed edge's
+        // source endpoint in the union graph `old ∪ new` (base ∪ added ∪
+        // this batch's removes — tombstones ignored), plus the new nodes.
+        // A source whose reachable cone contains no changed edge keeps its
+        // rows verbatim; that is the semi-naive skip.
+        let mut removed_in: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        for e in &batch.removes {
+            removed_in.entry(e.to.0).or_default().push(e.from);
+        }
+        let mut affected = vec![false; n];
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mark = |v: NodeId, stack: &mut Vec<NodeId>, affected: &mut Vec<bool>| {
+            if !affected[v.index()] {
+                affected[v.index()] = true;
+                stack.push(v);
+            }
+        };
+        for e in batch.adds.iter().chain(batch.removes.iter()) {
+            mark(e.from, &mut stack, &mut affected);
+        }
+        for v in self.num_nodes..n {
+            mark(NodeId(v as u32), &mut stack, &mut affected);
+        }
+        while let Some(v) = stack.pop() {
+            view.for_each_in_unfiltered(v, |_, s| mark(s, &mut stack, &mut affected));
+            if let Some(preds) = removed_in.get(&v.0) {
+                for &s in preds {
+                    mark(s, &mut stack, &mut affected);
+                }
+            }
+        }
+        self.num_nodes = n;
+        let sources: Vec<NodeId> =
+            (0..n as u32).map(NodeId).filter(|v| affected[v.index()]).collect();
+
+        for p in 0..pq.path_vars.len() {
+            let rows = reach_rows(&view, &pq, self.stmt.artifacts(), p, &sources, &mut stats);
+            for (row, &src) in rows.into_iter().zip(sources.iter()) {
+                self.reach[p][src.index()] = row;
+            }
+        }
+        self.stats = stats;
+        self.reenumerate(config)
+    }
+
+    /// Re-enumerates the answer set from the maintained reachability rows,
+    /// mirroring the cold nodes-mode pipeline: same candidate counting, same
+    /// head dedup, `verified` = distinct heads. Answers come out sorted (the
+    /// canonical order the serve path renders).
+    fn reenumerate(&mut self, config: &EvalConfig) -> Result<(), QueryError> {
+        let pq = self.stmt.prepared();
+        let art = self.stmt.artifacts();
+        let edges = plan::join_edges(pq);
+        let order = cost::static_order(pq, &art.constants, &edges);
+        let constants: HashMap<usize, NodeId> = art.constants.iter().copied().collect();
+
+        // Backward rows by transposition (the enumeration probes both
+        // directions).
+        let bwd: Vec<Vec<Vec<NodeId>>> = self
+            .reach
+            .iter()
+            .map(|rows| {
+                let mut b: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_nodes];
+                for (u, row) in rows.iter().enumerate() {
+                    for &v in row {
+                        b[v.index()].push(NodeId(u as u32));
+                    }
+                }
+                for r in &mut b {
+                    r.sort_unstable();
+                }
+                b
+            })
+            .collect();
+
+        let all_nodes: Vec<NodeId> = (0..self.num_nodes as u32).map(NodeId).collect();
+        let mut assignment: Vec<Option<NodeId>> = vec![None; pq.node_vars.len()];
+        let mut seen_heads: HashSet<Vec<NodeId>> = HashSet::new();
+        let mut answers: Vec<Vec<NodeId>> = Vec::new();
+        self.stats.candidates = 0;
+
+        enumerate(
+            0,
+            &order,
+            &edges,
+            &self.reach,
+            &bwd,
+            &constants,
+            &all_nodes,
+            &mut assignment,
+            &mut self.stats.candidates,
+            config,
+            &mut |sigma| {
+                let head: Vec<NodeId> = pq.head_node_idx.iter().map(|&i| sigma[i]).collect();
+                if seen_heads.insert(head.clone()) {
+                    answers.push(head);
+                }
+            },
+        )?;
+
+        answers.sort();
+        self.stats.verified = answers.len() as u64;
+        self.stats.search_states = 0;
+        self.answers = answers;
+        Ok(())
+    }
+}
+
+/// Sorted-successor reachability rows of path variable `p` over the overlay,
+/// one row per node in `sources` (in `sources` order). Mirrors the dense arm
+/// of `plan::reachability_planned`, with the overlay's adjacency in place of
+/// the bound CSR: labels the base alphabet knows translate through the bind
+/// artifacts' symbol map; labels the delta introduced are dead for any
+/// compiled constraint (they cannot appear in the query automaton) and
+/// unconstrained for a `None` unary plan — exactly what a cold bind on the
+/// merged graph produces.
+fn reach_rows(
+    view: &GraphView<'_>,
+    pq: &PreparedQuery,
+    art: &BindArtifacts,
+    p: usize,
+    sources: &[NodeId],
+    stats: &mut EvalStats,
+) -> Vec<Vec<NodeId>> {
+    let n = view.num_nodes();
+    match &pq.unary[p] {
+        None => {
+            // Unconstrained path variable: plain any-label BFS; the empty
+            // path connects every node to itself.
+            let mut seen = vec![false; n];
+            sources
+                .iter()
+                .map(|&u| {
+                    let mut hits = vec![u];
+                    let mut stack = vec![u];
+                    seen[u.index()] = true;
+                    while let Some(v) = stack.pop() {
+                        view.for_each_out(v, |_, to| {
+                            if !seen[to.index()] {
+                                seen[to.index()] = true;
+                                hits.push(to);
+                                stack.push(to);
+                            }
+                        });
+                    }
+                    for h in &hits {
+                        seen[h.index()] = false;
+                    }
+                    hits.sort_unstable();
+                    hits
+                })
+                .collect()
+        }
+        Some(_) => {
+            let sim = pq.unary_sim(p, stats);
+            let s = sim.num_states().max(1);
+            // Overlay symbol → dense sim symbol id.
+            let base_labels = art.graph_symbol_map.len();
+            let label_map: Vec<Option<u32>> = (0..view.alphabet().len())
+                .map(|i| if i < base_labels { sim.sym_id(&art.graph_symbol_map[i]) } else { None })
+                .collect();
+            let init = sim.initial_set();
+            let words = (n * s).div_ceil(64).max(1);
+            let mut visited = vec![0u64; words];
+            let mut touched: Vec<usize> = Vec::new();
+            let mut result = vec![false; n];
+            let mut stack: Vec<(u32, u32)> = Vec::new();
+            sources
+                .iter()
+                .map(|&u| {
+                    let mut hits: Vec<NodeId> = Vec::new();
+                    for q in init.iter() {
+                        let bit = u.index() * s + q as usize;
+                        visited[bit / 64] |= 1 << (bit % 64);
+                        touched.push(bit / 64);
+                        stack.push((u.0, q));
+                        if sim.is_accepting(q) && !result[u.index()] {
+                            result[u.index()] = true;
+                            hits.push(u);
+                        }
+                    }
+                    while let Some((v, q)) = stack.pop() {
+                        view.for_each_out(NodeId(v), |label, to| {
+                            let Some(sid) = label_map[label.index()] else {
+                                return;
+                            };
+                            let row = sim.row(q, sid);
+                            for (bi, &block) in row.iter().enumerate() {
+                                let mut b = block;
+                                while b != 0 {
+                                    let nq = bi as u32 * 64 + b.trailing_zeros();
+                                    b &= b - 1;
+                                    let bit = to.index() * s + nq as usize;
+                                    if visited[bit / 64] >> (bit % 64) & 1 == 0 {
+                                        visited[bit / 64] |= 1 << (bit % 64);
+                                        touched.push(bit / 64);
+                                        if sim.is_accepting(nq) && !result[to.index()] {
+                                            result[to.index()] = true;
+                                            hits.push(to);
+                                        }
+                                        stack.push((to.0, nq));
+                                    }
+                                }
+                            }
+                        });
+                    }
+                    for &w in touched.iter() {
+                        visited[w] = 0;
+                    }
+                    touched.clear();
+                    for h in &hits {
+                        result[h.index()] = false;
+                    }
+                    hits.sort_unstable();
+                    hits
+                })
+                .collect()
+        }
+    }
+}
+
+/// The candidate join over maintained rows: the same backtracking recursion
+/// as `plan::enumerate_candidates`, with the candidate universe passed in
+/// explicitly (the bound graph's node set would miss delta-introduced
+/// nodes) and separate fwd/bwd row tables. Counts candidates identically
+/// (one per fully consistent assignment) and enforces the same budget.
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    depth: usize,
+    order: &[usize],
+    edges: &[plan::JoinEdge],
+    fwd: &[Vec<Vec<NodeId>>],
+    bwd: &[Vec<Vec<NodeId>>],
+    constants: &HashMap<usize, NodeId>,
+    all_nodes: &[NodeId],
+    assignment: &mut Vec<Option<NodeId>>,
+    candidates: &mut u64,
+    config: &EvalConfig,
+    visit: &mut impl FnMut(&[NodeId]),
+) -> Result<(), QueryError> {
+    if depth == order.len() {
+        *candidates += 1;
+        if *candidates > config.max_candidates as u64 {
+            return Err(QueryError::BudgetExceeded {
+                what: format!("more than {} candidate assignments", config.max_candidates),
+            });
+        }
+        let sigma: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect();
+        visit(&sigma);
+        return Ok(());
+    }
+    let var = order[depth];
+    let mut candidate_values: Option<Vec<NodeId>> = constants.get(&var).map(|&n| vec![n]);
+    for e in edges {
+        if e.from == var {
+            if let Some(t) = assignment[e.to] {
+                let preds = &bwd[e.path][t.index()];
+                candidate_values = Some(match candidate_values {
+                    None => preds.clone(),
+                    Some(c) => intersect_sorted(&c, preds),
+                });
+            }
+        }
+        if e.to == var {
+            if let Some(f) = assignment[e.from] {
+                let succs = &fwd[e.path][f.index()];
+                candidate_values = Some(match candidate_values {
+                    None => succs.clone(),
+                    Some(c) => intersect_sorted(&c, succs),
+                });
+            }
+        }
+    }
+    let values = candidate_values.unwrap_or_else(|| all_nodes.to_vec());
+    for v in values {
+        if let Some(&c) = constants.get(&var) {
+            if c != v {
+                continue;
+            }
+        }
+        assignment[var] = Some(v);
+        let ok = edges.iter().all(|e| match (assignment[e.from], assignment[e.to]) {
+            (Some(f), Some(t)) if e.from == var || e.to == var => {
+                fwd[e.path][f.index()].binary_search(&t).is_ok()
+            }
+            _ => true,
+        });
+        if ok {
+            enumerate(
+                depth + 1,
+                order,
+                edges,
+                fwd,
+                bwd,
+                constants,
+                all_nodes,
+                assignment,
+                candidates,
+                config,
+                visit,
+            )?;
+        }
+        assignment[var] = None;
+    }
+    Ok(())
+}
+
+fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+    use ecrpq_graph::delta::LiveGraph;
+    use ecrpq_graph::GraphDb;
+
+    fn triple(f: &str, l: &str, t: &str) -> (String, String, String) {
+        (f.to_string(), l.to_string(), t.to_string())
+    }
+
+    fn statement(query: &str, graph: &Arc<GraphDb>) -> Arc<BoundStatement> {
+        let q = parse_query(query, graph.alphabet()).unwrap();
+        let pq = Arc::new(PreparedQuery::prepare(&q).unwrap());
+        Arc::new(BoundStatement::bind(pq, Arc::clone(graph)).unwrap())
+    }
+
+    /// Sorted node-mode head tuples of a cold run on `graph`.
+    fn cold_answers(stmt: &BoundStatement, config: &EvalConfig) -> (Vec<Vec<NodeId>>, EvalStats) {
+        let (mut answers, stats) = stmt.run_nodes(config).unwrap();
+        answers.sort();
+        (answers, stats)
+    }
+
+    #[test]
+    fn maintained_answers_track_adds_and_removes_differentially() {
+        let base = Arc::new(GraphDb::from_edge_list("a x b\nb x c\nc x d\n").unwrap());
+        let mut live = LiveGraph::new(Arc::clone(&base), 1_000_000);
+        let config = EvalConfig::default();
+        let stmt = statement("Ans(u, v) <- (u, p, v), L(p) = x x", live.base());
+        let mut m = MaintainedStatement::try_new(Arc::clone(&stmt), live.view(), &config)
+            .unwrap()
+            .expect("plain CRPQ is maintainable");
+
+        // Initial state matches a cold run on the base.
+        let (cold, cold_stats) = cold_answers(&stmt, &config);
+        assert_eq!(m.answers(), &cold[..]);
+        assert_eq!(m.stats().verified, cold_stats.verified);
+        assert_eq!(m.stats().candidates, cold_stats.candidates);
+
+        // A batch with adds (including a new node) and a remove.
+        let out =
+            live.apply(&[triple("d", "x", "e"), triple("e", "x", "a")], &[triple("b", "x", "c")]);
+        m.apply(live.view(), &out.batch, &config).unwrap();
+
+        // Differential gate: bit-identical to a cold run on the merged
+        // graph (same sorted answers, same verified/candidates).
+        let merged = live.force_merge();
+        let cold_stmt = statement("Ans(u, v) <- (u, p, v), L(p) = x x", &merged);
+        let (cold, cold_stats) = cold_answers(&cold_stmt, &config);
+        assert_eq!(m.answers(), &cold[..]);
+        assert_eq!(m.stats().verified, cold_stats.verified);
+        assert_eq!(m.stats().candidates, cold_stats.candidates);
+        assert!(!m.answers().is_empty());
+        // The second refresh compiled nothing: tables were already cached.
+        assert_eq!(m.stats().sim_cache_misses, 0);
+    }
+
+    #[test]
+    fn semi_naive_update_skips_unaffected_sources() {
+        // Two disconnected components; mutating one must not recompute the
+        // other's rows (observable through identical row references being
+        // kept — here we just assert correctness plus the affected set via
+        // stats: only the mutated component's sources get fresh BFS).
+        let base = Arc::new(GraphDb::from_edge_list("a x b\nb x a\n\nq x r\nr x s\n").unwrap());
+        let mut live = LiveGraph::new(Arc::clone(&base), 1_000_000);
+        let config = EvalConfig::default();
+        let stmt = statement("Ans(u, v) <- (u, p, v), L(p) = x*", live.base());
+        let mut m =
+            MaintainedStatement::try_new(Arc::clone(&stmt), live.view(), &config).unwrap().unwrap();
+        let before_rows = m.reach[0].clone();
+
+        let out = live.apply(&[triple("s", "x", "q")], &[]);
+        m.apply(live.view(), &out.batch, &config).unwrap();
+
+        // The a/b component is untouched by the update.
+        let a = base.node_by_name("a").unwrap();
+        let b = base.node_by_name("b").unwrap();
+        assert_eq!(m.reach[0][a.index()], before_rows[a.index()]);
+        assert_eq!(m.reach[0][b.index()], before_rows[b.index()]);
+
+        let merged = live.force_merge();
+        let cold_stmt = statement("Ans(u, v) <- (u, p, v), L(p) = x*", &merged);
+        let (cold, _) = cold_answers(&cold_stmt, &config);
+        assert_eq!(m.answers(), &cold[..]);
+    }
+
+    #[test]
+    fn inexact_relaxation_is_not_maintainable() {
+        let base = Arc::new(GraphDb::from_edge_list("a x b\nb x c\n").unwrap());
+        let live = LiveGraph::new(Arc::clone(&base), 1_000_000);
+        let config = EvalConfig::default();
+        // A relational-repetition query (wide relation): relaxation inexact.
+        let stmt = statement(
+            "Ans(u, v) <- (u, p1, z), (z, p2, v), L(p1) = x*, L(p2) = x*, R(p1, p2) = el",
+            live.base(),
+        );
+        assert!(MaintainedStatement::try_new(stmt, live.view(), &config).unwrap().is_none());
+    }
+}

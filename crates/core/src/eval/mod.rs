@@ -27,6 +27,7 @@
 pub mod acyclic;
 pub mod answers;
 pub mod counts;
+pub mod delta;
 pub(crate) mod dense;
 pub mod length;
 pub mod negation;
@@ -40,6 +41,7 @@ use crate::query::Ecrpq;
 use ecrpq_automata::semilinear::SolverConfig;
 use ecrpq_graph::{GraphDb, NodeId, Path};
 
+pub use delta::MaintainedStatement;
 pub use plan::cost::{Direction, ExplainAtom, ExplainReport};
 pub use plan::EvalStats;
 pub use prepared::{BoundPlan, BoundStatement, PreparedQuery};

@@ -124,6 +124,103 @@ pub fn read_sidecar(
     Ok(out)
 }
 
+/// Lists the `(name, text)` entries of a sidecar without reassembling (or
+/// validating against a graph) any of them. The save path uses this to
+/// report `sidecar_gc`: how many entries of the previous sidecar a rewrite
+/// drops because their statement was re-prepared or unregistered since.
+/// Tables and artifacts are decoded for framing only and discarded.
+pub fn sidecar_entries(bytes: &[u8]) -> Result<Vec<(String, String)>, StorageError> {
+    let c = Container::open(bytes, MAGIC, FORMAT_VERSION)?;
+    let mut d = Decoder::new(c.section(SEC_GRAPH_ID)?);
+    d.u64("sidecar graph id")?;
+    d.finish("graph id")?;
+    let mut d = Decoder::new(c.section(SEC_STATEMENTS)?);
+    let count = d.u32("statement count")? as usize;
+    let mut out = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        out.push(skip_statement(&mut d)?);
+    }
+    d.finish("statements")?;
+    Ok(out)
+}
+
+/// Consumes one statement entry structurally, returning its name and text.
+fn skip_statement(d: &mut Decoder<'_>) -> Result<(String, String), StorageError> {
+    let name = d.str("statement name")?;
+    let text = d.str("statement text")?;
+    let hash = d.u64("statement text hash")?;
+    if fnv1a64(text.as_bytes()) != hash {
+        return Err(StorageError::Corrupt(format!(
+            "statement `{name}`: text does not match its recorded hash"
+        )));
+    }
+    let num_labels = d.u32("alphabet size")? as usize;
+    for _ in 0..num_labels {
+        d.str("alphabet label")?;
+    }
+    let rel_count = d.u32("relation count")? as usize;
+    for _ in 0..rel_count {
+        if d.u8("relation sim flag")? != 0 {
+            sim_codec::decode_tuple_sim(d)?;
+        }
+        let arity = d.u32("relation arity")? as usize;
+        for _ in 0..arity {
+            if d.u8("projection sim flag")? != 0 {
+                sim_codec::decode_sym_sim(d)?;
+            }
+        }
+    }
+    let unary_count = d.u32("unary count")? as usize;
+    for _ in 0..unary_count {
+        let flags = d.u8("unary flags")?;
+        if flags & 0b11 != flags {
+            return Err(StorageError::Corrupt(format!(
+                "statement `{name}`: unknown unary flag bits {flags:#04x}"
+            )));
+        }
+        if flags & 1 != 0 {
+            sim_codec::decode_sym_sim(d)?;
+        }
+        if flags & 2 != 0 {
+            sim_codec::decode_sym_sim(d)?;
+        }
+    }
+    skip_artifacts(d)?;
+    Ok((name, text))
+}
+
+/// Consumes one [`BindArtifacts`] encoding without shape validation.
+fn skip_artifacts(d: &mut Decoder<'_>) -> Result<(), StorageError> {
+    d.u64("merged alphabet size")?;
+    d.vec_u32("graph symbol map")?;
+    let num_constants = d.u32("constant count")? as usize;
+    for _ in 0..num_constants {
+        d.u32("constant var")?;
+        d.u32("constant node")?;
+    }
+    let num_counters = d.u32("counter count")? as usize;
+    for _ in 0..num_counters {
+        d.vec_i64("counter length coefficients")?;
+        let width = d.u32("counter symbol width")? as usize;
+        for _ in 0..width {
+            d.vec_i64("counter symbol coefficients")?;
+        }
+        d.u8("counter op")?;
+        d.i64("counter constant")?;
+    }
+    for what in [
+        "forward offsets",
+        "forward targets",
+        "reverse offsets",
+        "reverse sources",
+        "forward labels",
+        "reverse labels",
+    ] {
+        d.vec_u32(what)?;
+    }
+    Ok(())
+}
+
 fn encode_statement(s: &SidecarStatement<'_>, e: &mut Encoder) {
     let pq = s.stmt.prepared();
     pq.warm_full();
@@ -482,5 +579,30 @@ mod tests {
         // the artifact validation (shapes no longer line up).
         let other = Arc::new(generators::cycle_graph(3, "a"));
         assert!(read_sidecar(&bytes, id, &other).is_err());
+    }
+
+    #[test]
+    fn sidecar_entries_lists_names_without_a_graph() {
+        let (graph, id, stmt) = setup(QUERIES[0]);
+        let query = parse_query(QUERIES[2], graph.alphabet()).unwrap();
+        let pq = Arc::new(PreparedQuery::prepare(&query).unwrap());
+        let stmt2 = BoundStatement::bind(pq, Arc::clone(&graph)).unwrap();
+        let entries = [
+            SidecarStatement { name: "first", text: QUERIES[0], stmt: &stmt },
+            SidecarStatement { name: "second", text: QUERIES[2], stmt: &stmt2 },
+        ];
+        let bytes = write_sidecar(id, &entries);
+        let listed = sidecar_entries(&bytes).unwrap();
+        assert_eq!(
+            listed,
+            vec![
+                ("first".to_string(), QUERIES[0].to_string()),
+                ("second".to_string(), QUERIES[2].to_string()),
+            ]
+        );
+        // Truncations surface as errors, never as a shorter listing.
+        for len in (0..bytes.len()).step_by(7) {
+            assert!(sidecar_entries(&bytes[..len]).is_err());
+        }
     }
 }

@@ -322,6 +322,67 @@ impl GraphDb {
         self.add_edge(from, sym, to);
     }
 
+    /// Removes every instance of the edge `(from, label, to)` — parallel
+    /// duplicates included — returning how many were removed. Like every
+    /// other mutator this unseals a CSR representation on first use and
+    /// invalidates the cached planner statistics.
+    pub fn remove_edge(&mut self, from: NodeId, label: Symbol, to: NodeId) -> usize {
+        let out = self.out_edges.rows_mut();
+        let before = out[from.index()].len();
+        out[from.index()].retain(|&(l, t)| !(l == label && t == to));
+        let removed = before - out[from.index()].len();
+        if removed == 0 {
+            return 0;
+        }
+        self.in_edges.rows_mut()[to.index()].retain(|&(l, f)| !(l == label && f == from));
+        self.out_degree[from.index()] -= removed as u32;
+        self.in_degree[to.index()] -= removed as u32;
+        self.num_edges -= removed;
+        self.stats_cache.take();
+        removed
+    }
+
+    /// A sealed copy of this graph: adjacency as CSR, names as one arena
+    /// string — the representation a snapshot open constructs. Used when a
+    /// mutation delta is merged into a fresh immutable epoch, so readers of
+    /// the published graph get the compact two-allocation form. The stats
+    /// cache is left unset (the merge path warms it explicitly if wanted).
+    pub fn sealed_copy(&self) -> GraphDb {
+        let n = self.num_nodes();
+        let seal = |adj: &Adjacency| {
+            let mut off = Vec::with_capacity(n + 1);
+            let mut edges = Vec::with_capacity(self.num_edges);
+            off.push(0u32);
+            for v in 0..n {
+                edges.extend_from_slice(adj.row(v));
+                off.push(edges.len() as u32);
+            }
+            Adjacency::Csr { off, edges }
+        };
+        let mut text = String::new();
+        let mut spans = Vec::with_capacity(n);
+        for name in self.node_names.iter() {
+            match name {
+                Some(s) => {
+                    spans.push((text.len() as u32, s.len() as u32));
+                    text.push_str(s);
+                }
+                None => spans.push(ANON_SPAN),
+            }
+        }
+        GraphDb {
+            alphabet: self.alphabet.clone(),
+            node_names: NodeNames::Arena { text, spans },
+            name_index: OnceLock::new(),
+            out_edges: seal(&self.out_edges),
+            in_edges: seal(&self.in_edges),
+            out_degree: self.out_degree.clone(),
+            in_degree: self.in_degree.clone(),
+            num_edges: self.num_edges,
+            stats_cache: OnceLock::new(),
+        }
+    }
+
     /// Outgoing edges of a node as `(label, target)` pairs.
     #[inline]
     pub fn out_edges(&self, node: NodeId) -> &[(Symbol, NodeId)] {
@@ -543,5 +604,85 @@ mod tests {
     fn edge_list_parse_errors() {
         assert!(GraphDb::from_edge_list("a x").is_err());
         assert!(GraphDb::from_edge_list("# comment\n\n a x b \n").is_ok());
+    }
+
+    #[test]
+    fn remove_edge_removes_all_parallel_instances() {
+        let mut g = GraphDb::empty();
+        let a = g.add_named_node("a");
+        let b = g.add_named_node("b");
+        g.add_edge_labeled(a, "x", b);
+        g.add_edge_labeled(a, "x", b);
+        g.add_edge_labeled(a, "y", b);
+        let x = g.alphabet().sym("x");
+        let y = g.alphabet().sym("y");
+        assert_eq!(g.remove_edge(a, x, b), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(a, x, b));
+        assert!(g.has_edge(a, y, b));
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(b), 1);
+        // Removing an absent edge is a no-op.
+        assert_eq!(g.remove_edge(b, x, a), 0);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn sealed_copy_preserves_structure_and_stays_mutable() {
+        let g = small();
+        let sealed = g.sealed_copy();
+        assert!(matches!(sealed.out_edges, Adjacency::Csr { .. }));
+        assert!(matches!(sealed.node_names, NodeNames::Arena { .. }));
+        assert_eq!(sealed.num_nodes(), g.num_nodes());
+        assert_eq!(sealed.num_edges(), g.num_edges());
+        assert_eq!(sealed.to_edge_list(), g.to_edge_list());
+        let a = sealed.node_by_name("a").unwrap();
+        assert_eq!(g.node_by_name("a"), Some(a));
+        assert_eq!(sealed.out_edges(a), g.out_edges(a));
+    }
+
+    /// Mutating a sealed graph must transparently unseal both the CSR
+    /// adjacency and the name arena (the `unreachable!` arms in `rows_mut`),
+    /// keep `name_index`/degrees/`num_edges` coherent, and invalidate the
+    /// stats cache. Mirrors the open → mutate → query scenario.
+    #[test]
+    fn sealed_graph_mutation_unseals_and_stays_coherent() {
+        let mut sealed = small().sealed_copy();
+        // Force the lazy name index and stats cache to exist pre-mutation so
+        // the mutation paths must keep/invalidate them correctly.
+        assert!(sealed.node_by_name("a").is_some());
+        let stale_stats = sealed.stats();
+        assert_eq!(stale_stats.edges, 3);
+
+        // Twin built through the never-sealed path, mutated identically.
+        let mut twin = small();
+        for g in [&mut sealed, &mut twin] {
+            let d = g.add_named_node("d");
+            let a = g.node_by_name("a").unwrap();
+            let b = g.node_by_name("b").unwrap();
+            g.add_edge_labeled(a, "z", d);
+            g.add_edge_labeled(d, "x", b);
+            let x = g.alphabet().sym("x");
+            assert_eq!(g.remove_edge(a, x, b), 1);
+        }
+
+        assert!(matches!(sealed.out_edges, Adjacency::Rows(_)));
+        assert!(matches!(sealed.node_names, NodeNames::Rows(_)));
+        assert_eq!(sealed.num_nodes(), twin.num_nodes());
+        assert_eq!(sealed.num_edges(), twin.num_edges());
+        assert_eq!(sealed.to_edge_list(), twin.to_edge_list());
+        assert_eq!(sealed.out_degrees(), twin.out_degrees());
+        assert_eq!(sealed.in_degrees(), twin.in_degrees());
+        // The name index still resolves old and new names to the same ids.
+        for name in ["a", "b", "c", "d"] {
+            assert_eq!(sealed.node_by_name(name), twin.node_by_name(name), "name {name}");
+        }
+        // Stats were recomputed, not served stale.
+        let fresh = sealed.stats();
+        assert_eq!(fresh.edges, sealed.num_edges() as u64);
+        assert_eq!(fresh.nodes, sealed.num_nodes() as u64);
+        // Re-sealing the mutated graph round-trips.
+        let resealed = sealed.sealed_copy();
+        assert_eq!(resealed.to_edge_list(), sealed.to_edge_list());
     }
 }

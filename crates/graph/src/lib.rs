@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod generators;
 pub mod graph;
 pub mod path;
@@ -30,6 +31,7 @@ pub mod product;
 pub mod snapshot;
 pub mod stats;
 
+pub use delta::{EdgeDelta, GraphView, LiveGraph};
 pub use graph::{Edge, GraphDb, NodeId};
 pub use path::Path;
 pub use stats::GraphStats;

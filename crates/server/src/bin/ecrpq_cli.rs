@@ -13,6 +13,14 @@
 //!                                      server's --threads-cap)
 //!   check <name> <graph> <json>        membership check; <json> supplies
 //!                                      {"nodes": […], "paths": […]}
+//!   add-edges <graph> <from> <label> <to> […]
+//!                                      apply edge triples to the graph's
+//!                                      live overlay (repeat the triple for
+//!                                      more edges; new nodes/labels are
+//!                                      created)
+//!   remove-edges <graph> <from> <label> <to> […]
+//!                                      remove edge triples (unknown ones
+//!                                      count under `missing`)
 //!   explain <name> <graph> [planner]   show the query plan (join order, BFS
 //!                                      directions, estimated vs actual atom
 //!                                      cardinalities; planner: cost|static)
@@ -122,6 +130,14 @@ fn main() {
                 req.extend(pairs);
             }
             ok &= print_reply(client.request(&Value::Obj(req)));
+        }
+        Some("add-edges") => {
+            let (g, edges) = triples(&rest, "add-edges <graph> <from> <label> <to> […]");
+            ok &= print_reply(client.add_edges(g, &edges));
+        }
+        Some("remove-edges") => {
+            let (g, edges) = triples(&rest, "remove-edges <graph> <from> <label> <to> […]");
+            ok &= print_reply(client.remove_edges(g, &edges));
         }
         Some("explain") => {
             let usage = "explain <name> <graph> [planner]";
@@ -347,6 +363,16 @@ fn two<'a>(rest: &'a [String], usage: &str) -> (&'a str, &'a str) {
         [_, a, b] => (a, b),
         _ => die(usage),
     }
+}
+
+/// Parses `<graph>` followed by one or more `<from> <label> <to>` groups.
+fn triples<'a>(rest: &'a [String], usage: &str) -> (&'a str, Vec<(&'a str, &'a str, &'a str)>) {
+    if rest.len() < 5 || !(rest.len() - 2).is_multiple_of(3) {
+        die(usage);
+    }
+    let edges =
+        rest[2..].chunks(3).map(|c| (c[0].as_str(), c[1].as_str(), c[2].as_str())).collect();
+    (rest[1].as_str(), edges)
 }
 
 fn three<'a>(rest: &'a [String], usage: &str) -> [&'a String; 3] {

@@ -3,7 +3,9 @@
 //! ```text
 //! ecrpq-serve [--addr HOST:PORT] [--workers N] [--exec-workers N]
 //!             [--bound-capacity N] [--threads-cap N] [--open NAME=PATH]…
-//!             [--slow-query-ms MS] [--metrics-addr HOST:PORT] [--version]
+//!             [--slow-query-ms MS] [--metrics-addr HOST:PORT]
+//!             [--merge-threshold N] [--send-queue-cap N]
+//!             [--write-timeout-ms MS] [--version]
 //! ```
 //!
 //! `--workers` bounds concurrently served connections; `--exec-workers`
@@ -14,6 +16,13 @@
 //! `slowlog` op); `--metrics-addr` opens a plain-TCP endpoint that dumps
 //! the metrics registry in Prometheus exposition format on every
 //! connection — scrape it with `nc HOST PORT`.
+//!
+//! `--merge-threshold` sets how many pending live-overlay edge operations a
+//! graph accumulates before `add_edges`/`remove_edges` merge them into a
+//! fresh sealed epoch. `--send-queue-cap` bounds dispatched-but-unwritten
+//! pipelined replies per connection, and `--write-timeout-ms` bounds one
+//! blocked reply write (0 disables) — together they fail stalled readers
+//! fast instead of buffering replies without bound.
 //!
 //! Binds (port 0 = ephemeral), prints one line `listening on <addr>` to
 //! stdout — scripts parse this to discover the port — followed by
@@ -59,6 +68,18 @@ fn main() {
                     parse(&value(&mut it, "--slow-query-ms"), "--slow-query-ms") as u64
             }
             "--metrics-addr" => config.metrics_addr = Some(value(&mut it, "--metrics-addr")),
+            "--merge-threshold" => {
+                config.merge_threshold =
+                    parse(&value(&mut it, "--merge-threshold"), "--merge-threshold")
+            }
+            "--send-queue-cap" => {
+                config.send_queue_cap =
+                    parse(&value(&mut it, "--send-queue-cap"), "--send-queue-cap")
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout_ms =
+                    parse(&value(&mut it, "--write-timeout-ms"), "--write-timeout-ms") as u64
+            }
             "--version" | "-V" => {
                 println!("ecrpq-serve {}", env!("CARGO_PKG_VERSION"));
                 return;
@@ -67,7 +88,8 @@ fn main() {
                 println!(
                     "usage: ecrpq-serve [--addr HOST:PORT] [--workers N] [--exec-workers N] \
                      [--bound-capacity N] [--threads-cap N] [--open NAME=PATH]… \
-                     [--slow-query-ms MS] [--metrics-addr HOST:PORT] [--version]"
+                     [--slow-query-ms MS] [--metrics-addr HOST:PORT] [--merge-threshold N] \
+                     [--send-queue-cap N] [--write-timeout-ms MS] [--version]"
                 );
                 return;
             }

@@ -262,6 +262,44 @@ impl Client {
         ]))
     }
 
+    /// `add_edges` — apply `(from, label, to)` triples to a cataloged
+    /// graph's live overlay. Unknown node names and labels are created.
+    pub fn add_edges(
+        &mut self,
+        graph: &str,
+        edges: &[(&str, &str, &str)],
+    ) -> Result<Value, ServerError> {
+        self.mutate("add_edges", graph, edges)
+    }
+
+    /// `remove_edges` — remove `(from, label, to)` triples through the live
+    /// overlay. Triples that name unknown nodes/labels/edges are counted
+    /// under `missing` in the reply, not errors.
+    pub fn remove_edges(
+        &mut self,
+        graph: &str,
+        edges: &[(&str, &str, &str)],
+    ) -> Result<Value, ServerError> {
+        self.mutate("remove_edges", graph, edges)
+    }
+
+    fn mutate(
+        &mut self,
+        op: &str,
+        graph: &str,
+        edges: &[(&str, &str, &str)],
+    ) -> Result<Value, ServerError> {
+        let rows: Vec<Value> = edges
+            .iter()
+            .map(|(f, l, t)| Value::Arr(vec![Value::str(*f), Value::str(*l), Value::str(*t)]))
+            .collect();
+        self.request(&Value::obj([
+            ("op", Value::str(op)),
+            ("graph", Value::str(graph)),
+            ("edges", Value::Arr(rows)),
+        ]))
+    }
+
     /// `trace` a prepared statement: runs it like [`run_mode`](Self::run_mode)
     /// but the reply additionally carries `trace.spans` (the phase span tree,
     /// start/duration in microseconds) and `trace.server_latency_us` (the

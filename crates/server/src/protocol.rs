@@ -8,6 +8,8 @@
 //! | op | request fields | reply fields |
 //! |----|----------------|--------------|
 //! | `load` | `graph`, plus one of `edges` (inline edge-list text), `path` (edge-list file), `json` (inline `{"edges": …}`), `json_path`, `generator` (e.g. `cycle:8:a`) | `graph`, `nodes`, `edges` |
+//! | `add_edges` | `graph`, plus `edges` (array of `[from, label, to]` string triples) and/or `text` (edge-list lines); optional `merge_threshold` (honored when the overlay is created) | applies the batch to the graph's live overlay: `added`, `removed`, `missing`, `nodes`, `edges`, `pending`, `version`, `merged` (true when the batch crossed the merge threshold and a fresh epoch was published), `merges`, `maintained` (statements kept incrementally up to date) |
+//! | `remove_edges` | like `add_edges` | removes *every* live instance of each triple (reply fields as `add_edges`; a triple matching nothing counts as `missing`) |
 //! | `prepare` | `name`, `query`, plus `alphabet` (label array) or `graph` (use its alphabet) | `name`, `node_vars`, `path_vars` |
 //! | `run` | `name`, `graph`, optional `mode` (`nodes`\|`boolean`\|`paths`), `limit`, `threads` (intra-query workers, 1..=the service's cap), `planner` (`cost`\|`static`) | `registry` (`hit`\|`miss`), `answers`/`answer`, `count`, `stats` |
 //! | `check` | `name`, `graph`, `nodes` (names), `paths` (alternating `[node, label, node, …]`) | `member` |
@@ -34,6 +36,16 @@
 //! bound statement once for the whole batch, so N runs of one statement
 //! pay one catalog lookup and one registry lookup instead of N.
 //!
+//! **Live graphs.** `add_edges`/`remove_edges` write into a per-graph
+//! [`LiveGraph`] overlay (delta over the immutable cataloged epoch). While
+//! the overlay has pending writes, nodes-mode `run`s are served from
+//! incrementally maintained answer sets (bit-identical to a cold re-run on
+//! the merged graph — `tests/live_graph.rs` enforces it); every other read
+//! (`check`, `explain`, `trace`, `save`, boolean/paths `run`s,
+//! per-graph `stats`) first merges the delta into a fresh sealed epoch and
+//! swaps it into the catalog. Readers that already resolved a graph handle
+//! keep their pinned epoch; re-`load`ing a graph discards its overlay.
+//!
 //! The parallel engine is deterministic, so a `threads` override can only
 //! change a run's latency, never its reply payload. Requests over the cap
 //! (or `threads: 0`) get a structured `ok: false` reply, like every other
@@ -42,9 +54,10 @@
 use crate::catalog::{GraphCatalog, GraphSource};
 use crate::registry::StatementRegistry;
 use crate::ServerError;
-use ecrpq::eval::{BoundStatement, EvalStats, PlannerMode, PreparedQuery};
+use ecrpq::eval::{BoundStatement, EvalStats, MaintainedStatement, PlannerMode, PreparedQuery};
 use ecrpq::{persist, EvalConfig, EvalOptions, Trace};
 use ecrpq_automata::Alphabet;
+use ecrpq_graph::delta::{LiveGraph, DEFAULT_MERGE_THRESHOLD};
 use ecrpq_graph::{snapshot, GraphDb, NodeId, Path};
 use ecrpq_util::json::{self, Value};
 use ecrpq_util::metrics::MetricsRegistry;
@@ -87,6 +100,10 @@ pub struct ServiceStats {
     pub pipelined: AtomicU64,
     /// Sub-requests executed through the `batch` op.
     pub batched: AtomicU64,
+    /// Connections failed because their dispatched-but-unwritten tagged
+    /// replies exceeded the transport's send-queue cap (a stalled or
+    /// too-slow reader).
+    pub reply_overflows: AtomicU64,
     /// Pipeline-pool jobs submitted but not yet started (gauge). Behind an
     /// `Arc` so the transport can hand the same counter to its
     /// [`ThreadPool`](crate::pool::ThreadPool) as the queue gauge.
@@ -143,6 +160,29 @@ struct BatchCache {
     bound: HashMap<(String, String), Arc<BoundStatement>>,
 }
 
+impl BatchCache {
+    /// Drops every memoized handle for `gname` — called when a live-overlay
+    /// flush publishes a fresh epoch mid-request, so later resolutions see
+    /// the merged graph instead of a stale pin.
+    fn invalidate_graph(&mut self, gname: &str) {
+        self.graphs.remove(gname);
+        self.bound.retain(|(_, g), _| g != gname);
+    }
+}
+
+/// The live (mutable) state of one cataloged graph: the delta overlay and
+/// the statements whose nodes-mode answer sets are maintained against it.
+#[derive(Debug)]
+struct LiveState {
+    /// Delta overlay over the cataloged epoch; merging swaps a fresh sealed
+    /// epoch into the catalog.
+    live: LiveGraph,
+    /// Incrementally maintained statements, by registry name. Only
+    /// maintainable statements (exact relaxation, dense unary plans) are
+    /// kept; everything else forces a merge and a cold run.
+    maintained: HashMap<String, MaintainedStatement>,
+}
+
 /// The transport-independent query service: a graph catalog, a statement
 /// registry, and the request dispatcher. The TCP server, tests, and any
 /// future transport all drive this one type.
@@ -166,6 +206,11 @@ pub struct Service {
     slow_query_us: AtomicU64,
     /// Ring buffer of the most recent slow requests (newest at the back).
     slowlog: Mutex<VecDeque<SlowEntry>>,
+    /// Live overlays of mutated graphs, by catalog name.
+    live: Mutex<HashMap<String, LiveState>>,
+    /// Merge threshold for overlays created by the first mutation of a
+    /// graph (a request-level `merge_threshold` overrides it at creation).
+    merge_threshold: usize,
 }
 
 impl Default for Service {
@@ -179,6 +224,8 @@ impl Default for Service {
             started: Instant::now(),
             slow_query_us: AtomicU64::new(0),
             slowlog: Mutex::new(VecDeque::new()),
+            live: Mutex::new(HashMap::new()),
+            merge_threshold: DEFAULT_MERGE_THRESHOLD,
         }
     }
 }
@@ -200,6 +247,14 @@ impl Service {
     /// the slow-query ring buffer (`slowlog` op). 0 disables the log.
     pub fn with_slow_query_ms(self, ms: u64) -> Service {
         self.slow_query_us.store(ms.saturating_mul(1000), Ordering::Relaxed);
+        self
+    }
+
+    /// This service with a different default live-overlay merge threshold
+    /// (applied operations before a delta is sealed into a fresh epoch; at
+    /// least 1).
+    pub fn with_merge_threshold(mut self, ops: usize) -> Service {
+        self.merge_threshold = ops.max(1);
         self
     }
 
@@ -253,6 +308,8 @@ impl Service {
         let start = Instant::now();
         let result = match op {
             "load" => self.op_load(req).map(|r| (r, Control::Continue)),
+            "add_edges" => self.op_mutate(req, true).map(|r| (r, Control::Continue)),
+            "remove_edges" => self.op_mutate(req, false).map(|r| (r, Control::Continue)),
             "prepare" => self.op_prepare(req).map(|r| (r, Control::Continue)),
             "run" => self.op_run(req, &mut cache).map(|r| (r, Control::Continue)),
             "check" => self.op_check(req, &mut cache).map(|r| (r, Control::Continue)),
@@ -408,6 +465,9 @@ impl Service {
             ));
         };
         let graph = self.catalog.load(name, &source)?;
+        // A (re)load replaces the graph wholesale: any live overlay of the
+        // old epoch describes a graph that no longer exists.
+        self.live.lock().unwrap().remove(name);
         // Warm the per-graph statistics cache at load time, off the query
         // path: every later bind/plan (and the `stats` op) reads it for free.
         let _ = graph.stats();
@@ -416,6 +476,188 @@ impl Service {
             ("nodes", Value::int(graph.num_nodes() as u64)),
             ("edges", Value::int(graph.num_edges() as u64)),
         ]))
+    }
+
+    /// Applies one `add_edges` (`adds = true`) or `remove_edges` batch to
+    /// the graph's live overlay, creating the overlay on first mutation.
+    /// Every maintained statement is updated incrementally before the reply
+    /// is built (maintenance-on-write); if the batch crossed the merge
+    /// threshold, the fresh sealed epoch is published to the catalog and the
+    /// maintained statements are rebound onto it.
+    fn op_mutate(&self, req: &Value, adds: bool) -> Result<Value, ServerError> {
+        let gname = str_field(req, "graph")?;
+        let triples = edge_triples(req)?;
+        let mut live_map = self.live.lock().unwrap();
+        let state = match live_map.entry(gname.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let base = self
+                    .catalog
+                    .get(gname)
+                    .ok_or_else(|| ServerError(format!("unknown graph `{gname}`")))?;
+                let threshold = req
+                    .get("merge_threshold")
+                    .and_then(Value::as_u64)
+                    .map(|t| t as usize)
+                    .unwrap_or(self.merge_threshold);
+                e.insert(LiveState {
+                    live: LiveGraph::new(base, threshold),
+                    maintained: HashMap::new(),
+                })
+            }
+        };
+
+        let empty: [(String, String, String); 0] = [];
+        let out = if adds {
+            state.live.apply(&triples, &empty)
+        } else {
+            state.live.apply(&empty, &triples)
+        };
+
+        // Maintenance-on-write: every maintained statement absorbs the
+        // batch now, so the next nodes-mode run is a pure answer read. A
+        // statement whose update fails (budget) drops back to cold runs.
+        let config = EvalConfig::default();
+        let LiveState { live, maintained } = state;
+        maintained.retain(|_, m| m.apply(live.view(), &out.batch, &config).is_ok());
+
+        if let Some(epoch) = &out.merged {
+            self.publish_merge(gname, state, epoch);
+        }
+
+        let m = &self.metrics;
+        m.counter("ecrpq_mutation_batches_total", "add_edges/remove_edges batches applied.").inc();
+        let kind = if adds { "added" } else { "removed" };
+        m.counter_with(
+            "ecrpq_mutation_edges_total",
+            &[("kind", kind)],
+            "Edge instances added/removed through the mutation ops.",
+        )
+        .add((out.counts.added + out.counts.removed) as u64);
+
+        Ok(ok_obj([
+            ("graph", Value::str(gname)),
+            ("added", Value::int(out.counts.added as u64)),
+            ("removed", Value::int(out.counts.removed as u64)),
+            ("missing", Value::int(out.counts.missing as u64)),
+            ("nodes", Value::int(out.nodes as u64)),
+            ("edges", Value::int(out.edges as u64)),
+            ("pending", Value::int(out.pending as u64)),
+            ("version", Value::int(out.version)),
+            ("merged", Value::Bool(out.merged.is_some())),
+            ("merges", Value::int(out.merges)),
+            ("maintained", Value::int(state.maintained.len() as u64)),
+        ]))
+    }
+
+    /// Publishes a freshly merged epoch: swaps it into the catalog and
+    /// rebinds every maintained statement onto it (the maintained rows
+    /// already describe the merged graph, so only the statement handle
+    /// changes). A statement that no longer rebinds to the same prepared
+    /// query — re-`prepare`d or evicted meanwhile — is dropped.
+    fn publish_merge(&self, gname: &str, state: &mut LiveState, epoch: &Arc<GraphDb>) {
+        self.catalog.insert(gname, Arc::clone(epoch));
+        self.metrics
+            .counter("ecrpq_merges_total", "Live-overlay deltas merged into fresh epochs.")
+            .inc();
+        let names: Vec<String> = state.maintained.keys().cloned().collect();
+        for sname in names {
+            let rebased = match self.registry.bound(&sname, gname, epoch) {
+                Ok((stmt, _))
+                    if Arc::ptr_eq(
+                        stmt.prepared(),
+                        state.maintained[&sname].statement().prepared(),
+                    ) =>
+                {
+                    state.maintained.get_mut(&sname).unwrap().rebase(stmt);
+                    true
+                }
+                _ => false,
+            };
+            if !rebased {
+                state.maintained.remove(&sname);
+            }
+        }
+    }
+
+    /// Merges `gname`'s pending overlay delta (if any) and publishes the
+    /// fresh epoch, making the cataloged graph current. Returns true when a
+    /// merge actually happened — the caller's per-request cache must then
+    /// drop its pinned handles. No-op for graphs without a live overlay.
+    fn flush_live(&self, gname: &str) -> bool {
+        let mut live_map = self.live.lock().unwrap();
+        let Some(state) = live_map.get_mut(gname) else {
+            return false;
+        };
+        if state.live.pending() == 0 {
+            return false;
+        }
+        let epoch = state.live.force_merge();
+        self.publish_merge(gname, state, &epoch);
+        true
+    }
+
+    /// The live-overlay fast path of `run`: with pending writes on `gname`,
+    /// nodes-mode requests are answered from the incrementally maintained
+    /// answer set (building it on first use); any other mode — and any
+    /// statement the maintainer cannot handle — flushes the overlay and
+    /// falls through to the cold path (`None`).
+    fn run_live(
+        &self,
+        name: &str,
+        gname: &str,
+        mode: &str,
+        config: &EvalConfig,
+        cache: &mut BatchCache,
+    ) -> Result<Option<Value>, ServerError> {
+        let mut live_map = self.live.lock().unwrap();
+        let Some(state) = live_map.get_mut(gname) else {
+            return Ok(None);
+        };
+        if state.live.pending() == 0 {
+            return Ok(None); // overlay clean: the cataloged epoch is current
+        }
+        let flush = |this: &Service, state: &mut LiveState, cache: &mut BatchCache| {
+            let epoch = state.live.force_merge();
+            this.publish_merge(gname, state, &epoch);
+            cache.invalidate_graph(gname);
+        };
+        if mode != "nodes" {
+            flush(self, state, cache);
+            return Ok(None);
+        }
+        let base = Arc::clone(state.live.base());
+        let (stmt, hit) = self.bound_cached(cache, name, gname, &base)?;
+        let fresh = !state.maintained.get(name).is_some_and(|m| Arc::ptr_eq(m.statement(), &stmt));
+        if fresh {
+            match MaintainedStatement::try_new(Arc::clone(&stmt), state.live.view(), config)
+                .map_err(ServerError::msg)?
+            {
+                Some(m) => {
+                    state.maintained.insert(name.to_string(), m);
+                }
+                None => {
+                    // Not maintainable (inexact relaxation): merge and run
+                    // cold on the published epoch.
+                    flush(self, state, cache);
+                    return Ok(None);
+                }
+            }
+        }
+        let m = &state.maintained[name];
+        let view = state.live.view();
+        let rows: Vec<Value> = m
+            .answers()
+            .iter()
+            .map(|row| Value::Arr(row.iter().map(|&n| Value::str(view.node_display(n))).collect()))
+            .collect();
+        let stats = m.stats();
+        Ok(Some(ok_obj([
+            ("registry", Value::str(if hit { "hit" } else { "miss" })),
+            ("count", Value::int(rows.len() as u64)),
+            ("answers", Value::Arr(rows)),
+            ("stats", stats_value(&stats)),
+        ])))
     }
 
     fn op_prepare(&self, req: &Value) -> Result<Value, ServerError> {
@@ -510,14 +752,17 @@ impl Service {
         let name = str_field(req, "name")?;
         let gname = str_field(req, "graph")?;
         let options = self.run_options(req)?;
-        let graph = self.graph_cached(cache, gname)?;
-        let (stmt, hit) = self.bound_cached(cache, name, gname, &graph)?;
-        let plan = stmt.plan_with(options);
         let mut config = EvalConfig::default();
         if let Some(limit) = req.get("limit").and_then(Value::as_u64) {
             config.answer_limit = limit as usize;
         }
         let mode = req.get("mode").and_then(Value::as_str).unwrap_or("nodes");
+        if let Some(reply) = self.run_live(name, gname, mode, &config, cache)? {
+            return Ok(reply);
+        }
+        let graph = self.graph_cached(cache, gname)?;
+        let (stmt, hit) = self.bound_cached(cache, name, gname, &graph)?;
+        let plan = stmt.plan_with(options);
         let registry_field = ("registry", Value::str(if hit { "hit" } else { "miss" }));
         match mode {
             "boolean" => {
@@ -579,6 +824,11 @@ impl Service {
     fn op_check(&self, req: &Value, cache: &mut BatchCache) -> Result<Value, ServerError> {
         let name = str_field(req, "name")?;
         let gname = str_field(req, "graph")?;
+        // Membership is checked against the *current* graph: pending
+        // overlay writes are merged first.
+        if self.flush_live(gname) {
+            cache.invalidate_graph(gname);
+        }
         let graph = self.graph_cached(cache, gname)?;
         let (plan, hit) = self.bound_cached(cache, name, gname, &graph)?;
         let nodes: Vec<NodeId> = req
@@ -615,6 +865,10 @@ impl Service {
         let name = str_field(req, "name")?;
         let gname = str_field(req, "graph")?;
         let options = self.run_options(req)?;
+        // Plans are explained against the merged graph, not the overlay.
+        if self.flush_live(gname) {
+            cache.invalidate_graph(gname);
+        }
         let graph = self.graph_cached(cache, gname)?;
         let (stmt, hit) = self.bound_cached(cache, name, gname, &graph)?;
         let plan = stmt.plan_with(options);
@@ -677,6 +931,10 @@ impl Service {
         let resolve = trace.begin("resolve");
         let gname = str_field(req, "graph")?;
         let options = self.run_options(req)?;
+        // The traced engine runs on a sealed epoch: merge pending writes.
+        if self.flush_live(gname) {
+            cache.invalidate_graph(gname);
+        }
         let graph = self.graph_cached(cache, gname)?;
         let (stmt, registry_verdict) = if let Some(text) = req.get("query").and_then(Value::as_str)
         {
@@ -881,6 +1139,11 @@ impl Service {
                 "Sub-requests executed through the batch op.",
                 self.stats.batched.load(Ordering::Relaxed),
             ),
+            (
+                "ecrpq_reply_overflow_total",
+                "Connections failed on reply send-queue overflow.",
+                self.stats.reply_overflows.load(Ordering::Relaxed),
+            ),
         ] {
             m.counter(name, help).store(v);
         }
@@ -962,15 +1225,44 @@ impl Service {
                     ("queue_depth", Value::int(self.stats.queue_depth.load(Ordering::Relaxed))),
                     ("pipelined", Value::int(self.stats.pipelined.load(Ordering::Relaxed))),
                     ("batched", Value::int(self.stats.batched.load(Ordering::Relaxed))),
+                    (
+                        "reply_overflows",
+                        Value::int(self.stats.reply_overflows.load(Ordering::Relaxed)),
+                    ),
                 ]),
             ),
             ("connections", Value::int(self.stats.connections.load(Ordering::Relaxed))),
             ("requests", Value::int(self.stats.requests.load(Ordering::Relaxed))),
             ("errors", Value::int(self.stats.errors.load(Ordering::Relaxed))),
         ];
-        // With a `graph` field, include the planner's statistics of that
-        // graph (cached on the graph since load time).
-        if let Some(gname) = req.get("graph").and_then(Value::as_str) {
+        // With a `graph` field, that graph's statistics describe its merged
+        // state — pending overlay writes are flushed before reporting.
+        let gname_opt = req.get("graph").and_then(Value::as_str);
+        if let Some(gname) = gname_opt {
+            self.flush_live(gname);
+        }
+        {
+            let live_map = self.live.lock().unwrap();
+            let mut entries: Vec<(&String, &LiveState)> = live_map.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            let lives: Vec<Value> = entries
+                .iter()
+                .map(|(name, st)| {
+                    Value::obj([
+                        ("graph", Value::str(name.as_str())),
+                        ("pending", Value::int(st.live.pending() as u64)),
+                        ("version", Value::int(st.live.version())),
+                        ("merges", Value::int(st.live.merges())),
+                        ("merge_threshold", Value::int(st.live.merge_threshold() as u64)),
+                        ("maintained", Value::int(st.maintained.len() as u64)),
+                    ])
+                })
+                .collect();
+            pairs.push(("live", Value::Arr(lives)));
+        }
+        // Include the planner's statistics of the requested graph (cached
+        // on the graph since load time).
+        if let Some(gname) = gname_opt {
             let graph = self.graph(gname)?;
             let gs = graph.stats();
             let labels: Vec<Value> = graph
@@ -1011,6 +1303,8 @@ impl Service {
     fn op_save(&self, req: &Value) -> Result<Value, ServerError> {
         let gname = str_field(req, "graph")?;
         let path = str_field(req, "path")?;
+        // Snapshots persist the merged graph, never a half-applied overlay.
+        self.flush_live(gname);
         let graph = self.graph(gname)?;
         let bytes = snapshot::write_snapshot(&graph).map_err(ServerError::msg)?;
         std::fs::write(path, &bytes)
@@ -1031,6 +1325,24 @@ impl Service {
             .collect();
         let art = persist::write_sidecar(id, &entries);
         let art_path = persist::sidecar_path(std::path::Path::new(path));
+        // The rewrite drops any sidecar entry whose statement was since
+        // re-prepared (same name, new text) or unregistered; `sidecar_gc`
+        // reports how many such orphans the previous file carried. An
+        // absent or unreadable previous sidecar counts zero.
+        let live: std::collections::HashSet<(&str, &str)> =
+            bound.iter().map(|(n, t, _)| (n.as_str(), t.as_str())).collect();
+        let sidecar_gc = std::fs::read(&art_path)
+            .ok()
+            .and_then(|old| persist::sidecar_entries(&old).ok())
+            .map(|old| {
+                old.iter().filter(|(n, t)| !live.contains(&(n.as_str(), t.as_str()))).count() as u64
+            })
+            .unwrap_or(0);
+        if sidecar_gc > 0 {
+            self.metrics
+                .counter("ecrpq_sidecar_gc_total", "Orphaned sidecar entries dropped by save.")
+                .add(sidecar_gc);
+        }
         std::fs::write(&art_path, &art)
             .map_err(|e| ServerError(format!("cannot write `{}`: {e}", art_path.display())))?;
         Ok(ok_obj([
@@ -1038,6 +1350,7 @@ impl Service {
             ("path", Value::str(path)),
             ("bytes", Value::int(bytes.len() as u64)),
             ("statements", Value::int(entries.len() as u64)),
+            ("sidecar_gc", Value::int(sidecar_gc)),
         ]))
     }
 
@@ -1142,6 +1455,49 @@ fn str_field<'a>(req: &'a Value, key: &str) -> Result<&'a str, ServerError> {
     req.get(key)
         .and_then(Value::as_str)
         .ok_or_else(|| ServerError(format!("request needs a string `{key}` field")))
+}
+
+/// The `(from, label, to)` triples of a mutation request: an `edges` array
+/// of 3-element string arrays, and/or `text` edge-list lines (`from label
+/// to` per line, blank lines skipped). At least one triple is required.
+fn edge_triples(req: &Value) -> Result<Vec<(String, String, String)>, ServerError> {
+    let mut out = Vec::new();
+    if let Some(arr) = req.get("edges").and_then(Value::as_arr) {
+        for e in arr {
+            let items = e.as_arr().filter(|items| items.len() == 3).ok_or_else(|| {
+                ServerError("`edges` entries must be [from, label, to] arrays".into())
+            })?;
+            let mut strs = items.iter().map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ServerError("`edges` triple components must be strings".into()))
+            });
+            out.push((strs.next().unwrap()?, strs.next().unwrap()?, strs.next().unwrap()?));
+        }
+    }
+    if let Some(text) = req.get("text").and_then(Value::as_str) {
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (None, ..) => {}
+                (Some(f), Some(l), Some(t), None) => {
+                    out.push((f.to_string(), l.to_string(), t.to_string()));
+                }
+                _ => {
+                    return Err(ServerError(format!(
+                        "each `text` edge line must be `from label to`, got `{}`",
+                        line.trim()
+                    )));
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(ServerError(
+            "mutation needs a non-empty `edges` array and/or `text` edge lines".into(),
+        ));
+    }
+    Ok(out)
 }
 
 /// [`EvalStats`] as a reply object, including the sim-table cache counters
@@ -1498,6 +1854,51 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Re-preparing a statement orphans its old sidecar entry; the next
+    /// `save` garbage-collects it, reports `sidecar_gc`, and a warm `open`
+    /// installs only the live statement.
+    #[test]
+    fn save_garbage_collects_orphaned_sidecar_entries() {
+        let dir = scratch_dir("sidecar-gc");
+        let snap = dir.join("g.snap");
+        let snap = snap.to_str().unwrap();
+
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        // First save: no previous sidecar, nothing to collect.
+        let r = reply(&s, &format!(r#"{{"op":"save","graph":"g","path":"{snap}"}}"#));
+        assert_eq!(r.get("sidecar_gc").unwrap().as_u64(), Some(0));
+
+        // Same registry contents: the rewrite drops nothing.
+        let r = reply(&s, &format!(r#"{{"op":"save","graph":"g","path":"{snap}"}}"#));
+        assert_eq!(r.get("sidecar_gc").unwrap().as_u64(), Some(0));
+
+        // Re-prepare `q` with new text: the on-disk entry for the old text
+        // is now an orphan, and the next save reports collecting it.
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a a","graph":"g"}"#,
+        );
+        let r = reply(&s, &format!(r#"{{"op":"save","graph":"g","path":"{snap}"}}"#));
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("statements").unwrap().as_u64(), Some(1));
+        assert_eq!(r.get("sidecar_gc").unwrap().as_u64(), Some(1), "stale entry not collected");
+
+        // A fresh service warms exactly the live statement, under the new
+        // text: a cycle of six `a`-edges has six `a a a` answers.
+        let fresh = Service::new(8);
+        let r = reply(&fresh, &format!(r#"{{"op":"open","name":"g2","path":"{snap}"}}"#));
+        assert_eq!(r.get("statements").unwrap().as_u64(), Some(1));
+        let warm = reply(&fresh, r#"{"op":"run","name":"q","graph":"g2"}"#);
+        assert_eq!(warm.get("registry").unwrap().as_str(), Some("hit"));
+        assert_eq!(warm.get("count").unwrap().as_u64(), Some(6));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// Golden `save`/`open` error paths: missing file, version mismatch,
     /// checksum failure, and a duplicate catalog name all produce structured
     /// `ok:false` replies on a connection that keeps serving.
@@ -1692,9 +2093,16 @@ mod tests {
         let st = reply(&s, r#"{"op":"stats"}"#);
 
         let adm = st.get("admission").unwrap();
-        for key in
-            ["accepted", "rejected", "active", "in_flight", "queue_depth", "pipelined", "batched"]
-        {
+        for key in [
+            "accepted",
+            "rejected",
+            "active",
+            "in_flight",
+            "queue_depth",
+            "pipelined",
+            "batched",
+            "reply_overflows",
+        ] {
             assert!(adm.get(key).and_then(Value::as_u64).is_some(), "admission.{key} missing");
         }
         // The gauge counts the stats request itself — the one in flight now.
@@ -1948,5 +2356,162 @@ mod tests {
         assert_eq!(traced.get("ok").unwrap().as_bool(), Some(true));
         assert!(traced.get("trace").is_some());
         assert_eq!(traced.get("answers").unwrap(), results[0].get("answers").unwrap());
+    }
+
+    /// Sorted `answers` rows of a reply, as vectors of node tokens.
+    fn answer_rows(r: &Value) -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = r
+            .get("answers")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|row| {
+                row.as_arr().unwrap().iter().map(|v| v.as_str().unwrap().to_string()).collect()
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn add_remove_edges_update_maintained_runs_incrementally() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        let before = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        assert_eq!(before.get("count").unwrap().as_u64(), Some(6));
+
+        // A chord n0 -a-> n3 adds the two-step answers (n0, n4) and
+        // (n5, n3).
+        let m = reply(&s, r#"{"op":"add_edges","graph":"g","edges":[["n0","a","n3"]]}"#);
+        assert_eq!(m.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(m.get("added").unwrap().as_u64(), Some(1));
+        assert_eq!(m.get("pending").unwrap().as_u64(), Some(1));
+        assert_eq!(m.get("merged").unwrap().as_bool(), Some(false));
+
+        // The delta-maintained run: registry hit, no sim compilation, and
+        // the answer set reflects the overlay.
+        let after = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        assert_eq!(after.get("registry").unwrap().as_str(), Some("hit"));
+        assert_eq!(after.get("count").unwrap().as_u64(), Some(8));
+        let misses = after.get("stats").unwrap().get("sim_cache_misses").unwrap().as_u64();
+        assert_eq!(misses, Some(0));
+        let rows = answer_rows(&after);
+        assert!(rows.contains(&vec!["n0".to_string(), "n4".to_string()]));
+        assert!(rows.contains(&vec!["n5".to_string(), "n3".to_string()]));
+
+        // Removing the chord returns exactly the original answers.
+        let m = reply(&s, r#"{"op":"remove_edges","graph":"g","edges":[["n0","a","n3"]]}"#);
+        assert_eq!(m.get("removed").unwrap().as_u64(), Some(1));
+        assert_eq!(m.get("maintained").unwrap().as_u64(), Some(1));
+        let restored = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        assert_eq!(answer_rows(&restored), answer_rows(&before));
+
+        // A remove that matches nothing is `missing`, not an error.
+        let m = reply(&s, r#"{"op":"remove_edges","graph":"g","edges":[["n0","a","n3"]]}"#);
+        assert_eq!(m.get("removed").unwrap().as_u64(), Some(0));
+        assert_eq!(m.get("missing").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn delta_new_labels_and_nodes_never_satisfy_old_constraints() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        // A new node and a new label via `text` edge lines: the `b` edge
+        // can never match `a a`, so the answer set is unchanged.
+        let m = reply(&s, r#"{"op":"add_edges","graph":"g","text":"hub b n0\nn1 b hub\n"}"#);
+        assert_eq!(m.get("added").unwrap().as_u64(), Some(2));
+        assert_eq!(m.get("nodes").unwrap().as_u64(), Some(7));
+        let r = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        assert_eq!(r.get("count").unwrap().as_u64(), Some(6));
+    }
+
+    #[test]
+    fn merge_threshold_crossing_publishes_a_fresh_hot_epoch() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        let m = reply(
+            &s,
+            r#"{"op":"add_edges","graph":"g","edges":[["n0","a","n3"]],"merge_threshold":2}"#,
+        );
+        assert_eq!(m.get("merged").unwrap().as_bool(), Some(false));
+        // Build the maintained state while the overlay is dirty.
+        let dirty = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        assert_eq!(dirty.get("count").unwrap().as_u64(), Some(8));
+        // The second op crosses the threshold: a sealed epoch is published
+        // and the maintained statement is rebound onto it.
+        let m = reply(&s, r#"{"op":"add_edges","graph":"g","edges":[["n1","a","n4"]]}"#);
+        assert_eq!(m.get("merged").unwrap().as_bool(), Some(true));
+        assert_eq!(m.get("merges").unwrap().as_u64(), Some(1));
+        assert_eq!(m.get("pending").unwrap().as_u64(), Some(0));
+        assert_eq!(m.get("maintained").unwrap().as_u64(), Some(1));
+        // The next run takes the cold path on the merged epoch — and is a
+        // registry hit with zero compilations, because the rebind installed
+        // the new epoch's plan.
+        let r = reply(&s, r#"{"op":"run","name":"q","graph":"g"}"#);
+        assert_eq!(r.get("registry").unwrap().as_str(), Some("hit"));
+        assert_eq!(r.get("count").unwrap().as_u64(), Some(9));
+        let misses = r.get("stats").unwrap().get("sim_cache_misses").unwrap().as_u64();
+        assert_eq!(misses, Some(0));
+        // `stats` reports the overlay drained and one merge.
+        let st = reply(&s, r#"{"op":"stats"}"#);
+        let live = st.get("live").unwrap().as_arr().unwrap();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].get("graph").unwrap().as_str(), Some("g"));
+        assert_eq!(live[0].get("pending").unwrap().as_u64(), Some(0));
+        assert_eq!(live[0].get("merges").unwrap().as_u64(), Some(1));
+        assert_eq!(live[0].get("merge_threshold").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn non_nodes_reads_flush_the_overlay_first() {
+        let s = loaded_service();
+        reply(
+            &s,
+            r#"{"op":"prepare","name":"q","query":"Ans(x, y) <- (x, p, y), L(p) = a a","graph":"g"}"#,
+        );
+        reply(&s, r#"{"op":"add_edges","graph":"g","edges":[["n0","a","n3"]]}"#);
+        // A boolean-mode run cannot be served from maintained rows: the
+        // overlay is merged and the run sees the new edge.
+        let r = reply(&s, r#"{"op":"run","name":"q","graph":"g","mode":"boolean"}"#);
+        assert_eq!(r.get("answer").unwrap().as_bool(), Some(true));
+        let st = reply(&s, r#"{"op":"stats"}"#);
+        let live = st.get("live").unwrap().as_arr().unwrap();
+        assert_eq!(live[0].get("pending").unwrap().as_u64(), Some(0));
+        assert_eq!(live[0].get("merges").unwrap().as_u64(), Some(1));
+        // `check` sees the merged graph: (n0, n4) is an answer only via the
+        // added chord n0 -a-> n3.
+        let c = reply(&s, r#"{"op":"check","name":"q","graph":"g","nodes":["n0","n4"]}"#);
+        assert_eq!(c.get("member").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn reload_discards_the_overlay_and_mutation_error_paths() {
+        let s = loaded_service();
+        reply(&s, r#"{"op":"add_edges","graph":"g","edges":[["n0","a","n3"]]}"#);
+        reply(&s, r#"{"op":"load","graph":"g","generator":"cycle:6:a"}"#);
+        let st = reply(&s, r#"{"op":"stats"}"#);
+        assert_eq!(st.get("live").unwrap().as_arr().unwrap().len(), 0);
+
+        for (line, needle) in [
+            (r#"{"op":"add_edges","graph":"nope","edges":[["a","x","b"]]}"#, "unknown graph"),
+            (r#"{"op":"add_edges","graph":"g"}"#, "non-empty"),
+            (r#"{"op":"add_edges","graph":"g","edges":[["a","x"]]}"#, "[from, label, to]"),
+            (r#"{"op":"add_edges","graph":"g","edges":[[1,2,3]]}"#, "must be strings"),
+            (r#"{"op":"add_edges","graph":"g","text":"a x"}"#, "from label to"),
+        ] {
+            assert_error_reply(&s, line, needle);
+        }
     }
 }

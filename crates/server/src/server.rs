@@ -50,7 +50,30 @@ pub struct ServerConfig {
     /// needed. Port 0 picks an ephemeral port (reported by
     /// [`ServerHandle::metrics_addr`]).
     pub metrics_addr: Option<String>,
+    /// Per-connection cap on dispatched-but-unwritten tagged replies (the
+    /// reply send-queue). A connection that keeps pipelining past this —
+    /// typically because its reader has stalled and replies cannot drain —
+    /// gets one structured error reply and is closed, instead of buffering
+    /// replies without bound. Clamped to at least 1.
+    pub send_queue_cap: usize,
+    /// Socket write timeout in milliseconds. A reply write blocked longer
+    /// than this (a reader stalled with full kernel buffers) fails the
+    /// connection instead of pinning a pipeline worker indefinitely.
+    /// 0 disables the timeout.
+    pub write_timeout_ms: u64,
+    /// Live-overlay merge threshold: after this many pending overlay edge
+    /// operations on a graph, a mutation op merges the overlay into a fresh
+    /// sealed epoch (see the `add_edges`/`remove_edges` protocol ops).
+    pub merge_threshold: usize,
 }
+
+/// Default [`ServerConfig::send_queue_cap`]: deep enough for any sane
+/// pipelining burst, small enough that a stalled reader cannot pin
+/// unbounded reply memory.
+pub const DEFAULT_SEND_QUEUE_CAP: usize = 256;
+
+/// Default [`ServerConfig::write_timeout_ms`].
+pub const DEFAULT_WRITE_TIMEOUT_MS: u64 = 5_000;
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -63,6 +86,9 @@ impl Default for ServerConfig {
             threads_cap: crate::protocol::DEFAULT_THREADS_CAP,
             slow_query_ms: 0,
             metrics_addr: None,
+            send_queue_cap: DEFAULT_SEND_QUEUE_CAP,
+            write_timeout_ms: DEFAULT_WRITE_TIMEOUT_MS,
+            merge_threshold: ecrpq_graph::delta::DEFAULT_MERGE_THRESHOLD,
         }
     }
 }
@@ -96,7 +122,8 @@ impl Server {
         let service = Arc::new(
             Service::new(config.bound_capacity)
                 .with_threads_cap(config.threads_cap)
-                .with_slow_query_ms(config.slow_query_ms),
+                .with_slow_query_ms(config.slow_query_ms)
+                .with_merge_threshold(config.merge_threshold),
         );
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -138,6 +165,11 @@ impl Server {
         let accept_stop = Arc::clone(&stop);
         let workers = config.workers.max(1);
         let exec_workers = config.exec_workers.max(1);
+        let send_queue_cap = config.send_queue_cap.max(1);
+        let write_timeout = match config.write_timeout_ms {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        };
         let listener_thread =
             std::thread::Builder::new().name("ecrpq-accept".to_string()).spawn(move || {
                 let pool = ThreadPool::new(workers);
@@ -175,7 +207,14 @@ impl Server {
                     let stop = Arc::clone(&accept_stop);
                     let exec = Arc::clone(&exec);
                     let served = pool.execute(move || {
-                        let control = serve_connection(&service, stream, &stop, &exec);
+                        let control = serve_connection(
+                            &service,
+                            stream,
+                            &stop,
+                            &exec,
+                            send_queue_cap,
+                            write_timeout,
+                        );
                         service.stats.active.fetch_sub(1, Ordering::SeqCst);
                         if let Control::Shutdown = control {
                             request_stop(&stop, addr);
@@ -331,8 +370,11 @@ fn serve_connection(
     stream: TcpStream,
     stop: &AtomicBool,
     exec: &Arc<ThreadPool>,
+    send_queue_cap: usize,
+    write_timeout: Option<std::time::Duration>,
 ) -> Control {
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_write_timeout(write_timeout);
     let Ok(read_half) = stream.try_clone() else { return Control::Close };
     let mut reader = BufReader::new(read_half);
     let shared = Arc::new(ConnShared {
@@ -387,6 +429,33 @@ fn serve_connection(
             continue;
         };
         if matches!(protocol::request_id(&req), Ok(Some(_))) {
+            // Bound the reply send-queue before admitting more tagged work:
+            // a reader that stalls (or pipelines far past any sane depth)
+            // would otherwise buffer replies without bound. The connection
+            // gets one structured error naming the cap, then closes; the
+            // flush itself is bounded by the socket write timeout.
+            if shared.pending.load(Ordering::SeqCst) >= send_queue_cap {
+                service.stats.reply_overflows.fetch_add(1, Ordering::Relaxed);
+                let id = protocol::request_id(&req)
+                    .ok()
+                    .flatten()
+                    .map_or_else(String::new, |id| format!("\"id\":{id},"));
+                let reply = format!(
+                    "{{\"ok\":false,{id}\"error\":\"reply queue overflow: \
+                     {send_queue_cap} tagged replies pending and unread; \
+                     read replies or pipeline less deeply\"}}"
+                );
+                let _ = shared.write_ordered(&reply, true);
+                shared.drain();
+                shared.failed.store(true, Ordering::SeqCst);
+                // End with FIN, not RST: half-close the write side and
+                // briefly consume whatever the client already sent, so the
+                // kernel does not discard the error reply on close because
+                // of unread input.
+                let _ = reader.get_ref().shutdown(std::net::Shutdown::Write);
+                discard_input(&mut reader);
+                return Control::Close;
+            }
             // Tagged: dispatch concurrently, reply written on completion.
             service.stats.pipelined.fetch_add(1, Ordering::Relaxed);
             shared.pending.fetch_add(1, Ordering::SeqCst);
@@ -427,6 +496,28 @@ fn serve_connection(
 /// line — the "burst continues" signal that defers flushing.
 fn has_buffered_line(reader: &BufReader<TcpStream>) -> bool {
     reader.buffer().contains(&b'\n')
+}
+
+/// Reads and discards in-flight input for up to one second (or until EOF),
+/// so a connection being failed can close with FIN and its final error
+/// reply survives in the client's receive queue. Bounded: a client that
+/// keeps streaming just gets the reset it was headed for anyway.
+fn discard_input(reader: &mut BufReader<TcpStream>) {
+    use std::io::Read;
+    let mut sink = [0u8; 4096];
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(1);
+    while std::time::Instant::now() < deadline {
+        match reader.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -552,6 +643,68 @@ mod tests {
                 "concurrent served answers must match in-process evaluation"
             );
         }
+        handle.shutdown();
+    }
+
+    /// A client that pipelines tagged requests but never reads its replies
+    /// must not buffer unbounded reply memory: the connection fails with a
+    /// structured overflow error and a counter tick, and the server keeps
+    /// serving well-behaved clients.
+    #[test]
+    fn stalled_reader_overflows_the_reply_queue_and_fails_fast() {
+        let handle = Server::spawn(ServerConfig {
+            workers: 2,
+            exec_workers: 1,
+            send_queue_cap: 4,
+            write_timeout_ms: 500,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut setup = Client::connect(handle.addr()).unwrap();
+        setup.load_generator("g", "cycle:512:a").unwrap();
+        setup.prepare("q", "Ans(x, y) <- (x, p, y), L(p) = a a", &["a"]).unwrap();
+        setup.close().unwrap();
+
+        // The stalled reader: one burst of tagged runs, never reading a
+        // byte back. Every reply is ~512 rows, so the single pipeline
+        // worker falls behind the read loop within a handful of requests
+        // and `pending` crosses the cap.
+        let mut stalled = TcpStream::connect(handle.addr()).unwrap();
+        let mut burst = String::new();
+        for i in 0..200 {
+            burst.push_str(&format!(
+                "{{\"op\":\"run\",\"name\":\"q\",\"graph\":\"g\",\"id\":{i}}}\n"
+            ));
+        }
+        stalled.write_all(burst.as_bytes()).unwrap();
+
+        let stats = &handle.service().stats;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while stats.reply_overflows.load(Ordering::Relaxed) == 0 {
+            assert!(std::time::Instant::now() < deadline, "reply-queue overflow never tripped");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        // The structured error reaches the (now reading) client, then EOF:
+        // the server closed the connection rather than keep buffering.
+        stalled.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        let mut received = String::new();
+        use std::io::Read;
+        stalled.read_to_string(&mut received).expect("server must close the stalled connection");
+        assert!(
+            received.contains("reply queue overflow"),
+            "no structured overflow error in: …{}",
+            &received[received.len().saturating_sub(300)..]
+        );
+
+        // The freed slot still admits a well-behaved client, and the stats
+        // reply surfaces the overflow count.
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let st = c.stats().unwrap();
+        let overflows =
+            st.get("admission").unwrap().get("reply_overflows").unwrap().as_u64().unwrap();
+        assert!(overflows >= 1, "stats must surface the overflow: {st:?}");
+        c.close().unwrap();
         handle.shutdown();
     }
 

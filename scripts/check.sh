@@ -3,6 +3,7 @@
 # Usage: scripts/check.sh [--bench-smoke] [--bench-compare] [--server-smoke]
 #                         [--parallel-smoke] [--storage-smoke]
 #                         [--serve-load-smoke] [--metrics-smoke]
+#                         [--mutation-smoke]
 # (from anywhere inside the repo)
 #
 # The default sequence is build + tests + fmt + clippy + the parser and
@@ -16,7 +17,10 @@
 # short open-loop burst through the legacy/pipelined/batch protocol shapes
 # past the server's admission capacity; the harness asserts zero dropped
 # replies and that client-observed rejections equal the server's admission
-# counter).
+# counter) + the metrics smoke + the mutation smoke (add_edges/remove_edges
+# on a live overlay: the delta must be visible to the very next run, which
+# must stay a registry hit, and the remove must restore the pre-mutation
+# answers bit for bit).
 #
 # --bench-smoke    additionally runs the benchmark harness on the smallest
 #                  size point of each experiment family (in a scratch
@@ -53,6 +57,13 @@
 #                  requests sent) — the fast loop while working on the
 #                  metrics/tracing layer. The same gate is part of the
 #                  default sequence.
+# --mutation-smoke runs ONLY the release build and the live-graph gate
+#                  (load -> prepare -> run, then add_edges must change the
+#                  answers while the re-run stays a registry hit — the
+#                  delta-maintained path, no rebind — and remove_edges must
+#                  return the answers to exactly the pre-mutation set) —
+#                  the fast loop while working on the mutation layer. The
+#                  same gate is part of the default sequence.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -65,6 +76,7 @@ parallel_smoke_only=0
 storage_smoke_only=0
 serve_load_smoke_only=0
 metrics_smoke_only=0
+mutation_smoke_only=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) bench_smoke=1 ;;
@@ -74,6 +86,7 @@ for arg in "$@"; do
         --storage-smoke) storage_smoke_only=1 ;;
         --serve-load-smoke) serve_load_smoke_only=1 ;;
         --metrics-smoke) metrics_smoke_only=1 ;;
+        --mutation-smoke) mutation_smoke_only=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -239,6 +252,63 @@ metrics_smoke() {
     echo "    metrics smoke OK (trace consistent, scrape reconciles: run=2 trace=1)"
 }
 
+# Live-graph gate: mutations must be visible to the very next run without
+# losing the warm registry state, and a remove must restore the pre-mutation
+# answers bit for bit. The answers portion of a run reply is everything
+# between the `answers` key and the trailing `stats` object — latency fields
+# vary run to run, the answer rows must not.
+answers_of() {
+    sed 's/.*"answers"://; s/,"stats".*//' <<< "$1"
+}
+
+mutation_smoke() {
+    echo
+    echo "==> mutation smoke (add_edges/remove_edges round-trip on a live overlay)"
+    local cli="$repo_root/target/release/ecrpq-cli"
+    local log before after reverted
+    log=$(mktemp)
+    start_server "$log"
+
+    "$cli" --addr "$server_addr" load g cycle:6:a
+    "$cli" --addr "$server_addr" prepare q 'Ans(x, y) <- (x, p, y), L(p) = a a' g
+    before=$("$cli" --addr "$server_addr" run q g)
+
+    "$cli" --addr "$server_addr" add-edges g n0 a n3
+    after=$("$cli" --addr "$server_addr" run q g)
+    echo "$after"
+    if ! grep -q '"registry":"hit"' <<< "$after"; then
+        echo "mutation smoke FAILED: the run after add_edges must stay a registry hit" >&2
+        exit 1
+    fi
+    if [[ "$(answers_of "$before")" == "$(answers_of "$after")" ]]; then
+        echo "mutation smoke FAILED: add_edges must change the answers" >&2
+        exit 1
+    fi
+
+    "$cli" --addr "$server_addr" remove-edges g n0 a n3
+    reverted=$("$cli" --addr "$server_addr" run q g)
+    if [[ "$(answers_of "$reverted")" != "$(answers_of "$before")" ]]; then
+        echo "mutation smoke FAILED: remove_edges must restore the pre-mutation answers" >&2
+        echo "  before:   $(answers_of "$before")" >&2
+        echo "  reverted: $(answers_of "$reverted")" >&2
+        exit 1
+    fi
+
+    "$cli" --addr "$server_addr" shutdown
+    wait "$server_pid"
+    server_pid=""
+    rm -f "$log"
+    echo "    mutation smoke OK (delta visible + registry hit, remove restores answers)"
+}
+
+if [[ "$mutation_smoke_only" == 1 ]]; then
+    run cargo build --release --offline -p ecrpq-server
+    mutation_smoke
+    echo
+    echo "Mutation smoke passed."
+    exit 0
+fi
+
 if [[ "$metrics_smoke_only" == 1 ]]; then
     run cargo build --release --offline -p ecrpq-server
     metrics_smoke
@@ -337,6 +407,10 @@ serve_load_smoke
 # Metrics smoke is part of the default sequence too: the observability
 # surface must stay scrapeable and its trace/histogram accounting honest.
 metrics_smoke
+
+# Mutation smoke is part of the default sequence too: live-graph writes must
+# be visible to the next run without cold rebinds, and reversible.
+mutation_smoke
 
 if [[ "$bench_smoke" == 1 ]]; then
     scratch=$(mktemp -d)
